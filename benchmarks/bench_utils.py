@@ -1,0 +1,19 @@
+"""Helpers shared by the benchmark files (import as ``from bench_utils import ...``)."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The experiments are long relative to micro-benchmarks, so calibration
+    rounds would multiply the runtime for no statistical benefit.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

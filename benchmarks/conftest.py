@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The trained
+dense baselines (LeNet on synthetic MNIST, ConvNet on synthetic CIFAR-10) are
+expensive relative to a single benchmark, so they are session-scoped and
+shared by all benchmark files.
+
+All benchmarks run at the ``SMALL`` experiment scale by default; set the
+environment variable ``REPRO_BENCH_SCALE=tiny`` for a quicker smoke run or
+``REPRO_BENCH_SCALE=paper`` for the full-scale (hours-long) configuration.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments import (  # noqa: E402
+    convnet_workload,
+    get_scale,
+    lenet_workload,
+    train_baseline,
+)
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The experiment scale used by the benchmark harness."""
+    return get_scale(BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def lenet_baseline(scale):
+    """(workload, trained dense network, baseline accuracy, training setup)."""
+    workload = lenet_workload(scale)
+    network, accuracy, setup = train_baseline(workload)
+    return workload, network, accuracy, setup
+
+
+@pytest.fixture(scope="session")
+def convnet_baseline(scale):
+    """(workload, trained dense network, baseline accuracy, training setup)."""
+    workload = convnet_workload(scale)
+    network, accuracy, setup = train_baseline(workload)
+    return workload, network, accuracy, setup

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Hardware-model walkthrough: reproduce the paper's headline area numbers.
+
+Unlike the other examples this one involves **no training at all** — it shows
+how the crossbar hardware model alone reproduces the paper's headline
+figures in closed form from the reported ranks and remaining-wire
+percentages, and how to use the mapper on the full-size LeNet / ConvNet
+topologies:
+
+* crossbar area of the rank-clipped LeNet  -> 13.62 %
+* crossbar area of the rank-clipped ConvNet -> 51.81 %
+* routing area after deletion (LeNet)       -> 8.1 %
+* routing area after deletion (ConvNet)     -> 52.06 %
+
+Run with:  python examples/hardware_area_report.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core import convert_to_lowrank
+from repro.experiments import paper_headline_numbers
+from repro.hardware import (
+    NetworkMapper,
+    area_reduction_rank_bound,
+    layer_area_fraction,
+    plan_tiling,
+)
+from repro.models import (
+    PAPER_CONVNET_RANKS,
+    PAPER_LENET_RANKS,
+    ConvNetConfig,
+    LeNetConfig,
+    build_convnet,
+    build_lenet,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------- closed-form headline
+    print("=== Headline numbers recomputed through the hardware model ===")
+    print(paper_headline_numbers().format_table())
+
+    # ------------------------------------------------------- per-layer view
+    print("\n=== Per-layer crossbar area of the rank-clipped LeNet ===")
+    shapes = LeNetConfig.paper().layer_shapes()
+    for name, (n, m) in shapes.items():
+        rank = PAPER_LENET_RANKS.get(name)
+        fraction = layer_area_fraction(n, m, rank)
+        bound = area_reduction_rank_bound(n, m)
+        rank_str = "dense" if rank is None else f"K={rank}"
+        print(
+            f"  {name:<6} N x M = {n:>4} x {m:<4} {rank_str:<8} "
+            f"area {fraction:7.2%}   (saves area iff K < {bound:.1f})"
+        )
+
+    # ------------------------------------------------------- tiling example
+    print("\n=== MBC size selection for the big LeNet matrices (Table 3) ===")
+    for name, (rows, cols) in {
+        "fc1_u (U: 500x36)": (500, 36),
+        "fc1_v (Vt: 36x800)": (36, 800),
+        "fc2   (Wt: 500x10)": (500, 10),
+    }.items():
+        plan = plan_tiling(rows, cols, name=name)
+        print(
+            f"  {name:<20} tiles of {plan.tile_rows}x{plan.tile_cols}  "
+            f"({plan.grid_rows}x{plan.grid_cols} = {plan.num_crossbars} crossbars, "
+            f"{plan.dense_wire_count()} routing wires)"
+        )
+
+    # ------------------------------------------------- full network mapping
+    print("\n=== Mapping the full-size networks onto 64x64 crossbars ===")
+    mapper = NetworkMapper()
+    for builder, config, ranks, label in (
+        (build_lenet, LeNetConfig.paper(), PAPER_LENET_RANKS, "LeNet"),
+        (build_convnet, ConvNetConfig.paper(), PAPER_CONVNET_RANKS, "ConvNet"),
+    ):
+        dense = builder(config, rng=0)
+        clipped = convert_to_lowrank(dense, ranks=ranks)
+        dense_report = mapper.map_network(dense)
+        clipped_report = mapper.map_network(clipped)
+        fraction = clipped_report.area_fraction_of(dense_report)
+        print(
+            f"\n{label}: dense {dense_report.total_crossbar_area_f2:,.0f} F^2 on "
+            f"{dense_report.total_crossbars} crossbars -> clipped "
+            f"{clipped_report.total_crossbar_area_f2:,.0f} F^2 on "
+            f"{clipped_report.total_crossbars} crossbars ({fraction:.2%})"
+        )
+        print(clipped_report.format_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Group Scissor reproduction library.
+
+This package reproduces "Group Scissor: Scaling Neuromorphic Computing Design
+to Large Neural Networks" (Wang et al., DAC 2017).  It contains:
+
+* :mod:`repro.nn` — a numpy neural-network training substrate (layers,
+  optimizers, losses, trainer);
+* :mod:`repro.data` — synthetic MNIST/CIFAR-like datasets and loaders;
+* :mod:`repro.lowrank` — PCA/SVD low-rank approximation and reconstruction
+  error spectra;
+* :mod:`repro.core` — the paper's contribution: rank clipping, crossbar-aware
+  group-Lasso connection deletion, and the combined Group Scissor pipeline;
+* :mod:`repro.hardware` — the memristor-crossbar hardware model (tiling,
+  crossbar area, routing area);
+* :mod:`repro.models` — the LeNet and ConvNet topologies of the paper;
+* :mod:`repro.experiments` — harnesses regenerating every table and figure.
+"""
+
+from repro import core, data, hardware, lowrank, models, nn
+from repro.core import (
+    GroupConnectionDeleter,
+    GroupDeletionConfig,
+    GroupScissor,
+    GroupScissorResult,
+    RankClipper,
+    RankClippingConfig,
+    ScissorConfig,
+    convert_to_lowrank,
+    direct_lra,
+)
+from repro.hardware import NetworkMapper, TechnologyParameters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "data",
+    "lowrank",
+    "core",
+    "hardware",
+    "models",
+    "RankClippingConfig",
+    "GroupDeletionConfig",
+    "ScissorConfig",
+    "RankClipper",
+    "GroupConnectionDeleter",
+    "GroupScissor",
+    "GroupScissorResult",
+    "convert_to_lowrank",
+    "direct_lra",
+    "NetworkMapper",
+    "TechnologyParameters",
+    "__version__",
+]

@@ -1,0 +1,69 @@
+"""The paper's core contribution: rank clipping, group connection deletion,
+and the combined Group Scissor pipeline."""
+
+from repro.core.config import GroupDeletionConfig, RankClippingConfig, ScissorConfig
+from repro.core.conversion import (
+    convert_to_lowrank,
+    current_ranks,
+    default_clippable_layers,
+    direct_lra,
+)
+from repro.core.group_deletion import (
+    GroupConnectionDeleter,
+    GroupDeletionCallback,
+    GroupDeletionResult,
+    GroupDeletionTrace,
+    apply_deletion,
+    effective_threshold,
+    group_deletion_fractions,
+    matrix_routing_report,
+    matrix_values,
+)
+from repro.core.groups import (
+    GroupedMatrix,
+    derive_layer_grouped_matrices,
+    derive_matrix_groups,
+    derive_network_groups,
+    flatten_groups,
+    group_summary,
+)
+from repro.core.rank_clipping import (
+    RankClipper,
+    RankClippingCallback,
+    RankClippingResult,
+    RankClippingTrace,
+    clip_layer_rank,
+)
+from repro.core.scissor import GroupScissor, GroupScissorResult
+
+__all__ = [
+    "RankClippingConfig",
+    "GroupDeletionConfig",
+    "ScissorConfig",
+    "convert_to_lowrank",
+    "direct_lra",
+    "current_ranks",
+    "default_clippable_layers",
+    "clip_layer_rank",
+    "RankClipper",
+    "RankClippingCallback",
+    "RankClippingResult",
+    "RankClippingTrace",
+    "GroupedMatrix",
+    "derive_matrix_groups",
+    "derive_layer_grouped_matrices",
+    "derive_network_groups",
+    "flatten_groups",
+    "group_summary",
+    "GroupConnectionDeleter",
+    "GroupDeletionCallback",
+    "GroupDeletionResult",
+    "GroupDeletionTrace",
+    "apply_deletion",
+    "effective_threshold",
+    "group_deletion_fractions",
+    "matrix_routing_report",
+    "matrix_values",
+    "GroupScissor",
+    "GroupScissorResult",
+]

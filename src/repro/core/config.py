@@ -1,0 +1,131 @@
+"""Configuration objects for the Group Scissor pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RankClippingConfig:
+    """Parameters of rank clipping (paper Algorithm 2).
+
+    Attributes
+    ----------
+    tolerance:
+        Tolerable clipping error ``ε``: the maximum relative reconstruction
+        error allowed by a single clipping step (paper uses 0.01–0.03).
+    clip_interval:
+        Number of training iterations ``S`` between clipping attempts.
+    max_iterations:
+        Total number of training iterations ``I`` for the clip-and-train loop.
+    method:
+        Low-rank backend, ``"pca"`` (paper default) or ``"svd"``.
+    layers:
+        Names of the layers to clip.  ``None`` clips every low-rank layer in
+        the network (the paper excludes the final classifier layer, which the
+        conversion step already leaves dense).
+    min_rank:
+        Lower bound on the clipped rank of any layer.
+    center:
+        Mean-centre rows in the PCA backend (Algorithm 1's literal form).
+    """
+
+    tolerance: float = 0.03
+    clip_interval: int = 500
+    max_iterations: int = 30000
+    method: str = "pca"
+    layers: Optional[Tuple[str, ...]] = None
+    min_rank: int = 1
+    center: bool = False
+
+    def __post_init__(self):
+        if not (0.0 <= self.tolerance <= 1.0):
+            raise ConfigurationError(f"tolerance must be in [0, 1], got {self.tolerance}")
+        if self.clip_interval < 1:
+            raise ConfigurationError(f"clip_interval must be >= 1, got {self.clip_interval}")
+        if self.max_iterations < 0:
+            raise ConfigurationError(f"max_iterations must be >= 0, got {self.max_iterations}")
+        if self.method not in ("pca", "svd"):
+            raise ConfigurationError(f"method must be 'pca' or 'svd', got {self.method!r}")
+        if self.min_rank < 1:
+            raise ConfigurationError(f"min_rank must be >= 1, got {self.min_rank}")
+        if self.layers is not None and len(self.layers) == 0:
+            raise ConfigurationError("layers must be None or a non-empty tuple of names")
+
+
+@dataclass(frozen=True)
+class GroupDeletionConfig:
+    """Parameters of group connection deletion (paper Section 3.2).
+
+    Attributes
+    ----------
+    strength:
+        Group-Lasso weight ``λ`` in Eq. (4); larger values delete more wires
+        at a higher accuracy cost.
+    iterations:
+        Training iterations with the group-Lasso penalty active.
+    finetune_iterations:
+        Iterations of masked fine-tuning after deletion (penalty removed).
+    zero_threshold:
+        A group whose L2 norm falls at or below this value is deleted.
+    relative_threshold:
+        Additionally delete groups whose norm is at or below
+        ``relative_threshold × (largest group norm in the same matrix)``.
+        Sub-gradient SGD shrinks pruned groups towards zero but rarely makes
+        them exactly zero in a finite number of iterations, so the effective
+        deletion threshold per matrix is
+        ``max(zero_threshold, relative_threshold · max_norm)``.
+    include_small_matrices:
+        Also regularize matrices that fit in a single crossbar.  The paper
+        states it only deletes matrices "beyond the largest size of MBC";
+        enabling this extends deletion to every matrix.
+    layers:
+        Restrict deletion to these layer names (``None`` = all low-rank and
+        dense weighted layers).
+    """
+
+    strength: float = 1e-3
+    iterations: int = 3000
+    finetune_iterations: int = 1000
+    zero_threshold: float = 1e-4
+    relative_threshold: float = 0.05
+    include_small_matrices: bool = False
+    layers: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self):
+        if self.strength < 0:
+            raise ConfigurationError(f"strength must be >= 0, got {self.strength}")
+        if self.iterations < 0:
+            raise ConfigurationError(f"iterations must be >= 0, got {self.iterations}")
+        if self.finetune_iterations < 0:
+            raise ConfigurationError(
+                f"finetune_iterations must be >= 0, got {self.finetune_iterations}"
+            )
+        if self.zero_threshold < 0:
+            raise ConfigurationError(
+                f"zero_threshold must be >= 0, got {self.zero_threshold}"
+            )
+        if not (0.0 <= self.relative_threshold < 1.0):
+            raise ConfigurationError(
+                f"relative_threshold must be in [0, 1), got {self.relative_threshold}"
+            )
+        if self.layers is not None and len(self.layers) == 0:
+            raise ConfigurationError("layers must be None or a non-empty tuple of names")
+
+
+@dataclass(frozen=True)
+class ScissorConfig:
+    """End-to-end Group Scissor configuration: rank clipping then deletion."""
+
+    rank_clipping: RankClippingConfig = field(default_factory=RankClippingConfig)
+    group_deletion: GroupDeletionConfig = field(default_factory=GroupDeletionConfig)
+    exclude_layers: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if not isinstance(self.rank_clipping, RankClippingConfig):
+            raise ConfigurationError("rank_clipping must be a RankClippingConfig")
+        if not isinstance(self.group_deletion, GroupDeletionConfig):
+            raise ConfigurationError("group_deletion must be a GroupDeletionConfig")

@@ -1,0 +1,167 @@
+"""Conversion between dense and low-rank factorized networks.
+
+Rank clipping operates on networks whose weighted layers are the factorized
+:class:`~repro.nn.layers.lowrank_linear.LowRankLinear` /
+:class:`~repro.nn.layers.lowrank_conv.LowRankConv2D` types.  The conversion
+here rebuilds a trained dense network with those layers (full-rank split, so
+the converted network computes exactly the same function) and can also
+truncate directly to given ranks, which is the paper's "Direct LRA"
+baseline of Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.lowrank.factorization import LowRankApproximator
+from repro.nn.layers import Conv2D, Linear, LowRankConv2D, LowRankLinear
+from repro.nn.network import Sequential
+
+
+def _is_last_weighted_layer(network: Sequential, layer_name: str) -> bool:
+    """True when ``layer_name`` is the final weighted layer (the classifier)."""
+    weighted = [
+        layer.name
+        for layer in network
+        if isinstance(layer, (Linear, Conv2D, LowRankLinear, LowRankConv2D))
+    ]
+    return bool(weighted) and weighted[-1] == layer_name
+
+
+def default_clippable_layers(network: Sequential) -> tuple:
+    """Names of layers the paper would clip: every weighted layer except the last.
+
+    "The original rank in the last layer is determined by the number of
+    classes so the further reduction is meaningless."
+    """
+    weighted = [
+        layer.name for layer in network if isinstance(layer, (Linear, Conv2D))
+    ]
+    return tuple(weighted[:-1])
+
+
+def convert_to_lowrank(
+    network: Sequential,
+    *,
+    ranks: Optional[Mapping[str, int]] = None,
+    layers: Optional[Sequence[str]] = None,
+    method: str = "svd",
+    name_suffix: str = "_lowrank",
+) -> Sequential:
+    """Return a copy of ``network`` with selected layers replaced by factorized ones.
+
+    Parameters
+    ----------
+    network:
+        The (typically trained) dense network.
+    ranks:
+        Optional per-layer rank; layers not listed are split at full rank
+        (numerically exact).  Rank truncation without retraining reproduces
+        the "Direct LRA" baseline.
+    layers:
+        Layer names to convert.  Defaults to every weighted layer except the
+        final classifier (:func:`default_clippable_layers`).
+    method:
+        Factorization backend used for truncated splits (full-rank splits are
+        exact for both backends).
+    name_suffix:
+        Suffix appended to the network name of the converted copy.
+    """
+    if layers is None:
+        layers = default_clippable_layers(network)
+    layers = tuple(layers)
+    unknown = [name for name in layers if name not in {l.name for l in network}]
+    if unknown:
+        raise ConfigurationError(f"cannot convert unknown layers: {unknown}")
+    ranks = dict(ranks or {})
+    approximator = LowRankApproximator(method=method)
+
+    converted = Sequential(name=f"{network.name}{name_suffix}")
+    for layer in network:
+        if layer.name not in layers:
+            converted.add(_copy_layer(layer))
+            continue
+        if isinstance(layer, Linear):
+            rank = ranks.get(layer.name)
+            if rank is None:
+                new_layer = LowRankLinear.from_dense(
+                    layer.weight.data,
+                    layer.bias.data if layer.bias is not None else None,
+                    rank=None,
+                    name=layer.name,
+                )
+            else:
+                factorization = approximator.factorize(layer.weight.data, rank)
+                new_layer = LowRankLinear(
+                    layer.in_features,
+                    layer.out_features,
+                    rank=rank,
+                    bias=layer.bias is not None,
+                    name=layer.name,
+                )
+                new_layer.set_factors(factorization.u, factorization.v)
+                if layer.bias is not None:
+                    new_layer.bias.data = layer.bias.data.copy()
+            converted.add(new_layer)
+        elif isinstance(layer, Conv2D):
+            rank = ranks.get(layer.name)
+            if rank is None:
+                new_layer = LowRankConv2D.from_conv(layer, rank=None, name=layer.name)
+            else:
+                factorization = approximator.factorize(layer.weight_matrix, rank)
+                new_layer = LowRankConv2D(
+                    layer.in_channels,
+                    layer.out_channels,
+                    layer.kernel_size,
+                    rank=rank,
+                    stride=layer.stride,
+                    padding=layer.padding,
+                    bias=layer.bias is not None,
+                    name=layer.name,
+                )
+                new_layer.set_factors(factorization.u, factorization.v)
+                if layer.bias is not None:
+                    new_layer.bias.data = layer.bias.data.copy()
+            converted.add(new_layer)
+        elif isinstance(layer, (LowRankLinear, LowRankConv2D)):
+            converted.add(_copy_layer(layer))
+        else:
+            raise ConfigurationError(
+                f"layer {layer.name!r} of type {type(layer).__name__} cannot be factorized"
+            )
+    return converted
+
+
+def direct_lra(
+    network: Sequential,
+    ranks: Mapping[str, int],
+    *,
+    method: str = "pca",
+) -> Sequential:
+    """Paper's "Direct LRA" baseline: truncate a trained network without retraining."""
+    if not ranks:
+        raise ConfigurationError("direct_lra requires at least one layer rank")
+    return convert_to_lowrank(
+        network, ranks=ranks, layers=tuple(ranks.keys()), method=method, name_suffix="_direct_lra"
+    )
+
+
+def current_ranks(network: Sequential) -> Dict[str, int]:
+    """Return the rank of every low-rank layer in ``network``."""
+    return {
+        layer.name: layer.rank
+        for layer in network
+        if isinstance(layer, (LowRankLinear, LowRankConv2D))
+    }
+
+
+def _copy_layer(layer):
+    """Structural copy of a layer with identical parameter values."""
+    import copy
+
+    clone = copy.deepcopy(layer)
+    clone.training = False
+    return clone

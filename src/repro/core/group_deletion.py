@@ -1,0 +1,306 @@
+"""Group connection deletion (paper Section 3.2).
+
+Starting from a (typically rank-clipped) network, group-Lasso regularization
+is applied to every crossbar row group and column group of the big weight
+matrices.  Training with the penalty drives many groups to all-zeros; those
+groups are then deleted (zeroed and frozen with a pruning mask) so the
+corresponding routing wires disappear, and the sparse network is fine-tuned
+to recover accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import GroupDeletionConfig
+from repro.core.groups import GroupedMatrix, derive_network_groups, flatten_groups
+from repro.exceptions import ConfigurationError
+from repro.hardware.library import PAPER_LIBRARY, CrossbarLibrary
+from repro.hardware.routing import RoutingReport, count_remaining_wires
+from repro.nn.network import Sequential
+from repro.nn.regularization import GroupLassoRegularizer
+from repro.nn.trainer import Callback, Trainer
+from repro.utils.logging import get_logger
+
+logger = get_logger("core.group_deletion")
+
+
+def matrix_values(matrix: GroupedMatrix) -> np.ndarray:
+    """Current crossbar-matrix values of a grouped matrix (inputs × outputs)."""
+    data = matrix.parameter.data
+    return data.T if matrix.transpose else data
+
+
+def matrix_routing_report(
+    matrix: GroupedMatrix, *, zero_threshold: float = 0.0
+) -> RoutingReport:
+    """Routing report of one grouped matrix for its current weights."""
+    return RoutingReport(
+        name=matrix.name,
+        dense_wires=matrix.plan.dense_wire_count(),
+        remaining_wires=count_remaining_wires(
+            matrix_values(matrix), matrix.plan, zero_threshold=zero_threshold
+        ),
+    )
+
+
+def effective_threshold(
+    matrix: GroupedMatrix, *, zero_threshold: float, relative_threshold: float
+) -> float:
+    """Deletion threshold applied to group norms of one matrix.
+
+    Sub-gradient descent shrinks pruned groups towards (but rarely exactly to)
+    zero, so the absolute ``zero_threshold`` is complemented by a threshold
+    relative to the largest group norm in the matrix — a group this much
+    smaller than the strongest group in its matrix is considered deleted.
+    """
+    if relative_threshold <= 0.0 or not matrix.groups:
+        return zero_threshold
+    max_norm = max(group.norm() for group in matrix.groups)
+    return max(zero_threshold, relative_threshold * max_norm)
+
+
+def group_deletion_fractions(
+    matrix: GroupedMatrix, *, zero_threshold: float, relative_threshold: float
+) -> float:
+    """Fraction of the matrix's routing wires that would be deleted right now.
+
+    Every row/column group guards exactly one routing wire, so the fraction of
+    groups at or below the effective threshold equals the fraction of
+    deletable wires (Figure 5's y-axis).
+    """
+    if not matrix.groups:
+        return 0.0
+    threshold = effective_threshold(
+        matrix, zero_threshold=zero_threshold, relative_threshold=relative_threshold
+    )
+    below = sum(1 for group in matrix.groups if group.norm() <= threshold)
+    return below / len(matrix.groups)
+
+
+@dataclass
+class GroupDeletionTrace:
+    """Time series recorded while the group-Lasso penalty is active (Figure 5)."""
+
+    iterations: List[int] = field(default_factory=list)
+    deleted_wire_fraction: Dict[str, List[float]] = field(default_factory=dict)
+    accuracy: List[Optional[float]] = field(default_factory=list)
+
+    def record(
+        self, iteration: int, fractions: Dict[str, float], accuracy: Optional[float]
+    ) -> None:
+        """Append one observation (per-matrix deleted-wire fractions + accuracy)."""
+        self.iterations.append(int(iteration))
+        for name, fraction in fractions.items():
+            self.deleted_wire_fraction.setdefault(name, []).append(float(fraction))
+        self.accuracy.append(None if accuracy is None else float(accuracy))
+
+    def final_deleted_fractions(self) -> Dict[str, float]:
+        """Deleted-wire fraction of every matrix at the last observation."""
+        return {k: v[-1] for k, v in self.deleted_wire_fraction.items() if v}
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly view of the trace."""
+        return {
+            "iterations": list(self.iterations),
+            "deleted_wire_fraction": {k: list(v) for k, v in self.deleted_wire_fraction.items()},
+            "accuracy": list(self.accuracy),
+        }
+
+
+class GroupDeletionCallback(Callback):
+    """Records deleted-wire fractions and accuracy during penalized training."""
+
+    def __init__(
+        self,
+        grouped_matrices: Sequence[GroupedMatrix],
+        *,
+        record_interval: int = 100,
+        zero_threshold: float = 1e-4,
+        relative_threshold: float = 0.05,
+        evaluate: bool = True,
+    ):
+        if record_interval < 1:
+            raise ConfigurationError(f"record_interval must be >= 1, got {record_interval}")
+        self.grouped_matrices = list(grouped_matrices)
+        self.record_interval = int(record_interval)
+        self.zero_threshold = float(zero_threshold)
+        self.relative_threshold = float(relative_threshold)
+        self.evaluate = bool(evaluate)
+        self.trace = GroupDeletionTrace()
+
+    def _fractions(self) -> Dict[str, float]:
+        return {
+            matrix.name: group_deletion_fractions(
+                matrix,
+                zero_threshold=self.zero_threshold,
+                relative_threshold=self.relative_threshold,
+            )
+            for matrix in self.grouped_matrices
+        }
+
+    def on_train_begin(self, trainer: Trainer) -> None:
+        accuracy = trainer.evaluate() if self.evaluate else None
+        self.trace.record(trainer.iteration, self._fractions(), accuracy)
+
+    def on_iteration_end(self, trainer: Trainer, iteration: int) -> None:
+        if iteration % self.record_interval != 0:
+            return
+        accuracy = trainer.evaluate() if self.evaluate else None
+        self.trace.record(iteration, self._fractions(), accuracy)
+
+
+def apply_deletion(
+    grouped_matrices: Sequence[GroupedMatrix],
+    *,
+    zero_threshold: float,
+    relative_threshold: float = 0.0,
+) -> Dict[str, int]:
+    """Zero out and freeze every (near-)zero group; returns deleted-group counts.
+
+    Groups whose L2 norm is at or below the matrix's effective threshold (see
+    :func:`effective_threshold`) are set to exactly zero and excluded from
+    future updates via the parameter's pruning mask, so fine-tuning cannot
+    resurrect a deleted routing wire.
+    """
+    deleted_counts: Dict[str, int] = {}
+    masks: Dict[int, np.ndarray] = {}
+    parameters: Dict[int, object] = {}
+    for matrix in grouped_matrices:
+        key = id(matrix.parameter)
+        if key not in masks:
+            existing = matrix.parameter.mask
+            masks[key] = (
+                np.ones(matrix.parameter.data.shape, dtype=bool)
+                if existing is None
+                else existing.copy()
+            )
+            parameters[key] = matrix.parameter
+        threshold = effective_threshold(
+            matrix, zero_threshold=zero_threshold, relative_threshold=relative_threshold
+        )
+        deleted = 0
+        for group in matrix.groups:
+            if group.norm() <= threshold:
+                group.zero_out()
+                masks[key][group.index] = False
+                deleted += 1
+        deleted_counts[matrix.name] = deleted
+    for key, mask in masks.items():
+        parameters[key].set_mask(mask)
+    return deleted_counts
+
+
+@dataclass
+class GroupDeletionResult:
+    """Outcome of a group-connection-deletion run."""
+
+    network: Sequential
+    trace: GroupDeletionTrace
+    routing_reports: Dict[str, RoutingReport]
+    deleted_groups: Dict[str, int]
+    accuracy_before: Optional[float]
+    accuracy_after_deletion: Optional[float]
+    accuracy_after_finetune: Optional[float]
+
+    def wire_fractions(self) -> Dict[str, float]:
+        """Remaining-wire fraction per matrix (the paper's "% wires" row)."""
+        return {name: report.wire_fraction for name, report in self.routing_reports.items()}
+
+    def routing_area_fractions(self) -> Dict[str, float]:
+        """Remaining routing-area fraction per matrix (Eq. 8)."""
+        return {name: report.area_fraction for name, report in self.routing_reports.items()}
+
+    def mean_wire_fraction(self) -> float:
+        """Average remaining-wire fraction across matrices."""
+        reports = list(self.routing_reports.values())
+        if not reports:
+            return 1.0
+        return float(np.mean([r.wire_fraction for r in reports]))
+
+    def mean_routing_area_fraction(self) -> float:
+        """Average remaining routing-area fraction across matrices."""
+        reports = list(self.routing_reports.values())
+        if not reports:
+            return 1.0
+        return float(np.mean([r.area_fraction for r in reports]))
+
+
+class GroupConnectionDeleter:
+    """High-level driver for group connection deletion."""
+
+    def __init__(
+        self,
+        config: GroupDeletionConfig = GroupDeletionConfig(),
+        *,
+        library: CrossbarLibrary = PAPER_LIBRARY,
+        record_interval: int = 100,
+    ):
+        self.config = config
+        self.library = library
+        self.record_interval = int(record_interval)
+
+    def derive_groups(self, network: Sequential) -> List[GroupedMatrix]:
+        """Grouped crossbar matrices this configuration penalizes."""
+        return derive_network_groups(
+            network,
+            library=self.library,
+            layers=self.config.layers,
+            include_small_matrices=self.config.include_small_matrices,
+        )
+
+    def run(self, network: Sequential, trainer_factory) -> GroupDeletionResult:
+        """Run penalized training, deletion and fine-tuning on ``network``.
+
+        ``trainer_factory`` is a callable ``(network, callbacks) -> Trainer``.
+        """
+        grouped = self.derive_groups(network)
+        if not grouped:
+            raise ConfigurationError(
+                "no crossbar matrices selected for deletion; "
+                "set include_small_matrices=True or check the layer list"
+            )
+        callback = GroupDeletionCallback(
+            grouped,
+            record_interval=self.record_interval,
+            zero_threshold=self.config.zero_threshold,
+            relative_threshold=self.config.relative_threshold,
+        )
+        trainer = trainer_factory(network, [callback])
+        regularizer = GroupLassoRegularizer(flatten_groups(grouped), self.config.strength)
+        trainer.add_regularizer(regularizer)
+        accuracy_before = trainer.evaluate()
+        trainer.run(self.config.iterations)
+        trainer.remove_regularizer(regularizer)
+
+        deleted = apply_deletion(
+            grouped,
+            zero_threshold=self.config.zero_threshold,
+            relative_threshold=self.config.relative_threshold,
+        )
+        accuracy_after_deletion = trainer.evaluate()
+        logger.info(
+            "deleted %d groups across %d matrices",
+            sum(deleted.values()),
+            len(grouped),
+        )
+        if self.config.finetune_iterations > 0:
+            trainer.run(self.config.finetune_iterations)
+        accuracy_after_finetune = trainer.evaluate()
+
+        reports = {
+            matrix.name: matrix_routing_report(matrix, zero_threshold=0.0)
+            for matrix in grouped
+        }
+        return GroupDeletionResult(
+            network=network,
+            trace=callback.trace,
+            routing_reports=reports,
+            deleted_groups=deleted,
+            accuracy_before=accuracy_before,
+            accuracy_after_deletion=accuracy_after_deletion,
+            accuracy_after_finetune=accuracy_after_finetune,
+        )

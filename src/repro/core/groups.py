@@ -1,0 +1,234 @@
+"""Crossbar-aware weight groups (paper Figure 4).
+
+Group connection deletion needs every weight of the network assigned to a
+*row group* and a *column group* defined by the crossbar tiling:
+
+* a **row group** is the set of weights of one crossbar input row inside one
+  tile — if the whole group is zero, the routing wire feeding that crossbar
+  input can be deleted;
+* a **column group** is the set of weights of one crossbar output column
+  inside one tile — if the whole group is zero, the routing wire collecting
+  that crossbar output can be deleted.
+
+The crossbar matrices are oriented inputs × outputs (see
+:mod:`repro.hardware.mapper`).  The ``v`` factor of a low-rank layer is
+stored in that orientation already; the ``u`` factor and dense weights are
+stored transposed, so their group indices are transposed accordingly — the
+``transpose`` argument below handles this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.hardware.library import PAPER_LIBRARY, CrossbarLibrary
+from repro.hardware.tiling import TilingPlan, plan_tiling
+from repro.nn.layers import Conv2D, Linear, LowRankConv2D, LowRankLinear
+from repro.nn.network import Sequential
+from repro.nn.parameter import Parameter
+from repro.nn.regularization import WeightGroup
+
+
+@dataclass(frozen=True)
+class GroupedMatrix:
+    """One crossbar matrix together with its tiling plan and weight groups.
+
+    Attributes
+    ----------
+    name:
+        Matrix name (``"<layer>_u"``, ``"<layer>_v"`` or ``"<layer>_w"``).
+    layer_name:
+        Owning layer.
+    parameter:
+        The parameter the matrix lives in.
+    transpose:
+        ``True`` when the crossbar matrix is the transpose of the parameter
+        array (``u`` factors and dense weights).
+    plan:
+        Crossbar tiling of the matrix.
+    groups:
+        All row and column groups of the matrix.
+    """
+
+    name: str
+    layer_name: str
+    parameter: Parameter
+    transpose: bool
+    plan: TilingPlan
+    groups: Tuple[WeightGroup, ...]
+
+    def row_groups(self) -> List[WeightGroup]:
+        """Only the row (input-wire) groups."""
+        return [g for g in self.groups if g.kind == "row"]
+
+    def column_groups(self) -> List[WeightGroup]:
+        """Only the column (output-wire) groups."""
+        return [g for g in self.groups if g.kind == "column"]
+
+
+def _matrix_shape(parameter: Parameter, transpose: bool) -> Tuple[int, int]:
+    rows, cols = parameter.data.shape
+    return (cols, rows) if transpose else (rows, cols)
+
+
+def _group_index(transpose: bool, row_sel, col_sel):
+    """Translate a crossbar-matrix index into a parameter-array index."""
+    return (col_sel, row_sel) if transpose else (row_sel, col_sel)
+
+
+def derive_matrix_groups(
+    parameter: Parameter,
+    *,
+    name: str,
+    layer_name: str,
+    transpose: bool,
+    library: CrossbarLibrary = PAPER_LIBRARY,
+) -> GroupedMatrix:
+    """Tile one crossbar matrix and enumerate its row/column weight groups."""
+    if parameter.data.ndim != 2:
+        raise ConfigurationError(
+            f"matrix {name!r} must be 2-D, got shape {parameter.data.shape}"
+        )
+    rows, cols = _matrix_shape(parameter, transpose)
+    plan = plan_tiling(rows, cols, library=library, name=name)
+    groups: List[WeightGroup] = []
+    for tile_row, tile_col, row_slice, col_slice in plan.iter_tiles():
+        tile_tag = f"{name}/tile{tile_row}_{tile_col}"
+        for r in range(row_slice.start, row_slice.stop):
+            groups.append(
+                WeightGroup(
+                    parameter=parameter,
+                    index=_group_index(transpose, r, col_slice),
+                    label=f"{tile_tag}/row{r}",
+                    kind="row",
+                )
+            )
+        for c in range(col_slice.start, col_slice.stop):
+            groups.append(
+                WeightGroup(
+                    parameter=parameter,
+                    index=_group_index(transpose, row_slice, c),
+                    label=f"{tile_tag}/col{c}",
+                    kind="column",
+                )
+            )
+    return GroupedMatrix(
+        name=name,
+        layer_name=layer_name,
+        parameter=parameter,
+        transpose=transpose,
+        plan=plan,
+        groups=tuple(groups),
+    )
+
+
+def derive_layer_grouped_matrices(
+    layer, *, library: CrossbarLibrary = PAPER_LIBRARY
+) -> List[GroupedMatrix]:
+    """Grouped crossbar matrices of one weighted layer (1 dense or 2 factors)."""
+    if isinstance(layer, (LowRankLinear, LowRankConv2D)):
+        return [
+            derive_matrix_groups(
+                layer.v,
+                name=f"{layer.name}_v",
+                layer_name=layer.name,
+                transpose=False,
+                library=library,
+            ),
+            derive_matrix_groups(
+                layer.u,
+                name=f"{layer.name}_u",
+                layer_name=layer.name,
+                transpose=True,
+                library=library,
+            ),
+        ]
+    if isinstance(layer, Linear):
+        return [
+            derive_matrix_groups(
+                layer.weight,
+                name=f"{layer.name}_w",
+                layer_name=layer.name,
+                transpose=True,
+                library=library,
+            )
+        ]
+    if isinstance(layer, Conv2D):
+        # The conv kernel is 4-D; group deletion on dense conv layers operates
+        # on the 2-D matrix view, which shares memory with the kernel only if
+        # reshaped views were used.  To keep semantics simple, dense conv
+        # layers are not grouped — convert them to LowRankConv2D first.
+        raise ConfigurationError(
+            f"dense Conv2D layer {layer.name!r} cannot be grouped directly; "
+            "convert it to a LowRankConv2D (full rank) first"
+        )
+    raise ConfigurationError(
+        f"layer {getattr(layer, 'name', layer)!r} of type {type(layer).__name__} "
+        "has no crossbar matrix to group"
+    )
+
+
+def derive_network_groups(
+    network: Sequential,
+    *,
+    library: CrossbarLibrary = PAPER_LIBRARY,
+    layers: Optional[Sequence[str]] = None,
+    include_small_matrices: bool = False,
+) -> List[GroupedMatrix]:
+    """Grouped crossbar matrices of a network.
+
+    Parameters
+    ----------
+    network:
+        The (rank-clipped) network.
+    library:
+        Crossbar library used for tiling.
+    layers:
+        Restrict to these layer names; ``None`` selects every layer that can
+        be grouped (low-rank layers and dense ``Linear`` layers).
+    include_small_matrices:
+        Keep matrices that fit in a single crossbar.  The paper only applies
+        group Lasso to matrices larger than the maximum crossbar, which is
+        the default here.
+    """
+    wanted = None if layers is None else set(layers)
+    grouped: List[GroupedMatrix] = []
+    seen = set()
+    for layer in network:
+        if not isinstance(layer, (LowRankLinear, LowRankConv2D, Linear)):
+            continue
+        if wanted is not None and layer.name not in wanted:
+            continue
+        seen.add(layer.name)
+        for matrix in derive_layer_grouped_matrices(layer, library=library):
+            if not include_small_matrices and matrix.plan.is_single_crossbar:
+                continue
+            grouped.append(matrix)
+    if wanted is not None:
+        missing = wanted - seen
+        if missing:
+            raise ConfigurationError(f"layers not found or not groupable: {sorted(missing)}")
+    return grouped
+
+
+def flatten_groups(grouped_matrices: Sequence[GroupedMatrix]) -> List[WeightGroup]:
+    """All weight groups of a list of grouped matrices, in order."""
+    groups: List[WeightGroup] = []
+    for matrix in grouped_matrices:
+        groups.extend(matrix.groups)
+    return groups
+
+
+def group_summary(grouped_matrices: Sequence[GroupedMatrix]) -> Dict[str, Dict[str, int]]:
+    """Per-matrix counts of row/column groups (useful for reports and tests)."""
+    summary: Dict[str, Dict[str, int]] = {}
+    for matrix in grouped_matrices:
+        summary[matrix.name] = {
+            "row_groups": len(matrix.row_groups()),
+            "column_groups": len(matrix.column_groups()),
+            "crossbars": matrix.plan.num_crossbars,
+            "dense_wires": matrix.plan.dense_wire_count(),
+        }
+    return summary

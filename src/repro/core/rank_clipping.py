@@ -1,0 +1,242 @@
+"""Rank clipping (paper Section 3.1, Algorithm 2).
+
+Rank clipping integrates low-rank approximation into training.  Every ``S``
+iterations each factorized layer is examined: if the current factor ``U``
+(``N × K``) can be projected onto a lower-rank subspace with reconstruction
+error at most the tolerance ``ε``, the layer's rank is reduced by replacing
+
+``U ← Û (N × K̂)``  and  ``Vᵀ ← V̂ᵀ · Vᵀ (K̂ × M)``
+
+where ``Û · V̂ᵀ`` is the rank-``K̂`` approximation of ``U``.  Training then
+continues and recovers the small perturbation before the next clip, letting
+each layer converge to its own minimal rank without accuracy loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import RankClippingConfig
+from repro.exceptions import ConfigurationError
+from repro.lowrank.factorization import LowRankApproximator
+from repro.nn.layers import LowRankConv2D, LowRankLinear
+from repro.nn.network import Sequential
+from repro.nn.trainer import Callback, Trainer
+from repro.utils.logging import get_logger
+
+logger = get_logger("core.rank_clipping")
+
+LowRankLayer = (LowRankLinear, LowRankConv2D)
+
+
+def clip_layer_rank(
+    layer,
+    tolerance: float,
+    *,
+    approximator: Optional[LowRankApproximator] = None,
+    min_rank: int = 1,
+) -> int:
+    """Attempt one clipping step on a single factorized layer.
+
+    Returns the layer's rank after the attempt (unchanged when no clipping
+    was possible within the tolerance).
+    """
+    if not isinstance(layer, LowRankLayer):
+        raise ConfigurationError(
+            f"rank clipping requires a low-rank layer, got {type(layer).__name__}"
+        )
+    approximator = approximator or LowRankApproximator(method="pca")
+    current_rank = layer.rank
+    if current_rank <= min_rank:
+        return current_rank
+    new_rank = max(min_rank, approximator.minimal_rank(layer.u.data, tolerance))
+    if new_rank >= current_rank:
+        return current_rank
+    factorization = approximator.factorize(layer.u.data, new_rank)
+    # U ≈ Û·V̂ᵀ with Û: (N, K̂), V̂: (K, K̂).  The old Vᵀ (K × M) absorbs V̂:
+    # new Vᵀ = V̂ᵀ·Vᵀ, i.e. new V = V·V̂.
+    new_u = factorization.u
+    new_v = layer.v.data @ factorization.v
+    layer.set_factors(new_u, new_v)
+    return layer.rank
+
+
+@dataclass
+class RankClippingTrace:
+    """Time series recorded during rank clipping (the data behind Figure 3)."""
+
+    iterations: List[int] = field(default_factory=list)
+    ranks: Dict[str, List[int]] = field(default_factory=dict)
+    accuracy: List[Optional[float]] = field(default_factory=list)
+    full_ranks: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, iteration: int, ranks: Dict[str, int], accuracy: Optional[float]) -> None:
+        """Append one observation."""
+        self.iterations.append(int(iteration))
+        for name, rank in ranks.items():
+            self.ranks.setdefault(name, []).append(int(rank))
+        self.accuracy.append(None if accuracy is None else float(accuracy))
+
+    def rank_ratio(self, layer_name: str) -> List[float]:
+        """Remaining rank over full rank for one layer (Figure 3's y-axis)."""
+        full = self.full_ranks.get(layer_name)
+        if not full:
+            raise KeyError(f"no full rank recorded for layer {layer_name!r}")
+        return [r / full for r in self.ranks.get(layer_name, [])]
+
+    def final_ranks(self) -> Dict[str, int]:
+        """Rank of every traced layer at the last observation."""
+        return {name: series[-1] for name, series in self.ranks.items() if series}
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly view of the trace."""
+        return {
+            "iterations": list(self.iterations),
+            "ranks": {k: list(v) for k, v in self.ranks.items()},
+            "accuracy": list(self.accuracy),
+            "full_ranks": dict(self.full_ranks),
+        }
+
+
+class RankClippingCallback(Callback):
+    """Trainer callback implementing the clip-every-``S``-iterations loop."""
+
+    def __init__(
+        self,
+        layers: Sequence,
+        config: RankClippingConfig,
+        *,
+        evaluate: bool = True,
+    ):
+        self.layers = list(layers)
+        if not self.layers:
+            raise ConfigurationError("rank clipping needs at least one low-rank layer")
+        for layer in self.layers:
+            if not isinstance(layer, LowRankLayer):
+                raise ConfigurationError(
+                    f"layer {getattr(layer, 'name', layer)!r} is not a low-rank layer"
+                )
+        self.config = config
+        self.evaluate = bool(evaluate)
+        self.approximator = LowRankApproximator(method=config.method, center=config.center)
+        self.trace = RankClippingTrace(
+            full_ranks={layer.name: layer.rank for layer in self.layers}
+        )
+
+    def _current_ranks(self) -> Dict[str, int]:
+        return {layer.name: layer.rank for layer in self.layers}
+
+    def _clip_all(self, trainer: Trainer) -> bool:
+        """Clip every registered layer once; returns True if any rank changed."""
+        changed = False
+        for layer in self.layers:
+            before = layer.rank
+            after = clip_layer_rank(
+                layer,
+                self.config.tolerance,
+                approximator=self.approximator,
+                min_rank=self.config.min_rank,
+            )
+            if after < before:
+                changed = True
+                logger.debug("clipped %s: rank %d -> %d", layer.name, before, after)
+        if changed:
+            trainer.rebind_optimizer()
+        return changed
+
+    def on_train_begin(self, trainer: Trainer) -> None:
+        accuracy = trainer.evaluate() if self.evaluate else None
+        self.trace.record(trainer.iteration, self._current_ranks(), accuracy)
+
+    def on_iteration_end(self, trainer: Trainer, iteration: int) -> None:
+        if iteration % self.config.clip_interval != 0:
+            return
+        self._clip_all(trainer)
+        accuracy = trainer.evaluate() if self.evaluate else None
+        self.trace.record(iteration, self._current_ranks(), accuracy)
+
+
+@dataclass
+class RankClippingResult:
+    """Outcome of a rank-clipping run."""
+
+    network: Sequential
+    trace: RankClippingTrace
+    final_ranks: Dict[str, int]
+    final_accuracy: Optional[float]
+    baseline_accuracy: Optional[float] = None
+
+    def accuracy_drop(self) -> Optional[float]:
+        """Baseline minus final accuracy (negative when clipping improved it)."""
+        if self.final_accuracy is None or self.baseline_accuracy is None:
+            return None
+        return self.baseline_accuracy - self.final_accuracy
+
+
+class RankClipper:
+    """High-level driver: convert a dense network and run the clipping loop.
+
+    Parameters
+    ----------
+    config:
+        Rank-clipping hyper-parameters (tolerance ``ε``, interval ``S``, …).
+    """
+
+    def __init__(self, config: RankClippingConfig = RankClippingConfig()):
+        self.config = config
+
+    def select_layers(self, network: Sequential) -> List:
+        """The low-rank layers of ``network`` this configuration clips."""
+        layers = [layer for layer in network if isinstance(layer, LowRankLayer)]
+        if self.config.layers is not None:
+            wanted = set(self.config.layers)
+            layers = [layer for layer in layers if layer.name in wanted]
+            missing = wanted - {layer.name for layer in layers}
+            if missing:
+                raise ConfigurationError(
+                    f"configured layers not found as low-rank layers: {sorted(missing)}"
+                )
+        if not layers:
+            raise ConfigurationError("network contains no low-rank layers to clip")
+        return layers
+
+    def run(
+        self,
+        network: Sequential,
+        trainer_factory,
+        *,
+        baseline_accuracy: Optional[float] = None,
+    ) -> RankClippingResult:
+        """Run rank clipping on a network of low-rank layers.
+
+        Parameters
+        ----------
+        network:
+            Network whose clippable layers are already low-rank (use
+            :func:`repro.core.conversion.convert_to_lowrank` first).
+        trainer_factory:
+            Callable ``(network, callbacks) -> Trainer`` building the training
+            loop; keeping trainer construction outside lets experiments choose
+            datasets, optimizers and schedules freely.
+        baseline_accuracy:
+            Accuracy of the original dense network, stored in the result for
+            convenience.
+        """
+        layers = self.select_layers(network)
+        callback = RankClippingCallback(layers, self.config)
+        trainer = trainer_factory(network, [callback])
+        trainer.run(self.config.max_iterations)
+        final_accuracy = trainer.evaluate()
+        callback.trace.record(
+            trainer.iteration, {layer.name: layer.rank for layer in layers}, final_accuracy
+        )
+        return RankClippingResult(
+            network=network,
+            trace=callback.trace,
+            final_ranks={layer.name: layer.rank for layer in layers},
+            final_accuracy=final_accuracy,
+            baseline_accuracy=baseline_accuracy,
+        )

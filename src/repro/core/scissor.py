@@ -1,0 +1,138 @@
+"""The end-to-end Group Scissor pipeline (rank clipping → group deletion).
+
+:class:`GroupScissor` chains the two steps of the paper's framework on top of
+a user-supplied trainer factory, and closes the loop with the hardware model:
+the result reports the crossbar-area fraction achieved by rank clipping and
+the routing-wire / routing-area fractions achieved by group connection
+deletion, i.e. exactly the headline quantities of the paper's abstract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.config import ScissorConfig
+from repro.core.conversion import convert_to_lowrank, default_clippable_layers
+from repro.core.group_deletion import GroupConnectionDeleter, GroupDeletionResult
+from repro.core.rank_clipping import RankClipper, RankClippingResult
+from repro.hardware.mapper import NetworkMapper
+from repro.hardware.report import NetworkHardwareReport
+from repro.nn.network import Sequential
+
+
+@dataclass
+class GroupScissorResult:
+    """Outcome of the full Group Scissor pipeline."""
+
+    baseline_network: Sequential
+    final_network: Sequential
+    rank_clipping: RankClippingResult
+    group_deletion: GroupDeletionResult
+    baseline_report: NetworkHardwareReport
+    clipped_report: NetworkHardwareReport
+    final_report: NetworkHardwareReport
+    baseline_accuracy: Optional[float]
+
+    # ------------------------------------------------------------- headline
+    @property
+    def crossbar_area_fraction(self) -> float:
+        """Total crossbar area after rank clipping relative to the dense design."""
+        return self.clipped_report.area_fraction_of(self.baseline_report)
+
+    @property
+    def final_accuracy(self) -> Optional[float]:
+        """Accuracy of the final pruned and fine-tuned network."""
+        return self.group_deletion.accuracy_after_finetune
+
+    def wire_fractions(self) -> Dict[str, float]:
+        """Remaining-wire fraction of every deleted crossbar matrix."""
+        return self.group_deletion.wire_fractions()
+
+    def mean_routing_area_fraction(self) -> float:
+        """Layer-wise average routing-area fraction (the paper's 8.1 % metric)."""
+        return self.group_deletion.mean_routing_area_fraction()
+
+    def format_summary(self) -> str:
+        """Multi-line human-readable summary of the whole pipeline."""
+        lines = [
+            f"Group Scissor summary for {self.baseline_network.name!r}",
+            f"  baseline accuracy:         {self._fmt(self.baseline_accuracy)}",
+            f"  after rank clipping:       {self._fmt(self.rank_clipping.final_accuracy)}",
+            f"  after deletion + finetune: {self._fmt(self.final_accuracy)}",
+            f"  final ranks:               {self.rank_clipping.final_ranks}",
+            f"  crossbar area fraction:    {self.crossbar_area_fraction:.2%}",
+            f"  mean wire fraction:        {self.group_deletion.mean_wire_fraction():.2%}",
+            f"  mean routing area:         {self.mean_routing_area_fraction():.2%}",
+        ]
+        return "\n".join(lines)
+
+    @staticmethod
+    def _fmt(value: Optional[float]) -> str:
+        return "n/a" if value is None else f"{value:.2%}"
+
+
+class GroupScissor:
+    """Run rank clipping followed by group connection deletion.
+
+    Parameters
+    ----------
+    config:
+        The combined configuration for both steps.
+    trainer_factory:
+        Callable ``(network, callbacks) -> Trainer`` used for both training
+        phases; experiments control datasets, optimizers and schedules here.
+    mapper:
+        Hardware mapper used for the area/routing reports.
+    """
+
+    def __init__(
+        self,
+        config: ScissorConfig,
+        trainer_factory,
+        *,
+        mapper: Optional[NetworkMapper] = None,
+    ):
+        self.config = config
+        self.trainer_factory = trainer_factory
+        self.mapper = mapper if mapper is not None else NetworkMapper()
+
+    def run(
+        self,
+        dense_network: Sequential,
+        *,
+        baseline_accuracy: Optional[float] = None,
+    ) -> GroupScissorResult:
+        """Execute the full pipeline on a trained dense network."""
+        baseline_report = self.mapper.map_network(dense_network)
+
+        # Step 1: rank clipping on the full-rank factorized copy.
+        clip_layers = self.config.rank_clipping.layers
+        if clip_layers is None:
+            clip_layers = tuple(
+                name
+                for name in default_clippable_layers(dense_network)
+                if name not in self.config.exclude_layers
+            )
+        lowrank_network = convert_to_lowrank(dense_network, layers=clip_layers)
+        clipper = RankClipper(self.config.rank_clipping)
+        clipping_result = clipper.run(
+            lowrank_network, self.trainer_factory, baseline_accuracy=baseline_accuracy
+        )
+        clipped_report = self.mapper.map_network(lowrank_network)
+
+        # Step 2: group connection deletion on the clipped network.
+        deleter = GroupConnectionDeleter(self.config.group_deletion)
+        deletion_result = deleter.run(lowrank_network, self.trainer_factory)
+        final_report = self.mapper.map_network(lowrank_network)
+
+        return GroupScissorResult(
+            baseline_network=dense_network,
+            final_network=lowrank_network,
+            rank_clipping=clipping_result,
+            group_deletion=deletion_result,
+            baseline_report=baseline_report,
+            clipped_report=clipped_report,
+            final_report=final_report,
+            baseline_accuracy=baseline_accuracy,
+        )

@@ -1,0 +1,37 @@
+"""Data substrate: datasets, loaders, synthetic generators and transforms."""
+
+from repro.data.dataset import ArrayDataset, Dataset
+from repro.data.loaders import DataLoader
+from repro.data.splits import stratified_split, train_val_split
+from repro.data.synthetic import (
+    SyntheticImageConfig,
+    make_cifar10_like,
+    make_gaussian_blobs,
+    make_mnist_like,
+    make_synthetic_image_dataset,
+)
+from repro.data.transforms import (
+    flatten_images,
+    normalize,
+    normalize_dataset,
+    per_channel_normalize,
+    train_test_statistics,
+)
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "DataLoader",
+    "SyntheticImageConfig",
+    "make_synthetic_image_dataset",
+    "make_mnist_like",
+    "make_cifar10_like",
+    "make_gaussian_blobs",
+    "train_val_split",
+    "stratified_split",
+    "normalize",
+    "normalize_dataset",
+    "per_channel_normalize",
+    "flatten_images",
+    "train_test_statistics",
+]

@@ -1,0 +1,81 @@
+"""Dataset containers.
+
+A dataset is anything exposing ``__len__`` and ``__getitem__`` returning an
+``(input, target)`` pair; :class:`ArrayDataset` is the in-memory
+implementation used throughout the library (the synthetic MNIST/CIFAR
+substitutes fit comfortably in memory).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+class Dataset:
+    """Minimal dataset protocol."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """In-memory dataset backed by two aligned numpy arrays."""
+
+    def __init__(self, inputs: np.ndarray, targets: np.ndarray):
+        inputs = np.asarray(inputs)
+        targets = np.asarray(targets)
+        if len(inputs) != len(targets):
+            raise ShapeError(
+                f"inputs and targets must have the same length, got {len(inputs)} and {len(targets)}"
+            )
+        if len(inputs) == 0:
+            raise ShapeError("dataset must contain at least one sample")
+        self.inputs = inputs
+        self.targets = targets
+
+    def __len__(self) -> int:
+        return int(self.inputs.shape[0])
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        return self.inputs[index], self.targets[index]
+
+    # ------------------------------------------------------------- niceties
+    @property
+    def sample_shape(self) -> Tuple[int, ...]:
+        """Shape of a single input sample."""
+        return tuple(self.inputs.shape[1:])
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct integer labels present in ``targets``."""
+        return int(np.unique(self.targets).size)
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the raw ``(inputs, targets)`` arrays."""
+        return self.inputs, self.targets
+
+    def subset(self, indices: Sequence[int]) -> "ArrayDataset":
+        """Return a new dataset restricted to ``indices``."""
+        indices = np.asarray(indices, dtype=int)
+        return ArrayDataset(self.inputs[indices], self.targets[indices])
+
+    def class_counts(self) -> np.ndarray:
+        """Histogram of label occurrences indexed by class id."""
+        labels = self.targets.astype(int)
+        counts = np.zeros(int(labels.max()) + 1, dtype=np.int64)
+        for label in labels:
+            counts[label] += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ArrayDataset(samples={len(self)}, sample_shape={self.sample_shape}, "
+            f"classes={self.num_classes})"
+        )

@@ -1,0 +1,67 @@
+"""Mini-batch iteration over datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset, Dataset
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import check_positive_int
+
+
+class DataLoader:
+    """Yield ``(inputs, targets)`` mini-batches from a dataset.
+
+    Shuffling re-permutes the sample order at the start of every epoch using
+    the loader's own generator, so two loaders created with the same seed
+    produce identical batch sequences.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 32,
+        *,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng: RngLike = None,
+    ):
+        self.dataset = dataset
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self._rng = as_rng(rng)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def _gather(self, indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        if isinstance(self.dataset, ArrayDataset):
+            return self.dataset.inputs[indices], self.dataset.targets[indices]
+        samples = [self.dataset[int(i)] for i in indices]
+        inputs = np.stack([s[0] for s in samples])
+        targets = np.asarray([s[1] for s in samples])
+        return inputs, targets
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        end = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, end, self.batch_size):
+            batch_idx = order[start : start + self.batch_size]
+            if len(batch_idx) == 0:
+                continue
+            yield self._gather(batch_idx)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DataLoader(batches={len(self)}, batch_size={self.batch_size}, "
+            f"shuffle={self.shuffle})"
+        )

@@ -1,0 +1,48 @@
+"""Train/validation splitting utilities."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import check_fraction
+
+
+def train_val_split(
+    dataset: ArrayDataset, val_fraction: float = 0.2, *, rng: RngLike = None
+) -> Tuple[ArrayDataset, ArrayDataset]:
+    """Randomly split a dataset into train/validation subsets.
+
+    ``val_fraction`` is clamped so both splits contain at least one sample.
+    """
+    check_fraction(val_fraction, "val_fraction", inclusive=False)
+    rng = as_rng(rng)
+    n = len(dataset)
+    order = rng.permutation(n)
+    val_count = max(1, min(n - 1, int(round(val_fraction * n))))
+    val_idx = order[:val_count]
+    train_idx = order[val_count:]
+    return dataset.subset(train_idx), dataset.subset(val_idx)
+
+
+def stratified_split(
+    dataset: ArrayDataset, val_fraction: float = 0.2, *, rng: RngLike = None
+) -> Tuple[ArrayDataset, ArrayDataset]:
+    """Class-balanced train/validation split (each class split separately)."""
+    check_fraction(val_fraction, "val_fraction", inclusive=False)
+    rng = as_rng(rng)
+    targets = np.asarray(dataset.targets).astype(int)
+    train_indices = []
+    val_indices = []
+    for cls in np.unique(targets):
+        cls_idx = np.flatnonzero(targets == cls)
+        rng.shuffle(cls_idx)
+        val_count = max(1, int(round(val_fraction * len(cls_idx)))) if len(cls_idx) > 1 else 0
+        val_indices.extend(cls_idx[:val_count].tolist())
+        train_indices.extend(cls_idx[val_count:].tolist())
+    if not train_indices or not val_indices:
+        return train_val_split(dataset, val_fraction, rng=rng)
+    return dataset.subset(train_indices), dataset.subset(val_indices)

@@ -1,0 +1,59 @@
+"""Dataset-level transforms.
+
+Transforms operate on whole input arrays (not per-sample) because the
+datasets in this project are in-memory; they return new arrays and never
+mutate their argument.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.exceptions import ShapeError
+
+
+def normalize(inputs: np.ndarray, mean: float = None, std: float = None) -> np.ndarray:
+    """Standardize inputs to zero mean / unit variance (or given statistics)."""
+    inputs = np.asarray(inputs, dtype=np.float64)
+    mean = float(inputs.mean()) if mean is None else float(mean)
+    std = float(inputs.std()) if std is None else float(std)
+    if std <= 0:
+        raise ValueError(f"std must be > 0, got {std}")
+    return (inputs - mean) / std
+
+
+def per_channel_normalize(images: np.ndarray) -> np.ndarray:
+    """Standardize an NCHW batch per channel."""
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim != 4:
+        raise ShapeError(f"expected NCHW images, got shape {images.shape}")
+    mean = images.mean(axis=(0, 2, 3), keepdims=True)
+    std = images.std(axis=(0, 2, 3), keepdims=True)
+    std = np.where(std > 0, std, 1.0)
+    return (images - mean) / std
+
+
+def flatten_images(images: np.ndarray) -> np.ndarray:
+    """Flatten an NCHW batch into ``(N, C·H·W)`` vectors."""
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim < 2:
+        raise ShapeError(f"expected at least 2-D input, got shape {images.shape}")
+    return images.reshape(images.shape[0], -1)
+
+
+def normalize_dataset(dataset: ArrayDataset) -> ArrayDataset:
+    """Return a standardized copy of ``dataset`` (global mean/std over inputs)."""
+    return ArrayDataset(normalize(dataset.inputs), dataset.targets.copy())
+
+
+def train_test_statistics(train: ArrayDataset, test: ArrayDataset) -> Tuple[ArrayDataset, ArrayDataset]:
+    """Standardize both splits with statistics computed on the *training* split."""
+    mean = float(train.inputs.mean())
+    std = float(train.inputs.std())
+    return (
+        ArrayDataset(normalize(train.inputs, mean, std), train.targets.copy()),
+        ArrayDataset(normalize(test.inputs, mean, std), test.targets.copy()),
+    )

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the Group Scissor reproduction library.
+
+All errors raised intentionally by :mod:`repro` derive from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object holds invalid or inconsistent values."""
+
+
+class ShapeError(ReproError):
+    """Raised when an array has an incompatible shape for the requested operation."""
+
+
+class RankError(ReproError):
+    """Raised when a requested rank is outside the valid range for a matrix."""
+
+
+class TilingError(ReproError):
+    """Raised when a matrix cannot be tiled onto the crossbar library."""
+
+
+class TrainingError(ReproError):
+    """Raised when a training loop is driven with inconsistent inputs."""
+
+
+class LayerError(ReproError):
+    """Raised when a layer is constructed or used incorrectly."""
+
+
+class MappingError(ReproError):
+    """Raised when a network cannot be mapped onto crossbar hardware."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment harness is given an invalid specification."""

@@ -1,0 +1,80 @@
+"""Experiment harnesses that regenerate every table and figure of the paper."""
+
+from repro.experiments.figures import (
+    Figure3Series,
+    Figure5Series,
+    SparsityMap,
+    run_figure3,
+    run_figure5,
+    sparsity_maps,
+)
+from repro.experiments.headline import (
+    PAPER_CONVNET_WIRE_PERCENT,
+    PAPER_HEADLINE,
+    PAPER_LENET_WIRE_PERCENT,
+    HeadlineNumbers,
+    crossbar_area_percent,
+    mean_wire_percent,
+    paper_headline_numbers,
+    routing_area_percent_from_wires,
+)
+from repro.experiments.presets import PAPER, SMALL, TINY, ExperimentScale, get_scale
+from repro.experiments.sweeps import (
+    StrengthPoint,
+    StrengthSweepResult,
+    TolerancePoint,
+    ToleranceSweepResult,
+    sweep_group_deletion,
+    sweep_rank_clipping,
+)
+from repro.experiments.table1 import Table1Result, Table1Row, run_table1
+from repro.experiments.table3 import Table3Result, Table3Row, run_table3
+from repro.experiments.training import TrainingSetup, train_baseline
+from repro.experiments.workloads import (
+    Workload,
+    convnet_workload,
+    get_workload,
+    lenet_workload,
+    mlp_workload,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "TINY",
+    "SMALL",
+    "PAPER",
+    "get_scale",
+    "Workload",
+    "lenet_workload",
+    "convnet_workload",
+    "mlp_workload",
+    "get_workload",
+    "TrainingSetup",
+    "train_baseline",
+    "Table1Result",
+    "Table1Row",
+    "run_table1",
+    "Table3Result",
+    "Table3Row",
+    "run_table3",
+    "Figure3Series",
+    "Figure5Series",
+    "SparsityMap",
+    "run_figure3",
+    "run_figure5",
+    "sparsity_maps",
+    "TolerancePoint",
+    "ToleranceSweepResult",
+    "sweep_rank_clipping",
+    "StrengthPoint",
+    "StrengthSweepResult",
+    "sweep_group_deletion",
+    "HeadlineNumbers",
+    "paper_headline_numbers",
+    "crossbar_area_percent",
+    "routing_area_percent_from_wires",
+    "mean_wire_percent",
+    "PAPER_HEADLINE",
+    "PAPER_LENET_WIRE_PERCENT",
+    "PAPER_CONVNET_WIRE_PERCENT",
+]

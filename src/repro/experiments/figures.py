@@ -1,0 +1,236 @@
+"""Figure harnesses: the time-series and sparsity-map figures.
+
+* Figure 3 — rank ratio of each clipped layer and accuracy versus training
+  iteration during rank clipping (LeNet).
+* Figure 5 — percentage of deleted routing wires and accuracy versus training
+  iteration during group connection deletion.
+* Figure 9 — structurally-sparse weight matrices after deletion (per-crossbar
+  block sparsity), rendered as arrays and an ASCII sketch.
+
+The harnesses return plain data-series objects so benchmark scripts can print
+the same rows/series the paper plots; no plotting dependency is required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import GroupDeletionConfig, RankClippingConfig
+from repro.core.conversion import convert_to_lowrank
+from repro.core.group_deletion import (
+    GroupConnectionDeleter,
+    GroupDeletionResult,
+    matrix_values,
+)
+from repro.core.groups import derive_network_groups
+from repro.core.rank_clipping import RankClipper, RankClippingResult
+from repro.experiments.training import TrainingSetup, train_baseline
+from repro.experiments.workloads import Workload
+
+
+# --------------------------------------------------------------------------- Figure 3
+@dataclass
+class Figure3Series:
+    """Rank-ratio and accuracy traces recorded during rank clipping."""
+
+    workload_name: str
+    iterations: List[int]
+    rank_ratio: Dict[str, List[float]]
+    accuracy: List[Optional[float]]
+    clipping_result: Optional[RankClippingResult] = None
+
+    def final_rank_ratios(self) -> Dict[str, float]:
+        """Rank ratio of every layer at the end of clipping."""
+        return {name: series[-1] for name, series in self.rank_ratio.items() if series}
+
+    def format_series(self) -> str:
+        """Text rendering of the traces (one line per recorded iteration)."""
+        names = sorted(self.rank_ratio)
+        header = f"{'iter':>8}" + "".join(f"{name:>12}" for name in names) + f"{'accuracy':>12}"
+        lines = [f"Figure 3 ({self.workload_name}): rank ratio / accuracy", header]
+        for idx, iteration in enumerate(self.iterations):
+            ratios = "".join(f"{self.rank_ratio[name][idx]:>12.3f}" for name in names)
+            acc = self.accuracy[idx]
+            acc_str = f"{acc:>12.3f}" if acc is not None else f"{'n/a':>12}"
+            lines.append(f"{iteration:>8}{ratios}{acc_str}")
+        return "\n".join(lines)
+
+
+def run_figure3(
+    workload: Workload,
+    *,
+    tolerance: float = 0.03,
+    setup: Optional[TrainingSetup] = None,
+    baseline_network=None,
+    baseline_accuracy: Optional[float] = None,
+) -> Figure3Series:
+    """Regenerate the Figure 3 traces for one workload."""
+    scale = workload.scale
+    if baseline_network is None or setup is None:
+        baseline_network, baseline_accuracy, setup = train_baseline(workload)
+
+    layer_order = list(workload.clippable_layers)
+    lowrank_network = convert_to_lowrank(baseline_network, layers=layer_order)
+    config = RankClippingConfig(
+        tolerance=tolerance,
+        clip_interval=scale.clip_interval,
+        max_iterations=scale.clip_iterations,
+        layers=tuple(layer_order),
+    )
+    clipping = RankClipper(config).run(
+        lowrank_network, setup.trainer_factory, baseline_accuracy=baseline_accuracy
+    )
+    trace = clipping.trace
+    rank_ratio = {name: trace.rank_ratio(name) for name in trace.ranks}
+    return Figure3Series(
+        workload_name=workload.name,
+        iterations=list(trace.iterations),
+        rank_ratio=rank_ratio,
+        accuracy=list(trace.accuracy),
+        clipping_result=clipping,
+    )
+
+
+# --------------------------------------------------------------------------- Figure 5
+@dataclass
+class Figure5Series:
+    """Deleted-routing-wire and accuracy traces during group deletion."""
+
+    workload_name: str
+    iterations: List[int]
+    deleted_wire_fraction: Dict[str, List[float]]
+    accuracy: List[Optional[float]]
+    deletion_result: Optional[GroupDeletionResult] = None
+
+    def final_deleted_fractions(self) -> Dict[str, float]:
+        """Deleted-wire fraction of every matrix at the last record."""
+        return {k: v[-1] for k, v in self.deleted_wire_fraction.items() if v}
+
+    def format_series(self) -> str:
+        """Text rendering of the traces."""
+        names = sorted(self.deleted_wire_fraction)
+        header = f"{'iter':>8}" + "".join(f"{name:>14}" for name in names) + f"{'accuracy':>12}"
+        lines = [f"Figure 5 ({self.workload_name}): % deleted wires / accuracy", header]
+        for idx, iteration in enumerate(self.iterations):
+            cells = "".join(
+                f"{100 * self.deleted_wire_fraction[name][idx]:>13.1f}%" for name in names
+            )
+            acc = self.accuracy[idx]
+            acc_str = f"{acc:>12.3f}" if acc is not None else f"{'n/a':>12}"
+            lines.append(f"{iteration:>8}{cells}{acc_str}")
+        return "\n".join(lines)
+
+
+def run_figure5(
+    workload: Workload,
+    *,
+    tolerance: float = 0.03,
+    strength: float = 0.01,
+    include_small_matrices: bool = False,
+    setup: Optional[TrainingSetup] = None,
+    baseline_network=None,
+) -> Figure5Series:
+    """Regenerate the Figure 5 traces: deletion starting from a clipped network."""
+    scale = workload.scale
+    if baseline_network is None or setup is None:
+        baseline_network, _, setup = train_baseline(workload)
+
+    layer_order = list(workload.clippable_layers)
+    lowrank_network = convert_to_lowrank(baseline_network, layers=layer_order)
+    clip_config = RankClippingConfig(
+        tolerance=tolerance,
+        clip_interval=scale.clip_interval,
+        max_iterations=scale.clip_iterations,
+        layers=tuple(layer_order),
+    )
+    RankClipper(clip_config).run(lowrank_network, setup.trainer_factory)
+
+    deletion_config = GroupDeletionConfig(
+        strength=strength,
+        iterations=scale.deletion_iterations,
+        finetune_iterations=scale.finetune_iterations,
+        include_small_matrices=include_small_matrices,
+    )
+    deleter = GroupConnectionDeleter(deletion_config, record_interval=scale.record_interval)
+    deletion = deleter.run(lowrank_network, setup.trainer_factory)
+    trace = deletion.trace
+    return Figure5Series(
+        workload_name=workload.name,
+        iterations=list(trace.iterations),
+        deleted_wire_fraction={k: list(v) for k, v in trace.deleted_wire_fraction.items()},
+        accuracy=list(trace.accuracy),
+        deletion_result=deletion,
+    )
+
+
+# --------------------------------------------------------------------------- Figure 9
+@dataclass(frozen=True)
+class SparsityMap:
+    """Structural sparsity of one crossbar matrix after deletion.
+
+    ``mask`` marks non-zero weights; ``crossbar_density`` holds, per tile of
+    the crossbar array, the fraction of non-zero cells (0.0 = the crossbar is
+    empty and can be removed).
+    """
+
+    name: str
+    mask: np.ndarray
+    crossbar_density: np.ndarray
+    tile_shape: Tuple[int, int]
+
+    @property
+    def nonzero_fraction(self) -> float:
+        """Fraction of non-zero weights in the matrix."""
+        return float(self.mask.mean())
+
+    @property
+    def empty_crossbars(self) -> int:
+        """Number of crossbars with no remaining connection."""
+        return int(np.sum(self.crossbar_density == 0.0))
+
+    def ascii_sketch(self, width: int = 48) -> str:
+        """Coarse ASCII rendering of the sparsity pattern (for terminals)."""
+        rows, cols = self.mask.shape
+        out_rows = max(1, min(16, rows))
+        out_cols = max(1, min(width, cols))
+        sketch_lines = []
+        for r in range(out_rows):
+            row_slice = slice(r * rows // out_rows, max(r * rows // out_rows + 1, (r + 1) * rows // out_rows))
+            chars = []
+            for c in range(out_cols):
+                col_slice = slice(
+                    c * cols // out_cols, max(c * cols // out_cols + 1, (c + 1) * cols // out_cols)
+                )
+                density = float(self.mask[row_slice, col_slice].mean())
+                chars.append(" " if density == 0 else ("." if density < 0.5 else "#"))
+            sketch_lines.append("".join(chars))
+        return "\n".join(sketch_lines)
+
+
+def sparsity_maps(
+    network, *, layers=None, include_small_matrices: bool = False, zero_threshold: float = 0.0
+) -> List[SparsityMap]:
+    """Figure 9: block-sparsity maps of the (deleted) crossbar matrices."""
+    grouped = derive_network_groups(
+        network, layers=layers, include_small_matrices=include_small_matrices
+    )
+    maps: List[SparsityMap] = []
+    for matrix in grouped:
+        values = matrix_values(matrix)
+        mask = np.abs(values) > zero_threshold
+        plan = matrix.plan
+        density = np.zeros((plan.grid_rows, plan.grid_cols))
+        for tile_row, tile_col, row_slice, col_slice in plan.iter_tiles():
+            density[tile_row, tile_col] = float(mask[row_slice, col_slice].mean())
+        maps.append(
+            SparsityMap(
+                name=matrix.name,
+                mask=mask,
+                crossbar_density=density,
+                tile_shape=plan.tile_shape(),
+            )
+        )
+    return maps

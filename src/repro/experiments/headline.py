@@ -1,0 +1,134 @@
+"""Headline numbers of the paper's abstract, in closed form and measured.
+
+The abstract's claims are:
+
+* rank clipping reduces total crossbar area to **13.62 %** (LeNet) and
+  **51.81 %** (ConvNet) with no accuracy loss;
+* group connection deletion reduces routing area to **8.1 %** (LeNet) and
+  **52.06 %** (ConvNet).
+
+Given the per-layer ranks of Table 1 and the per-layer remaining-wire
+percentages of Table 3, these follow *in closed form* from the hardware
+model (crossbar area ∝ cells, routing area ∝ wires², layer-wise averaging).
+:func:`paper_headline_numbers` recomputes them from the paper's reported
+ranks/wire percentages through our hardware model — a strong consistency
+check that the model matches the paper's — while the measured pipeline
+results come from the Table 1/Table 3 harnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.hardware.area import network_area_fraction
+from repro.models.convnet import PAPER_CONVNET_RANKS, PAPER_CONVNET_SHAPES
+from repro.models.lenet import PAPER_LENET_RANKS, PAPER_LENET_SHAPES
+
+#: Remaining routing wires per big matrix reported in Table 3 (percent).
+PAPER_LENET_WIRE_PERCENT: Dict[str, float] = {
+    "conv2_u": 47.5,
+    "fc1_u": 24.8,
+    "fc1_v": 6.7,
+    "fc_last": 18.0,
+}
+
+PAPER_CONVNET_WIRE_PERCENT: Dict[str, float] = {
+    "conv1_u": 83.3,
+    "conv2_u": 40.5,
+    "conv3_u": 74.4,
+    "fc_last": 81.9,
+}
+
+#: Abstract / Section 4 headline values, for comparison in reports and tests.
+PAPER_HEADLINE = {
+    "lenet_crossbar_area_percent": 13.62,
+    "convnet_crossbar_area_percent": 51.81,
+    "lenet_routing_area_percent": 8.1,
+    "convnet_routing_area_percent": 52.06,
+    "lenet_svd_crossbar_area_percent": 32.97,
+    "convnet_svd_crossbar_area_percent": 55.64,
+    "convnet_mean_wire_percent": 70.03,
+}
+
+
+def crossbar_area_percent(shapes: Dict[str, tuple], ranks: Dict[str, int]) -> float:
+    """Total crossbar area (percent of dense) for given layer shapes and ranks."""
+    return 100.0 * network_area_fraction(shapes, ranks)
+
+
+def routing_area_percent_from_wires(wire_percent: Dict[str, float]) -> float:
+    """Layer-wise average routing area (percent) from remaining-wire percentages.
+
+    Routing area of a layer scales with the square of its wire count
+    (Eq. 8), and the paper averages the per-layer reductions.
+    """
+    if not wire_percent:
+        raise ValueError("wire_percent must not be empty")
+    fractions = np.asarray(list(wire_percent.values()), dtype=np.float64) / 100.0
+    return float(100.0 * np.mean(fractions**2))
+
+
+def mean_wire_percent(wire_percent: Dict[str, float]) -> float:
+    """Layer-wise average remaining-wire percentage."""
+    if not wire_percent:
+        raise ValueError("wire_percent must not be empty")
+    return float(np.mean(list(wire_percent.values())))
+
+
+@dataclass(frozen=True)
+class HeadlineNumbers:
+    """Closed-form headline numbers computed through our hardware model."""
+
+    lenet_crossbar_area_percent: float
+    convnet_crossbar_area_percent: float
+    lenet_routing_area_percent: float
+    convnet_routing_area_percent: float
+    lenet_mean_wire_percent: float
+    convnet_mean_wire_percent: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for printing and serialization."""
+        return {
+            "lenet_crossbar_area_percent": self.lenet_crossbar_area_percent,
+            "convnet_crossbar_area_percent": self.convnet_crossbar_area_percent,
+            "lenet_routing_area_percent": self.lenet_routing_area_percent,
+            "convnet_routing_area_percent": self.convnet_routing_area_percent,
+            "lenet_mean_wire_percent": self.lenet_mean_wire_percent,
+            "convnet_mean_wire_percent": self.convnet_mean_wire_percent,
+        }
+
+    def format_table(self) -> str:
+        """Side-by-side comparison against the paper's reported values."""
+        rows = [
+            ("LeNet crossbar area %", self.lenet_crossbar_area_percent, PAPER_HEADLINE["lenet_crossbar_area_percent"]),
+            ("ConvNet crossbar area %", self.convnet_crossbar_area_percent, PAPER_HEADLINE["convnet_crossbar_area_percent"]),
+            ("LeNet routing area %", self.lenet_routing_area_percent, PAPER_HEADLINE["lenet_routing_area_percent"]),
+            ("ConvNet routing area %", self.convnet_routing_area_percent, PAPER_HEADLINE["convnet_routing_area_percent"]),
+            ("ConvNet mean wire %", self.convnet_mean_wire_percent, PAPER_HEADLINE["convnet_mean_wire_percent"]),
+        ]
+        header = f"{'quantity':<28}{'model':>10}{'paper':>10}"
+        lines = ["Headline numbers (hardware model vs paper)", header, "-" * len(header)]
+        for name, ours, paper in rows:
+            lines.append(f"{name:<28}{ours:>10.2f}{paper:>10.2f}")
+        return "\n".join(lines)
+
+
+def paper_headline_numbers() -> HeadlineNumbers:
+    """Recompute the abstract's numbers from Table 1 ranks and Table 3 wires."""
+    return HeadlineNumbers(
+        lenet_crossbar_area_percent=crossbar_area_percent(
+            PAPER_LENET_SHAPES, PAPER_LENET_RANKS
+        ),
+        convnet_crossbar_area_percent=crossbar_area_percent(
+            PAPER_CONVNET_SHAPES, PAPER_CONVNET_RANKS
+        ),
+        lenet_routing_area_percent=routing_area_percent_from_wires(PAPER_LENET_WIRE_PERCENT),
+        convnet_routing_area_percent=routing_area_percent_from_wires(
+            PAPER_CONVNET_WIRE_PERCENT
+        ),
+        lenet_mean_wire_percent=mean_wire_percent(PAPER_LENET_WIRE_PERCENT),
+        convnet_mean_wire_percent=mean_wire_percent(PAPER_CONVNET_WIRE_PERCENT),
+    )

@@ -1,0 +1,143 @@
+"""Experiment scale presets.
+
+The paper trains full-size LeNet/ConvNet for tens of thousands of iterations
+on MNIST/CIFAR-10.  A numpy substrate on a laptop cannot do that inside a
+benchmark run, so every experiment harness accepts an
+:class:`ExperimentScale` that fixes dataset sizes, network scale and
+iteration counts.  Three presets are provided:
+
+* ``TINY`` — seconds; used by the unit/integration tests.
+* ``SMALL`` — tens of seconds; the default for the benchmark harness.
+* ``PAPER`` — the paper's full configuration (hours on this substrate); kept
+  for completeness and documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs that trade experiment fidelity against wall-clock time."""
+
+    name: str
+    train_samples: int
+    test_samples: int
+    image_size: int
+    network_scale: float
+    baseline_iterations: int
+    clip_iterations: int
+    clip_interval: int
+    deletion_iterations: int
+    finetune_iterations: int
+    batch_size: int
+    learning_rate: float
+    momentum: float
+    record_interval: int
+    eval_interval: int
+    seed: int = 0
+
+    def __post_init__(self):
+        positive_fields = (
+            "train_samples",
+            "test_samples",
+            "image_size",
+            "baseline_iterations",
+            "clip_interval",
+            "batch_size",
+            "record_interval",
+            "eval_interval",
+        )
+        for field_name in positive_fields:
+            if getattr(self, field_name) < 1:
+                raise ConfigurationError(f"{field_name} must be >= 1")
+        for field_name in ("clip_iterations", "deletion_iterations", "finetune_iterations"):
+            if getattr(self, field_name) < 0:
+                raise ConfigurationError(f"{field_name} must be >= 0")
+        if not (0 < self.network_scale <= 1):
+            raise ConfigurationError(
+                f"network_scale must be in (0, 1], got {self.network_scale}"
+            )
+        if self.learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be > 0, got {self.learning_rate}")
+        if not (0 <= self.momentum < 1):
+            raise ConfigurationError(f"momentum must be in [0, 1), got {self.momentum}")
+
+    def with_overrides(self, **kwargs) -> "ExperimentScale":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Seconds-scale preset used by the test suite.
+TINY = ExperimentScale(
+    name="tiny",
+    train_samples=240,
+    test_samples=96,
+    image_size=14,
+    network_scale=0.15,
+    baseline_iterations=120,
+    clip_iterations=80,
+    clip_interval=20,
+    deletion_iterations=80,
+    finetune_iterations=40,
+    batch_size=24,
+    learning_rate=0.02,
+    momentum=0.9,
+    record_interval=20,
+    eval_interval=40,
+)
+
+#: Default preset for the benchmark harness (tens of seconds per experiment).
+SMALL = ExperimentScale(
+    name="small",
+    train_samples=600,
+    test_samples=200,
+    image_size=16,
+    network_scale=0.25,
+    baseline_iterations=250,
+    clip_iterations=200,
+    clip_interval=40,
+    deletion_iterations=250,
+    finetune_iterations=200,
+    batch_size=32,
+    learning_rate=0.01,
+    momentum=0.9,
+    record_interval=40,
+    eval_interval=50,
+)
+
+#: The paper's full-scale configuration (not run in CI; hours on numpy).
+PAPER = ExperimentScale(
+    name="paper",
+    train_samples=60000,
+    test_samples=10000,
+    image_size=28,
+    network_scale=1.0,
+    baseline_iterations=10000,
+    clip_iterations=30000,
+    clip_interval=500,
+    deletion_iterations=30000,
+    finetune_iterations=10000,
+    batch_size=64,
+    learning_rate=0.01,
+    momentum=0.9,
+    record_interval=500,
+    eval_interval=500,
+)
+
+_PRESETS = {"tiny": TINY, "small": SMALL, "paper": PAPER}
+
+
+def get_scale(name_or_scale) -> ExperimentScale:
+    """Resolve a preset by name (or pass an :class:`ExperimentScale` through)."""
+    if isinstance(name_or_scale, ExperimentScale):
+        return name_or_scale
+    key = str(name_or_scale).lower()
+    if key not in _PRESETS:
+        raise ConfigurationError(
+            f"unknown experiment scale {name_or_scale!r}; expected one of {sorted(_PRESETS)}"
+        )
+    return _PRESETS[key]

@@ -1,0 +1,255 @@
+"""Parameter sweeps behind Figures 6, 7 and 8.
+
+* Figure 6 — remaining ranks of the convolutional layers versus the tolerable
+  clipping error ``ε`` (with the achieved accuracy).
+* Figure 7 — per-layer and total crossbar area versus classification error,
+  swept over ``ε`` (LeNet and ConvNet panels).
+* Figure 8 — remaining routing wires and routing area versus classification
+  error, swept over the group-Lasso strength ``λ`` (ConvNet).
+
+Each sweep re-runs the corresponding training phase from the same trained
+baseline so points differ only in the swept hyper-parameter.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import GroupDeletionConfig, RankClippingConfig
+from repro.core.conversion import convert_to_lowrank
+from repro.core.group_deletion import GroupConnectionDeleter
+from repro.core.rank_clipping import RankClipper
+from repro.experiments.training import TrainingSetup, train_baseline
+from repro.experiments.workloads import Workload
+from repro.hardware.area import layer_area_fraction, network_area_fraction
+
+
+# ----------------------------------------------------------------- Figure 6 / 7
+@dataclass(frozen=True)
+class TolerancePoint:
+    """One ε point of the rank-clipping sweep."""
+
+    tolerance: float
+    accuracy: float
+    error: float
+    ranks: Dict[str, int]
+    layer_area_fractions: Dict[str, float]
+    total_area_fraction: float
+
+
+@dataclass
+class ToleranceSweepResult:
+    """Rank/area versus tolerance sweep (data behind Figures 6 and 7)."""
+
+    workload_name: str
+    points: List[TolerancePoint] = field(default_factory=list)
+    baseline_accuracy: Optional[float] = None
+
+    def tolerances(self) -> List[float]:
+        """The swept ε values in run order."""
+        return [p.tolerance for p in self.points]
+
+    def ranks_series(self, layer: str) -> List[int]:
+        """Remaining rank of one layer across the sweep (Figure 6 stems)."""
+        return [p.ranks[layer] for p in self.points]
+
+    def area_series(self, layer: Optional[str] = None) -> List[float]:
+        """Crossbar-area fraction across the sweep (per layer or total)."""
+        if layer is None:
+            return [p.total_area_fraction for p in self.points]
+        return [p.layer_area_fractions[layer] for p in self.points]
+
+    def error_series(self) -> List[float]:
+        """Classification error across the sweep (Figure 7's x-axis)."""
+        return [p.error for p in self.points]
+
+    def format_table(self) -> str:
+        """Text rendering of the sweep."""
+        layers = sorted(self.points[0].ranks) if self.points else []
+        header = (
+            f"{'eps':>8}{'error':>9}{'total%':>9}"
+            + "".join(f"{f'{l} K':>9}" for l in layers)
+            + "".join(f"{f'{l} %':>9}" for l in layers)
+        )
+        lines = [f"Tolerance sweep ({self.workload_name})", header, "-" * len(header)]
+        for p in self.points:
+            ranks = "".join(f"{p.ranks[l]:>9}" for l in layers)
+            areas = "".join(f"{100 * p.layer_area_fractions[l]:>8.1f}%" for l in layers)
+            lines.append(
+                f"{p.tolerance:>8.3f}{p.error:>9.3f}{100 * p.total_area_fraction:>8.1f}%"
+                f"{ranks}{areas}"
+            )
+        return "\n".join(lines)
+
+
+def sweep_rank_clipping(
+    workload: Workload,
+    tolerances: Sequence[float],
+    *,
+    setup: Optional[TrainingSetup] = None,
+    baseline_network=None,
+    baseline_accuracy: Optional[float] = None,
+    method: str = "pca",
+) -> ToleranceSweepResult:
+    """Run rank clipping at each tolerance, reporting ranks, accuracy and areas."""
+    if not tolerances:
+        raise ValueError("tolerances must contain at least one value")
+    scale = workload.scale
+    if baseline_network is None or setup is None:
+        baseline_network, baseline_accuracy, setup = train_baseline(workload)
+    elif baseline_accuracy is None:
+        baseline_accuracy = setup.evaluate(baseline_network)
+
+    layer_order = list(workload.clippable_layers)
+    result = ToleranceSweepResult(
+        workload_name=workload.name, baseline_accuracy=baseline_accuracy
+    )
+    for tolerance in tolerances:
+        network = convert_to_lowrank(copy.deepcopy(baseline_network), layers=layer_order)
+        config = RankClippingConfig(
+            tolerance=float(tolerance),
+            clip_interval=scale.clip_interval,
+            max_iterations=scale.clip_iterations,
+            layers=tuple(layer_order),
+            method=method,
+        )
+        clipping = RankClipper(config).run(network, setup.trainer_factory)
+        ranks = clipping.final_ranks
+        fractions = {
+            name: layer_area_fraction(*workload.layer_shapes[name], ranks.get(name))
+            for name in layer_order
+        }
+        total = network_area_fraction(
+            workload.layer_shapes,
+            {name: ranks.get(name) for name in workload.layer_shapes},
+        )
+        accuracy = clipping.final_accuracy if clipping.final_accuracy is not None else 0.0
+        result.points.append(
+            TolerancePoint(
+                tolerance=float(tolerance),
+                accuracy=accuracy,
+                error=1.0 - accuracy,
+                ranks=dict(ranks),
+                layer_area_fractions=fractions,
+                total_area_fraction=total,
+            )
+        )
+    return result
+
+
+# --------------------------------------------------------------------- Figure 8
+@dataclass(frozen=True)
+class StrengthPoint:
+    """One λ point of the group-deletion sweep."""
+
+    strength: float
+    accuracy: float
+    error: float
+    wire_fractions: Dict[str, float]
+    routing_area_fractions: Dict[str, float]
+
+
+@dataclass
+class StrengthSweepResult:
+    """Routing wires/area versus λ sweep (data behind Figure 8)."""
+
+    workload_name: str
+    points: List[StrengthPoint] = field(default_factory=list)
+    baseline_accuracy: Optional[float] = None
+
+    def strengths(self) -> List[float]:
+        """The swept λ values in run order."""
+        return [p.strength for p in self.points]
+
+    def error_series(self) -> List[float]:
+        """Classification error across the sweep (Figure 8's x-axis)."""
+        return [p.error for p in self.points]
+
+    def wire_series(self, matrix: str) -> List[float]:
+        """Remaining-wire fraction of one matrix across the sweep."""
+        return [p.wire_fractions[matrix] for p in self.points]
+
+    def routing_area_series(self, matrix: str) -> List[float]:
+        """Remaining routing-area fraction of one matrix across the sweep."""
+        return [p.routing_area_fractions[matrix] for p in self.points]
+
+    def matrices(self) -> List[str]:
+        """Matrix names present in the sweep."""
+        if not self.points:
+            return []
+        return sorted(self.points[0].wire_fractions)
+
+    def format_table(self) -> str:
+        """Text rendering of the sweep."""
+        names = self.matrices()
+        header = (
+            f"{'lambda':>10}{'error':>9}"
+            + "".join(f"{f'{n} w%':>14}" for n in names)
+            + "".join(f"{f'{n} a%':>14}" for n in names)
+        )
+        lines = [f"Strength sweep ({self.workload_name})", header, "-" * len(header)]
+        for p in self.points:
+            wires = "".join(f"{100 * p.wire_fractions[n]:>13.1f}%" for n in names)
+            areas = "".join(f"{100 * p.routing_area_fractions[n]:>13.1f}%" for n in names)
+            lines.append(f"{p.strength:>10.4f}{p.error:>9.3f}{wires}{areas}")
+        return "\n".join(lines)
+
+
+def sweep_group_deletion(
+    workload: Workload,
+    strengths: Sequence[float],
+    *,
+    tolerance: float = 0.03,
+    include_small_matrices: bool = False,
+    setup: Optional[TrainingSetup] = None,
+    baseline_network=None,
+) -> StrengthSweepResult:
+    """Run group deletion at each λ starting from the same rank-clipped network."""
+    if not strengths:
+        raise ValueError("strengths must contain at least one value")
+    scale = workload.scale
+    if baseline_network is None or setup is None:
+        baseline_network, baseline_acc, setup = train_baseline(workload)
+    else:
+        baseline_acc = setup.evaluate(baseline_network)
+
+    layer_order = list(workload.clippable_layers)
+    clipped = convert_to_lowrank(baseline_network, layers=layer_order)
+    clip_config = RankClippingConfig(
+        tolerance=tolerance,
+        clip_interval=scale.clip_interval,
+        max_iterations=scale.clip_iterations,
+        layers=tuple(layer_order),
+    )
+    RankClipper(clip_config).run(clipped, setup.trainer_factory)
+
+    result = StrengthSweepResult(workload_name=workload.name, baseline_accuracy=baseline_acc)
+    for strength in strengths:
+        network = copy.deepcopy(clipped)
+        config = GroupDeletionConfig(
+            strength=float(strength),
+            iterations=scale.deletion_iterations,
+            finetune_iterations=scale.finetune_iterations,
+            include_small_matrices=include_small_matrices,
+        )
+        deleter = GroupConnectionDeleter(config, record_interval=scale.record_interval)
+        deletion = deleter.run(network, setup.trainer_factory)
+        accuracy = (
+            deletion.accuracy_after_finetune
+            if deletion.accuracy_after_finetune is not None
+            else 0.0
+        )
+        result.points.append(
+            StrengthPoint(
+                strength=float(strength),
+                accuracy=accuracy,
+                error=1.0 - accuracy,
+                wire_fractions=deletion.wire_fractions(),
+                routing_area_fractions=deletion.routing_area_fractions(),
+            )
+        )
+    return result

@@ -1,0 +1,157 @@
+"""Table 3: MBC sizes and remaining routing wires of the big layers.
+
+The harness runs the full Group Scissor pipeline (rank clipping on the
+trained baseline, then group connection deletion on the big crossbar
+matrices) and reports, per big matrix, the crossbar tile size selected by the
+library and the percentage of routing wires that survive deletion — the rows
+of Table 3 — plus the layer-wise average wire and routing-area fractions the
+paper quotes (8.1 % / 52.06 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import GroupDeletionConfig, RankClippingConfig
+from repro.core.conversion import convert_to_lowrank
+from repro.core.group_deletion import GroupConnectionDeleter, GroupDeletionResult
+from repro.core.rank_clipping import RankClipper, RankClippingResult
+from repro.experiments.training import TrainingSetup, train_baseline
+from repro.experiments.workloads import Workload
+from repro.hardware.mapper import NetworkMapper
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One big crossbar matrix: its tile size and surviving routing wires."""
+
+    matrix: str
+    matrix_shape: Tuple[int, int]
+    tile_shape: Tuple[int, int]
+    num_crossbars: int
+    wire_fraction: float
+
+    @property
+    def wire_percent(self) -> float:
+        """Remaining wires in percent (the paper's "% wires" row)."""
+        return 100.0 * self.wire_fraction
+
+
+@dataclass
+class Table3Result:
+    """Full Table 3 for one workload."""
+
+    workload_name: str
+    rows: List[Table3Row] = field(default_factory=list)
+    clipping_result: Optional[RankClippingResult] = None
+    deletion_result: Optional[GroupDeletionResult] = None
+    baseline_accuracy: Optional[float] = None
+    final_accuracy: Optional[float] = None
+
+    def row(self, matrix: str) -> Table3Row:
+        """Return the row of a given matrix name (e.g. ``"fc1_u"``)."""
+        for row in self.rows:
+            if row.matrix == matrix:
+                return row
+        raise KeyError(f"no row for matrix {matrix!r}")
+
+    def mean_wire_fraction(self) -> float:
+        """Average remaining-wire fraction across the big matrices."""
+        if not self.rows:
+            return 1.0
+        return float(np.mean([row.wire_fraction for row in self.rows]))
+
+    def mean_routing_area_fraction(self) -> float:
+        """Average remaining routing-area fraction (square of wire fractions)."""
+        if not self.rows:
+            return 1.0
+        return float(np.mean([row.wire_fraction**2 for row in self.rows]))
+
+    def format_table(self) -> str:
+        """Render the table in the paper's layout."""
+        header = f"{'matrix':<14}{'shape':<12}{'MBC size':<12}{'xbars':>6}{'% wires':>10}"
+        lines = [f"Table 3 ({self.workload_name})", header, "-" * len(header)]
+        for row in self.rows:
+            shape = f"{row.matrix_shape[0]}x{row.matrix_shape[1]}"
+            tile = f"{row.tile_shape[0]}x{row.tile_shape[1]}"
+            lines.append(
+                f"{row.matrix:<14}{shape:<12}{tile:<12}{row.num_crossbars:>6}"
+                f"{row.wire_percent:>9.1f}%"
+            )
+        lines.append("-" * len(header))
+        lines.append(
+            f"mean wire fraction: {self.mean_wire_fraction():.2%}; "
+            f"mean routing area: {self.mean_routing_area_fraction():.2%}"
+        )
+        if self.baseline_accuracy is not None and self.final_accuracy is not None:
+            lines.append(
+                f"accuracy: baseline {self.baseline_accuracy:.2%} -> final "
+                f"{self.final_accuracy:.2%}"
+            )
+        return "\n".join(lines)
+
+
+def run_table3(
+    workload: Workload,
+    *,
+    tolerance: float = 0.03,
+    strength: float = 0.01,
+    include_small_matrices: bool = False,
+    setup: Optional[TrainingSetup] = None,
+    baseline_network=None,
+    baseline_accuracy: Optional[float] = None,
+) -> Table3Result:
+    """Regenerate Table 3 for one workload (clipping + deletion + reporting)."""
+    scale = workload.scale
+    if baseline_network is None or setup is None:
+        baseline_network, baseline_accuracy, setup = train_baseline(workload)
+    elif baseline_accuracy is None:
+        baseline_accuracy = setup.evaluate(baseline_network)
+
+    layer_order = list(workload.clippable_layers)
+    lowrank_network = convert_to_lowrank(baseline_network, layers=layer_order)
+    clip_config = RankClippingConfig(
+        tolerance=tolerance,
+        clip_interval=scale.clip_interval,
+        max_iterations=scale.clip_iterations,
+        layers=tuple(layer_order),
+    )
+    clipping = RankClipper(clip_config).run(
+        lowrank_network, setup.trainer_factory, baseline_accuracy=baseline_accuracy
+    )
+
+    deletion_config = GroupDeletionConfig(
+        strength=strength,
+        iterations=scale.deletion_iterations,
+        finetune_iterations=scale.finetune_iterations,
+        include_small_matrices=include_small_matrices,
+    )
+    deleter = GroupConnectionDeleter(
+        deletion_config, record_interval=scale.record_interval
+    )
+    deletion = deleter.run(lowrank_network, setup.trainer_factory)
+
+    mapper = NetworkMapper()
+    report = mapper.map_network(lowrank_network)
+    result = Table3Result(
+        workload_name=workload.name,
+        clipping_result=clipping,
+        deletion_result=deletion,
+        baseline_accuracy=baseline_accuracy,
+        final_accuracy=deletion.accuracy_after_finetune,
+    )
+    for name, routing in deletion.routing_reports.items():
+        matrix_report = report.matrix(name)
+        result.rows.append(
+            Table3Row(
+                matrix=name,
+                matrix_shape=matrix_report.matrix_shape,
+                tile_shape=matrix_report.tile_shape,
+                num_crossbars=matrix_report.num_crossbars,
+                wire_fraction=routing.wire_fraction,
+            )
+        )
+    return result

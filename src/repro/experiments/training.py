@@ -1,0 +1,107 @@
+"""Shared training plumbing for the experiment harness.
+
+:class:`TrainingSetup` owns the datasets, hyper-parameters and random seeds
+of one experiment and produces the ``trainer_factory`` callables consumed by
+:class:`~repro.core.rank_clipping.RankClipper`,
+:class:`~repro.core.group_deletion.GroupConnectionDeleter` and
+:class:`~repro.core.scissor.GroupScissor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.data import ArrayDataset, DataLoader
+from repro.experiments.presets import ExperimentScale
+from repro.experiments.workloads import Workload
+from repro.nn import SGD, SoftmaxCrossEntropy, Trainer, accuracy
+from repro.nn.network import Sequential
+from repro.utils.rng import as_rng, derive_seed
+
+
+@dataclass
+class TrainingSetup:
+    """Datasets + hyper-parameters for one experiment run."""
+
+    train_dataset: ArrayDataset
+    test_dataset: ArrayDataset
+    batch_size: int = 32
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    eval_interval: int = 100
+    seed: int = 0
+    _loader_seed: int = field(init=False, default=0)
+
+    def __post_init__(self):
+        rng = as_rng(self.seed)
+        self._loader_seed = derive_seed(rng)
+
+    # ------------------------------------------------------------ factories
+    @classmethod
+    def from_workload(cls, workload: Workload, **overrides) -> "TrainingSetup":
+        """Build a setup from a workload's datasets and scale defaults."""
+        scale: ExperimentScale = workload.scale
+        train, test = workload.data()
+        defaults = dict(
+            batch_size=scale.batch_size,
+            learning_rate=scale.learning_rate,
+            momentum=scale.momentum,
+            eval_interval=scale.eval_interval,
+            seed=scale.seed,
+        )
+        defaults.update(overrides)
+        return cls(train_dataset=train, test_dataset=test, **defaults)
+
+    def make_loader(self) -> DataLoader:
+        """A fresh shuffling loader over the training split."""
+        return DataLoader(
+            self.train_dataset,
+            batch_size=self.batch_size,
+            shuffle=True,
+            rng=self._loader_seed,
+        )
+
+    def trainer_factory(self, network: Sequential, callbacks: Sequence = ()) -> Trainer:
+        """Build a trainer for ``network`` (the callable passed to the core drivers)."""
+        optimizer = SGD(
+            network.parameters(),
+            lr=self.learning_rate,
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+        )
+        return Trainer(
+            network,
+            SoftmaxCrossEntropy(),
+            optimizer,
+            self.make_loader(),
+            eval_data=self.test_dataset.arrays(),
+            callbacks=list(callbacks),
+            eval_interval=self.eval_interval,
+        )
+
+    # -------------------------------------------------------------- helpers
+    def train_network(self, network: Sequential, iterations: int) -> float:
+        """Train ``network`` for ``iterations`` steps and return its test accuracy."""
+        trainer = self.trainer_factory(network)
+        trainer.run(iterations)
+        return self.evaluate(network)
+
+    def evaluate(self, network: Sequential) -> float:
+        """Test accuracy of ``network`` on the held-out split."""
+        inputs, targets = self.test_dataset.arrays()
+        logits = network.predict(inputs, batch_size=256)
+        return accuracy(logits, targets)
+
+
+def train_baseline(workload: Workload, *, seed: Optional[int] = None) -> Tuple[Sequential, float, TrainingSetup]:
+    """Train the dense baseline network of a workload.
+
+    Returns ``(network, accuracy, setup)`` so follow-up phases reuse the same
+    datasets and hyper-parameters.
+    """
+    setup = TrainingSetup.from_workload(workload)
+    network = workload.build(seed if seed is not None else workload.scale.seed)
+    baseline_accuracy = setup.train_network(network, workload.scale.baseline_iterations)
+    return network, baseline_accuracy, setup

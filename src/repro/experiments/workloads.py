@@ -1,0 +1,155 @@
+"""Workload definitions: network + dataset pairs used by the experiments.
+
+A :class:`Workload` bundles everything an experiment runner needs to train a
+network: a builder for the dense network, a dataset factory, the list of
+clippable layers and (for reporting) the layer weight-matrix shapes.  The two
+paper workloads — LeNet on (synthetic) MNIST and ConvNet on (synthetic)
+CIFAR-10 — are provided at any :class:`~repro.experiments.presets.ExperimentScale`,
+plus a tiny MLP workload for fast tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.data import ArrayDataset, make_cifar10_like, make_gaussian_blobs, make_mnist_like
+from repro.data.transforms import train_test_statistics
+from repro.experiments.presets import ExperimentScale, get_scale
+from repro.models import (
+    ConvNetConfig,
+    LeNetConfig,
+    build_convnet,
+    build_lenet,
+    build_mlp,
+    mlp_layer_shapes,
+)
+from repro.nn.network import Sequential
+from repro.utils.rng import as_rng
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One (network family, dataset) pair at a fixed experiment scale."""
+
+    name: str
+    scale: ExperimentScale
+    build_network: Callable[[int], Sequential]
+    make_data: Callable[[], Tuple[ArrayDataset, ArrayDataset]]
+    clippable_layers: Tuple[str, ...]
+    layer_shapes: Dict[str, Tuple[int, int]]
+
+    def build(self, seed: int = 0) -> Sequential:
+        """Build a freshly initialized dense network."""
+        return self.build_network(seed)
+
+    def data(self) -> Tuple[ArrayDataset, ArrayDataset]:
+        """Build the (train, test) dataset pair."""
+        return self.make_data()
+
+
+def _lenet_config(scale: ExperimentScale) -> LeNetConfig:
+    # A full-scale preset uses the paper topology (and the paper's 28x28
+    # images) regardless of the preset's nominal image size.
+    if scale.network_scale >= 1.0:
+        return LeNetConfig.paper()
+    return LeNetConfig.small(image_size=scale.image_size, scale=scale.network_scale)
+
+
+def _convnet_config(scale: ExperimentScale) -> ConvNetConfig:
+    if scale.network_scale >= 1.0:
+        return ConvNetConfig.paper()
+    return ConvNetConfig.small(image_size=scale.image_size, scale=scale.network_scale)
+
+
+def lenet_workload(scale="small") -> Workload:
+    """LeNet on the synthetic MNIST substitute at the given scale."""
+    scale = get_scale(scale)
+    config = _lenet_config(scale)
+
+    def make_data():
+        train, test = make_mnist_like(
+            train_samples=scale.train_samples,
+            test_samples=scale.test_samples,
+            image_size=config.image_size,
+            seed=scale.seed,
+        )
+        return train_test_statistics(train, test)
+
+    return Workload(
+        name="lenet-mnist",
+        scale=scale,
+        build_network=lambda seed: build_lenet(config, rng=as_rng(seed)),
+        make_data=make_data,
+        clippable_layers=config.clippable_layers(),
+        layer_shapes=config.layer_shapes(),
+    )
+
+
+def convnet_workload(scale="small") -> Workload:
+    """ConvNet on the synthetic CIFAR-10 substitute at the given scale."""
+    scale = get_scale(scale)
+    config = _convnet_config(scale)
+
+    def make_data():
+        train, test = make_cifar10_like(
+            train_samples=scale.train_samples,
+            test_samples=scale.test_samples,
+            image_size=config.image_size,
+            seed=scale.seed + 1,
+        )
+        return train_test_statistics(train, test)
+
+    return Workload(
+        name="convnet-cifar10",
+        scale=scale,
+        build_network=lambda seed: build_convnet(config, rng=as_rng(seed)),
+        make_data=make_data,
+        clippable_layers=config.clippable_layers(),
+        layer_shapes=config.layer_shapes(),
+    )
+
+
+def mlp_workload(scale="tiny", *, input_dim: int = 64, hidden: Tuple[int, ...] = (96, 48)) -> Workload:
+    """A fast fully-connected workload on Gaussian blobs (for tests/examples)."""
+    scale = get_scale(scale)
+
+    def make_data():
+        samples_per_class = max(10, (scale.train_samples + scale.test_samples) // 10)
+        train, test = make_gaussian_blobs(
+            num_classes=10,
+            num_features=input_dim,
+            samples_per_class=samples_per_class,
+            separation=3.5,
+            seed=scale.seed,
+        )
+        return train_test_statistics(train, test)
+
+    shapes = mlp_layer_shapes(input_dim, list(hidden), 10)
+    clippable = tuple(sorted(shapes.keys()))[:-1]
+    return Workload(
+        name="mlp-blobs",
+        scale=scale,
+        build_network=lambda seed: build_mlp(input_dim, list(hidden), 10, rng=as_rng(seed)),
+        make_data=make_data,
+        clippable_layers=clippable,
+        layer_shapes=shapes,
+    )
+
+
+_WORKLOADS = {
+    "lenet": lenet_workload,
+    "lenet-mnist": lenet_workload,
+    "convnet": convnet_workload,
+    "convnet-cifar10": convnet_workload,
+    "mlp": mlp_workload,
+    "mlp-blobs": mlp_workload,
+}
+
+
+def get_workload(name: str, scale="small") -> Workload:
+    """Look up a workload factory by name and instantiate it at ``scale``."""
+    key = str(name).lower()
+    if key not in _WORKLOADS:
+        raise KeyError(f"unknown workload {name!r}; expected one of {sorted(set(_WORKLOADS))}")
+    return _WORKLOADS[key](scale)

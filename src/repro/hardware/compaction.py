@@ -1,0 +1,190 @@
+"""Crossbar compaction after group connection deletion.
+
+The last paragraph of the paper's Section 4.2 observes two further area
+savings that structural sparsity enables beyond routing-wire removal:
+
+* a crossbar whose weights are *all* zero can be removed from the design
+  entirely;
+* a crossbar with some all-zero rows/columns can be replaced by a smaller but
+  dense crossbar obtained by deleting those rows/columns.
+
+This module quantifies both effects: for every tile of a (deleted) crossbar
+matrix it computes the compacted crossbar dimensions (live rows × live
+columns) and compares the compacted cell area against the original tiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.hardware.technology import PAPER_TECHNOLOGY, TechnologyParameters
+from repro.hardware.tiling import TilingPlan
+from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class CompactedCrossbar:
+    """One crossbar tile before and after removing its all-zero rows/columns."""
+
+    grid_position: tuple
+    original_rows: int
+    original_cols: int
+    live_rows: int
+    live_cols: int
+
+    @property
+    def is_removable(self) -> bool:
+        """True when the crossbar holds no connection at all (Figure 9's empty blocks)."""
+        return self.live_rows == 0 or self.live_cols == 0
+
+    @property
+    def original_cells(self) -> int:
+        """Cell count of the original crossbar."""
+        return self.original_rows * self.original_cols
+
+    @property
+    def compacted_cells(self) -> int:
+        """Cell count of the dense crossbar that remains after compaction."""
+        return self.live_rows * self.live_cols
+
+    @property
+    def cell_saving(self) -> int:
+        """Cells saved by compacting this crossbar."""
+        return self.original_cells - self.compacted_cells
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """Compaction summary of one tiled crossbar matrix."""
+
+    name: str
+    crossbars: List[CompactedCrossbar]
+    technology: TechnologyParameters = PAPER_TECHNOLOGY
+
+    @property
+    def num_crossbars(self) -> int:
+        """Number of crossbars in the original (uncompacted) array."""
+        return len(self.crossbars)
+
+    @property
+    def removable_crossbars(self) -> int:
+        """Crossbars that can be dropped from the design entirely."""
+        return sum(1 for xbar in self.crossbars if xbar.is_removable)
+
+    @property
+    def original_area_f2(self) -> float:
+        """Cell area of the original crossbar array (``F²``)."""
+        return self.technology.cell_area_f2 * sum(x.original_cells for x in self.crossbars)
+
+    @property
+    def compacted_area_f2(self) -> float:
+        """Cell area after removing empty crossbars and all-zero rows/columns."""
+        return self.technology.cell_area_f2 * sum(x.compacted_cells for x in self.crossbars)
+
+    @property
+    def area_fraction(self) -> float:
+        """Compacted area relative to the original array (1.0 when dense)."""
+        original = self.original_area_f2
+        if original == 0:
+            return 0.0
+        return self.compacted_area_f2 / original
+
+    def format_summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.name}: {self.num_crossbars} crossbars, "
+            f"{self.removable_crossbars} removable, compacted area "
+            f"{self.area_fraction:.1%} of original"
+        )
+
+
+def compact_matrix(
+    weights: np.ndarray,
+    plan: TilingPlan,
+    *,
+    zero_threshold: float = 0.0,
+    technology: TechnologyParameters = PAPER_TECHNOLOGY,
+    name: str = "",
+) -> CompactionReport:
+    """Compute the compaction report of a weight matrix under a tiling plan.
+
+    Parameters
+    ----------
+    weights:
+        The crossbar-matrix values (inputs × outputs), typically after group
+        connection deletion.
+    plan:
+        The tiling that assigns weights to crossbars.
+    zero_threshold:
+        Entries with ``|w| <= zero_threshold`` count as deleted.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (plan.matrix_rows, plan.matrix_cols):
+        raise ShapeError(
+            f"weights shape {weights.shape} does not match tiling plan "
+            f"{plan.matrix_rows}x{plan.matrix_cols}"
+        )
+    check_non_negative(zero_threshold, "zero_threshold")
+    crossbars: List[CompactedCrossbar] = []
+    for tile_row, tile_col, row_slice, col_slice in plan.iter_tiles():
+        block = np.abs(weights[row_slice, col_slice]) > zero_threshold
+        crossbars.append(
+            CompactedCrossbar(
+                grid_position=(tile_row, tile_col),
+                original_rows=row_slice.stop - row_slice.start,
+                original_cols=col_slice.stop - col_slice.start,
+                live_rows=int(np.sum(np.any(block, axis=1))),
+                live_cols=int(np.sum(np.any(block, axis=0))),
+            )
+        )
+    return CompactionReport(name=name or plan.name, crossbars=crossbars, technology=technology)
+
+
+def compact_network(
+    network,
+    *,
+    zero_threshold: float = 0.0,
+    technology: TechnologyParameters = PAPER_TECHNOLOGY,
+    library=None,
+) -> List[CompactionReport]:
+    """Compaction reports for every crossbar matrix of a network.
+
+    This is the post-deletion counterpart of
+    :meth:`repro.hardware.mapper.NetworkMapper.map_network`: it quantifies the
+    extra crossbar-area reduction available by shrinking partially-empty
+    crossbars, the effect the paper highlights with Figure 9.
+    """
+    from repro.hardware.library import PAPER_LIBRARY
+    from repro.hardware.mapper import NetworkMapper, extract_crossbar_matrices
+
+    mapper = NetworkMapper(
+        technology=technology,
+        library=library if library is not None else PAPER_LIBRARY,
+        zero_threshold=zero_threshold,
+    )
+    reports = []
+    for matrix in extract_crossbar_matrices(network):
+        plan = mapper.plan_matrix(matrix)
+        reports.append(
+            compact_matrix(
+                matrix.values,
+                plan,
+                zero_threshold=zero_threshold,
+                technology=technology,
+                name=matrix.name,
+            )
+        )
+    return reports
+
+
+def total_compacted_area_fraction(reports: Sequence[CompactionReport]) -> float:
+    """Network-level compacted crossbar area relative to the uncompacted design."""
+    original = sum(report.original_area_f2 for report in reports)
+    if original == 0:
+        raise ValueError("reports contain no crossbar area")
+    compacted = sum(report.compacted_area_f2 for report in reports)
+    return compacted / original

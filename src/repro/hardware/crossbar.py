@@ -1,0 +1,118 @@
+"""Crossbar primitives.
+
+A :class:`Crossbar` is a ``rows × cols`` array of memristor cells; its area
+is ``rows · cols · cell_area``.  A :class:`CrossbarInstance` additionally
+carries the weight block it implements, which is what the group-connection
+deletion analysis inspects to decide which input/output wires survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import TilingError
+from repro.hardware.technology import PAPER_TECHNOLOGY, TechnologyParameters
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class Crossbar:
+    """A physical crossbar of ``rows`` wordlines by ``cols`` bitlines."""
+
+    rows: int
+    cols: int
+    technology: TechnologyParameters = PAPER_TECHNOLOGY
+
+    def __post_init__(self):
+        check_positive_int(self.rows, "rows")
+        check_positive_int(self.cols, "cols")
+        if (
+            self.rows > self.technology.max_crossbar_rows
+            or self.cols > self.technology.max_crossbar_cols
+        ):
+            raise TilingError(
+                f"crossbar {self.rows}x{self.cols} exceeds the technology limit "
+                f"{self.technology.max_crossbar_rows}x{self.technology.max_crossbar_cols}"
+            )
+
+    @property
+    def num_cells(self) -> int:
+        """Number of memristor cells in the crossbar."""
+        return self.rows * self.cols
+
+    @property
+    def area_f2(self) -> float:
+        """Crossbar cell area in units of ``F²``."""
+        return self.num_cells * self.technology.cell_area_f2
+
+    @property
+    def area_nm2(self) -> float:
+        """Crossbar cell area in ``nm²`` for the configured feature size."""
+        return self.num_cells * self.technology.cell_area_nm2
+
+    @property
+    def num_io_wires(self) -> int:
+        """Input + output wires this crossbar exposes to the routing fabric."""
+        return self.rows + self.cols
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.rows}x{self.cols}"
+
+
+@dataclass
+class CrossbarInstance:
+    """One crossbar in a tiled matrix, together with the weights it stores.
+
+    Attributes
+    ----------
+    crossbar:
+        The physical crossbar geometry.
+    grid_position:
+        ``(tile_row, tile_col)`` position inside the tiling grid.
+    weights:
+        The weight block assigned to this crossbar (may be ``None`` when only
+        geometry is being analysed).
+    """
+
+    crossbar: Crossbar
+    grid_position: tuple
+    weights: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def live_rows(self, zero_threshold: float = 0.0) -> int:
+        """Number of input rows with at least one weight above ``zero_threshold``.
+
+        Rows whose weights are all (near) zero correspond to deletable input
+        routing wires.  With no weights attached, every row counts as live.
+        """
+        if self.weights is None:
+            return self.crossbar.rows
+        return int(np.sum(np.any(np.abs(self.weights) > zero_threshold, axis=1)))
+
+    def live_cols(self, zero_threshold: float = 0.0) -> int:
+        """Number of output columns with at least one weight above ``zero_threshold``."""
+        if self.weights is None:
+            return self.crossbar.cols
+        return int(np.sum(np.any(np.abs(self.weights) > zero_threshold, axis=0)))
+
+    def live_wires(self, zero_threshold: float = 0.0) -> int:
+        """Routing wires that must be kept for this crossbar."""
+        return self.live_rows(zero_threshold) + self.live_cols(zero_threshold)
+
+    def is_empty(self, zero_threshold: float = 0.0) -> bool:
+        """True when every weight in the block is (near) zero.
+
+        An empty crossbar can be removed from the design entirely — the case
+        the paper highlights in Figure 9.
+        """
+        if self.weights is None:
+            return False
+        return not bool(np.any(np.abs(self.weights) > zero_threshold))
+
+    def density(self, zero_threshold: float = 0.0) -> float:
+        """Fraction of cells holding a non-zero weight."""
+        if self.weights is None:
+            return 1.0
+        return float(np.mean(np.abs(self.weights) > zero_threshold))

@@ -1,0 +1,111 @@
+"""Crossbar standard library and MBC size selection.
+
+Section 4.2 of the paper defines the selection criteria used when a weight
+matrix is implemented on crossbars from a standard library that contains all
+crossbar shapes up to ``64 × 64``:
+
+1. a ``N × K`` matrix with ``N ≤ 64`` and ``K ≤ 64`` is implemented in a
+   single ``N × K`` crossbar;
+2. otherwise it is implemented by an array of the largest available crossbars
+   ``P × Q`` such that ``P`` divides ``N`` and ``Q`` divides ``K``.
+
+The paper's networks always admit such divisors.  For generality this module
+also supports a *padded* fallback (ceiling tiling with the maximum crossbar
+size) that callers can opt into instead of receiving a
+:class:`~repro.exceptions.TilingError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.exceptions import TilingError
+from repro.hardware.technology import PAPER_TECHNOLOGY, TechnologyParameters
+from repro.utils.validation import check_positive_int
+
+
+def largest_divisor_at_most(value: int, limit: int) -> int:
+    """Largest divisor of ``value`` that is ``<= limit`` (at least 1)."""
+    value = check_positive_int(value, "value")
+    limit = check_positive_int(limit, "limit")
+    if value <= limit:
+        return value
+    for candidate in range(limit, 0, -1):
+        if value % candidate == 0:
+            return candidate
+    return 1
+
+
+@dataclass(frozen=True)
+class CrossbarLibrary:
+    """The standard library of crossbars available to the mapper.
+
+    Attributes
+    ----------
+    technology:
+        Technology constants providing the maximum crossbar dimensions.
+    allow_padding:
+        When a dimension exceeding the maximum has no divisor larger than
+        ``min_divisor``, fall back to ceiling tiling with the maximum size
+        instead of raising :class:`TilingError`.
+    min_divisor:
+        Smallest acceptable divisor-based tile dimension before the padded
+        fallback (or error) kicks in.  A value of 2 rejects degenerate 1-wide
+        tilings of prime dimensions.
+    """
+
+    technology: TechnologyParameters = PAPER_TECHNOLOGY
+    allow_padding: bool = True
+    min_divisor: int = 2
+
+    @property
+    def max_rows(self) -> int:
+        """Maximum crossbar row count in the library."""
+        return self.technology.max_crossbar_rows
+
+    @property
+    def max_cols(self) -> int:
+        """Maximum crossbar column count in the library."""
+        return self.technology.max_crossbar_cols
+
+    def contains(self, rows: int, cols: int) -> bool:
+        """Whether a ``rows × cols`` crossbar exists in the library."""
+        return 1 <= rows <= self.max_rows and 1 <= cols <= self.max_cols
+
+    # ----------------------------------------------------------- selection
+    def _select_dimension(self, size: int, limit: int, label: str) -> Tuple[int, bool]:
+        """Pick the tile extent for one dimension.
+
+        Returns ``(tile_size, padded)`` where ``padded`` indicates the
+        ceiling-tiling fallback was used.
+        """
+        if size <= limit:
+            return size, False
+        divisor = largest_divisor_at_most(size, limit)
+        if divisor >= self.min_divisor:
+            return divisor, False
+        if self.allow_padding:
+            return limit, True
+        raise TilingError(
+            f"dimension {label}={size} has no divisor in [{self.min_divisor}, {limit}] "
+            "and padding is disabled"
+        )
+
+    def select_tile_shape(self, rows: int, cols: int) -> Tuple[int, int, bool]:
+        """Return ``(tile_rows, tile_cols, padded)`` for a ``rows × cols`` matrix.
+
+        Follows the paper's two selection criteria, with the optional padded
+        fallback described in the class docstring.
+        """
+        rows = check_positive_int(rows, "rows")
+        cols = check_positive_int(cols, "cols")
+        if self.contains(rows, cols):
+            return rows, cols, False
+        tile_rows, padded_rows = self._select_dimension(rows, self.max_rows, "rows")
+        tile_cols, padded_cols = self._select_dimension(cols, self.max_cols, "cols")
+        return tile_rows, tile_cols, padded_rows or padded_cols
+
+
+#: Library with the paper's Table 2 parameters.
+PAPER_LIBRARY = CrossbarLibrary()

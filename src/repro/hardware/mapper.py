@@ -1,0 +1,188 @@
+"""Mapping of neural networks onto crossbar hardware.
+
+:class:`NetworkMapper` walks a :class:`~repro.nn.network.Sequential`, extracts
+the crossbar matrix (or matrices) of every weighted layer, tiles each matrix
+onto the crossbar library, and assembles a
+:class:`~repro.hardware.report.NetworkHardwareReport` with crossbar areas and
+routing-wire statistics.
+
+Orientation convention (documented in DESIGN.md): crossbar matrices are laid
+out inputs × outputs, i.e. rows are wordlines driven by the layer inputs and
+columns are bitlines producing the outputs (Figure 1 of the paper).  A dense
+layer with weight ``W ∈ R^{N×M}`` therefore maps to ``Wᵀ (M×N)``; a
+factorized layer maps to the two stages ``V (M×K)`` and ``Uᵀ (K×N)``.  Since
+crossbar area and wire counts are invariant under transposition this differs
+from the paper's Table 3 only by swapped tile labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import MappingError
+from repro.hardware.area import matrix_crossbar_area
+from repro.hardware.library import PAPER_LIBRARY, CrossbarLibrary
+from repro.hardware.report import (
+    LayerHardwareReport,
+    MatrixHardwareReport,
+    NetworkHardwareReport,
+)
+from repro.hardware.routing import analyze_routing
+from repro.hardware.technology import PAPER_TECHNOLOGY, TechnologyParameters
+from repro.hardware.tiling import TilingPlan, plan_tiling
+from repro.nn.layers import Conv2D, Linear, LowRankConv2D, LowRankLinear
+from repro.nn.network import Sequential
+
+
+@dataclass(frozen=True)
+class CrossbarMatrix:
+    """One matrix to be implemented on crossbars.
+
+    Attributes
+    ----------
+    name:
+        Report name, e.g. ``"fc1_u"`` (factor stage) or ``"conv1_w"`` (dense).
+    layer_name:
+        Name of the owning network layer.
+    values:
+        The matrix entries, oriented inputs × outputs.
+    stage:
+        ``"w"`` for a dense layer, ``"v"`` / ``"u"`` for the first / second
+        factor stage of a low-rank layer.
+    """
+
+    name: str
+    layer_name: str
+    values: np.ndarray
+    stage: str
+
+
+def extract_crossbar_matrices(network: Sequential) -> List[CrossbarMatrix]:
+    """Collect the crossbar matrices of every weighted layer in ``network``."""
+    matrices: List[CrossbarMatrix] = []
+    for layer in network:
+        if isinstance(layer, (LowRankLinear, LowRankConv2D)):
+            # Stage 1: V maps the layer inputs onto K intermediate lines.
+            matrices.append(
+                CrossbarMatrix(
+                    name=f"{layer.name}_v",
+                    layer_name=layer.name,
+                    values=layer.v.data.copy(),
+                    stage="v",
+                )
+            )
+            # Stage 2: Uᵀ maps the K intermediate lines onto the outputs.
+            matrices.append(
+                CrossbarMatrix(
+                    name=f"{layer.name}_u",
+                    layer_name=layer.name,
+                    values=layer.u.data.T.copy(),
+                    stage="u",
+                )
+            )
+        elif isinstance(layer, (Linear, Conv2D)):
+            matrices.append(
+                CrossbarMatrix(
+                    name=f"{layer.name}_w",
+                    layer_name=layer.name,
+                    values=layer.weight_matrix.T.copy(),
+                    stage="w",
+                )
+            )
+    if not matrices:
+        raise MappingError(
+            f"network {network.name!r} has no weighted layers to map onto crossbars"
+        )
+    return matrices
+
+
+class NetworkMapper:
+    """Maps networks onto the crossbar library and produces hardware reports."""
+
+    def __init__(
+        self,
+        technology: TechnologyParameters = PAPER_TECHNOLOGY,
+        library: Optional[CrossbarLibrary] = None,
+        *,
+        zero_threshold: float = 0.0,
+    ):
+        self.technology = technology
+        self.library = library if library is not None else CrossbarLibrary(technology=technology)
+        if zero_threshold < 0:
+            raise MappingError(f"zero_threshold must be >= 0, got {zero_threshold}")
+        self.zero_threshold = float(zero_threshold)
+
+    # ------------------------------------------------------------- planning
+    def plan_matrix(self, matrix: CrossbarMatrix) -> TilingPlan:
+        """Tile one crossbar matrix according to the library's selection rules."""
+        rows, cols = matrix.values.shape
+        return plan_tiling(rows, cols, library=self.library, name=matrix.name)
+
+    def plan_network(self, network: Sequential) -> Dict[str, TilingPlan]:
+        """Return the tiling plan of every crossbar matrix in the network."""
+        return {m.name: self.plan_matrix(m) for m in extract_crossbar_matrices(network)}
+
+    # ------------------------------------------------------------ reporting
+    def _report_matrix(self, matrix: CrossbarMatrix) -> MatrixHardwareReport:
+        plan = self.plan_matrix(matrix)
+        routing = analyze_routing(
+            matrix.values, plan, zero_threshold=self.zero_threshold, name=matrix.name
+        )
+        instances = plan.instantiate(matrix.values, technology=self.technology)
+        empty = sum(1 for inst in instances if inst.is_empty(self.zero_threshold))
+        nonzero = float(np.mean(np.abs(matrix.values) > self.zero_threshold))
+        area = matrix_crossbar_area(
+            matrix.values.shape[0], matrix.values.shape[1], self.technology
+        )
+        return MatrixHardwareReport(
+            name=matrix.name,
+            layer_name=matrix.layer_name,
+            plan=plan,
+            crossbar_area_f2=area,
+            routing=routing,
+            empty_crossbars=empty,
+            nonzero_fraction=nonzero,
+        )
+
+    def map_network(self, network: Sequential) -> NetworkHardwareReport:
+        """Produce the full hardware report of ``network``."""
+        matrices = extract_crossbar_matrices(network)
+        layers: List[LayerHardwareReport] = []
+        by_layer: Dict[str, List[MatrixHardwareReport]] = {}
+        order: List[str] = []
+        for matrix in matrices:
+            report = self._report_matrix(matrix)
+            if matrix.layer_name not in by_layer:
+                by_layer[matrix.layer_name] = []
+                order.append(matrix.layer_name)
+            by_layer[matrix.layer_name].append(report)
+        for layer_name in order:
+            layers.append(
+                LayerHardwareReport(layer_name=layer_name, matrices=by_layer[layer_name])
+            )
+        return NetworkHardwareReport(network_name=network.name, layers=layers)
+
+    # ------------------------------------------------------------ shortcuts
+    def crossbar_area(self, network: Sequential) -> float:
+        """Total crossbar area (``F²``) of the network."""
+        return self.map_network(network).total_crossbar_area_f2
+
+    def area_fraction(self, network: Sequential, reference: Sequential) -> float:
+        """Crossbar area of ``network`` relative to ``reference``."""
+        return self.map_network(network).area_fraction_of(self.map_network(reference))
+
+    def big_matrices(self, network: Sequential) -> List[str]:
+        """Names of crossbar matrices that need more than one crossbar.
+
+        These are the matrices the paper applies group connection deletion to
+        ("we only delete the matrices of U and V whose dimensions are beyond
+        the largest size of MBC").
+        """
+        names = []
+        for matrix in extract_crossbar_matrices(network):
+            if not self.plan_matrix(matrix).is_single_crossbar:
+                names.append(matrix.name)
+        return names

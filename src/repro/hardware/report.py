@@ -1,0 +1,210 @@
+"""Hardware report dataclasses and text formatting.
+
+The mapper produces a :class:`NetworkHardwareReport` composed of one
+:class:`MatrixHardwareReport` per crossbar matrix (a dense layer contributes
+one matrix, a factorized layer contributes its two stages).  Reports carry
+everything the paper's tables/figures need: crossbar area, tile shapes,
+dense and remaining routing wires, and empty-crossbar counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hardware.routing import RoutingReport
+from repro.hardware.tiling import TilingPlan
+
+
+@dataclass(frozen=True)
+class MatrixHardwareReport:
+    """Hardware statistics of one crossbar matrix."""
+
+    name: str
+    layer_name: str
+    plan: TilingPlan
+    crossbar_area_f2: float
+    routing: RoutingReport
+    empty_crossbars: int = 0
+    nonzero_fraction: float = 1.0
+
+    @property
+    def matrix_shape(self) -> tuple:
+        """``(rows, cols)`` of the crossbar matrix."""
+        return (self.plan.matrix_rows, self.plan.matrix_cols)
+
+    @property
+    def tile_shape(self) -> tuple:
+        """``(P, Q)`` of the selected crossbar size."""
+        return self.plan.tile_shape()
+
+    @property
+    def num_crossbars(self) -> int:
+        """Number of crossbars the matrix occupies."""
+        return self.plan.num_crossbars
+
+    @property
+    def wire_fraction(self) -> float:
+        """Remaining routing wires / dense routing wires."""
+        return self.routing.wire_fraction
+
+    @property
+    def routing_area_fraction(self) -> float:
+        """Remaining routing area fraction (square of the wire fraction)."""
+        return self.routing.area_fraction
+
+
+@dataclass(frozen=True)
+class LayerHardwareReport:
+    """Hardware statistics of one network layer (one or two crossbar matrices)."""
+
+    layer_name: str
+    matrices: List[MatrixHardwareReport]
+
+    @property
+    def crossbar_area_f2(self) -> float:
+        """Total crossbar area of the layer in ``F²``."""
+        return sum(m.crossbar_area_f2 for m in self.matrices)
+
+    @property
+    def num_crossbars(self) -> int:
+        """Total crossbars occupied by the layer."""
+        return sum(m.num_crossbars for m in self.matrices)
+
+    @property
+    def dense_wires(self) -> int:
+        """Routing wires of the undeleted layer."""
+        return sum(m.routing.dense_wires for m in self.matrices)
+
+    @property
+    def remaining_wires(self) -> int:
+        """Routing wires surviving group connection deletion."""
+        return sum(m.routing.remaining_wires for m in self.matrices)
+
+    @property
+    def wire_fraction(self) -> float:
+        """Remaining wires as a fraction of the dense count."""
+        dense = self.dense_wires
+        return self.remaining_wires / dense if dense else 0.0
+
+    @property
+    def routing_area_fraction(self) -> float:
+        """Remaining routing area fraction of the layer."""
+        return self.wire_fraction**2
+
+
+@dataclass
+class NetworkHardwareReport:
+    """Hardware statistics of a whole network mapped onto crossbars."""
+
+    network_name: str
+    layers: List[LayerHardwareReport] = field(default_factory=list)
+
+    # ------------------------------------------------------------- lookups
+    def layer(self, name: str) -> LayerHardwareReport:
+        """Return the report of the layer called ``name``."""
+        for layer in self.layers:
+            if layer.layer_name == name:
+                return layer
+        raise KeyError(f"no layer named {name!r} in report for {self.network_name!r}")
+
+    def matrices(self) -> List[MatrixHardwareReport]:
+        """All matrix reports in network order."""
+        return [m for layer in self.layers for m in layer.matrices]
+
+    def matrix(self, name: str) -> MatrixHardwareReport:
+        """Return the report of the crossbar matrix called ``name``."""
+        for m in self.matrices():
+            if m.name == name:
+                return m
+        raise KeyError(f"no matrix named {name!r} in report for {self.network_name!r}")
+
+    # -------------------------------------------------------------- totals
+    @property
+    def total_crossbar_area_f2(self) -> float:
+        """Total crossbar area of the network in ``F²``."""
+        return sum(layer.crossbar_area_f2 for layer in self.layers)
+
+    @property
+    def total_crossbars(self) -> int:
+        """Total number of crossbars in the design."""
+        return sum(layer.num_crossbars for layer in self.layers)
+
+    @property
+    def total_dense_wires(self) -> int:
+        """Total routing wires before any deletion."""
+        return sum(layer.dense_wires for layer in self.layers)
+
+    @property
+    def total_remaining_wires(self) -> int:
+        """Total routing wires after deletion."""
+        return sum(layer.remaining_wires for layer in self.layers)
+
+    def mean_layer_wire_fraction(self, layer_names: Optional[List[str]] = None) -> float:
+        """Average of per-layer remaining-wire fractions (the paper's metric)."""
+        layers = self.layers if layer_names is None else [self.layer(n) for n in layer_names]
+        layers = [l for l in layers if l.dense_wires > 0]
+        if not layers:
+            return 0.0
+        return sum(l.wire_fraction for l in layers) / len(layers)
+
+    def mean_layer_routing_area_fraction(
+        self, layer_names: Optional[List[str]] = None
+    ) -> float:
+        """Average of per-layer routing-area fractions (the paper's 8.1 % / 52.06 %)."""
+        layers = self.layers if layer_names is None else [self.layer(n) for n in layer_names]
+        layers = [l for l in layers if l.dense_wires > 0]
+        if not layers:
+            return 0.0
+        return sum(l.routing_area_fraction for l in layers) / len(layers)
+
+    def area_fraction_of(self, reference: "NetworkHardwareReport") -> float:
+        """Crossbar area of this design relative to ``reference``."""
+        ref_area = reference.total_crossbar_area_f2
+        if ref_area == 0:
+            raise ValueError("reference report has zero crossbar area")
+        return self.total_crossbar_area_f2 / ref_area
+
+    # ------------------------------------------------------------- display
+    def format_table(self) -> str:
+        """Human-readable per-matrix table (sizes, crossbars, wires, areas)."""
+        header = (
+            f"{'matrix':<16}{'shape':<12}{'tile':<10}{'xbars':>6}"
+            f"{'area(F^2)':>12}{'wires':>8}{'remain':>8}{'wire%':>8}{'area%':>8}"
+        )
+        lines = [f"Hardware report for {self.network_name!r}", header, "-" * len(header)]
+        for matrix in self.matrices():
+            rows, cols = matrix.matrix_shape
+            p, q = matrix.tile_shape
+            lines.append(
+                f"{matrix.name:<16}{f'{rows}x{cols}':<12}{f'{p}x{q}':<10}"
+                f"{matrix.num_crossbars:>6}{matrix.crossbar_area_f2:>12.0f}"
+                f"{matrix.routing.dense_wires:>8}{matrix.routing.remaining_wires:>8}"
+                f"{100 * matrix.wire_fraction:>7.1f}%{100 * matrix.routing_area_fraction:>7.1f}%"
+            )
+        lines.append("-" * len(header))
+        lines.append(
+            f"total crossbar area: {self.total_crossbar_area_f2:.0f} F^2 over "
+            f"{self.total_crossbars} crossbars; wires {self.total_remaining_wires}/"
+            f"{self.total_dense_wires}"
+        )
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, dict]:
+        """JSON-friendly nested dictionary of the per-matrix statistics."""
+        payload: Dict[str, dict] = {}
+        for matrix in self.matrices():
+            payload[matrix.name] = {
+                "layer": matrix.layer_name,
+                "shape": list(matrix.matrix_shape),
+                "tile": list(matrix.tile_shape),
+                "crossbars": matrix.num_crossbars,
+                "crossbar_area_f2": matrix.crossbar_area_f2,
+                "dense_wires": matrix.routing.dense_wires,
+                "remaining_wires": matrix.routing.remaining_wires,
+                "wire_fraction": matrix.wire_fraction,
+                "routing_area_fraction": matrix.routing_area_fraction,
+                "empty_crossbars": matrix.empty_crossbars,
+                "nonzero_fraction": matrix.nonzero_fraction,
+            }
+        return payload

@@ -1,0 +1,128 @@
+"""Routing-wire counting and routing-area estimation (paper Eq. 7–8).
+
+The paper estimates the routing area between crossbars as
+
+``A_r = (W_m + W_d) · Σ_i L_i  ≈  α · N_w²``            (Eq. 7, 8)
+
+where ``N_w`` is the number of routing wires.  Group connection deletion
+reduces ``N_w`` by removing the input wire of every all-zero row group and
+the output wire of every all-zero column group, so the relative routing area
+of a layer is ``(N_w_remaining / N_w_dense)²``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.hardware.technology import PAPER_TECHNOLOGY, TechnologyParameters
+from repro.hardware.tiling import TilingPlan
+from repro.utils.validation import check_non_negative
+
+
+def count_remaining_wires(
+    weights: np.ndarray, plan: TilingPlan, *, zero_threshold: float = 0.0
+) -> int:
+    """Count the routing wires that survive after deleting all-zero groups.
+
+    For every crossbar tile, one input wire is needed per row that contains
+    at least one weight with ``|w| > zero_threshold``, and one output wire per
+    such column.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (plan.matrix_rows, plan.matrix_cols):
+        raise ShapeError(
+            f"weights shape {weights.shape} does not match tiling plan "
+            f"{plan.matrix_rows}x{plan.matrix_cols}"
+        )
+    check_non_negative(zero_threshold, "zero_threshold")
+    remaining = 0
+    for _, _, row_slice, col_slice in plan.iter_tiles():
+        block = np.abs(weights[row_slice, col_slice]) > zero_threshold
+        remaining += int(np.sum(np.any(block, axis=1)))  # live input rows
+        remaining += int(np.sum(np.any(block, axis=0)))  # live output columns
+    return remaining
+
+
+def routing_area(num_wires: int, technology: TechnologyParameters = PAPER_TECHNOLOGY) -> float:
+    """Absolute routing-area estimate ``α · N_w²`` (Eq. 8)."""
+    if num_wires < 0:
+        raise ValueError(f"num_wires must be >= 0, got {num_wires}")
+    return technology.routing_alpha * float(num_wires) ** 2
+
+
+def routing_area_from_lengths(
+    wire_lengths_f: np.ndarray, technology: TechnologyParameters = PAPER_TECHNOLOGY
+) -> float:
+    """Routing area from explicit wire lengths (Eq. 7): ``(W_m + W_d)·Σ L_i``.
+
+    Lengths are expressed in units of ``F``; the result is in ``F²``.
+    """
+    wire_lengths_f = np.asarray(wire_lengths_f, dtype=np.float64)
+    if np.any(wire_lengths_f < 0):
+        raise ValueError("wire lengths must be non-negative")
+    return float(technology.wire_pitch_f * wire_lengths_f.sum())
+
+
+@dataclass(frozen=True)
+class RoutingReport:
+    """Routing statistics of one tiled matrix.
+
+    ``wire_fraction`` is the paper's "% remained routing wires";
+    ``area_fraction`` is its square (Eq. 8).
+    """
+
+    name: str
+    dense_wires: int
+    remaining_wires: int
+
+    def __post_init__(self):
+        if self.dense_wires < 0 or self.remaining_wires < 0:
+            raise ValueError("wire counts must be non-negative")
+        if self.remaining_wires > self.dense_wires:
+            raise ValueError(
+                f"remaining wires ({self.remaining_wires}) cannot exceed dense wires "
+                f"({self.dense_wires})"
+            )
+
+    @property
+    def deleted_wires(self) -> int:
+        """Number of routing wires removed by group connection deletion."""
+        return self.dense_wires - self.remaining_wires
+
+    @property
+    def wire_fraction(self) -> float:
+        """Remaining wires as a fraction of the dense wire count."""
+        if self.dense_wires == 0:
+            return 0.0
+        return self.remaining_wires / self.dense_wires
+
+    @property
+    def deleted_fraction(self) -> float:
+        """Deleted wires as a fraction of the dense wire count (Figure 5's y-axis)."""
+        return 1.0 - self.wire_fraction
+
+    @property
+    def area_fraction(self) -> float:
+        """Remaining routing area relative to the dense design (Eq. 8)."""
+        return self.wire_fraction**2
+
+
+def analyze_routing(
+    weights: np.ndarray,
+    plan: TilingPlan,
+    *,
+    zero_threshold: float = 0.0,
+    name: Optional[str] = None,
+) -> RoutingReport:
+    """Build a :class:`RoutingReport` for a weight matrix under a tiling plan."""
+    dense = plan.dense_wire_count()
+    remaining = count_remaining_wires(weights, plan, zero_threshold=zero_threshold)
+    return RoutingReport(
+        name=name if name is not None else plan.name,
+        dense_wires=dense,
+        remaining_wires=remaining,
+    )

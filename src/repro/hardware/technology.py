@@ -1,0 +1,91 @@
+"""Technology parameters for the memristor-based crossbar (MBC) hardware model.
+
+The defaults reproduce Table 2 of the paper:
+
+* memristor cell area = ``4F²``,
+* maximum crossbar size = ``64 × 64``,
+* wire length between two memristors = ``2F``,
+
+where ``F`` is the minimum feature size.  Areas are reported in units of
+``F²`` by default so results are technology-node independent; an absolute
+feature size (in nanometres) can be supplied to convert to ``nm²``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TechnologyParameters:
+    """Device/technology constants used by the area and routing estimators.
+
+    Attributes
+    ----------
+    cell_area_f2:
+        Area of one memristor cell in units of ``F²`` (paper: 4).
+    max_crossbar_rows, max_crossbar_cols:
+        Largest reliable crossbar dimensions (paper: 64 × 64).
+    cell_pitch_f:
+        Wire length between two adjacent memristors, in ``F`` (paper: 2).
+    metal_width_f, metal_spacing_f:
+        Routing metal width ``W_m`` and spacing ``W_d`` in ``F`` (Eq. 7).
+    routing_alpha:
+        Scalar ``α`` of Eq. (8): routing area ``A_r = α · N_w²``.  Only
+        *relative* routing areas are reported in the paper, so the default of
+        1.0 simply makes ``A_r`` equal to ``N_w²``.
+    feature_size_nm:
+        Minimum feature size ``F`` in nanometres, used when absolute areas
+        are requested.
+    """
+
+    cell_area_f2: float = 4.0
+    max_crossbar_rows: int = 64
+    max_crossbar_cols: int = 64
+    cell_pitch_f: float = 2.0
+    metal_width_f: float = 1.0
+    metal_spacing_f: float = 1.0
+    routing_alpha: float = 1.0
+    feature_size_nm: float = 10.0
+
+    def __post_init__(self):
+        if self.cell_area_f2 <= 0:
+            raise ConfigurationError(f"cell_area_f2 must be > 0, got {self.cell_area_f2}")
+        if self.max_crossbar_rows < 1 or self.max_crossbar_cols < 1:
+            raise ConfigurationError(
+                "max crossbar dimensions must be >= 1, got "
+                f"{self.max_crossbar_rows}x{self.max_crossbar_cols}"
+            )
+        if self.cell_pitch_f <= 0:
+            raise ConfigurationError(f"cell_pitch_f must be > 0, got {self.cell_pitch_f}")
+        if self.metal_width_f <= 0 or self.metal_spacing_f < 0:
+            raise ConfigurationError("metal width must be > 0 and spacing >= 0")
+        if self.routing_alpha <= 0:
+            raise ConfigurationError(f"routing_alpha must be > 0, got {self.routing_alpha}")
+        if self.feature_size_nm <= 0:
+            raise ConfigurationError(f"feature_size_nm must be > 0, got {self.feature_size_nm}")
+
+    # ------------------------------------------------------------ derived
+    @property
+    def cell_area_nm2(self) -> float:
+        """Absolute area of one memristor cell in ``nm²``."""
+        return self.cell_area_f2 * self.feature_size_nm**2
+
+    @property
+    def wire_pitch_f(self) -> float:
+        """Routing pitch ``W_m + W_d`` in units of ``F`` (Eq. 7)."""
+        return self.metal_width_f + self.metal_spacing_f
+
+    def crossbar_cell_limit(self) -> int:
+        """Maximum number of cells a single crossbar in the library may hold."""
+        return self.max_crossbar_rows * self.max_crossbar_cols
+
+    def fits_single_crossbar(self, rows: int, cols: int) -> bool:
+        """True when a ``rows × cols`` matrix fits in one library crossbar."""
+        return rows <= self.max_crossbar_rows and cols <= self.max_crossbar_cols
+
+
+#: Parameters of Table 2, used as the library default everywhere.
+PAPER_TECHNOLOGY = TechnologyParameters()

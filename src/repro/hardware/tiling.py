@@ -1,0 +1,192 @@
+"""Tiling of weight matrices onto arrays of crossbars.
+
+A :class:`TilingPlan` describes how a ``rows × cols`` crossbar matrix is cut
+into a grid of ``tile_rows × tile_cols`` crossbars (Figure 4 of the paper).
+Group connection deletion derives its row/column weight groups from exactly
+this plan, and the routing estimator counts wires per tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import TilingError
+from repro.hardware.crossbar import Crossbar, CrossbarInstance
+from repro.hardware.library import PAPER_LIBRARY, CrossbarLibrary
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class TilingPlan:
+    """Placement of a matrix onto a grid of crossbars.
+
+    Attributes
+    ----------
+    matrix_rows, matrix_cols:
+        Dimensions of the crossbar matrix being implemented (inputs × outputs).
+    tile_rows, tile_cols:
+        Dimensions ``P × Q`` of a full tile.
+    padded:
+        True when the last tile row/column is only partially used (ceiling
+        tiling fallback); always ``False`` for the paper's networks.
+    name:
+        Label used in reports, e.g. ``"fc1_u"``.
+    """
+
+    matrix_rows: int
+    matrix_cols: int
+    tile_rows: int
+    tile_cols: int
+    padded: bool = False
+    name: str = ""
+
+    def __post_init__(self):
+        check_positive_int(self.matrix_rows, "matrix_rows")
+        check_positive_int(self.matrix_cols, "matrix_cols")
+        check_positive_int(self.tile_rows, "tile_rows")
+        check_positive_int(self.tile_cols, "tile_cols")
+        if not self.padded:
+            if self.matrix_rows % self.tile_rows or self.matrix_cols % self.tile_cols:
+                raise TilingError(
+                    f"tile {self.tile_rows}x{self.tile_cols} does not evenly divide matrix "
+                    f"{self.matrix_rows}x{self.matrix_cols} (mark the plan as padded instead)"
+                )
+
+    # ------------------------------------------------------------ geometry
+    @property
+    def grid_rows(self) -> int:
+        """Number of tile rows in the crossbar array (``⌈N/P⌉``)."""
+        return -(-self.matrix_rows // self.tile_rows)
+
+    @property
+    def grid_cols(self) -> int:
+        """Number of tile columns in the crossbar array (``⌈K/Q⌉``)."""
+        return -(-self.matrix_cols // self.tile_cols)
+
+    @property
+    def num_crossbars(self) -> int:
+        """Total number of crossbars in the array."""
+        return self.grid_rows * self.grid_cols
+
+    @property
+    def is_single_crossbar(self) -> bool:
+        """True when the matrix fits in one crossbar."""
+        return self.num_crossbars == 1
+
+    def tile_shape(self) -> Tuple[int, int]:
+        """The ``(P, Q)`` dimensions of a full tile."""
+        return self.tile_rows, self.tile_cols
+
+    def tile_bounds(self, tile_row: int, tile_col: int) -> Tuple[slice, slice]:
+        """Return the (row slice, column slice) of matrix entries in a tile."""
+        if not (0 <= tile_row < self.grid_rows and 0 <= tile_col < self.grid_cols):
+            raise TilingError(
+                f"tile index ({tile_row}, {tile_col}) outside grid "
+                f"{self.grid_rows}x{self.grid_cols}"
+            )
+        row_start = tile_row * self.tile_rows
+        col_start = tile_col * self.tile_cols
+        row_stop = min(row_start + self.tile_rows, self.matrix_rows)
+        col_stop = min(col_start + self.tile_cols, self.matrix_cols)
+        return slice(row_start, row_stop), slice(col_start, col_stop)
+
+    def iter_tiles(self) -> Iterator[Tuple[int, int, slice, slice]]:
+        """Yield ``(tile_row, tile_col, row_slice, col_slice)`` for every tile."""
+        for tile_row in range(self.grid_rows):
+            for tile_col in range(self.grid_cols):
+                row_slice, col_slice = self.tile_bounds(tile_row, tile_col)
+                yield tile_row, tile_col, row_slice, col_slice
+
+    # ---------------------------------------------------------------- wires
+    def dense_wire_count(self) -> int:
+        """Routing wires of the fully-connected (undeleted) crossbar array.
+
+        Each crossbar contributes one routing wire per (occupied) input row
+        and one per (occupied) output column, so the dense total is
+        ``Σ_tiles (tile_height + tile_width)``.
+        """
+        total = 0
+        for _, _, row_slice, col_slice in self.iter_tiles():
+            total += (row_slice.stop - row_slice.start) + (col_slice.stop - col_slice.start)
+        return total
+
+    @property
+    def total_cells(self) -> int:
+        """Number of memristor cells actually holding matrix entries."""
+        return self.matrix_rows * self.matrix_cols
+
+    @property
+    def allocated_cells(self) -> int:
+        """Number of cells across all crossbars (>= ``total_cells`` when padded)."""
+        return self.num_crossbars * self.tile_rows * self.tile_cols
+
+    # ------------------------------------------------------------ instances
+    def instantiate(
+        self, weights: Optional[np.ndarray] = None, technology=None
+    ) -> List[CrossbarInstance]:
+        """Materialise :class:`CrossbarInstance` objects, optionally with weights.
+
+        ``weights`` must have shape ``(matrix_rows, matrix_cols)`` and is cut
+        into per-tile blocks.
+        """
+        from repro.hardware.technology import PAPER_TECHNOLOGY
+
+        technology = technology or PAPER_TECHNOLOGY
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != (self.matrix_rows, self.matrix_cols):
+                raise TilingError(
+                    f"weights shape {weights.shape} does not match matrix "
+                    f"{self.matrix_rows}x{self.matrix_cols}"
+                )
+        instances = []
+        for tile_row, tile_col, row_slice, col_slice in self.iter_tiles():
+            rows = row_slice.stop - row_slice.start
+            cols = col_slice.stop - col_slice.start
+            block = None if weights is None else weights[row_slice, col_slice]
+            instances.append(
+                CrossbarInstance(
+                    crossbar=Crossbar(rows, cols, technology),
+                    grid_position=(tile_row, tile_col),
+                    weights=block,
+                )
+            )
+        return instances
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name or 'matrix'}: {self.matrix_rows}x{self.matrix_cols} -> "
+            f"{self.grid_rows}x{self.grid_cols} tiles of {self.tile_rows}x{self.tile_cols}"
+        )
+
+
+def plan_tiling(
+    matrix_rows: int,
+    matrix_cols: int,
+    *,
+    library: CrossbarLibrary = PAPER_LIBRARY,
+    name: str = "",
+) -> TilingPlan:
+    """Build a :class:`TilingPlan` using the library's MBC selection criteria."""
+    tile_rows, tile_cols, padded = library.select_tile_shape(matrix_rows, matrix_cols)
+    return TilingPlan(
+        matrix_rows=matrix_rows,
+        matrix_cols=matrix_cols,
+        tile_rows=tile_rows,
+        tile_cols=tile_cols,
+        padded=padded,
+        name=name,
+    )
+
+
+def plan_for_matrix(
+    matrix: np.ndarray, *, library: CrossbarLibrary = PAPER_LIBRARY, name: str = ""
+) -> TilingPlan:
+    """Convenience wrapper: tiling plan for an explicit weight matrix."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise TilingError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    return plan_tiling(matrix.shape[0], matrix.shape[1], library=library, name=name)

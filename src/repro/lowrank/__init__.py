@@ -1,0 +1,33 @@
+"""Low-rank approximation backends (PCA / SVD) and reconstruction-error tools."""
+
+from repro.lowrank.errors import (
+    energy_retained,
+    minimal_rank,
+    reconstruction_error,
+    reconstruction_error_curve,
+)
+from repro.lowrank.factorization import Factorization, LowRankApproximator
+from repro.lowrank.pca import (
+    PCAResult,
+    covariance_eigendecomposition,
+    pca_factorize,
+    pca_reconstruction_error,
+)
+from repro.lowrank.svd import SVDResult, svd_factorize, svd_reconstruction_error, svd_spectrum
+
+__all__ = [
+    "PCAResult",
+    "pca_factorize",
+    "pca_reconstruction_error",
+    "covariance_eigendecomposition",
+    "SVDResult",
+    "svd_factorize",
+    "svd_spectrum",
+    "svd_reconstruction_error",
+    "reconstruction_error",
+    "reconstruction_error_curve",
+    "minimal_rank",
+    "energy_retained",
+    "Factorization",
+    "LowRankApproximator",
+]

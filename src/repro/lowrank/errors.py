@@ -1,0 +1,72 @@
+"""Reconstruction-error spectra and minimal-rank search (paper Eq. 3).
+
+The paper's tolerable clipping error
+
+``e_K = Σ_{m>K} λ_m / Σ_m λ_m``
+
+is a function of the (PCA eigenvalue or squared-singular-value) spectrum
+only.  These helpers convert a spectrum into the error curve and find the
+smallest rank whose error stays at or below a tolerance — the inner search of
+Algorithm 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import RankError
+from repro.utils.validation import check_fraction
+
+
+def normalize_spectrum(spectrum: np.ndarray) -> np.ndarray:
+    """Validate and sort an energy spectrum (eigenvalues / squared singular values)."""
+    spectrum = np.asarray(spectrum, dtype=np.float64).ravel()
+    if spectrum.size == 0:
+        raise RankError("spectrum must be non-empty")
+    if np.any(spectrum < -1e-12):
+        raise RankError("spectrum entries must be non-negative")
+    spectrum = np.clip(spectrum, 0.0, None)
+    return np.sort(spectrum)[::-1]
+
+
+def reconstruction_error_curve(spectrum: np.ndarray) -> np.ndarray:
+    """Return ``e_K`` for ``K = 1..len(spectrum)`` as an array of length ``len(spectrum)``.
+
+    ``e_K`` is the fraction of spectral energy discarded when only the top
+    ``K`` components are kept; ``e_len(spectrum) = 0`` by construction.  A
+    zero spectrum yields an all-zero curve (any rank is exact).
+    """
+    spectrum = normalize_spectrum(spectrum)
+    total = spectrum.sum()
+    if total == 0.0:
+        return np.zeros(spectrum.size)
+    tail = np.cumsum(spectrum[::-1])[::-1]  # tail[k] = sum of spectrum[k:]
+    errors = np.empty(spectrum.size)
+    errors[:-1] = tail[1:] / total
+    errors[-1] = 0.0
+    return errors
+
+
+def reconstruction_error(spectrum: np.ndarray, rank: int) -> float:
+    """Return ``e_rank`` for a spectrum (Eq. 3)."""
+    curve = reconstruction_error_curve(spectrum)
+    if rank < 1 or rank > curve.size:
+        raise RankError(f"rank must be in [1, {curve.size}], got {rank}")
+    return float(curve[rank - 1])
+
+
+def minimal_rank(spectrum: np.ndarray, tolerance: float) -> int:
+    """Smallest ``K`` with ``e_K <= tolerance`` (always at least 1)."""
+    check_fraction(tolerance, "tolerance", inclusive=True)
+    curve = reconstruction_error_curve(spectrum)
+    below = np.flatnonzero(curve <= tolerance + 1e-15)
+    if below.size == 0:
+        # Only possible through floating-point corner cases; the full rank is
+        # always exact so fall back to it.
+        return int(curve.size)
+    return int(below[0]) + 1
+
+
+def energy_retained(spectrum: np.ndarray, rank: int) -> float:
+    """Fraction of spectral energy captured by the top-``rank`` components."""
+    return 1.0 - reconstruction_error(spectrum, rank)

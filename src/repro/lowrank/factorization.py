@@ -1,0 +1,122 @@
+"""Unified front-end over the PCA and SVD factorization backends.
+
+Rank clipping only needs three operations, independent of the backend:
+
+* compute the energy spectrum of a matrix,
+* find the minimal rank meeting a reconstruction-error tolerance,
+* factorize at a given rank into ``(U, Vᵀ-basis)``.
+
+:class:`LowRankApproximator` packages those behind a ``method`` switch so
+:class:`repro.core.rank_clipping.RankClipper` and the "Direct LRA" baseline
+can be configured with ``method="pca"`` or ``method="svd"`` uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, RankError
+from repro.lowrank.errors import minimal_rank, reconstruction_error_curve
+from repro.lowrank.pca import covariance_eigendecomposition, pca_factorize
+from repro.lowrank.svd import svd_factorize, svd_spectrum
+from repro.utils.validation import ensure_2d
+
+_METHODS = ("pca", "svd")
+
+
+@dataclass(frozen=True)
+class Factorization:
+    """A rank-``K`` factorization ``W ≈ U·Vᵀ`` with its backend spectrum."""
+
+    u: np.ndarray
+    v: np.ndarray
+    spectrum: np.ndarray
+    method: str
+
+    @property
+    def rank(self) -> int:
+        """Rank ``K`` of the factorization."""
+        return int(self.u.shape[1])
+
+    def reconstruct(self) -> np.ndarray:
+        """Dense approximation ``U·Vᵀ``."""
+        return self.u @ self.v.T
+
+    def relative_error(self, reference: np.ndarray) -> float:
+        """Relative squared Frobenius error against ``reference``."""
+        reference = np.asarray(reference, dtype=np.float64)
+        denom = float(np.linalg.norm(reference) ** 2)
+        if denom == 0.0:
+            return 0.0
+        return float(np.linalg.norm(reference - self.reconstruct()) ** 2 / denom)
+
+
+class LowRankApproximator:
+    """Backend-agnostic low-rank approximation helper.
+
+    Parameters
+    ----------
+    method:
+        ``"pca"`` (default, the paper's main backend) or ``"svd"``.
+    center:
+        Mean-centre rows before PCA (Algorithm 1's literal form).  Only
+        meaningful for ``method="pca"``; rank clipping uses ``center=False``
+        so the factors directly represent the layer weights.
+    """
+
+    def __init__(self, method: str = "pca", *, center: bool = False):
+        method = str(method).lower()
+        if method not in _METHODS:
+            raise ConfigurationError(
+                f"unknown low-rank method {method!r}; expected one of {_METHODS}"
+            )
+        self.method = method
+        self.center = bool(center)
+
+    # ------------------------------------------------------------ spectrum
+    def spectrum(self, matrix: np.ndarray) -> np.ndarray:
+        """Energy spectrum of ``matrix`` (eigenvalues or squared singular values)."""
+        matrix = ensure_2d(matrix, "matrix")
+        if self.method == "pca":
+            eigenvalues, _, _ = covariance_eigendecomposition(matrix, center=self.center)
+            return eigenvalues
+        singular_values = svd_spectrum(matrix)
+        return singular_values**2
+
+    def error_curve(self, matrix: np.ndarray) -> np.ndarray:
+        """Reconstruction-error curve ``e_K`` for ``K = 1..M`` (Eq. 3)."""
+        return reconstruction_error_curve(self.spectrum(matrix))
+
+    def minimal_rank(self, matrix: np.ndarray, tolerance: float) -> int:
+        """Smallest rank whose reconstruction error is at most ``tolerance``."""
+        return minimal_rank(self.spectrum(matrix), tolerance)
+
+    # ---------------------------------------------------------- factorizing
+    def factorize(self, matrix: np.ndarray, rank: Optional[int] = None) -> Factorization:
+        """Factorize ``matrix`` at ``rank`` (or full rank when ``None``)."""
+        matrix = ensure_2d(matrix, "matrix")
+        max_rank = min(matrix.shape)
+        if rank is not None and (rank < 1 or rank > max_rank):
+            raise RankError(f"rank must be in [1, {max_rank}], got {rank}")
+        if self.method == "pca":
+            result = pca_factorize(matrix, rank, center=self.center)
+            return Factorization(
+                u=result.u, v=result.v, spectrum=result.eigenvalues, method="pca"
+            )
+        result = svd_factorize(matrix, rank)
+        return Factorization(
+            u=result.u, v=result.v, spectrum=result.singular_values**2, method="svd"
+        )
+
+    def factorize_to_tolerance(
+        self, matrix: np.ndarray, tolerance: float
+    ) -> Tuple[Factorization, int]:
+        """Factorize ``matrix`` at the minimal rank meeting ``tolerance``."""
+        rank = self.minimal_rank(matrix, tolerance)
+        return self.factorize(matrix, rank), rank
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LowRankApproximator(method={self.method!r}, center={self.center})"

@@ -1,0 +1,136 @@
+"""Principal-components-analysis factorization (paper Algorithm 1).
+
+PCA here factorizes a weight matrix ``W ∈ R^{N×M}`` into ``U·Vᵀ`` where the
+columns of ``V ∈ R^{M×K}`` are the top-``K`` eigenvectors of the covariance
+matrix of the rows of ``W`` and ``U = W·V`` is the projection of the rows
+onto that basis.
+
+Two variants are provided:
+
+* ``center=True`` follows Algorithm 1 literally (rows are mean-centred before
+  the covariance is formed).  The returned factorization then approximates
+  the *centred* matrix; the row mean ``µ`` is returned so callers that need an
+  exact reconstruction can add ``1·µᵀ`` back.
+* ``center=False`` (the default used by rank clipping) skips the centring, in
+  which case PCA coincides with the truncated SVD of ``W`` and ``U·Vᵀ``
+  approximates ``W`` directly — which is what a factorized layer computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import RankError
+from repro.utils.validation import ensure_2d
+
+
+@dataclass(frozen=True)
+class PCAResult:
+    """Result of a PCA factorization.
+
+    Attributes
+    ----------
+    u:
+        Projected matrix ``U ∈ R^{N×K}``.
+    v:
+        Basis matrix ``V ∈ R^{M×K}`` (orthonormal columns).
+    eigenvalues:
+        All ``M`` covariance eigenvalues in descending order (not just the
+        kept ``K``), used for reconstruction-error bookkeeping.
+    mean:
+        Row mean ``µ`` subtracted before projection (zeros when ``center=False``).
+    center:
+        Whether the factorization was computed on centred rows.
+    """
+
+    u: np.ndarray
+    v: np.ndarray
+    eigenvalues: np.ndarray
+    mean: np.ndarray
+    center: bool
+
+    @property
+    def rank(self) -> int:
+        """Number of principal components kept."""
+        return int(self.u.shape[1])
+
+    def reconstruct(self) -> np.ndarray:
+        """Return the approximation ``U·Vᵀ`` (+ mean when centred)."""
+        approx = self.u @ self.v.T
+        if self.center:
+            approx = approx + self.mean
+        return approx
+
+
+def covariance_eigendecomposition(
+    matrix: np.ndarray, *, center: bool = True
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Eigen-decompose the row covariance of ``matrix``.
+
+    Returns ``(eigenvalues, eigenvectors, mean)`` with eigenvalues sorted in
+    descending order, eigenvectors as columns aligned with the eigenvalues and
+    clamped to be non-negative (tiny negative values from round-off are set
+    to zero).
+    """
+    matrix = ensure_2d(matrix, "matrix")
+    n = matrix.shape[0]
+    if center:
+        mean = matrix.mean(axis=0, keepdims=True)
+        centred = matrix - mean
+    else:
+        mean = np.zeros((1, matrix.shape[1]))
+        centred = matrix
+    denominator = max(n - 1, 1)
+    covariance = centred.T @ centred / denominator
+    eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+    order = np.argsort(eigenvalues)[::-1]
+    eigenvalues = np.clip(eigenvalues[order], 0.0, None)
+    eigenvectors = eigenvectors[:, order]
+    return eigenvalues, eigenvectors, mean
+
+
+def pca_factorize(
+    matrix: np.ndarray, rank: Optional[int] = None, *, center: bool = False
+) -> PCAResult:
+    """Factorize ``matrix ≈ U·Vᵀ`` keeping the top-``rank`` principal components.
+
+    Parameters
+    ----------
+    matrix:
+        The ``N×M`` weight matrix.
+    rank:
+        Number of components to keep; ``None`` keeps ``min(N, M)`` (lossless
+        for ``center=False``).
+    center:
+        Follow Algorithm 1's mean-centring when ``True``.
+    """
+    matrix = ensure_2d(matrix, "matrix")
+    n, m = matrix.shape
+    max_rank = min(n, m)
+    if rank is None:
+        rank = max_rank
+    if rank < 1 or rank > m:
+        raise RankError(f"rank must be in [1, {m}], got {rank}")
+    eigenvalues, eigenvectors, mean = covariance_eigendecomposition(matrix, center=center)
+    v = eigenvectors[:, :rank]
+    centred = matrix - mean if center else matrix
+    u = centred @ v
+    return PCAResult(u=u, v=v, eigenvalues=eigenvalues, mean=mean, center=center)
+
+
+def pca_reconstruction_error(matrix: np.ndarray, rank: int, *, center: bool = False) -> float:
+    """Relative squared reconstruction error of the rank-``rank`` PCA (Eq. 3)."""
+    result = pca_factorize(matrix, rank, center=center)
+    reference = np.asarray(matrix, dtype=np.float64)
+    if center:
+        reference = reference - result.mean
+        approx = result.u @ result.v.T
+    else:
+        approx = result.reconstruct()
+    denom = float(np.linalg.norm(reference) ** 2)
+    if denom == 0.0:
+        return 0.0
+    return float(np.linalg.norm(reference - approx) ** 2 / denom)

@@ -1,0 +1,28 @@
+"""Reference network topologies evaluated in the paper (plus a test MLP)."""
+
+from repro.models.convnet import (
+    PAPER_CONVNET_RANKS,
+    PAPER_CONVNET_SHAPES,
+    ConvNetConfig,
+    build_convnet,
+)
+from repro.models.lenet import (
+    PAPER_LENET_RANKS,
+    PAPER_LENET_SHAPES,
+    LeNetConfig,
+    build_lenet,
+)
+from repro.models.mlp import build_mlp, mlp_layer_shapes
+
+__all__ = [
+    "LeNetConfig",
+    "build_lenet",
+    "PAPER_LENET_SHAPES",
+    "PAPER_LENET_RANKS",
+    "ConvNetConfig",
+    "build_convnet",
+    "PAPER_CONVNET_SHAPES",
+    "PAPER_CONVNET_RANKS",
+    "build_mlp",
+    "mlp_layer_shapes",
+]

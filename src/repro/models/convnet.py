@@ -1,0 +1,164 @@
+"""ConvNet model family (paper Table 1, CIFAR-10 experiments).
+
+The paper's ConvNet follows the cuda-convnet "quick" CIFAR-10 model cited as
+[1]: three 5×5 convolutions (32, 32, 64 filters) with padding 2, each
+followed by 2×2 pooling, and a 10-way classifier.  On 32×32×3 inputs the
+weight-matrix shapes are::
+
+    conv1: 32 × 75     conv2: 32 × 800
+    conv3: 64 × 800    fc1:   10 × 1024
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers import AvgPool2D, Conv2D, Flatten, Linear, MaxPool2D, ReLU
+from repro.nn.network import Sequential
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class ConvNetConfig:
+    """Topology parameters of the ConvNet family."""
+
+    input_channels: int = 3
+    image_size: int = 32
+    conv1_filters: int = 32
+    conv2_filters: int = 32
+    conv3_filters: int = 64
+    num_classes: int = 10
+    kernel_size: int = 5
+    padding: int = 2
+    pool_size: int = 2
+
+    def __post_init__(self):
+        for field_name in (
+            "input_channels",
+            "image_size",
+            "conv1_filters",
+            "conv2_filters",
+            "conv3_filters",
+            "num_classes",
+            "kernel_size",
+            "pool_size",
+        ):
+            check_positive_int(getattr(self, field_name), field_name)
+        if self.padding < 0:
+            raise ConfigurationError(f"padding must be >= 0, got {self.padding}")
+        if self.feature_map_size() < 1:
+            raise ConfigurationError(
+                f"image_size {self.image_size} is too small for three conv/pool stages"
+            )
+
+    # ------------------------------------------------------------ geometry
+    def _stage_size(self, size: int) -> int:
+        conv_out = size + 2 * self.padding - self.kernel_size + 1
+        return conv_out // self.pool_size
+
+    def feature_map_size(self) -> int:
+        """Spatial size of the feature map entering the classifier."""
+        size = self.image_size
+        for _ in range(3):
+            size = self._stage_size(size)
+        return size
+
+    def flattened_features(self) -> int:
+        """Fan-in of the classifier (``conv3_filters · feature_map²``)."""
+        return self.conv3_filters * self.feature_map_size() ** 2
+
+    def layer_shapes(self) -> Dict[str, Tuple[int, int]]:
+        """Weight-matrix shape ``(N, M)`` of every weighted layer."""
+        k2 = self.kernel_size**2
+        return {
+            "conv1": (self.conv1_filters, self.input_channels * k2),
+            "conv2": (self.conv2_filters, self.conv1_filters * k2),
+            "conv3": (self.conv3_filters, self.conv2_filters * k2),
+            "fc1": (self.num_classes, self.flattened_features()),
+        }
+
+    def clippable_layers(self) -> Tuple[str, ...]:
+        """Layers subject to rank clipping (all but the final classifier)."""
+        return ("conv1", "conv2", "conv3")
+
+    # ------------------------------------------------------------ variants
+    @classmethod
+    def paper(cls) -> "ConvNetConfig":
+        """The exact topology evaluated in the paper."""
+        return cls()
+
+    @classmethod
+    def small(cls, *, image_size: int = 16, scale: float = 0.25) -> "ConvNetConfig":
+        """A scaled-down ConvNet for fast tests and laptop-scale benchmarks."""
+        if scale <= 0 or scale > 1:
+            raise ConfigurationError(f"scale must be in (0, 1], got {scale}")
+        return cls(
+            image_size=image_size,
+            conv1_filters=max(2, int(round(32 * scale))),
+            conv2_filters=max(2, int(round(32 * scale))),
+            conv3_filters=max(2, int(round(64 * scale))),
+            kernel_size=3,
+            padding=1,
+        )
+
+
+def build_convnet(
+    config: ConvNetConfig = ConvNetConfig(), *, rng: RngLike = None, name: str = "convnet"
+) -> Sequential:
+    """Construct the dense ConvNet network for ``config``.
+
+    The original cuda-convnet recipe mixes max and average pooling; the first
+    stage uses max pooling and the remaining stages average pooling, matching
+    that recipe.
+    """
+    rng = as_rng(rng)
+    network = Sequential(name=name)
+    network.add(
+        Conv2D(
+            config.input_channels,
+            config.conv1_filters,
+            config.kernel_size,
+            padding=config.padding,
+            name="conv1",
+            rng=rng,
+        )
+    )
+    network.add(MaxPool2D(config.pool_size, name="pool1"))
+    network.add(ReLU(name="relu1"))
+    network.add(
+        Conv2D(
+            config.conv1_filters,
+            config.conv2_filters,
+            config.kernel_size,
+            padding=config.padding,
+            name="conv2",
+            rng=rng,
+        )
+    )
+    network.add(ReLU(name="relu2"))
+    network.add(AvgPool2D(config.pool_size, name="pool2"))
+    network.add(
+        Conv2D(
+            config.conv2_filters,
+            config.conv3_filters,
+            config.kernel_size,
+            padding=config.padding,
+            name="conv3",
+            rng=rng,
+        )
+    )
+    network.add(ReLU(name="relu3"))
+    network.add(AvgPool2D(config.pool_size, name="pool3"))
+    network.add(Flatten(name="flatten"))
+    network.add(Linear(config.flattened_features(), config.num_classes, name="fc1", rng=rng))
+    return network
+
+
+#: Weight-matrix shapes of the paper's ConvNet, used by the closed-form benches.
+PAPER_CONVNET_SHAPES: Dict[str, Tuple[int, int]] = ConvNetConfig.paper().layer_shapes()
+
+#: Final ranks reported in Table 1 for ConvNet under rank clipping.
+PAPER_CONVNET_RANKS: Dict[str, int] = {"conv1": 12, "conv2": 19, "conv3": 22}

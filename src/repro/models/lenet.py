@@ -1,0 +1,150 @@
+"""LeNet model family (paper Table 1, MNIST experiments).
+
+The paper's LeNet is the Caffe LeNet variant: two 5×5 convolutions (20 and
+50 filters) each followed by 2×2 max pooling, a 500-unit fully-connected
+layer with ReLU and a 10-way classifier.  On 28×28 inputs the weight-matrix
+shapes are::
+
+    conv1: 20 × 25      conv2: 50 × 500
+    fc1:   500 × 800    fc2:   10 × 500
+
+:func:`build_lenet` constructs the dense network; scaled-down configurations
+(for fast tests and laptop benchmarks) are available through
+:meth:`LeNetConfig.small`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers import Conv2D, Flatten, Linear, MaxPool2D, ReLU
+from repro.nn.network import Sequential
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class LeNetConfig:
+    """Topology parameters of the LeNet family."""
+
+    input_channels: int = 1
+    image_size: int = 28
+    conv1_filters: int = 20
+    conv2_filters: int = 50
+    fc1_units: int = 500
+    num_classes: int = 10
+    kernel_size: int = 5
+    pool_size: int = 2
+
+    def __post_init__(self):
+        for field_name in (
+            "input_channels",
+            "image_size",
+            "conv1_filters",
+            "conv2_filters",
+            "fc1_units",
+            "num_classes",
+            "kernel_size",
+            "pool_size",
+        ):
+            check_positive_int(getattr(self, field_name), field_name)
+        if self.feature_map_size() < 1:
+            raise ConfigurationError(
+                f"image_size {self.image_size} is too small for kernel {self.kernel_size} "
+                f"and pool {self.pool_size}"
+            )
+
+    # ------------------------------------------------------------ geometry
+    def feature_map_size(self) -> int:
+        """Spatial size of the feature map entering the first dense layer."""
+        size = self.image_size
+        size = (size - self.kernel_size + 1) // self.pool_size  # conv1 + pool1
+        size = (size - self.kernel_size + 1) // self.pool_size  # conv2 + pool2
+        return size
+
+    def flattened_features(self) -> int:
+        """Fan-in of fc1 (``conv2_filters · feature_map²``)."""
+        return self.conv2_filters * self.feature_map_size() ** 2
+
+    def layer_shapes(self) -> Dict[str, Tuple[int, int]]:
+        """Weight-matrix shape ``(N, M)`` of every weighted layer."""
+        fan1 = self.input_channels * self.kernel_size**2
+        fan2 = self.conv1_filters * self.kernel_size**2
+        return {
+            "conv1": (self.conv1_filters, fan1),
+            "conv2": (self.conv2_filters, fan2),
+            "fc1": (self.fc1_units, self.flattened_features()),
+            "fc2": (self.num_classes, self.fc1_units),
+        }
+
+    def clippable_layers(self) -> Tuple[str, ...]:
+        """Layers subject to rank clipping (all but the final classifier)."""
+        return ("conv1", "conv2", "fc1")
+
+    # ------------------------------------------------------------ variants
+    @classmethod
+    def paper(cls) -> "LeNetConfig":
+        """The exact topology evaluated in the paper."""
+        return cls()
+
+    @classmethod
+    def small(cls, *, image_size: int = 16, scale: float = 0.25) -> "LeNetConfig":
+        """A scaled-down LeNet for fast tests and laptop-scale benchmarks.
+
+        Images smaller than 20 pixels use 3×3 kernels so two conv/pool stages
+        still leave a non-empty feature map.
+        """
+        if scale <= 0 or scale > 1:
+            raise ConfigurationError(f"scale must be in (0, 1], got {scale}")
+        return cls(
+            image_size=image_size,
+            conv1_filters=max(2, int(round(20 * scale))),
+            conv2_filters=max(2, int(round(50 * scale))),
+            fc1_units=max(8, int(round(500 * scale))),
+            kernel_size=5 if image_size >= 20 else 3,
+        )
+
+
+def build_lenet(
+    config: LeNetConfig = LeNetConfig(), *, rng: RngLike = None, name: str = "lenet"
+) -> Sequential:
+    """Construct the dense LeNet network for ``config``."""
+    rng = as_rng(rng)
+    network = Sequential(name=name)
+    network.add(
+        Conv2D(
+            config.input_channels,
+            config.conv1_filters,
+            config.kernel_size,
+            name="conv1",
+            rng=rng,
+        )
+    )
+    network.add(MaxPool2D(config.pool_size, name="pool1"))
+    network.add(
+        Conv2D(
+            config.conv1_filters,
+            config.conv2_filters,
+            config.kernel_size,
+            name="conv2",
+            rng=rng,
+        )
+    )
+    network.add(MaxPool2D(config.pool_size, name="pool2"))
+    network.add(Flatten(name="flatten"))
+    network.add(
+        Linear(config.flattened_features(), config.fc1_units, name="fc1", rng=rng)
+    )
+    network.add(ReLU(name="relu1"))
+    network.add(Linear(config.fc1_units, config.num_classes, name="fc2", rng=rng))
+    return network
+
+
+#: Weight-matrix shapes of the paper's LeNet, used by the closed-form benches.
+PAPER_LENET_SHAPES: Dict[str, Tuple[int, int]] = LeNetConfig.paper().layer_shapes()
+
+#: Final ranks reported in Table 1 for LeNet under rank clipping (ε such that
+#: accuracy is preserved).  ``fc2`` is never clipped.
+PAPER_LENET_RANKS: Dict[str, int] = {"conv1": 5, "conv2": 12, "fc1": 36}

@@ -1,0 +1,152 @@
+"""Array-level building blocks used by the layers in :mod:`repro.nn.layers`.
+
+Everything here is a pure function of numpy arrays: image-to-column
+transformations for convolutions, numerically stable softmax, one-hot
+encoding, and padding helpers.  Layers keep the stateful bookkeeping
+(parameters, caches) and delegate the math to this module so the math can be
+tested in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Return the spatial output size of a convolution / pooling window."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"invalid convolution geometry: size={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding} gives non-positive output {out}"
+        )
+    return out
+
+
+def pad_images(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad an NCHW batch symmetrically along the spatial axes."""
+    if padding == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant")
+
+
+def im2col(
+    x: np.ndarray, kernel_h: int, kernel_w: int, stride: int = 1, padding: int = 0
+) -> Tuple[np.ndarray, int, int]:
+    """Unfold an NCHW batch into a patch matrix for matrix-multiply convolution.
+
+    Parameters
+    ----------
+    x:
+        Input images of shape ``(N, C, H, W)``.
+    kernel_h, kernel_w:
+        Spatial extent of the convolution kernel.
+    stride, padding:
+        Convolution stride and symmetric zero padding.
+
+    Returns
+    -------
+    cols:
+        Array of shape ``(N * out_h * out_w, C * kernel_h * kernel_w)`` where
+        each row is one receptive field, flattened channel-major.
+    out_h, out_w:
+        Spatial output dimensions.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"im2col expects a 4-D NCHW array, got shape {x.shape}")
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+    x_padded = pad_images(x, padding)
+
+    # Gather all kernel offsets with strided slicing; this keeps the inner
+    # loops over the (small) kernel extent rather than the (large) image.
+    cols = np.empty((n, c, kernel_h, kernel_w, out_h, out_w), dtype=x.dtype)
+    for i in range(kernel_h):
+        i_max = i + stride * out_h
+        for j in range(kernel_w):
+            j_max = j + stride * out_w
+            cols[:, :, i, j, :, :] = x_padded[:, :, i:i_max:stride, j:j_max:stride]
+    cols = cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+    return cols, out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Fold a patch matrix back into an NCHW batch (adjoint of :func:`im2col`).
+
+    Overlapping patch contributions are summed, which is exactly the gradient
+    of :func:`im2col` with respect to its input.
+    """
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+    expected_rows = n * out_h * out_w
+    expected_cols = c * kernel_h * kernel_w
+    if cols.shape != (expected_rows, expected_cols):
+        raise ShapeError(
+            f"col2im expected cols of shape {(expected_rows, expected_cols)}, got {cols.shape}"
+        )
+    cols6 = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(0, 3, 4, 5, 1, 2)
+    x_padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for i in range(kernel_h):
+        i_max = i + stride * out_h
+        for j in range(kernel_w):
+            j_max = j + stride * out_w
+            x_padded[:, :, i:i_max:stride, j:j_max:stride] += cols6[:, :, i, j, :, :]
+    if padding == 0:
+        return x_padded
+    return x_padded[:, :, padding:-padding, padding:-padding]
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Encode integer class labels as a ``(len(labels), num_classes)`` one-hot matrix."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ShapeError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels must be in [0, {num_classes - 1}], got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Element-wise rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable element-wise logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out

@@ -1,0 +1,153 @@
+"""Weight initialization schemes.
+
+Initializers are simple callables ``(shape, fan_in, fan_out, rng) -> ndarray``
+wrapped in small classes so they can be named in configuration, compared in
+tests and re-used across :class:`~repro.nn.layers.linear.Linear` and
+:class:`~repro.nn.layers.conv.Conv2D`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_rng
+
+
+class Initializer:
+    """Base class: subclasses implement :meth:`sample`."""
+
+    def __call__(
+        self, shape: Tuple[int, ...], fan_in: int, fan_out: int, rng: RngLike = None
+    ) -> np.ndarray:
+        rng = as_rng(rng)
+        if fan_in < 1 or fan_out < 1:
+            raise ValueError(f"fan_in/fan_out must be >= 1, got {fan_in}/{fan_out}")
+        return self.sample(shape, fan_in, fan_out, rng)
+
+    def sample(
+        self, shape: Tuple[int, ...], fan_in: int, fan_out: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class Zeros(Initializer):
+    """All-zero initialization (used for biases)."""
+
+    def sample(self, shape, fan_in, fan_out, rng):
+        return np.zeros(shape, dtype=np.float64)
+
+
+class Constant(Initializer):
+    """Constant-value initialization."""
+
+    def __init__(self, value: float = 0.0):
+        self.value = float(value)
+
+    def sample(self, shape, fan_in, fan_out, rng):
+        return np.full(shape, self.value, dtype=np.float64)
+
+
+class NormalInit(Initializer):
+    """Gaussian initialization with fixed standard deviation."""
+
+    def __init__(self, std: float = 0.01, mean: float = 0.0):
+        if std <= 0:
+            raise ValueError(f"std must be > 0, got {std}")
+        self.std = float(std)
+        self.mean = float(mean)
+
+    def sample(self, shape, fan_in, fan_out, rng):
+        return rng.normal(self.mean, self.std, size=shape)
+
+
+class UniformInit(Initializer):
+    """Uniform initialization on ``[-limit, limit]``."""
+
+    def __init__(self, limit: float = 0.05):
+        if limit <= 0:
+            raise ValueError(f"limit must be > 0, got {limit}")
+        self.limit = float(limit)
+
+    def sample(self, shape, fan_in, fan_out, rng):
+        return rng.uniform(-self.limit, self.limit, size=shape)
+
+
+class XavierUniform(Initializer):
+    """Glorot/Xavier uniform initialization: ``U(-sqrt(6/(fan_in+fan_out)), +)``."""
+
+    def sample(self, shape, fan_in, fan_out, rng):
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        return rng.uniform(-limit, limit, size=shape)
+
+
+class XavierNormal(Initializer):
+    """Glorot/Xavier normal initialization: ``N(0, 2/(fan_in+fan_out))``."""
+
+    def sample(self, shape, fan_in, fan_out, rng):
+        std = np.sqrt(2.0 / (fan_in + fan_out))
+        return rng.normal(0.0, std, size=shape)
+
+
+class HeNormal(Initializer):
+    """He/Kaiming normal initialization: ``N(0, 2/fan_in)`` for ReLU networks."""
+
+    def sample(self, shape, fan_in, fan_out, rng):
+        std = np.sqrt(2.0 / fan_in)
+        return rng.normal(0.0, std, size=shape)
+
+
+class HeUniform(Initializer):
+    """He/Kaiming uniform initialization: ``U(-sqrt(6/fan_in), +sqrt(6/fan_in))``."""
+
+    def sample(self, shape, fan_in, fan_out, rng):
+        limit = np.sqrt(6.0 / fan_in)
+        return rng.uniform(-limit, limit, size=shape)
+
+
+class LecunNormal(Initializer):
+    """LeCun normal initialization: ``N(0, 1/fan_in)``."""
+
+    def sample(self, shape, fan_in, fan_out, rng):
+        std = np.sqrt(1.0 / fan_in)
+        return rng.normal(0.0, std, size=shape)
+
+
+_REGISTRY = {
+    "zeros": Zeros,
+    "constant": Constant,
+    "normal": NormalInit,
+    "uniform": UniformInit,
+    "xavier_uniform": XavierUniform,
+    "xavier_normal": XavierNormal,
+    "glorot_uniform": XavierUniform,
+    "glorot_normal": XavierNormal,
+    "he_normal": HeNormal,
+    "he_uniform": HeUniform,
+    "kaiming_normal": HeNormal,
+    "kaiming_uniform": HeUniform,
+    "lecun_normal": LecunNormal,
+}
+
+
+def get_initializer(name_or_init) -> Initializer:
+    """Resolve an initializer from an instance or a registry name."""
+    if isinstance(name_or_init, Initializer):
+        return name_or_init
+    if isinstance(name_or_init, str):
+        key = name_or_init.lower()
+        if key not in _REGISTRY:
+            raise ValueError(
+                f"unknown initializer {name_or_init!r}; expected one of {sorted(_REGISTRY)}"
+            )
+        return _REGISTRY[key]()
+    raise TypeError(f"expected an Initializer or str, got {type(name_or_init).__name__}")
+
+
+def available_initializers() -> list[str]:
+    """Return the sorted list of registry names accepted by :func:`get_initializer`."""
+    return sorted(_REGISTRY)

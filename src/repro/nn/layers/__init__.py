@@ -1,0 +1,26 @@
+"""Layer zoo for the numpy neural-network substrate."""
+
+from repro.nn.layers.activations import LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.layers.base import Layer
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.lowrank_conv import LowRankConv2D
+from repro.nn.layers.lowrank_linear import LowRankLinear
+from repro.nn.layers.pooling import AvgPool2D, MaxPool2D
+from repro.nn.layers.reshape import Dropout, Flatten
+
+__all__ = [
+    "Layer",
+    "Linear",
+    "LowRankLinear",
+    "Conv2D",
+    "LowRankConv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Flatten",
+    "Dropout",
+]

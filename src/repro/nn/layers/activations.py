@@ -1,0 +1,91 @@
+"""Element-wise activation layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn import functional as F
+from repro.nn.layers.base import Layer
+
+
+class ReLU(Layer):
+    """Rectified linear unit ``max(x, 0)``."""
+
+    def __init__(self, name: str = ""):
+        super().__init__(name=name or "relu")
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ShapeError(f"{self.name}: backward called before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        if grad_output.shape != self._mask.shape:
+            raise ShapeError(
+                f"{self.name}: expected grad_output of shape {self._mask.shape}, "
+                f"got {grad_output.shape}"
+            )
+        return grad_output * self._mask
+
+
+class LeakyReLU(Layer):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01, name: str = ""):
+        super().__init__(name=name or "leaky_relu")
+        if negative_slope < 0:
+            raise ValueError(f"negative_slope must be >= 0, got {negative_slope}")
+        self.negative_slope = float(negative_slope)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._mask = x > 0
+        return np.where(self._mask, x, self.negative_slope * x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ShapeError(f"{self.name}: backward called before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        return np.where(self._mask, grad_output, self.negative_slope * grad_output)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid activation."""
+
+    def __init__(self, name: str = ""):
+        super().__init__(name=name or "sigmoid")
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = F.sigmoid(np.asarray(x, dtype=np.float64))
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise ShapeError(f"{self.name}: backward called before forward")
+        return np.asarray(grad_output, dtype=np.float64) * self._output * (1.0 - self._output)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self, name: str = ""):
+        super().__init__(name=name or "tanh")
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = np.tanh(np.asarray(x, dtype=np.float64))
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise ShapeError(f"{self.name}: backward called before forward")
+        return np.asarray(grad_output, dtype=np.float64) * (1.0 - self._output**2)

@@ -1,0 +1,88 @@
+"""Layer protocol.
+
+Every layer implements an explicit ``forward`` / ``backward`` pair instead of
+relying on an autograd engine.  ``forward`` caches whatever it needs for the
+backward pass on the instance; ``backward`` consumes the cache, accumulates
+parameter gradients into the layer's :class:`~repro.nn.parameter.Parameter`
+objects and returns the gradient with respect to the layer input.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from repro.exceptions import LayerError
+from repro.nn.parameter import Parameter
+
+
+class Layer:
+    """Base class for all layers."""
+
+    def __init__(self, name: str = ""):
+        self.name = name or type(self).__name__.lower()
+        self._parameters: Dict[str, Parameter] = {}
+        self.training = False
+
+    # -------------------------------------------------------------- compute
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the layer output for ``x`` and cache the backward context."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad_output`` and return the gradient w.r.t. the input."""
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # ------------------------------------------------------------ parameters
+    def add_parameter(self, key: str, param: Parameter) -> Parameter:
+        """Register a parameter under ``key`` (scoped by the layer name)."""
+        if key in self._parameters:
+            raise LayerError(f"layer {self.name!r} already has a parameter named {key!r}")
+        param.name = f"{self.name}.{key}"
+        self._parameters[key] = param
+        return param
+
+    def parameters(self) -> Dict[str, Parameter]:
+        """Return this layer's parameters keyed by their local name."""
+        return dict(self._parameters)
+
+    def named_parameters(self) -> Iterator[Tuple[str, Parameter]]:
+        """Iterate over ``(qualified_name, parameter)`` pairs."""
+        for key, param in self._parameters.items():
+            yield f"{self.name}.{key}", param
+
+    def zero_grad(self) -> None:
+        """Zero the gradient buffers of every parameter in this layer."""
+        for param in self._parameters.values():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable entries in the layer."""
+        return sum(p.size for p in self._parameters.values())
+
+    # ---------------------------------------------------------------- modes
+    def train(self) -> "Layer":
+        """Switch the layer to training mode (affects e.g. dropout)."""
+        self.training = True
+        return self
+
+    def eval(self) -> "Layer":
+        """Switch the layer to inference mode."""
+        self.training = False
+        return self
+
+    # --------------------------------------------------------------- export
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Return the per-sample output shape for a per-sample ``input_shape``.
+
+        Layers that do not change the shape return it unchanged; layers with
+        richer geometry override this.
+        """
+        return input_shape
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,131 @@
+"""Spatial pooling layers (max and average)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn.functional import conv_output_size, pad_images
+from repro.nn.layers.base import Layer
+from repro.utils.validation import check_positive_int
+
+
+class _Pool2D(Layer):
+    """Shared geometry/bookkeeping for 2-D pooling layers."""
+
+    def __init__(
+        self,
+        pool_size: int = 2,
+        stride: Optional[int] = None,
+        *,
+        padding: int = 0,
+        name: str = "",
+    ):
+        super().__init__(name=name or type(self).__name__.lower())
+        self.pool_size = check_positive_int(pool_size, "pool_size")
+        self.stride = check_positive_int(stride if stride is not None else pool_size, "stride")
+        if padding < 0:
+            raise ValueError(f"padding must be >= 0, got {padding}")
+        self.padding = int(padding)
+        self._input_shape: Optional[Tuple[int, int, int, int]] = None
+        self._windows: Optional[np.ndarray] = None
+
+    def _extract_windows(self, x: np.ndarray) -> Tuple[np.ndarray, int, int]:
+        """Return all pooling windows of shape ``(N, C, out_h, out_w, k*k)``."""
+        n, c, h, w = x.shape
+        out_h = conv_output_size(h, self.pool_size, self.stride, self.padding)
+        out_w = conv_output_size(w, self.pool_size, self.stride, self.padding)
+        x_padded = pad_images(x, self.padding)
+        windows = np.empty((n, c, out_h, out_w, self.pool_size * self.pool_size), dtype=x.dtype)
+        idx = 0
+        for i in range(self.pool_size):
+            i_max = i + self.stride * out_h
+            for j in range(self.pool_size):
+                j_max = j + self.stride * out_w
+                windows[..., idx] = x_padded[:, :, i:i_max:self.stride, j:j_max:self.stride]
+                idx += 1
+        return windows, out_h, out_w
+
+    def _scatter_windows(self, grad_windows: np.ndarray) -> np.ndarray:
+        """Scatter per-window gradients back to the (padded) input and crop."""
+        n, c, h, w = self._input_shape
+        out_h, out_w = grad_windows.shape[2], grad_windows.shape[3]
+        grad_padded = np.zeros((n, c, h + 2 * self.padding, w + 2 * self.padding))
+        idx = 0
+        for i in range(self.pool_size):
+            i_max = i + self.stride * out_h
+            for j in range(self.pool_size):
+                j_max = j + self.stride * out_w
+                grad_padded[:, :, i:i_max:self.stride, j:j_max:self.stride] += grad_windows[..., idx]
+                idx += 1
+        if self.padding == 0:
+            return grad_padded
+        return grad_padded[:, :, self.padding:-self.padding, self.padding:-self.padding]
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        if len(input_shape) != 3:
+            raise ShapeError(
+                f"{self.name}: expected per-sample input shape (C, H, W), got {input_shape}"
+            )
+        c, h, w = input_shape
+        out_h = conv_output_size(h, self.pool_size, self.stride, self.padding)
+        out_w = conv_output_size(w, self.pool_size, self.stride, self.padding)
+        return (c, out_h, out_w)
+
+
+class MaxPool2D(_Pool2D):
+    """Max pooling over non-overlapping or strided windows."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4:
+            raise ShapeError(f"{self.name}: expected NCHW input, got shape {x.shape}")
+        self._input_shape = x.shape
+        windows, out_h, out_w = self._extract_windows(x)
+        self._windows = windows
+        return windows.max(axis=-1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._windows is None or self._input_shape is None:
+            raise ShapeError(f"{self.name}: backward called before forward")
+        windows = self._windows
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        if grad_output.shape != windows.shape[:4]:
+            raise ShapeError(
+                f"{self.name}: expected grad_output of shape {windows.shape[:4]}, "
+                f"got {grad_output.shape}"
+            )
+        # Route each output gradient to the arg-max entry of its window.
+        max_idx = windows.argmax(axis=-1)
+        grad_windows = np.zeros_like(windows)
+        np.put_along_axis(grad_windows, max_idx[..., None], grad_output[..., None], axis=-1)
+        return self._scatter_windows(grad_windows)
+
+
+class AvgPool2D(_Pool2D):
+    """Average pooling over non-overlapping or strided windows."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4:
+            raise ShapeError(f"{self.name}: expected NCHW input, got shape {x.shape}")
+        self._input_shape = x.shape
+        windows, out_h, out_w = self._extract_windows(x)
+        self._windows = windows
+        return windows.mean(axis=-1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._windows is None or self._input_shape is None:
+            raise ShapeError(f"{self.name}: backward called before forward")
+        windows = self._windows
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        if grad_output.shape != windows.shape[:4]:
+            raise ShapeError(
+                f"{self.name}: expected grad_output of shape {windows.shape[:4]}, "
+                f"got {grad_output.shape}"
+            )
+        share = grad_output[..., None] / windows.shape[-1]
+        grad_windows = np.broadcast_to(share, windows.shape).copy()
+        return self._scatter_windows(grad_windows)

@@ -1,0 +1,111 @@
+"""Loss functions.
+
+A loss object exposes ``forward(predictions, targets) -> float`` and
+``backward() -> ndarray`` (gradient w.r.t. the predictions), mirroring the
+layer protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn import functional as F
+
+
+class Loss:
+    """Base class for losses."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Softmax + cross-entropy on raw logits with integer class targets.
+
+    Combining the two keeps the backward pass to the numerically stable
+    ``softmax(logits) - one_hot(targets)`` form.
+    """
+
+    def __init__(self):
+        self._probs: Optional[np.ndarray] = None
+        self._targets: Optional[np.ndarray] = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        logits = np.asarray(logits, dtype=np.float64)
+        targets = np.asarray(targets)
+        if logits.ndim != 2:
+            raise ShapeError(f"logits must be 2-D (batch, classes), got shape {logits.shape}")
+        if targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
+            raise ShapeError(
+                f"targets must be 1-D with length {logits.shape[0]}, got shape {targets.shape}"
+            )
+        if targets.size and (targets.min() < 0 or targets.max() >= logits.shape[1]):
+            raise ValueError(
+                f"targets must be class indices in [0, {logits.shape[1] - 1}]"
+            )
+        log_probs = F.log_softmax(logits, axis=1)
+        self._probs = np.exp(log_probs)
+        self._targets = targets.astype(int)
+        batch = logits.shape[0]
+        return float(-log_probs[np.arange(batch), self._targets].mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._targets is None:
+            raise ShapeError("backward called before forward")
+        batch, num_classes = self._probs.shape
+        grad = self._probs.copy()
+        grad[np.arange(batch), self._targets] -= 1.0
+        return grad / batch
+
+
+class MSELoss(Loss):
+    """Mean squared error over all entries."""
+
+    def __init__(self):
+        self._diff: Optional[np.ndarray] = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ShapeError(
+                f"predictions shape {predictions.shape} does not match targets shape {targets.shape}"
+            )
+        self._diff = predictions - targets
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise ShapeError("backward called before forward")
+        return 2.0 * self._diff / self._diff.size
+
+
+class L1Loss(Loss):
+    """Mean absolute error over all entries."""
+
+    def __init__(self):
+        self._diff: Optional[np.ndarray] = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ShapeError(
+                f"predictions shape {predictions.shape} does not match targets shape {targets.shape}"
+            )
+        self._diff = predictions - targets
+        return float(np.mean(np.abs(self._diff)))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise ShapeError("backward called before forward")
+        return np.sign(self._diff) / self._diff.size

@@ -1,0 +1,68 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+def accuracy(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy.
+
+    ``predictions`` may be logits/probabilities ``(batch, classes)`` or already
+    arg-maxed class indices ``(batch,)``.
+    """
+    predictions = np.asarray(predictions)
+    targets = np.asarray(targets)
+    if predictions.ndim == 2:
+        predicted = np.argmax(predictions, axis=1)
+    elif predictions.ndim == 1:
+        predicted = predictions
+    else:
+        raise ShapeError(f"predictions must be 1-D or 2-D, got shape {predictions.shape}")
+    if predicted.shape != targets.shape:
+        raise ShapeError(
+            f"predictions and targets disagree on batch size: {predicted.shape} vs {targets.shape}"
+        )
+    if predicted.size == 0:
+        raise ValueError("cannot compute accuracy of an empty batch")
+    return float(np.mean(predicted == targets))
+
+
+def error_rate(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Classification error ``1 - accuracy`` (the x-axis of the paper's figures)."""
+    return 1.0 - accuracy(predictions, targets)
+
+
+def top_k_accuracy(logits: np.ndarray, targets: np.ndarray, k: int = 5) -> float:
+    """Top-``k`` accuracy from a ``(batch, classes)`` score matrix."""
+    logits = np.asarray(logits)
+    targets = np.asarray(targets)
+    if logits.ndim != 2:
+        raise ShapeError(f"logits must be 2-D, got shape {logits.shape}")
+    if k < 1 or k > logits.shape[1]:
+        raise ValueError(f"k must be in [1, {logits.shape[1]}], got {k}")
+    top_k = np.argsort(-logits, axis=1)[:, :k]
+    hits = np.any(top_k == targets[:, None], axis=1)
+    return float(np.mean(hits))
+
+
+def confusion_matrix(
+    predictions: np.ndarray, targets: np.ndarray, num_classes: Optional[int] = None
+) -> np.ndarray:
+    """Return the ``(num_classes, num_classes)`` confusion matrix (rows = truth)."""
+    predictions = np.asarray(predictions)
+    targets = np.asarray(targets)
+    if predictions.ndim == 2:
+        predictions = np.argmax(predictions, axis=1)
+    if predictions.shape != targets.shape:
+        raise ShapeError("predictions and targets must have the same length")
+    if num_classes is None:
+        num_classes = int(max(predictions.max(initial=0), targets.max(initial=0))) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    for truth, predicted in zip(targets.astype(int), predictions.astype(int)):
+        matrix[truth, predicted] += 1
+    return matrix

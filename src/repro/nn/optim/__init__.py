@@ -1,0 +1,27 @@
+"""Optimizers and learning-rate schedules."""
+
+from repro.nn.optim.adam import Adam
+from repro.nn.optim.base import Optimizer
+from repro.nn.optim.schedules import (
+    ConstantLR,
+    CosineLR,
+    ExponentialLR,
+    InverseDecayLR,
+    LRSchedule,
+    StepLR,
+    as_schedule,
+)
+from repro.nn.optim.sgd import SGD
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRSchedule",
+    "ConstantLR",
+    "StepLR",
+    "ExponentialLR",
+    "InverseDecayLR",
+    "CosineLR",
+    "as_schedule",
+]

@@ -1,0 +1,71 @@
+"""Adam optimizer."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.nn.optim.base import Optimizer
+from repro.nn.optim.schedules import as_schedule
+from repro.nn.parameter import Parameter
+from repro.utils.validation import check_non_negative
+
+
+class Adam(Optimizer):
+    """Adam with optional decoupled weight decay (AdamW when ``decoupled=True``)."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr=1e-3,
+        *,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        decoupled: bool = False,
+    ):
+        super().__init__(parameters, as_schedule(lr))
+        if not (0.0 <= beta1 < 1.0) or not (0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {beta1}, {beta2}")
+        if eps <= 0:
+            raise ValueError(f"eps must be > 0, got {eps}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = check_non_negative(weight_decay, "weight_decay")
+        self.decoupled = bool(decoupled)
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._steps: Dict[int, int] = {}
+
+    def _update_parameter(self, index: int, param: Parameter, lr: float) -> None:
+        grad = param.grad
+        if self.weight_decay > 0.0 and not self.decoupled:
+            grad = grad + self.weight_decay * param.data
+        m = self._m.get(index)
+        v = self._v.get(index)
+        if m is None or m.shape != param.data.shape:
+            m = np.zeros_like(param.data)
+            v = np.zeros_like(param.data)
+            self._steps[index] = 0
+        step = self._steps[index] + 1
+        m = self.beta1 * m + (1.0 - self.beta1) * grad
+        v = self.beta2 * v + (1.0 - self.beta2) * grad**2
+        self._m[index] = m
+        self._v[index] = v
+        self._steps[index] = step
+        m_hat = m / (1.0 - self.beta1**step)
+        v_hat = v / (1.0 - self.beta2**step)
+        update = m_hat / (np.sqrt(v_hat) + self.eps)
+        if self.weight_decay > 0.0 and self.decoupled:
+            update = update + self.weight_decay * param.data
+        param.data = param.data - lr * update
+        param.apply_mask()
+
+    def reset_state(self) -> None:
+        """Drop first/second-moment buffers."""
+        self._m.clear()
+        self._v.clear()
+        self._steps.clear()

@@ -1,0 +1,71 @@
+"""Optimizer protocol.
+
+Optimizers hold references to :class:`~repro.nn.parameter.Parameter` objects
+and update them in place from their accumulated gradients.  The learning rate
+comes from an :class:`~repro.nn.optim.schedules.LRSchedule` evaluated at the
+optimizer's internal step counter, so training loops only ever call
+:meth:`Optimizer.step`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.nn.optim.schedules import LRSchedule
+from repro.nn.parameter import Parameter
+
+
+class Optimizer:
+    """Base class for gradient-based optimizers."""
+
+    def __init__(self, parameters: Sequence[Parameter], schedule: LRSchedule):
+        params = list(parameters)
+        if not params:
+            raise ValueError("optimizer needs at least one parameter")
+        if not all(isinstance(p, Parameter) for p in params):
+            raise TypeError("all optimized values must be Parameter instances")
+        self._parameters: List[Parameter] = params
+        self.schedule = schedule
+        self.iteration = 0
+
+    @property
+    def parameters(self) -> List[Parameter]:
+        """Parameters managed by this optimizer."""
+        return list(self._parameters)
+
+    def set_parameters(self, parameters: Sequence[Parameter]) -> None:
+        """Re-bind the optimizer to a new parameter list.
+
+        Rank clipping replaces factor arrays (their shapes change), so the
+        trainer re-binds and resets optimizer state after every clip.
+        """
+        params = list(parameters)
+        if not params:
+            raise ValueError("optimizer needs at least one parameter")
+        self._parameters = params
+        self.reset_state()
+
+    def current_lr(self) -> float:
+        """Learning rate that the *next* call to :meth:`step` will use."""
+        return self.schedule(self.iteration)
+
+    def zero_grad(self) -> None:
+        """Zero the gradients of all managed parameters."""
+        for param in self._parameters:
+            param.zero_grad()
+
+    def step(self) -> float:
+        """Apply one update to every trainable parameter; returns the lr used."""
+        lr = self.schedule(self.iteration)
+        for index, param in enumerate(self._parameters):
+            if not param.trainable:
+                continue
+            self._update_parameter(index, param, lr)
+        self.iteration += 1
+        return lr
+
+    def _update_parameter(self, index: int, param: Parameter, lr: float) -> None:
+        raise NotImplementedError
+
+    def reset_state(self) -> None:
+        """Clear per-parameter optimizer state (momentum buffers etc.)."""

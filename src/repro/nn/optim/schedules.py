@@ -1,0 +1,93 @@
+"""Learning-rate schedules.
+
+A schedule is a callable ``schedule(iteration) -> float`` returning the
+learning rate for a (0-based) training iteration.  Optimizers query the
+schedule every step, so schedules are stateless and cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative, check_positive_int
+
+
+class LRSchedule:
+    """Base class: subclasses implement :meth:`learning_rate`."""
+
+    def __init__(self, base_lr: float):
+        self.base_lr = check_non_negative(base_lr, "base_lr")
+
+    def learning_rate(self, iteration: int) -> float:
+        raise NotImplementedError
+
+    def __call__(self, iteration: int) -> float:
+        if iteration < 0:
+            raise ValueError(f"iteration must be >= 0, got {iteration}")
+        return float(self.learning_rate(int(iteration)))
+
+
+class ConstantLR(LRSchedule):
+    """Constant learning rate."""
+
+    def learning_rate(self, iteration: int) -> float:
+        return self.base_lr
+
+
+class StepLR(LRSchedule):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` iterations."""
+
+    def __init__(self, base_lr: float, step_size: int, gamma: float = 0.1):
+        super().__init__(base_lr)
+        self.step_size = check_positive_int(step_size, "step_size")
+        self.gamma = check_non_negative(gamma, "gamma")
+
+    def learning_rate(self, iteration: int) -> float:
+        return self.base_lr * self.gamma ** (iteration // self.step_size)
+
+
+class ExponentialLR(LRSchedule):
+    """Continuous exponential decay ``base_lr · gamma^iteration``."""
+
+    def __init__(self, base_lr: float, gamma: float = 0.999):
+        super().__init__(base_lr)
+        self.gamma = check_non_negative(gamma, "gamma")
+
+    def learning_rate(self, iteration: int) -> float:
+        return self.base_lr * self.gamma**iteration
+
+
+class InverseDecayLR(LRSchedule):
+    """Caffe-style ``inv`` policy: ``base_lr · (1 + gamma·iter)^(−power)``.
+
+    This is the schedule used by the original LeNet/ConvNet Caffe recipes the
+    paper trains with.
+    """
+
+    def __init__(self, base_lr: float, gamma: float = 1e-4, power: float = 0.75):
+        super().__init__(base_lr)
+        self.gamma = check_non_negative(gamma, "gamma")
+        self.power = check_non_negative(power, "power")
+
+    def learning_rate(self, iteration: int) -> float:
+        return self.base_lr * (1.0 + self.gamma * iteration) ** (-self.power)
+
+
+class CosineLR(LRSchedule):
+    """Cosine annealing from ``base_lr`` down to ``min_lr`` over ``total_iterations``."""
+
+    def __init__(self, base_lr: float, total_iterations: int, min_lr: float = 0.0):
+        super().__init__(base_lr)
+        self.total_iterations = check_positive_int(total_iterations, "total_iterations")
+        self.min_lr = check_non_negative(min_lr, "min_lr")
+
+    def learning_rate(self, iteration: int) -> float:
+        progress = min(iteration, self.total_iterations) / self.total_iterations
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1.0 + np.cos(np.pi * progress))
+
+
+def as_schedule(lr) -> LRSchedule:
+    """Coerce a float into a :class:`ConstantLR`, passing schedules through."""
+    if isinstance(lr, LRSchedule):
+        return lr
+    return ConstantLR(float(lr))

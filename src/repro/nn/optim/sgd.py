@@ -1,0 +1,58 @@
+"""Stochastic gradient descent with momentum and weight decay."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.nn.optim.base import Optimizer
+from repro.nn.optim.schedules import as_schedule
+from repro.nn.parameter import Parameter
+from repro.utils.validation import check_non_negative
+
+
+class SGD(Optimizer):
+    """SGD with optional momentum, Nesterov lookahead and decoupled weight decay.
+
+    Weight decay is applied to the gradient (classic L2 regularization) which
+    matches the Caffe solver the paper's networks were trained with.
+    """
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr=0.01,
+        *,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ):
+        super().__init__(parameters, as_schedule(lr))
+        self.momentum = check_non_negative(momentum, "momentum")
+        self.weight_decay = check_non_negative(weight_decay, "weight_decay")
+        self.nesterov = bool(nesterov)
+        if self.nesterov and self.momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def _update_parameter(self, index: int, param: Parameter, lr: float) -> None:
+        grad = param.grad
+        if self.weight_decay > 0.0:
+            grad = grad + self.weight_decay * param.data
+        if self.momentum > 0.0:
+            velocity = self._velocity.get(index)
+            if velocity is None:
+                velocity = np.zeros_like(param.data)
+            velocity = self.momentum * velocity + grad
+            self._velocity[index] = velocity
+            if self.nesterov:
+                grad = grad + self.momentum * velocity
+            else:
+                grad = velocity
+        param.data = param.data - lr * grad
+        param.apply_mask()
+
+    def reset_state(self) -> None:
+        """Drop momentum buffers (used after structural changes such as rank clipping)."""
+        self._velocity.clear()

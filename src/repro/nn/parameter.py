@@ -1,0 +1,93 @@
+"""Trainable parameter container.
+
+A :class:`Parameter` bundles a value array with its accumulated gradient and
+an optional boolean mask.  Masks are how the group-connection-deletion step
+freezes pruned weights: once a group is deleted its mask entries are set to
+``False`` and every subsequent gradient update is zeroed for those entries, so
+fine-tuning cannot resurrect a deleted connection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Parameter:
+    """A named trainable array with gradient and pruning-mask bookkeeping."""
+
+    def __init__(self, data: np.ndarray, name: str = "", trainable: bool = True):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+        self.trainable = bool(trainable)
+        self._mask: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ mask
+    @property
+    def mask(self) -> Optional[np.ndarray]:
+        """Boolean mask of live entries, or ``None`` when nothing is pruned."""
+        return self._mask
+
+    def set_mask(self, mask: np.ndarray) -> None:
+        """Install a pruning mask, zeroing the masked-out entries immediately."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self.data.shape:
+            raise ValueError(
+                f"mask shape {mask.shape} does not match parameter shape {self.data.shape}"
+            )
+        self._mask = mask
+        self.data = self.data * mask
+
+    def clear_mask(self) -> None:
+        """Remove any installed pruning mask."""
+        self._mask = None
+
+    def apply_mask(self) -> None:
+        """Re-apply the mask to both value and gradient (no-op when unmasked)."""
+        if self._mask is not None:
+            self.data *= self._mask
+            self.grad *= self._mask
+
+    # -------------------------------------------------------------- gradients
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zeros."""
+        self.grad = np.zeros_like(self.data)
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the accumulated gradient buffer."""
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter shape {self.data.shape}"
+            )
+        self.grad += grad
+
+    # ------------------------------------------------------------------ misc
+    @property
+    def shape(self):
+        """Shape of the underlying value array."""
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        """Number of scalar entries in the parameter."""
+        return int(self.data.size)
+
+    def density(self) -> float:
+        """Fraction of entries that are non-zero (1.0 for a dense parameter)."""
+        if self.data.size == 0:
+            return 0.0
+        return float(np.count_nonzero(self.data)) / float(self.data.size)
+
+    def copy(self) -> "Parameter":
+        """Deep copy of this parameter (data, grad and mask)."""
+        clone = Parameter(self.data.copy(), name=self.name, trainable=self.trainable)
+        clone.grad = self.grad.copy()
+        if self._mask is not None:
+            clone._mask = self._mask.copy()
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        masked = "" if self._mask is None else ", masked"
+        return f"Parameter(name={self.name!r}, shape={self.data.shape}{masked})"

@@ -1,0 +1,180 @@
+"""Iteration-based training loop.
+
+The paper schedules everything in *iterations* (mini-batch steps), e.g.
+"clip ranks every S = 500 iterations", so the trainer is iteration-centric
+rather than epoch-centric.  Callbacks observe the trainer after every
+iteration and may restructure the network (rank clipping replaces factor
+matrices; group deletion installs pruning masks); after a structural change
+they must call :meth:`Trainer.rebind_optimizer` so the optimizer tracks the
+new parameter arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.loaders import DataLoader
+from repro.exceptions import TrainingError
+from repro.nn.losses import Loss
+from repro.nn.metrics import accuracy
+from repro.nn.network import Sequential
+from repro.nn.optim.base import Optimizer
+from repro.nn.regularization import Regularizer
+from repro.utils.logging import get_logger
+
+logger = get_logger("nn.trainer")
+
+
+class Callback:
+    """Observer hooks invoked by the trainer."""
+
+    def on_train_begin(self, trainer: "Trainer") -> None:
+        """Called once before the first iteration."""
+
+    def on_iteration_end(self, trainer: "Trainer", iteration: int) -> None:
+        """Called after every optimizer step (``iteration`` is 1-based)."""
+
+    def on_train_end(self, trainer: "Trainer") -> None:
+        """Called once after the last iteration."""
+
+
+@dataclass
+class TrainingHistory:
+    """Per-iteration and per-evaluation traces recorded during training."""
+
+    iterations: List[int] = field(default_factory=list)
+    loss: List[float] = field(default_factory=list)
+    penalty: List[float] = field(default_factory=list)
+    eval_iterations: List[int] = field(default_factory=list)
+    eval_accuracy: List[float] = field(default_factory=list)
+
+    def last_accuracy(self) -> Optional[float]:
+        """The most recent evaluation accuracy, or ``None`` before any evaluation."""
+        return self.eval_accuracy[-1] if self.eval_accuracy else None
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        """Plain-dict view for serialization."""
+        return {
+            "iterations": list(self.iterations),
+            "loss": list(self.loss),
+            "penalty": list(self.penalty),
+            "eval_iterations": list(self.eval_iterations),
+            "eval_accuracy": list(self.eval_accuracy),
+        }
+
+
+class Trainer:
+    """Mini-batch trainer tying together network, loss, optimizer and callbacks."""
+
+    def __init__(
+        self,
+        network: Sequential,
+        loss: Loss,
+        optimizer: Optimizer,
+        train_loader: DataLoader,
+        *,
+        eval_data: Optional[tuple] = None,
+        regularizers: Sequence[Regularizer] = (),
+        callbacks: Sequence[Callback] = (),
+        eval_interval: int = 100,
+        eval_batch_size: int = 256,
+        log_interval: int = 0,
+    ):
+        if eval_interval < 1:
+            raise TrainingError(f"eval_interval must be >= 1, got {eval_interval}")
+        self.network = network
+        self.loss = loss
+        self.optimizer = optimizer
+        self.train_loader = train_loader
+        self.eval_data = eval_data
+        self.regularizers = list(regularizers)
+        self.callbacks = list(callbacks)
+        self.eval_interval = int(eval_interval)
+        self.eval_batch_size = int(eval_batch_size)
+        self.log_interval = int(log_interval)
+        self.history = TrainingHistory()
+        self.iteration = 0
+        self._batch_iter = None
+
+    # ------------------------------------------------------------- plumbing
+    def rebind_optimizer(self) -> None:
+        """Point the optimizer at the network's current parameter objects.
+
+        Must be called after any structural change (rank clipping) that
+        replaces parameter arrays, otherwise the optimizer keeps updating
+        stale arrays.
+        """
+        self.optimizer.set_parameters(self.network.parameters())
+
+    def add_regularizer(self, regularizer: Regularizer) -> None:
+        """Attach an additional penalty term (e.g. group Lasso) mid-training."""
+        self.regularizers.append(regularizer)
+
+    def remove_regularizer(self, regularizer: Regularizer) -> None:
+        """Detach a previously-added penalty term."""
+        self.regularizers = [r for r in self.regularizers if r is not regularizer]
+
+    def _next_batch(self):
+        if self._batch_iter is None:
+            self._batch_iter = iter(self.train_loader)
+        try:
+            return next(self._batch_iter)
+        except StopIteration:
+            self._batch_iter = iter(self.train_loader)
+            return next(self._batch_iter)
+
+    # ------------------------------------------------------------- training
+    def train_step(self) -> float:
+        """Run a single mini-batch update and return the (data + penalty) loss."""
+        inputs, targets = self._next_batch()
+        self.network.train()
+        self.network.zero_grad()
+        logits = self.network.forward(inputs)
+        data_loss = self.loss.forward(logits, targets)
+        grad = self.loss.backward()
+        self.network.backward(grad)
+        penalty = 0.0
+        for regularizer in self.regularizers:
+            penalty += regularizer.penalty()
+            regularizer.apply_gradients()
+        self.optimizer.step()
+        self.iteration += 1
+        total = data_loss + penalty
+        self.history.iterations.append(self.iteration)
+        self.history.loss.append(float(data_loss))
+        self.history.penalty.append(float(penalty))
+        return float(total)
+
+    def evaluate(self) -> Optional[float]:
+        """Evaluate accuracy on the held-out data, recording it in the history."""
+        if self.eval_data is None:
+            return None
+        inputs, targets = self.eval_data
+        logits = self.network.predict(inputs, batch_size=self.eval_batch_size)
+        acc = accuracy(logits, targets)
+        self.history.eval_iterations.append(self.iteration)
+        self.history.eval_accuracy.append(float(acc))
+        return float(acc)
+
+    def run(self, num_iterations: int) -> TrainingHistory:
+        """Train for ``num_iterations`` mini-batch steps."""
+        if num_iterations < 0:
+            raise TrainingError(f"num_iterations must be >= 0, got {num_iterations}")
+        for callback in self.callbacks:
+            callback.on_train_begin(self)
+        for _ in range(num_iterations):
+            loss_value = self.train_step()
+            if self.eval_data is not None and self.iteration % self.eval_interval == 0:
+                self.evaluate()
+            if self.log_interval and self.iteration % self.log_interval == 0:
+                acc = self.history.last_accuracy()
+                acc_str = f", acc={acc:.4f}" if acc is not None else ""
+                logger.info("iter %d: loss=%.4f%s", self.iteration, loss_value, acc_str)
+            for callback in self.callbacks:
+                callback.on_iteration_end(self, self.iteration)
+        for callback in self.callbacks:
+            callback.on_train_end(self)
+        return self.history

@@ -1,0 +1,51 @@
+"""A small logging facade.
+
+The library logs through the standard :mod:`logging` module under the
+``"repro"`` namespace.  :func:`get_logger` returns namespaced child loggers
+and :func:`set_verbosity` switches the whole library between silent, normal
+and debug output without touching the root logger configuration of the host
+application.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+_ROOT_NAME = "repro"
+_HANDLER: Optional[logging.Handler] = None
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return the library logger, or a child logger named ``repro.<name>``."""
+    if name is None or name == _ROOT_NAME:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def set_verbosity(level: str = "info") -> None:
+    """Configure library-wide log verbosity.
+
+    Parameters
+    ----------
+    level:
+        One of ``"silent"``, ``"warning"``, ``"info"`` or ``"debug"``.
+    """
+    global _HANDLER
+    mapping = {
+        "silent": logging.CRITICAL + 10,
+        "warning": logging.WARNING,
+        "info": logging.INFO,
+        "debug": logging.DEBUG,
+    }
+    if level not in mapping:
+        raise ValueError(f"unknown verbosity {level!r}; expected one of {sorted(mapping)}")
+    logger = get_logger()
+    logger.setLevel(mapping[level])
+    if _HANDLER is None:
+        _HANDLER = logging.StreamHandler()
+        _HANDLER.setFormatter(logging.Formatter("[%(name)s] %(levelname)s: %(message)s"))
+        logger.addHandler(_HANDLER)
+        logger.propagate = False

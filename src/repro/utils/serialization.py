@@ -1,0 +1,61 @@
+"""Serialization helpers for parameters and experiment records.
+
+Networks expose their parameters as ``dict[str, np.ndarray]`` (see
+:meth:`repro.nn.network.Sequential.state_dict`); experiment runners produce
+nested dictionaries of plain Python scalars and lists.  These helpers persist
+both to disk without pickling arbitrary objects.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+def save_state_dict(path: PathLike, state: Mapping[str, np.ndarray]) -> Path:
+    """Save a flat ``name -> array`` mapping to a compressed ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {key: np.asarray(value) for key, value in state.items()}
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_state_dict(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load a mapping previously saved with :func:`save_state_dict`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        return {key: np.array(data[key]) for key in data.files}
+
+
+def _jsonify(value: Any) -> Any:
+    """Convert numpy scalars/arrays nested in ``value`` into JSON-safe types."""
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+def save_json(path: PathLike, payload: Mapping[str, Any]) -> Path:
+    """Save a (possibly numpy-containing) mapping as pretty-printed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(_jsonify(dict(payload)), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_json(path: PathLike) -> Dict[str, Any]:
+    """Load a JSON file previously written with :func:`save_json`."""
+    with open(Path(path), "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,72 @@
+"""Argument-validation helpers.
+
+These raise the library's own exception types (:class:`~repro.exceptions.ShapeError`,
+``ValueError``) with messages that name the offending argument, which keeps
+validation in the public API terse and consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer >= 1 and return it as ``int``."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number >= 0."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value}")
+    return value
+
+
+def check_fraction(value: float, name: str, *, inclusive: bool = True) -> float:
+    """Validate that ``value`` lies in ``[0, 1]`` (or ``(0, 1)`` if not inclusive)."""
+    value = float(value)
+    if inclusive:
+        if not (0.0 <= value <= 1.0):
+            raise ValueError(f"{name} must be in [0, 1], got {value}")
+    else:
+        if not (0.0 < value < 1.0):
+            raise ValueError(f"{name} must be in (0, 1), got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Alias of :func:`check_fraction` for probability-valued arguments."""
+    return check_fraction(value, name, inclusive=True)
+
+
+def ensure_2d(array: np.ndarray, name: str) -> np.ndarray:
+    """Return ``array`` as a 2-D float array, raising :class:`ShapeError` otherwise."""
+    arr = np.asarray(array, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ShapeError(f"{name} must be a 2-D matrix, got shape {arr.shape}")
+    if arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise ShapeError(f"{name} must be non-empty, got shape {arr.shape}")
+    return arr
+
+
+def ensure_4d(array: np.ndarray, name: str) -> np.ndarray:
+    """Return ``array`` as a 4-D float array (NCHW), raising :class:`ShapeError` otherwise."""
+    arr = np.asarray(array, dtype=np.float64)
+    if arr.ndim != 4:
+        raise ShapeError(f"{name} must be a 4-D (N, C, H, W) array, got shape {arr.shape}")
+    return arr
+
+
+def check_same_length(a, b, name_a: str, name_b: str) -> None:
+    """Validate that two sequences have the same length."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"{name_a} and {name_b} must have the same length, got {len(a)} and {len(b)}"
+        )

@@ -1,0 +1,104 @@
+"""Tests for post-deletion crossbar compaction (paper Section 4.2, last paragraph)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GroupConnectionDeleter, GroupDeletionConfig, convert_to_lowrank
+from repro.exceptions import ShapeError
+from repro.hardware import CrossbarLibrary, TechnologyParameters, plan_tiling
+from repro.hardware.compaction import (
+    CompactedCrossbar,
+    compact_matrix,
+    compact_network,
+    total_compacted_area_fraction,
+)
+from repro.models import build_mlp
+
+
+class TestCompactedCrossbar:
+    def test_cell_accounting(self):
+        xbar = CompactedCrossbar((0, 0), 10, 8, live_rows=4, live_cols=5)
+        assert xbar.original_cells == 80
+        assert xbar.compacted_cells == 20
+        assert xbar.cell_saving == 60
+        assert not xbar.is_removable
+
+    def test_removable_when_empty(self):
+        assert CompactedCrossbar((0, 0), 10, 8, 0, 3).is_removable
+        assert CompactedCrossbar((0, 0), 10, 8, 3, 0).is_removable
+
+
+class TestCompactMatrix:
+    def test_dense_matrix_has_no_saving(self):
+        plan = plan_tiling(100, 10, name="m")
+        report = compact_matrix(np.ones((100, 10)), plan)
+        assert report.area_fraction == pytest.approx(1.0)
+        assert report.removable_crossbars == 0
+        assert report.num_crossbars == plan.num_crossbars
+
+    def test_empty_tile_is_removable(self):
+        plan = plan_tiling(100, 10, name="m")  # 2 tiles of 50x10
+        weights = np.ones((100, 10))
+        weights[50:] = 0.0
+        report = compact_matrix(weights, plan)
+        assert report.removable_crossbars == 1
+        assert report.area_fraction == pytest.approx(0.5)
+
+    def test_partial_rows_and_columns_shrink_area(self):
+        plan = plan_tiling(8, 8, name="m")  # single crossbar
+        weights = np.ones((8, 8))
+        weights[4:, :] = 0.0  # 4 live rows
+        weights[:, 6:] = 0.0  # 6 live cols
+        report = compact_matrix(weights, plan)
+        assert report.crossbars[0].live_rows == 4
+        assert report.crossbars[0].live_cols == 6
+        assert report.area_fraction == pytest.approx(24 / 64)
+        assert "compacted area" in report.format_summary()
+
+    def test_zero_threshold(self):
+        plan = plan_tiling(4, 4, name="m")
+        weights = np.full((4, 4), 1e-8)
+        report = compact_matrix(weights, plan, zero_threshold=1e-6)
+        assert report.area_fraction == 0.0
+        assert report.removable_crossbars == 1
+
+    def test_shape_validation(self):
+        plan = plan_tiling(4, 4)
+        with pytest.raises(ShapeError):
+            compact_matrix(np.ones((3, 4)), plan)
+
+    def test_area_respects_technology(self):
+        tech = TechnologyParameters(cell_area_f2=8.0)
+        plan = plan_tiling(4, 4, name="m")
+        report = compact_matrix(np.ones((4, 4)), plan, technology=tech)
+        assert report.original_area_f2 == 8.0 * 16
+
+
+class TestCompactNetwork:
+    def test_total_fraction_over_network(self, blob_data, mlp_trainer_factory):
+        dense = build_mlp(20, [24], 4, rng=20)
+        mlp_trainer_factory(dense).run(100)
+        network = convert_to_lowrank(dense)
+        tech = TechnologyParameters(max_crossbar_rows=8, max_crossbar_cols=8)
+        library = CrossbarLibrary(technology=tech)
+
+        config = GroupDeletionConfig(
+            strength=0.06,
+            iterations=100,
+            finetune_iterations=40,
+            include_small_matrices=True,
+        )
+        GroupConnectionDeleter(config, library=library, record_interval=50).run(
+            network, mlp_trainer_factory
+        )
+        reports = compact_network(network, technology=tech, library=library)
+        assert reports
+        fraction = total_compacted_area_fraction(reports)
+        # Deletion zeroes whole groups, so compaction must save real area.
+        assert 0.0 < fraction < 1.0
+        for report in reports:
+            assert 0.0 <= report.area_fraction <= 1.0
+
+    def test_total_fraction_validation(self):
+        with pytest.raises(ValueError):
+            total_compacted_area_fraction([])

@@ -1,0 +1,143 @@
+"""Tests for the core configuration objects and dense→low-rank conversion."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GroupDeletionConfig,
+    RankClippingConfig,
+    ScissorConfig,
+    convert_to_lowrank,
+    current_ranks,
+    default_clippable_layers,
+    direct_lra,
+)
+from repro.exceptions import ConfigurationError
+from repro.models import ConvNetConfig, LeNetConfig, build_convnet, build_lenet, build_mlp
+from repro.nn import Conv2D, Linear, LowRankConv2D, LowRankLinear
+
+
+class TestConfigs:
+    def test_rank_clipping_defaults_valid(self):
+        config = RankClippingConfig()
+        assert config.tolerance == 0.03
+        assert config.method == "pca"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tolerance": -0.1},
+            {"tolerance": 1.5},
+            {"clip_interval": 0},
+            {"max_iterations": -1},
+            {"method": "qr"},
+            {"min_rank": 0},
+            {"layers": ()},
+        ],
+    )
+    def test_rank_clipping_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RankClippingConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"strength": -1.0},
+            {"iterations": -1},
+            {"finetune_iterations": -2},
+            {"zero_threshold": -0.1},
+            {"relative_threshold": 1.0},
+            {"layers": ()},
+        ],
+    )
+    def test_group_deletion_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            GroupDeletionConfig(**kwargs)
+
+    def test_scissor_config_composition(self):
+        config = ScissorConfig(
+            rank_clipping=RankClippingConfig(tolerance=0.01),
+            group_deletion=GroupDeletionConfig(strength=0.1),
+            exclude_layers=("fc2",),
+        )
+        assert config.rank_clipping.tolerance == 0.01
+        with pytest.raises(ConfigurationError):
+            ScissorConfig(rank_clipping="not a config")
+
+
+class TestDefaultClippableLayers:
+    def test_excludes_final_classifier(self):
+        assert default_clippable_layers(build_mlp(10, [8, 6], 3, rng=0)) == ("fc1", "fc2")
+        lenet = build_lenet(LeNetConfig.small(image_size=14), rng=0)
+        assert default_clippable_layers(lenet) == ("conv1", "conv2", "fc1")
+        convnet = build_convnet(ConvNetConfig.small(), rng=0)
+        assert default_clippable_layers(convnet) == ("conv1", "conv2", "conv3")
+
+
+class TestConvertToLowRank:
+    def test_full_rank_conversion_preserves_function(self):
+        net = build_mlp(12, [10, 8], 4, rng=0)
+        converted = convert_to_lowrank(net)
+        x = np.random.default_rng(0).normal(size=(6, 12))
+        assert np.allclose(converted.forward(x), net.forward(x))
+
+    def test_converted_layer_types(self):
+        lenet = build_lenet(LeNetConfig.small(image_size=14), rng=0)
+        converted = convert_to_lowrank(lenet)
+        assert isinstance(converted.get_layer("conv1"), LowRankConv2D)
+        assert isinstance(converted.get_layer("fc1"), LowRankLinear)
+        # The classifier stays dense.
+        assert isinstance(converted.get_layer("fc2"), Linear)
+        # The original network is untouched.
+        assert isinstance(lenet.get_layer("conv1"), Conv2D)
+
+    def test_full_rank_conv_conversion_preserves_function(self):
+        lenet = build_lenet(LeNetConfig.small(image_size=14), rng=0)
+        converted = convert_to_lowrank(lenet)
+        x = np.random.default_rng(1).normal(size=(2, 1, 14, 14))
+        assert np.allclose(converted.forward(x), lenet.forward(x), atol=1e-10)
+
+    def test_rank_truncation(self):
+        net = build_mlp(12, [10], 4, rng=0)
+        converted = convert_to_lowrank(net, ranks={"fc1": 3}, layers=("fc1",))
+        assert converted.get_layer("fc1").rank == 3
+        assert current_ranks(converted) == {"fc1": 3}
+
+    def test_unknown_layer_rejected(self):
+        net = build_mlp(12, [10], 4, rng=0)
+        with pytest.raises(ConfigurationError):
+            convert_to_lowrank(net, layers=("nonexistent",))
+
+    def test_biases_preserved(self):
+        net = build_mlp(12, [10], 4, rng=0)
+        net.get_layer("fc1").bias.data[:] = 7.0
+        converted = convert_to_lowrank(net, ranks={"fc1": 5}, layers=("fc1",))
+        assert np.allclose(converted.get_layer("fc1").bias.data, 7.0)
+
+    def test_already_lowrank_layers_copied(self):
+        net = build_mlp(12, [10], 4, rng=0)
+        once = convert_to_lowrank(net)
+        twice = convert_to_lowrank(once, layers=("fc1",))
+        x = np.random.default_rng(2).normal(size=(3, 12))
+        assert np.allclose(once.forward(x), twice.forward(x))
+
+
+class TestDirectLRA:
+    def test_accuracy_degrades_then_matches_best_truncation(self):
+        rng = np.random.default_rng(3)
+        net = build_mlp(16, [12], 4, rng=4)
+        truncated = direct_lra(net, {"fc1": 2})
+        x = rng.normal(size=(5, 16))
+        # The truncated network generally computes a different function...
+        assert not np.allclose(truncated.forward(x), net.forward(x))
+        # ...whose fc1 weight is the optimal rank-2 approximation.
+        fc1 = truncated.get_layer("fc1")
+        w = net.get_layer("fc1").weight.data
+        u, s, vt = np.linalg.svd(w, full_matrices=False)
+        best = (u[:, :2] * s[:2]) @ vt[:2]
+        assert np.allclose(fc1.effective_weight(), best, atol=1e-8)
+
+    def test_requires_ranks(self):
+        net = build_mlp(16, [12], 4, rng=0)
+        with pytest.raises(ConfigurationError):
+            direct_lra(net, {})

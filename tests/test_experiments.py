@@ -1,0 +1,243 @@
+"""Tests for the experiment harness (presets, workloads, tables, figures, sweeps)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    PAPER_HEADLINE,
+    SMALL,
+    TINY,
+    ExperimentScale,
+    TrainingSetup,
+    convnet_workload,
+    crossbar_area_percent,
+    get_scale,
+    get_workload,
+    lenet_workload,
+    mean_wire_percent,
+    mlp_workload,
+    paper_headline_numbers,
+    routing_area_percent_from_wires,
+    run_figure3,
+    run_figure5,
+    run_table1,
+    run_table3,
+    sparsity_maps,
+    sweep_group_deletion,
+    sweep_rank_clipping,
+    train_baseline,
+)
+from repro.models.convnet import PAPER_CONVNET_RANKS, PAPER_CONVNET_SHAPES
+from repro.models.lenet import PAPER_LENET_RANKS, PAPER_LENET_SHAPES
+
+
+class TestPresetsAndWorkloads:
+    def test_get_scale(self):
+        assert get_scale("tiny") is TINY
+        assert get_scale(SMALL) is SMALL
+        with pytest.raises(ConfigurationError):
+            get_scale("huge")
+
+    def test_scale_overrides(self):
+        scale = TINY.with_overrides(train_samples=10)
+        assert scale.train_samples == 10
+        assert scale.name == TINY.name
+
+    def test_scale_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentScale(
+                name="bad", train_samples=0, test_samples=1, image_size=8,
+                network_scale=0.5, baseline_iterations=1, clip_iterations=1,
+                clip_interval=1, deletion_iterations=1, finetune_iterations=1,
+                batch_size=1, learning_rate=0.1, momentum=0.5, record_interval=1,
+                eval_interval=1,
+            )
+
+    def test_workload_registry(self):
+        assert get_workload("lenet", "tiny").name == "lenet-mnist"
+        assert get_workload("convnet", "tiny").name == "convnet-cifar10"
+        with pytest.raises(KeyError):
+            get_workload("resnet")
+
+    def test_workload_shapes_and_data(self):
+        workload = lenet_workload("tiny")
+        train, test = workload.data()
+        assert train.inputs.shape[1:] == (1, TINY.image_size, TINY.image_size)
+        assert set(workload.layer_shapes) == {"conv1", "conv2", "fc1", "fc2"}
+        assert workload.clippable_layers == ("conv1", "conv2", "fc1")
+        network = workload.build(0)
+        assert network.forward(train.inputs[:2]).shape == (2, 10)
+
+    def test_paper_scale_uses_paper_topology(self):
+        workload = lenet_workload("paper")
+        assert workload.layer_shapes == PAPER_LENET_SHAPES
+        workload = convnet_workload("paper")
+        assert workload.layer_shapes == PAPER_CONVNET_SHAPES
+
+    def test_training_setup_baseline(self):
+        workload = mlp_workload("tiny")
+        network, accuracy, setup = train_baseline(workload)
+        assert isinstance(setup, TrainingSetup)
+        assert accuracy > 0.8  # blobs are easy
+        assert setup.evaluate(network) == pytest.approx(accuracy)
+
+
+class TestHeadlineNumbers:
+    def test_crossbar_area_matches_paper(self):
+        assert crossbar_area_percent(PAPER_LENET_SHAPES, PAPER_LENET_RANKS) == pytest.approx(
+            PAPER_HEADLINE["lenet_crossbar_area_percent"], abs=0.01
+        )
+        assert crossbar_area_percent(PAPER_CONVNET_SHAPES, PAPER_CONVNET_RANKS) == pytest.approx(
+            PAPER_HEADLINE["convnet_crossbar_area_percent"], abs=0.01
+        )
+
+    def test_routing_area_matches_paper(self):
+        numbers = paper_headline_numbers()
+        assert numbers.lenet_routing_area_percent == pytest.approx(
+            PAPER_HEADLINE["lenet_routing_area_percent"], abs=0.1
+        )
+        assert numbers.convnet_routing_area_percent == pytest.approx(
+            PAPER_HEADLINE["convnet_routing_area_percent"], abs=0.1
+        )
+        assert numbers.convnet_mean_wire_percent == pytest.approx(
+            PAPER_HEADLINE["convnet_mean_wire_percent"], abs=0.1
+        )
+        table = numbers.format_table()
+        assert "LeNet crossbar area" in table
+
+    def test_helper_validation(self):
+        with pytest.raises(ValueError):
+            routing_area_percent_from_wires({})
+        with pytest.raises(ValueError):
+            mean_wire_percent({})
+
+
+class TestTableAndFigureHarnesses:
+    """End-to-end harness runs on the tiny MLP workload (fast)."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        workload = mlp_workload("tiny")
+        network, accuracy, setup = train_baseline(workload)
+        return workload, network, accuracy, setup
+
+    def test_table1(self, baseline):
+        workload, network, accuracy, setup = baseline
+        result = run_table1(
+            workload, setup=setup, baseline_network=network, baseline_accuracy=accuracy
+        )
+        methods = [row.method for row in result.rows]
+        assert methods == ["Original", "Direct LRA", "Rank clipping"]
+        clipped = result.row("Rank clipping")
+        original = result.row("Original")
+        # Rank clipping must actually reduce at least one rank.
+        full = {name: min(workload.layer_shapes[name]) for name in workload.clippable_layers}
+        assert any(clipped.ranks[n] < full[n] for n in clipped.ranks)
+        # Accuracy is retained within a small margin on this easy dataset.
+        assert clipped.accuracy >= original.accuracy - 0.1
+        assert "Table 1" in result.format_table()
+        assert set(result.as_dict()) == set(methods)
+        with pytest.raises(KeyError):
+            result.row("nope")
+
+    def test_table3_and_figure5(self, baseline):
+        workload, network, accuracy, setup = baseline
+        result = run_table3(
+            workload,
+            strength=0.05,
+            include_small_matrices=True,
+            setup=setup,
+            baseline_network=network,
+            baseline_accuracy=accuracy,
+        )
+        assert result.rows
+        for row in result.rows:
+            assert 0.0 <= row.wire_fraction <= 1.0
+            assert row.num_crossbars >= 1
+            assert row.wire_percent == pytest.approx(100 * row.wire_fraction)
+        assert 0.0 <= result.mean_routing_area_fraction() <= result.mean_wire_fraction() <= 1.0
+        assert "MBC size" in result.format_table()
+
+        figure5 = run_figure5(
+            workload,
+            strength=0.05,
+            include_small_matrices=True,
+            setup=setup,
+            baseline_network=network,
+        )
+        assert figure5.iterations
+        fractions = figure5.final_deleted_fractions()
+        assert all(0.0 <= f <= 1.0 for f in fractions.values())
+        assert "Figure 5" in figure5.format_series()
+
+    def test_figure3(self, baseline):
+        workload, network, accuracy, setup = baseline
+        series = run_figure3(
+            workload, setup=setup, baseline_network=network, baseline_accuracy=accuracy
+        )
+        assert series.iterations[0] == 0
+        for name, ratios in series.rank_ratio.items():
+            assert ratios[0] == pytest.approx(1.0)
+            assert all(b <= a + 1e-12 for a, b in zip(ratios, ratios[1:]))
+        assert "Figure 3" in series.format_series()
+
+    def test_sparsity_maps(self, baseline):
+        workload, network, accuracy, setup = baseline
+        from repro.core import convert_to_lowrank
+
+        lowrank = convert_to_lowrank(network)
+        maps = sparsity_maps(lowrank, include_small_matrices=True)
+        assert maps
+        for sparsity in maps:
+            assert 0.0 <= sparsity.nonzero_fraction <= 1.0
+            assert sparsity.crossbar_density.shape == (
+                sparsity.mask.shape[0] // sparsity.tile_shape[0]
+                + (1 if sparsity.mask.shape[0] % sparsity.tile_shape[0] else 0),
+                sparsity.mask.shape[1] // sparsity.tile_shape[1]
+                + (1 if sparsity.mask.shape[1] % sparsity.tile_shape[1] else 0),
+            )
+            assert isinstance(sparsity.ascii_sketch(), str)
+
+    def test_sweeps(self, baseline):
+        workload, network, accuracy, setup = baseline
+        tolerance_sweep = sweep_rank_clipping(
+            workload,
+            [0.02, 0.3],
+            setup=setup,
+            baseline_network=network,
+            baseline_accuracy=accuracy,
+        )
+        assert tolerance_sweep.tolerances() == [0.02, 0.3]
+        # Larger tolerance -> smaller (or equal) ranks and area.
+        first, second = tolerance_sweep.points
+        assert all(second.ranks[n] <= first.ranks[n] for n in first.ranks)
+        assert second.total_area_fraction <= first.total_area_fraction + 1e-9
+        assert len(tolerance_sweep.area_series()) == 2
+        assert len(tolerance_sweep.ranks_series(list(first.ranks)[0])) == 2
+        assert "Tolerance sweep" in tolerance_sweep.format_table()
+
+        strength_sweep = sweep_group_deletion(
+            workload,
+            [0.005, 0.08],
+            include_small_matrices=True,
+            setup=setup,
+            baseline_network=network,
+        )
+        weak, strong = strength_sweep.points
+        assert strength_sweep.strengths() == [0.005, 0.08]
+        # Stronger lambda deletes at least as many wires on average.
+        assert np.mean(list(strong.wire_fractions.values())) <= np.mean(
+            list(weak.wire_fractions.values())
+        ) + 1e-9
+        for matrix in strength_sweep.matrices():
+            assert len(strength_sweep.wire_series(matrix)) == 2
+            assert len(strength_sweep.routing_area_series(matrix)) == 2
+        assert "Strength sweep" in strength_sweep.format_table()
+
+    def test_sweep_validation(self, baseline):
+        workload, network, accuracy, setup = baseline
+        with pytest.raises(ValueError):
+            sweep_rank_clipping(workload, [], setup=setup, baseline_network=network)
+        with pytest.raises(ValueError):
+            sweep_group_deletion(workload, [], setup=setup, baseline_network=network)

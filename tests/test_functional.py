@@ -1,0 +1,124 @@
+"""Tests for repro.nn.functional (im2col/col2im, softmax, one-hot)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn import functional as F
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert F.conv_output_size(28, 5, 1, 0) == 24
+        assert F.conv_output_size(32, 5, 1, 2) == 32
+        assert F.conv_output_size(8, 2, 2, 0) == 4
+
+    def test_invalid_geometry_raises(self):
+        with pytest.raises(ShapeError):
+            F.conv_output_size(3, 5, 1, 0)
+
+
+class TestIm2Col:
+    def test_identity_kernel_one_by_one(self):
+        x = np.arange(2 * 3 * 4 * 4, dtype=float).reshape(2, 3, 4, 4)
+        cols, oh, ow = F.im2col(x, 1, 1, stride=1, padding=0)
+        assert (oh, ow) == (4, 4)
+        assert cols.shape == (2 * 16, 3)
+        # Row 0 is the top-left pixel of image 0 across channels.
+        assert np.array_equal(cols[0], x[0, :, 0, 0])
+
+    def test_shapes_with_padding_and_stride(self):
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8))
+        cols, oh, ow = F.im2col(x, 3, 3, stride=2, padding=1)
+        assert (oh, ow) == (4, 4)
+        assert cols.shape == (2 * 16, 27)
+
+    def test_matches_direct_convolution(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 2, 6, 6))
+        w = rng.normal(size=(4, 2, 3, 3))
+        cols, oh, ow = F.im2col(x, 3, 3, stride=1, padding=0)
+        out = (cols @ w.reshape(4, -1).T).reshape(2, oh, ow, 4).transpose(0, 3, 1, 2)
+        # Direct (slow) convolution for reference.
+        ref = np.zeros_like(out)
+        for n in range(2):
+            for f in range(4):
+                for i in range(oh):
+                    for j in range(ow):
+                        ref[n, f, i, j] = np.sum(x[n, :, i : i + 3, j : j + 3] * w[f])
+        assert np.allclose(out, ref)
+
+    def test_rejects_non_4d(self):
+        with pytest.raises(ShapeError):
+            F.im2col(np.zeros((3, 4, 4)), 2, 2)
+
+
+class TestCol2Im:
+    def test_adjoint_of_im2col(self):
+        # <im2col(x), C> == <x, col2im(C)> for arbitrary C (adjoint property),
+        # which is exactly the correctness condition for the conv backward pass.
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 3, 7, 7))
+        cols, oh, ow = F.im2col(x, 3, 3, stride=2, padding=1)
+        c = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * c))
+        back = F.col2im(c, x.shape, 3, 3, stride=2, padding=1)
+        rhs = float(np.sum(x * back))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_roundtrip_counts_overlaps(self):
+        x = np.ones((1, 1, 4, 4))
+        cols, _, _ = F.im2col(x, 2, 2, stride=1, padding=0)
+        back = F.col2im(cols, x.shape, 2, 2, stride=1, padding=0)
+        # Interior pixels are covered by 4 windows, corners by 1.
+        assert back[0, 0, 0, 0] == 1
+        assert back[0, 0, 1, 1] == 4
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            F.col2im(np.zeros((5, 5)), (1, 1, 4, 4), 2, 2)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = np.random.default_rng(0).normal(size=(5, 7))
+        probs = F.softmax(logits, axis=1)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_shift_invariance(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(F.softmax(logits), F.softmax(logits + 100.0))
+
+    def test_no_overflow_for_large_logits(self):
+        probs = F.softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_consistent(self):
+        logits = np.random.default_rng(1).normal(size=(4, 6))
+        assert np.allclose(F.log_softmax(logits), np.log(F.softmax(logits)))
+
+
+class TestOneHotAndActivations:
+    def test_one_hot_basic(self):
+        encoded = F.one_hot(np.array([0, 2, 1]), 3)
+        assert np.array_equal(encoded, np.array([[1, 0, 0], [0, 0, 1], [0, 1, 0]], dtype=float))
+
+    def test_one_hot_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([0, 5]), 3)
+
+    def test_one_hot_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            F.one_hot(np.zeros((2, 2), dtype=int), 3)
+
+    def test_relu(self):
+        assert np.array_equal(F.relu(np.array([-1.0, 0.0, 2.0])), np.array([0.0, 0.0, 2.0]))
+
+    def test_sigmoid_range_and_symmetry(self):
+        x = np.array([-500.0, -1.0, 0.0, 1.0, 500.0])
+        s = F.sigmoid(x)
+        assert np.all((s >= 0) & (s <= 1))
+        assert s[2] == pytest.approx(0.5)
+        assert s[1] + s[3] == pytest.approx(1.0)

@@ -1,0 +1,268 @@
+"""Tests for the crossbar hardware model: technology, crossbars, library, tiling,
+routing and area estimation, including the paper's exact geometry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError, TilingError
+from repro.hardware import (
+    PAPER_LIBRARY,
+    PAPER_TECHNOLOGY,
+    Crossbar,
+    CrossbarInstance,
+    CrossbarLibrary,
+    RoutingReport,
+    TechnologyParameters,
+    TilingPlan,
+    analyze_routing,
+    area_reduction_rank_bound,
+    count_remaining_wires,
+    dense_layer_area,
+    factorized_layer_area,
+    largest_divisor_at_most,
+    layer_area_fraction,
+    matrix_crossbar_area,
+    network_area_fraction,
+    per_layer_area_fractions,
+    plan_tiling,
+    routing_area,
+    routing_area_from_lengths,
+)
+from repro.models.convnet import PAPER_CONVNET_RANKS, PAPER_CONVNET_SHAPES
+from repro.models.lenet import PAPER_LENET_RANKS, PAPER_LENET_SHAPES
+
+
+class TestTechnology:
+    def test_table2_defaults(self):
+        tech = PAPER_TECHNOLOGY
+        assert tech.cell_area_f2 == 4.0
+        assert tech.max_crossbar_rows == 64
+        assert tech.max_crossbar_cols == 64
+        assert tech.cell_pitch_f == 2.0
+
+    def test_derived_quantities(self):
+        tech = TechnologyParameters(feature_size_nm=20.0)
+        assert tech.cell_area_nm2 == pytest.approx(4 * 400)
+        assert tech.wire_pitch_f == pytest.approx(2.0)
+        assert tech.crossbar_cell_limit() == 64 * 64
+        assert tech.fits_single_crossbar(64, 64)
+        assert not tech.fits_single_crossbar(65, 10)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyParameters(cell_area_f2=0)
+        with pytest.raises(ConfigurationError):
+            TechnologyParameters(max_crossbar_rows=0)
+        with pytest.raises(ConfigurationError):
+            TechnologyParameters(routing_alpha=0)
+
+
+class TestCrossbar:
+    def test_area(self):
+        xbar = Crossbar(64, 64)
+        assert xbar.num_cells == 4096
+        assert xbar.area_f2 == 4 * 4096
+        assert xbar.num_io_wires == 128
+
+    def test_size_limit_enforced(self):
+        with pytest.raises(TilingError):
+            Crossbar(65, 64)
+
+    def test_instance_live_wires(self):
+        weights = np.zeros((4, 3))
+        weights[1, 2] = 0.5
+        inst = CrossbarInstance(Crossbar(4, 3), (0, 0), weights)
+        assert inst.live_rows() == 1
+        assert inst.live_cols() == 1
+        assert inst.live_wires() == 2
+        assert not inst.is_empty()
+        assert inst.density() == pytest.approx(1 / 12)
+
+    def test_instance_empty(self):
+        inst = CrossbarInstance(Crossbar(4, 3), (0, 0), np.zeros((4, 3)))
+        assert inst.is_empty()
+        assert inst.live_wires() == 0
+
+    def test_instance_without_weights(self):
+        inst = CrossbarInstance(Crossbar(4, 3), (0, 0))
+        assert inst.live_wires() == 7
+        assert not inst.is_empty()
+        assert inst.density() == 1.0
+
+
+class TestLibrary:
+    def test_largest_divisor(self):
+        assert largest_divisor_at_most(500, 64) == 50
+        assert largest_divisor_at_most(800, 64) == 50
+        assert largest_divisor_at_most(75, 64) == 25
+        assert largest_divisor_at_most(1024, 64) == 64
+        assert largest_divisor_at_most(30, 64) == 30
+        assert largest_divisor_at_most(127, 64) == 1
+
+    def test_single_crossbar_selection(self):
+        assert PAPER_LIBRARY.select_tile_shape(50, 12) == (50, 12, False)
+        assert PAPER_LIBRARY.select_tile_shape(64, 64) == (64, 64, False)
+
+    def test_divisor_selection_matches_paper_table3(self):
+        # LeNet fc1: U is 500x36 -> 50x36 tiles; Vᵀ is 36x800 -> 36x50 tiles.
+        assert PAPER_LIBRARY.select_tile_shape(500, 36)[:2] == (50, 36)
+        assert PAPER_LIBRARY.select_tile_shape(36, 800)[:2] == (36, 50)
+        # LeNet fc2 (500x10 crossbar matrix) -> 50x10 tiles.
+        assert PAPER_LIBRARY.select_tile_shape(500, 10)[:2] == (50, 10)
+        # ConvNet conv1 factor over fan-in 75 -> 25-wide tiles; fc over 1024 -> 64.
+        assert PAPER_LIBRARY.select_tile_shape(75, 12)[:2] == (25, 12)
+        assert PAPER_LIBRARY.select_tile_shape(1024, 10)[:2] == (64, 10)
+
+    def test_prime_dimension_padding_fallback(self):
+        tile = PAPER_LIBRARY.select_tile_shape(127, 10)
+        assert tile == (64, 10, True)
+        strict = CrossbarLibrary(allow_padding=False)
+        with pytest.raises(TilingError):
+            strict.select_tile_shape(127, 10)
+
+    def test_contains(self):
+        assert PAPER_LIBRARY.contains(1, 1)
+        assert PAPER_LIBRARY.contains(64, 64)
+        assert not PAPER_LIBRARY.contains(65, 1)
+
+
+class TestTiling:
+    def test_grid_geometry(self):
+        plan = plan_tiling(500, 36)
+        assert plan.tile_shape() == (50, 36)
+        assert plan.grid_rows == 10
+        assert plan.grid_cols == 1
+        assert plan.num_crossbars == 10
+        assert not plan.is_single_crossbar
+
+    def test_tile_bounds_and_iteration_cover_matrix(self):
+        plan = plan_tiling(36, 800)
+        covered = np.zeros((36, 800), dtype=int)
+        for _, _, row_slice, col_slice in plan.iter_tiles():
+            covered[row_slice, col_slice] += 1
+        assert np.all(covered == 1)
+
+    def test_dense_wire_count(self):
+        plan = plan_tiling(500, 36)  # 10 tiles of 50x36
+        assert plan.dense_wire_count() == 10 * (50 + 36)
+        single = plan_tiling(50, 12)
+        assert single.dense_wire_count() == 62
+
+    def test_invalid_tile_index(self):
+        plan = plan_tiling(100, 10)
+        with pytest.raises(TilingError):
+            plan.tile_bounds(99, 0)
+
+    def test_non_divisible_requires_padded_flag(self):
+        with pytest.raises(TilingError):
+            TilingPlan(matrix_rows=10, matrix_cols=10, tile_rows=3, tile_cols=5)
+        plan = TilingPlan(matrix_rows=10, matrix_cols=10, tile_rows=3, tile_cols=5, padded=True)
+        assert plan.grid_rows == 4
+        assert plan.allocated_cells >= plan.total_cells
+
+    def test_instantiate_with_weights(self):
+        plan = plan_tiling(100, 10)
+        weights = np.zeros((100, 10))
+        weights[:50, :] = 1.0
+        instances = plan.instantiate(weights)
+        assert len(instances) == plan.num_crossbars
+        empty = sum(1 for inst in instances if inst.is_empty())
+        assert empty == 1  # the lower 50x10 block is all zero
+
+    def test_instantiate_shape_check(self):
+        plan = plan_tiling(100, 10)
+        with pytest.raises(TilingError):
+            plan.instantiate(np.zeros((10, 100)))
+
+
+class TestRouting:
+    def test_count_remaining_wires_dense(self):
+        plan = plan_tiling(100, 10)
+        weights = np.ones((100, 10))
+        assert count_remaining_wires(weights, plan) == plan.dense_wire_count()
+
+    def test_count_remaining_wires_with_zero_groups(self):
+        plan = plan_tiling(100, 10)  # 2 tiles of 50x10
+        weights = np.ones((100, 10))
+        weights[0, :] = 0.0  # one all-zero row group -> one less input wire
+        weights[50:, 3] = 0.0  # one all-zero column group in tile 1
+        assert count_remaining_wires(weights, plan) == plan.dense_wire_count() - 2
+
+    def test_count_with_threshold(self):
+        plan = plan_tiling(10, 10)
+        weights = np.full((10, 10), 1e-6)
+        assert count_remaining_wires(weights, plan, zero_threshold=1e-3) == 0
+
+    def test_shape_mismatch(self):
+        plan = plan_tiling(10, 10)
+        with pytest.raises(ShapeError):
+            count_remaining_wires(np.zeros((5, 5)), plan)
+
+    def test_routing_area_quadratic(self):
+        assert routing_area(10) == 100.0
+        assert routing_area(0) == 0.0
+        tech = TechnologyParameters(routing_alpha=2.5)
+        assert routing_area(4, tech) == 40.0
+        with pytest.raises(ValueError):
+            routing_area(-1)
+
+    def test_routing_area_from_lengths(self):
+        assert routing_area_from_lengths([2.0, 3.0]) == pytest.approx(2.0 * 5.0)
+        with pytest.raises(ValueError):
+            routing_area_from_lengths([-1.0])
+
+    def test_routing_report_properties(self):
+        report = RoutingReport("fc1_u", dense_wires=100, remaining_wires=25)
+        assert report.wire_fraction == 0.25
+        assert report.deleted_fraction == 0.75
+        assert report.deleted_wires == 75
+        assert report.area_fraction == pytest.approx(0.0625)
+        with pytest.raises(ValueError):
+            RoutingReport("x", dense_wires=10, remaining_wires=11)
+
+    def test_analyze_routing(self):
+        plan = plan_tiling(100, 10, name="m")
+        weights = np.ones((100, 10))
+        weights[:50] = 0.0
+        report = analyze_routing(weights, plan)
+        assert report.name == "m"
+        assert report.dense_wires == 120
+        assert report.remaining_wires == 60
+
+
+class TestArea:
+    def test_matrix_and_layer_area(self):
+        assert matrix_crossbar_area(10, 10) == 400.0
+        assert dense_layer_area(20, 25) == 4 * 500
+        assert factorized_layer_area(20, 25, 5) == 4 * (100 + 125)
+
+    def test_factorized_rank_bound(self):
+        assert area_reduction_rank_bound(20, 25) == pytest.approx(500 / 45)
+        with pytest.raises(Exception):
+            factorized_layer_area(20, 25, 21)
+
+    def test_layer_area_fraction(self):
+        assert layer_area_fraction(20, 25, None) == 1.0
+        assert layer_area_fraction(20, 25, 5) == pytest.approx(225 / 500)
+
+    def test_paper_lenet_headline_exact(self):
+        fraction = network_area_fraction(PAPER_LENET_SHAPES, PAPER_LENET_RANKS)
+        assert 100 * fraction == pytest.approx(13.62, abs=0.01)
+
+    def test_paper_convnet_headline_exact(self):
+        fraction = network_area_fraction(PAPER_CONVNET_SHAPES, PAPER_CONVNET_RANKS)
+        assert 100 * fraction == pytest.approx(51.81, abs=0.01)
+
+    def test_per_layer_fractions(self):
+        fractions = per_layer_area_fractions(PAPER_LENET_SHAPES, PAPER_LENET_RANKS)
+        assert fractions["fc2"] == 1.0  # unclipped classifier
+        assert fractions["conv1"] == pytest.approx(0.45)
+        assert fractions["fc1"] == pytest.approx((500 * 36 + 36 * 800) / (500 * 800))
+
+    def test_network_area_fraction_validation(self):
+        with pytest.raises(ValueError):
+            network_area_fraction({}, {})
+
+    def test_unclipped_network_fraction_is_one(self):
+        fraction = network_area_fraction(PAPER_LENET_SHAPES, {})
+        assert fraction == pytest.approx(1.0)

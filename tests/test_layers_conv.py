@@ -1,0 +1,119 @@
+"""Tests for Conv2D and LowRankConv2D layers, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RankError, ShapeError
+from repro.nn.layers import Conv2D, LowRankConv2D
+
+
+class TestConv2D:
+    def test_output_shape(self):
+        layer = Conv2D(3, 8, 5, padding=2, rng=0)
+        assert layer.output_shape((3, 32, 32)) == (8, 32, 32)
+        layer2 = Conv2D(1, 4, 5, rng=0)
+        assert layer2.output_shape((1, 28, 28)) == (4, 24, 24)
+        with pytest.raises(ShapeError):
+            layer.output_shape((2, 32, 32))
+
+    def test_forward_shape(self):
+        layer = Conv2D(2, 6, 3, rng=0)
+        x = np.random.default_rng(0).normal(size=(4, 2, 8, 8))
+        assert layer.forward(x).shape == (4, 6, 6, 6)
+
+    def test_forward_rejects_wrong_channels(self):
+        layer = Conv2D(2, 6, 3, rng=0)
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((4, 3, 8, 8)))
+
+    def test_known_convolution_value(self):
+        layer = Conv2D(1, 1, 2, bias=False, rng=0)
+        layer.weight.data = np.array([[[[1.0, 0.0], [0.0, 1.0]]]])
+        x = np.arange(9.0).reshape(1, 1, 3, 3)
+        out = layer.forward(x)
+        # Each output is x[i,j] + x[i+1,j+1].
+        expected = np.array([[[[0 + 4, 1 + 5], [3 + 7, 4 + 8]]]], dtype=float)
+        assert np.allclose(out, expected)
+
+    def test_weight_matrix_view(self):
+        layer = Conv2D(3, 10, 5, rng=0)
+        assert layer.weight_matrix.shape == (10, 75)
+        assert layer.fan_in == 75
+
+    def test_gradients_match_numerical(self, grad_checker):
+        rng = np.random.default_rng(3)
+        layer = Conv2D(2, 3, 3, stride=1, padding=1, rng=4)
+        x = rng.normal(size=(2, 2, 5, 5))
+        target = rng.normal(size=(2, 3, 5, 5))
+
+        def loss():
+            return 0.5 * float(np.sum((layer.forward(x) - target) ** 2))
+
+        out = layer.forward(x)
+        layer.zero_grad()
+        grad_in = layer.backward(out - target)
+        assert np.allclose(layer.weight.grad, grad_checker(loss, layer.weight.data), atol=1e-5)
+        assert np.allclose(layer.bias.grad, grad_checker(loss, layer.bias.data), atol=1e-5)
+        assert np.allclose(grad_in, grad_checker(loss, x), atol=1e-5)
+
+    def test_stride_and_padding_geometry(self):
+        layer = Conv2D(1, 2, 3, stride=2, padding=1, rng=0)
+        assert layer.output_shape((1, 9, 9)) == (2, 5, 5)
+
+    def test_invalid_padding(self):
+        with pytest.raises(ValueError):
+            Conv2D(1, 2, 3, padding=-1)
+
+
+class TestLowRankConv2D:
+    def test_full_rank_from_conv_is_exact(self):
+        rng = np.random.default_rng(5)
+        conv = Conv2D(2, 6, 3, padding=1, rng=6)
+        lowrank = LowRankConv2D.from_conv(conv)
+        x = rng.normal(size=(3, 2, 7, 7))
+        assert np.allclose(lowrank.forward(x), conv.forward(x))
+        assert np.allclose(lowrank.effective_weight(), conv.weight_matrix)
+        assert np.allclose(lowrank.effective_kernel(), conv.weight.data)
+
+    def test_truncation_is_best_rank_k(self):
+        conv = Conv2D(3, 8, 3, rng=7)
+        lowrank = LowRankConv2D.from_conv(conv, rank=4)
+        w = conv.weight_matrix
+        u, s, vt = np.linalg.svd(w, full_matrices=False)
+        best = (u[:, :4] * s[:4]) @ vt[:4]
+        assert np.allclose(lowrank.effective_weight(), best)
+
+    def test_rank_bounds(self):
+        with pytest.raises(RankError):
+            LowRankConv2D(1, 4, 3, rank=10)  # fan_in = 9 < 10
+        conv = Conv2D(1, 4, 3, rng=0)
+        with pytest.raises(RankError):
+            LowRankConv2D.from_conv(conv, rank=5)
+
+    def test_gradients_match_numerical(self, grad_checker):
+        rng = np.random.default_rng(8)
+        layer = LowRankConv2D(2, 4, 3, rank=2, padding=1, rng=9)
+        x = rng.normal(size=(2, 2, 5, 5))
+        target = rng.normal(size=(2, 4, 5, 5))
+
+        def loss():
+            return 0.5 * float(np.sum((layer.forward(x) - target) ** 2))
+
+        out = layer.forward(x)
+        layer.zero_grad()
+        grad_in = layer.backward(out - target)
+        assert np.allclose(layer.u.grad, grad_checker(loss, layer.u.data), atol=1e-5)
+        assert np.allclose(layer.v.grad, grad_checker(loss, layer.v.data), atol=1e-5)
+        assert np.allclose(grad_in, grad_checker(loss, x), atol=1e-5)
+
+    def test_set_factors(self):
+        layer = LowRankConv2D(2, 4, 3, rng=0)
+        layer.set_factors(np.ones((4, 2)), np.ones((18, 2)))
+        assert layer.rank == 2
+        with pytest.raises(ShapeError):
+            layer.set_factors(np.ones((4, 2)), np.ones((17, 2)))
+
+    def test_output_shape_matches_dense(self):
+        dense = Conv2D(3, 6, 5, padding=2, rng=0)
+        lowrank = LowRankConv2D(3, 6, 5, rank=4, padding=2, rng=0)
+        assert dense.output_shape((3, 16, 16)) == lowrank.output_shape((3, 16, 16))

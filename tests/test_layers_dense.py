@@ -1,0 +1,149 @@
+"""Tests for Linear and LowRankLinear layers, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RankError, ShapeError
+from repro.nn.layers import Linear, LowRankLinear
+
+
+class TestLinear:
+    def test_forward_matches_manual(self):
+        layer = Linear(3, 2, rng=0)
+        layer.weight.data = np.array([[1.0, 0.0, -1.0], [2.0, 1.0, 0.0]])
+        layer.bias.data = np.array([0.5, -0.5])
+        x = np.array([[1.0, 2.0, 3.0]])
+        out = layer.forward(x)
+        assert np.allclose(out, np.array([[1 - 3 + 0.5, 2 + 2 - 0.5]]))
+
+    def test_forward_shape_validation(self):
+        layer = Linear(4, 2, rng=0)
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((3, 5)))
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros(4))
+
+    def test_backward_before_forward_raises(self):
+        layer = Linear(4, 2, rng=0)
+        with pytest.raises(ShapeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_no_bias_option(self):
+        layer = Linear(3, 2, bias=False, rng=0)
+        assert layer.bias is None
+        assert set(layer.parameters()) == {"weight"}
+
+    def test_gradients_match_numerical(self, grad_checker):
+        rng = np.random.default_rng(0)
+        layer = Linear(5, 3, rng=1)
+        x = rng.normal(size=(4, 5))
+        target = rng.normal(size=(4, 3))
+
+        def loss():
+            return 0.5 * float(np.sum((layer.forward(x) - target) ** 2))
+
+        out = layer.forward(x)
+        layer.zero_grad()
+        grad_in = layer.backward(out - target)
+
+        num_w = grad_checker(loss, layer.weight.data)
+        num_b = grad_checker(loss, layer.bias.data)
+        num_x = grad_checker(loss, x)
+        assert np.allclose(layer.weight.grad, num_w, atol=1e-6)
+        assert np.allclose(layer.bias.grad, num_b, atol=1e-6)
+        assert np.allclose(grad_in, num_x, atol=1e-6)
+
+    def test_output_shape(self):
+        layer = Linear(8, 3, rng=0)
+        assert layer.output_shape((8,)) == (3,)
+        with pytest.raises(ShapeError):
+            layer.output_shape((7,))
+
+    def test_weight_matrix_orientation(self):
+        layer = Linear(6, 4, rng=0)
+        assert layer.weight_matrix.shape == (4, 6)
+
+
+class TestLowRankLinear:
+    def test_full_rank_from_dense_is_exact(self):
+        rng = np.random.default_rng(0)
+        weight = rng.normal(size=(6, 9))
+        bias = rng.normal(size=6)
+        layer = LowRankLinear.from_dense(weight, bias)
+        assert layer.rank == 6
+        x = rng.normal(size=(5, 9))
+        dense_out = x @ weight.T + bias
+        assert np.allclose(layer.forward(x), dense_out)
+        assert np.allclose(layer.effective_weight(), weight)
+
+    def test_truncated_from_dense_is_best_approximation(self):
+        rng = np.random.default_rng(1)
+        weight = rng.normal(size=(8, 10))
+        layer = LowRankLinear.from_dense(weight, None, rank=3)
+        u, s, vt = np.linalg.svd(weight, full_matrices=False)
+        best = (u[:, :3] * s[:3]) @ vt[:3]
+        assert np.allclose(layer.effective_weight(), best)
+
+    def test_rank_validation(self):
+        with pytest.raises(RankError):
+            LowRankLinear(4, 6, rank=5)
+        with pytest.raises(RankError):
+            LowRankLinear.from_dense(np.zeros((4, 6)), None, rank=5)
+
+    def test_forward_shape_validation(self):
+        layer = LowRankLinear(5, 3, rank=2, rng=0)
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((2, 4)))
+
+    def test_gradients_match_numerical(self, grad_checker):
+        rng = np.random.default_rng(2)
+        layer = LowRankLinear(6, 4, rank=3, rng=3)
+        x = rng.normal(size=(3, 6))
+        target = rng.normal(size=(3, 4))
+
+        def loss():
+            return 0.5 * float(np.sum((layer.forward(x) - target) ** 2))
+
+        out = layer.forward(x)
+        layer.zero_grad()
+        grad_in = layer.backward(out - target)
+        assert np.allclose(layer.u.grad, grad_checker(loss, layer.u.data), atol=1e-6)
+        assert np.allclose(layer.v.grad, grad_checker(loss, layer.v.data), atol=1e-6)
+        assert np.allclose(layer.bias.grad, grad_checker(loss, layer.bias.data), atol=1e-6)
+        assert np.allclose(grad_in, grad_checker(loss, x), atol=1e-6)
+
+    def test_set_factors_updates_rank(self):
+        layer = LowRankLinear(8, 5, rank=5, rng=0)
+        u = np.zeros((5, 2))
+        v = np.zeros((8, 2))
+        layer.set_factors(u, v)
+        assert layer.rank == 2
+        assert layer.u.shape == (5, 2)
+        assert layer.v.shape == (8, 2)
+
+    def test_set_factors_validation(self):
+        layer = LowRankLinear(8, 5, rank=5, rng=0)
+        with pytest.raises(ShapeError):
+            layer.set_factors(np.zeros((5, 2)), np.zeros((7, 2)))
+        with pytest.raises(ShapeError):
+            layer.set_factors(np.zeros((5, 2)), np.zeros((8, 3)))
+        with pytest.raises(ShapeError):
+            layer.set_factors(np.zeros(5), np.zeros((8, 1)))
+
+    def test_set_factors_clears_masks(self):
+        layer = LowRankLinear(8, 5, rank=5, rng=0)
+        layer.u.set_mask(np.zeros((5, 5), dtype=bool))
+        layer.set_factors(np.ones((5, 2)), np.ones((8, 2)))
+        assert layer.u.mask is None
+
+    def test_crossbar_area_saving_condition(self):
+        # Factorized cell count NK + KM is smaller than NM exactly when
+        # K < NM/(N+M)  (paper Eq. 2).
+        n, m = 20, 25
+        bound = n * m / (n + m)
+        for k in range(1, min(n, m) + 1):
+            factorized = n * k + k * m
+            if k < bound:
+                assert factorized < n * m
+            if k > bound:
+                assert factorized > n * m

@@ -1,0 +1,166 @@
+"""Tests for pooling, activation, flatten and dropout layers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn.layers import (
+    AvgPool2D,
+    Dropout,
+    Flatten,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+
+
+class TestMaxPool2D:
+    def test_known_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        pool = MaxPool2D(2)
+        out = pool.forward(x)
+        assert np.array_equal(out[0, 0], np.array([[5.0, 7.0], [13.0, 15.0]]))
+
+    def test_backward_routes_to_argmax(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        pool = MaxPool2D(2)
+        pool.forward(x)
+        grad = pool.backward(np.ones((1, 1, 2, 2)))
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        assert np.array_equal(grad[0, 0], expected)
+
+    def test_gradient_matches_numerical(self, grad_checker):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 6, 6))
+        target = rng.normal(size=(2, 3, 3, 3))
+        pool = MaxPool2D(2)
+
+        def loss():
+            return 0.5 * float(np.sum((pool.forward(x) - target) ** 2))
+
+        out = pool.forward(x)
+        grad = pool.backward(out - target)
+        assert np.allclose(grad, grad_checker(loss, x), atol=1e-6)
+
+    def test_output_shape_and_validation(self):
+        pool = MaxPool2D(2)
+        assert pool.output_shape((4, 8, 8)) == (4, 4, 4)
+        with pytest.raises(ShapeError):
+            pool.output_shape((8, 8))
+        with pytest.raises(ShapeError):
+            pool.forward(np.zeros((2, 8, 8)))
+        with pytest.raises(ShapeError):
+            pool.backward(np.zeros((1, 1, 2, 2)))
+
+    def test_overlapping_stride(self):
+        pool = MaxPool2D(3, stride=2)
+        assert pool.output_shape((1, 7, 7)) == (1, 3, 3)
+        x = np.random.default_rng(1).normal(size=(1, 1, 7, 7))
+        assert pool.forward(x).shape == (1, 1, 3, 3)
+
+
+class TestAvgPool2D:
+    def test_known_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        pool = AvgPool2D(2)
+        out = pool.forward(x)
+        assert np.allclose(out[0, 0], np.array([[2.5, 4.5], [10.5, 12.5]]))
+
+    def test_backward_spreads_evenly(self):
+        x = np.zeros((1, 1, 4, 4))
+        pool = AvgPool2D(2)
+        pool.forward(x)
+        grad = pool.backward(np.ones((1, 1, 2, 2)) * 4.0)
+        assert np.allclose(grad, np.ones((1, 1, 4, 4)))
+
+    def test_gradient_matches_numerical(self, grad_checker):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 2, 4, 4))
+        target = rng.normal(size=(1, 2, 2, 2))
+        pool = AvgPool2D(2)
+
+        def loss():
+            return 0.5 * float(np.sum((pool.forward(x) - target) ** 2))
+
+        out = pool.forward(x)
+        grad = pool.backward(out - target)
+        assert np.allclose(grad, grad_checker(loss, x), atol=1e-6)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("layer_cls", [ReLU, LeakyReLU, Sigmoid, Tanh])
+    def test_gradient_matches_numerical(self, layer_cls, grad_checker):
+        rng = np.random.default_rng(3)
+        layer = layer_cls()
+        x = rng.normal(size=(3, 5))
+        target = rng.normal(size=(3, 5))
+
+        def loss():
+            return 0.5 * float(np.sum((layer.forward(x) - target) ** 2))
+
+        out = layer.forward(x)
+        grad = layer.backward(out - target)
+        assert np.allclose(grad, grad_checker(loss, x), atol=1e-6)
+
+    def test_relu_values(self):
+        out = ReLU().forward(np.array([[-2.0, 3.0]]))
+        assert np.array_equal(out, np.array([[0.0, 3.0]]))
+
+    def test_leaky_relu_slope(self):
+        out = LeakyReLU(0.1).forward(np.array([[-10.0, 10.0]]))
+        assert np.allclose(out, np.array([[-1.0, 10.0]]))
+        with pytest.raises(ValueError):
+            LeakyReLU(-0.1)
+
+    def test_sigmoid_midpoint(self):
+        assert Sigmoid().forward(np.array([[0.0]]))[0, 0] == pytest.approx(0.5)
+
+    def test_tanh_range(self):
+        out = Tanh().forward(np.array([[-100.0, 100.0]]))
+        assert out[0, 0] == pytest.approx(-1.0)
+        assert out[0, 1] == pytest.approx(1.0)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(ShapeError):
+            ReLU().backward(np.ones((2, 2)))
+
+
+class TestFlattenDropout:
+    def test_flatten_roundtrip(self):
+        x = np.arange(24.0).reshape(2, 3, 2, 2)
+        flatten = Flatten()
+        out = flatten.forward(x)
+        assert out.shape == (2, 12)
+        back = flatten.backward(out)
+        assert np.array_equal(back, x)
+        assert flatten.output_shape((3, 2, 2)) == (12,)
+
+    def test_dropout_eval_is_identity(self):
+        dropout = Dropout(0.5, rng=0)
+        dropout.eval()
+        x = np.ones((4, 10))
+        assert np.array_equal(dropout.forward(x), x)
+
+    def test_dropout_train_scales_and_masks(self):
+        dropout = Dropout(0.5, rng=0)
+        dropout.train()
+        x = np.ones((200, 50))
+        out = dropout.forward(x)
+        kept = out[out > 0]
+        assert np.allclose(kept, 2.0)  # inverted dropout scaling
+        assert out.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_dropout_backward_uses_same_mask(self):
+        dropout = Dropout(0.5, rng=1)
+        dropout.train()
+        x = np.ones((10, 10))
+        out = dropout.forward(x)
+        grad = dropout.backward(np.ones_like(x))
+        assert np.array_equal(grad > 0, out > 0)
+
+    def test_dropout_rate_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)

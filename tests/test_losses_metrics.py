@@ -1,0 +1,128 @@
+"""Tests for loss functions and classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn.losses import L1Loss, MSELoss, SoftmaxCrossEntropy
+from repro.nn.metrics import accuracy, confusion_matrix, error_rate, top_k_accuracy
+
+
+class TestSoftmaxCrossEntropy:
+    def test_uniform_logits_loss_is_log_classes(self):
+        loss = SoftmaxCrossEntropy()
+        value = loss.forward(np.zeros((4, 10)), np.array([0, 1, 2, 3]))
+        assert value == pytest.approx(np.log(10))
+
+    def test_perfect_prediction_low_loss(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        assert loss.forward(logits, np.array([0, 1])) == pytest.approx(0.0, abs=1e-6)
+
+    def test_backward_is_probs_minus_onehot(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[1.0, 2.0, 0.5], [0.0, 0.0, 0.0]])
+        targets = np.array([1, 2])
+        loss.forward(logits, targets)
+        grad = loss.backward()
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        probs = np.exp(shifted) / np.exp(shifted).sum(axis=1, keepdims=True)
+        expected = probs.copy()
+        expected[0, 1] -= 1
+        expected[1, 2] -= 1
+        assert np.allclose(grad, expected / 2)
+
+    def test_gradient_matches_numerical(self, grad_checker):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(5, 4))
+        targets = rng.integers(0, 4, size=5)
+        loss = SoftmaxCrossEntropy()
+
+        def value():
+            return loss.forward(logits, targets)
+
+        loss.forward(logits, targets)
+        grad = loss.backward()
+        assert np.allclose(grad, grad_checker(value, logits), atol=1e-6)
+
+    def test_validation(self):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(ShapeError):
+            loss.forward(np.zeros((2, 3, 4)), np.array([0, 1]))
+        with pytest.raises(ShapeError):
+            loss.forward(np.zeros((2, 3)), np.array([0]))
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((2, 3)), np.array([0, 5]))
+        with pytest.raises(ShapeError):
+            SoftmaxCrossEntropy().backward()
+
+
+class TestRegressionLosses:
+    def test_mse_value_and_gradient(self, grad_checker):
+        rng = np.random.default_rng(1)
+        pred = rng.normal(size=(3, 4))
+        target = rng.normal(size=(3, 4))
+        loss = MSELoss()
+        value = loss.forward(pred, target)
+        assert value == pytest.approx(np.mean((pred - target) ** 2))
+
+        def f():
+            return loss.forward(pred, target)
+
+        loss.forward(pred, target)
+        assert np.allclose(loss.backward(), grad_checker(f, pred), atol=1e-6)
+
+    def test_l1_value(self):
+        loss = L1Loss()
+        value = loss.forward(np.array([1.0, -1.0]), np.array([0.0, 0.0]))
+        assert value == pytest.approx(1.0)
+        grad = loss.backward()
+        assert np.allclose(grad, np.array([0.5, -0.5]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            MSELoss().forward(np.zeros((2, 2)), np.zeros((2, 3)))
+        with pytest.raises(ShapeError):
+            L1Loss().forward(np.zeros(2), np.zeros(3))
+
+
+class TestMetrics:
+    def test_accuracy_from_logits_and_labels(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4], [0.3, 0.7]])
+        targets = np.array([0, 1, 1, 1])
+        assert accuracy(logits, targets) == pytest.approx(0.75)
+        assert error_rate(logits, targets) == pytest.approx(0.25)
+
+    def test_accuracy_from_class_indices(self):
+        assert accuracy(np.array([0, 1, 2]), np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_validation(self):
+        with pytest.raises(ShapeError):
+            accuracy(np.zeros((2, 2, 2)), np.zeros(2))
+        with pytest.raises(ShapeError):
+            accuracy(np.zeros((3, 2)), np.zeros(2))
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((0, 2)), np.zeros(0))
+
+    def test_top_k(self):
+        logits = np.array([[0.1, 0.5, 0.4], [0.3, 0.2, 0.5]])
+        targets = np.array([1, 0])
+        assert top_k_accuracy(logits, targets, k=1) == pytest.approx(0.5)
+        assert top_k_accuracy(logits, targets, k=2) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            top_k_accuracy(logits, targets, k=4)
+
+    def test_confusion_matrix(self):
+        predictions = np.array([0, 1, 1, 2])
+        targets = np.array([0, 1, 2, 2])
+        matrix = confusion_matrix(predictions, targets, num_classes=3)
+        assert matrix[0, 0] == 1
+        assert matrix[1, 1] == 1
+        assert matrix[2, 1] == 1
+        assert matrix[2, 2] == 1
+        assert matrix.sum() == 4
+
+    def test_confusion_matrix_from_logits(self):
+        logits = np.array([[0.9, 0.1], [0.1, 0.9]])
+        matrix = confusion_matrix(logits, np.array([0, 1]))
+        assert np.array_equal(matrix, np.eye(2, dtype=int))

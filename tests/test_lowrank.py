@@ -1,0 +1,166 @@
+"""Tests for the low-rank approximation package (PCA, SVD, error curves)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RankError
+from repro.lowrank import (
+    Factorization,
+    LowRankApproximator,
+    covariance_eigendecomposition,
+    energy_retained,
+    minimal_rank,
+    pca_factorize,
+    pca_reconstruction_error,
+    reconstruction_error,
+    reconstruction_error_curve,
+    svd_factorize,
+    svd_reconstruction_error,
+    svd_spectrum,
+)
+
+
+def low_rank_matrix(n, m, rank, seed=0, noise=0.0):
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(n, rank)) @ rng.normal(size=(rank, m))
+    if noise:
+        matrix = matrix + noise * rng.normal(size=(n, m))
+    return matrix
+
+
+class TestPCA:
+    def test_full_rank_reconstruction_exact(self):
+        w = np.random.default_rng(0).normal(size=(8, 12))
+        result = pca_factorize(w, center=False)
+        assert np.allclose(result.reconstruct(), w)
+
+    def test_centered_full_rank_reconstruction_exact(self):
+        w = np.random.default_rng(1).normal(size=(8, 12)) + 5.0
+        result = pca_factorize(w, rank=8, center=True)
+        assert np.allclose(result.reconstruct(), w)
+
+    def test_eigenvalues_sorted_and_nonnegative(self):
+        w = np.random.default_rng(2).normal(size=(10, 6))
+        eigenvalues, eigenvectors, _ = covariance_eigendecomposition(w)
+        assert np.all(np.diff(eigenvalues) <= 1e-12)
+        assert np.all(eigenvalues >= 0)
+        assert np.allclose(eigenvectors.T @ eigenvectors, np.eye(6), atol=1e-10)
+
+    def test_recovers_true_rank(self):
+        w = low_rank_matrix(20, 30, 4, seed=3)
+        result = pca_factorize(w, center=False)
+        significant = np.sum(result.eigenvalues > 1e-10 * result.eigenvalues[0])
+        assert significant == 4
+
+    def test_uncentered_pca_matches_svd_truncation(self):
+        w = np.random.default_rng(4).normal(size=(10, 15))
+        pca = pca_factorize(w, rank=5, center=False)
+        svd = svd_factorize(w, rank=5)
+        assert np.allclose(pca.reconstruct(), svd.reconstruct(), atol=1e-8)
+
+    def test_reconstruction_error_decreases_with_rank(self):
+        w = low_rank_matrix(12, 16, 8, seed=5, noise=0.1)
+        errors = [pca_reconstruction_error(w, k) for k in range(1, 13)]
+        assert all(a >= b - 1e-12 for a, b in zip(errors, errors[1:]))
+        assert errors[-1] == pytest.approx(0.0, abs=1e-10)
+
+    def test_rank_validation(self):
+        with pytest.raises(RankError):
+            pca_factorize(np.zeros((4, 6)), rank=7)
+        with pytest.raises(RankError):
+            pca_factorize(np.ones((4, 6)), rank=0)
+
+
+class TestSVD:
+    def test_truncation_is_best_approximation(self):
+        w = np.random.default_rng(6).normal(size=(9, 7))
+        result = svd_factorize(w, rank=3)
+        s = svd_spectrum(w)
+        expected_error = np.sum(s[3:] ** 2) / np.sum(s**2)
+        actual = np.linalg.norm(w - result.reconstruct()) ** 2 / np.linalg.norm(w) ** 2
+        assert actual == pytest.approx(expected_error)
+        assert svd_reconstruction_error(w, 3) == pytest.approx(expected_error)
+
+    def test_full_rank_exact(self):
+        w = np.random.default_rng(7).normal(size=(5, 5))
+        assert np.allclose(svd_factorize(w).reconstruct(), w)
+
+    def test_spectrum_descending(self):
+        s = svd_spectrum(np.random.default_rng(8).normal(size=(6, 10)))
+        assert np.all(np.diff(s) <= 1e-12)
+
+    def test_rank_validation(self):
+        with pytest.raises(RankError):
+            svd_factorize(np.zeros((3, 3)), rank=4)
+        with pytest.raises(RankError):
+            svd_reconstruction_error(np.ones((3, 3)), 0)
+
+
+class TestErrorCurves:
+    def test_curve_matches_eq3(self):
+        spectrum = np.array([4.0, 3.0, 2.0, 1.0])
+        curve = reconstruction_error_curve(spectrum)
+        total = 10.0
+        assert np.allclose(curve, [6.0 / total, 3.0 / total, 1.0 / total, 0.0])
+
+    def test_reconstruction_error_lookup(self):
+        spectrum = np.array([4.0, 3.0, 2.0, 1.0])
+        assert reconstruction_error(spectrum, 2) == pytest.approx(0.3)
+        assert energy_retained(spectrum, 2) == pytest.approx(0.7)
+
+    def test_minimal_rank(self):
+        spectrum = np.array([4.0, 3.0, 2.0, 1.0])
+        assert minimal_rank(spectrum, 0.0) == 4
+        assert minimal_rank(spectrum, 0.10) == 3
+        assert minimal_rank(spectrum, 0.30) == 2
+        assert minimal_rank(spectrum, 0.95) == 1
+
+    def test_minimal_rank_monotone_in_tolerance(self):
+        spectrum = np.random.default_rng(9).uniform(0, 1, size=20)
+        ranks = [minimal_rank(spectrum, t) for t in np.linspace(0, 1, 11)]
+        assert all(a >= b for a, b in zip(ranks, ranks[1:]))
+
+    def test_zero_spectrum(self):
+        assert minimal_rank(np.zeros(5), 0.0) == 1
+        assert np.allclose(reconstruction_error_curve(np.zeros(5)), 0.0)
+
+    def test_invalid_spectrum(self):
+        with pytest.raises(RankError):
+            reconstruction_error_curve(np.array([]))
+        with pytest.raises(RankError):
+            reconstruction_error_curve(np.array([1.0, -5.0]))
+
+
+class TestLowRankApproximator:
+    def test_methods_agree_on_uncentered_data(self):
+        w = np.random.default_rng(10).normal(size=(12, 9))
+        pca = LowRankApproximator("pca")
+        svd = LowRankApproximator("svd")
+        assert pca.minimal_rank(w, 0.05) <= 9
+        # PCA (uncentered) spectrum is the squared-singular-value spectrum up
+        # to the 1/(N-1) covariance normalization, so the error curves match.
+        assert np.allclose(pca.error_curve(w), svd.error_curve(w), atol=1e-10)
+
+    def test_factorize_to_tolerance(self):
+        w = low_rank_matrix(15, 20, 5, seed=11, noise=0.01)
+        approximator = LowRankApproximator("pca")
+        factorization, rank = approximator.factorize_to_tolerance(w, 0.01)
+        assert factorization.rank == rank
+        assert rank <= 8
+        assert factorization.relative_error(w) <= 0.02
+
+    def test_factorization_dataclass(self):
+        w = np.random.default_rng(12).normal(size=(6, 6))
+        factorization = LowRankApproximator("svd").factorize(w, 6)
+        assert isinstance(factorization, Factorization)
+        assert factorization.relative_error(w) == pytest.approx(0.0, abs=1e-12)
+
+    def test_unknown_method_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            LowRankApproximator("qr")
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(RankError):
+            LowRankApproximator("pca").factorize(np.zeros((4, 4)) + np.eye(4), rank=9)

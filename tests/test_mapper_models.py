@@ -1,0 +1,172 @@
+"""Tests for the network-to-crossbar mapper, hardware reports and model builders."""
+
+import numpy as np
+import pytest
+
+from repro.core import convert_to_lowrank
+from repro.exceptions import ConfigurationError, MappingError
+from repro.hardware import NetworkMapper, extract_crossbar_matrices
+from repro.models import (
+    PAPER_CONVNET_SHAPES,
+    PAPER_LENET_SHAPES,
+    ConvNetConfig,
+    LeNetConfig,
+    build_convnet,
+    build_lenet,
+    build_mlp,
+    mlp_layer_shapes,
+)
+from repro.nn import ReLU, Sequential
+
+
+class TestLeNetModel:
+    def test_paper_layer_shapes(self):
+        shapes = LeNetConfig.paper().layer_shapes()
+        assert shapes == {
+            "conv1": (20, 25),
+            "conv2": (50, 500),
+            "fc1": (500, 800),
+            "fc2": (10, 500),
+        }
+        assert shapes == PAPER_LENET_SHAPES
+
+    def test_forward_shape_paper(self):
+        net = build_lenet(LeNetConfig.paper(), rng=0)
+        x = np.zeros((2, 1, 28, 28))
+        assert net.forward(x).shape == (2, 10)
+        assert net.output_shape((1, 28, 28)) == (10,)
+
+    def test_small_variant(self):
+        config = LeNetConfig.small(image_size=14, scale=0.2)
+        net = build_lenet(config, rng=0)
+        assert net.forward(np.zeros((1, 1, 14, 14))).shape == (1, 10)
+
+    def test_clippable_layers_exclude_classifier(self):
+        assert LeNetConfig.paper().clippable_layers() == ("conv1", "conv2", "fc1")
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LeNetConfig(image_size=6)
+        with pytest.raises(ConfigurationError):
+            LeNetConfig.small(scale=0.0)
+
+
+class TestConvNetModel:
+    def test_paper_layer_shapes(self):
+        shapes = ConvNetConfig.paper().layer_shapes()
+        assert shapes == {
+            "conv1": (32, 75),
+            "conv2": (32, 800),
+            "conv3": (64, 800),
+            "fc1": (10, 1024),
+        }
+        assert shapes == PAPER_CONVNET_SHAPES
+
+    def test_forward_shape_paper(self):
+        net = build_convnet(ConvNetConfig.paper(), rng=0)
+        assert net.forward(np.zeros((1, 3, 32, 32))).shape == (1, 10)
+
+    def test_small_variant(self):
+        config = ConvNetConfig.small(image_size=16, scale=0.25)
+        net = build_convnet(config, rng=0)
+        assert net.forward(np.zeros((2, 3, 16, 16))).shape == (2, 10)
+
+    def test_total_dense_area_matches_paper(self):
+        shapes = ConvNetConfig.paper().layer_shapes()
+        total_cells = sum(n * m for n, m in shapes.values())
+        assert total_cells == 89440  # denominators behind the 51.81 % number
+
+
+class TestMLPModel:
+    def test_structure_and_shapes(self):
+        net = build_mlp(12, [8, 6], 3, rng=0)
+        assert [l.name for l in net if not isinstance(l, ReLU)] == ["fc1", "fc2", "fc3"]
+        assert mlp_layer_shapes(12, [8, 6], 3) == {
+            "fc1": (8, 12),
+            "fc2": (6, 8),
+            "fc3": (3, 6),
+        }
+
+    def test_requires_hidden_layers(self):
+        with pytest.raises(ConfigurationError):
+            build_mlp(4, [], 2)
+
+
+class TestMapper:
+    def test_extract_matrices_dense(self):
+        net = build_mlp(12, [8], 3, rng=0)
+        matrices = extract_crossbar_matrices(net)
+        assert [m.name for m in matrices] == ["fc1_w", "fc2_w"]
+        # inputs x outputs orientation
+        assert matrices[0].values.shape == (12, 8)
+
+    def test_extract_matrices_lowrank(self):
+        net = convert_to_lowrank(build_mlp(12, [8], 3, rng=0), layers=("fc1",))
+        matrices = extract_crossbar_matrices(net)
+        names = [m.name for m in matrices]
+        assert names == ["fc1_v", "fc1_u", "fc2_w"]
+        v = next(m for m in matrices if m.name == "fc1_v")
+        u = next(m for m in matrices if m.name == "fc1_u")
+        assert v.values.shape == (12, 8)  # in_features x rank (full rank 8)
+        assert u.values.shape == (8, 8)  # rank x out_features
+
+    def test_extract_rejects_weightless_network(self):
+        net = Sequential([ReLU(name="r")])
+        with pytest.raises(MappingError):
+            extract_crossbar_matrices(net)
+
+    def test_lenet_dense_report_areas(self):
+        net = build_lenet(LeNetConfig.paper(), rng=0)
+        report = NetworkMapper().map_network(net)
+        # Total dense crossbar area = 4F^2 * total cells (430500 cells).
+        assert report.total_crossbar_area_f2 == pytest.approx(4 * 430500)
+        assert report.matrix("fc1_w").matrix_shape == (800, 500)
+        assert report.matrix("fc1_w").tile_shape == (50, 50)
+        assert report.layer("conv1").crossbar_area_f2 == pytest.approx(4 * 500)
+
+    def test_clipped_lenet_area_fraction_matches_closed_form(self):
+        from repro.models.lenet import PAPER_LENET_RANKS
+
+        dense = build_lenet(LeNetConfig.paper(), rng=0)
+        clipped = convert_to_lowrank(dense, ranks=PAPER_LENET_RANKS)
+        mapper = NetworkMapper()
+        fraction = mapper.area_fraction(clipped, dense)
+        assert 100 * fraction == pytest.approx(13.62, abs=0.01)
+
+    def test_big_matrices_listing(self):
+        dense = build_lenet(LeNetConfig.paper(), rng=0)
+        mapper = NetworkMapper()
+        big = mapper.big_matrices(dense)
+        assert "conv1_w" not in big  # 25x20 fits in one crossbar
+        assert "fc1_w" in big and "fc2_w" in big and "conv2_w" in big
+
+    def test_report_lookup_and_format(self):
+        net = build_mlp(100, [80], 10, rng=0)
+        report = NetworkMapper().map_network(net)
+        assert report.layer("fc1").layer_name == "fc1"
+        with pytest.raises(KeyError):
+            report.layer("nope")
+        with pytest.raises(KeyError):
+            report.matrix("nope")
+        table = report.format_table()
+        assert "fc1_w" in table and "total crossbar area" in table
+        payload = report.as_dict()
+        assert payload["fc1_w"]["shape"] == [100, 80]
+
+    def test_wire_accounting_with_pruned_weights(self):
+        net = build_mlp(100, [80], 10, rng=0)
+        fc1 = net.get_layer("fc1")
+        fc1.weight.data[:, :50] = 0.0  # zero the first 50 input columns
+        report = NetworkMapper().map_network(net)
+        matrix = report.matrix("fc1_w")
+        assert matrix.routing.remaining_wires < matrix.routing.dense_wires
+
+    def test_mean_layer_fractions(self):
+        net = build_mlp(100, [80], 10, rng=0)
+        report = NetworkMapper().map_network(net)
+        assert report.mean_layer_wire_fraction() == pytest.approx(1.0)
+        assert report.mean_layer_routing_area_fraction() == pytest.approx(1.0)
+
+    def test_zero_threshold_validation(self):
+        with pytest.raises(MappingError):
+            NetworkMapper(zero_threshold=-1.0)

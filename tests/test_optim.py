@@ -1,0 +1,178 @@
+"""Tests for optimizers and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import (
+    SGD,
+    Adam,
+    ConstantLR,
+    CosineLR,
+    ExponentialLR,
+    InverseDecayLR,
+    StepLR,
+    as_schedule,
+)
+from repro.nn.parameter import Parameter
+
+
+def quadratic_params(start=5.0):
+    """A single scalar parameter minimizing f(w) = 0.5 w²(gradient = w)."""
+    return Parameter(np.array([start]))
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantLR(0.1)
+        assert schedule(0) == 0.1
+        assert schedule(1000) == 0.1
+
+    def test_step(self):
+        schedule = StepLR(1.0, step_size=10, gamma=0.5)
+        assert schedule(0) == 1.0
+        assert schedule(9) == 1.0
+        assert schedule(10) == 0.5
+        assert schedule(25) == 0.25
+
+    def test_exponential(self):
+        schedule = ExponentialLR(1.0, gamma=0.9)
+        assert schedule(3) == pytest.approx(0.9**3)
+
+    def test_inverse_decay_matches_caffe_formula(self):
+        schedule = InverseDecayLR(0.01, gamma=1e-4, power=0.75)
+        assert schedule(0) == pytest.approx(0.01)
+        assert schedule(1000) == pytest.approx(0.01 * (1 + 0.1) ** -0.75)
+
+    def test_cosine_endpoints(self):
+        schedule = CosineLR(1.0, total_iterations=100, min_lr=0.1)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(100) == pytest.approx(0.1)
+        assert schedule(200) == pytest.approx(0.1)
+
+    def test_as_schedule_coercion(self):
+        assert isinstance(as_schedule(0.5), ConstantLR)
+        existing = StepLR(0.1, 5)
+        assert as_schedule(existing) is existing
+
+    def test_negative_iteration_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLR(0.1)(-1)
+
+
+class TestSGD:
+    def test_plain_sgd_descends_quadratic(self):
+        param = quadratic_params()
+        optimizer = SGD([param], lr=0.1)
+        for _ in range(100):
+            param.zero_grad()
+            param.accumulate_grad(param.data.copy())
+            optimizer.step()
+        assert abs(param.data[0]) < 1e-3
+
+    def test_single_step_value(self):
+        param = Parameter(np.array([1.0, 2.0]))
+        optimizer = SGD([param], lr=0.5)
+        param.accumulate_grad(np.array([2.0, 2.0]))
+        optimizer.step()
+        assert np.allclose(param.data, np.array([0.0, 1.0]))
+
+    def test_momentum_accelerates(self):
+        plain = quadratic_params()
+        momentum = quadratic_params()
+        opt_plain = SGD([plain], lr=0.01)
+        opt_momentum = SGD([momentum], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            for param, opt in ((plain, opt_plain), (momentum, opt_momentum)):
+                param.zero_grad()
+                param.accumulate_grad(param.data.copy())
+                opt.step()
+        assert abs(momentum.data[0]) < abs(plain.data[0])
+
+    def test_weight_decay_shrinks_without_gradient(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        optimizer.step()  # zero gradient, decay only
+        assert param.data[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_params()], lr=0.1, nesterov=True)
+
+    def test_respects_mask(self):
+        param = Parameter(np.array([1.0, 1.0]))
+        param.set_mask(np.array([True, False]))
+        optimizer = SGD([param], lr=0.1)
+        param.accumulate_grad(np.array([1.0, 1.0]))
+        optimizer.step()
+        assert param.data[1] == 0.0
+        assert param.data[0] != 1.0
+
+    def test_skips_non_trainable(self):
+        param = Parameter(np.array([1.0]), trainable=False)
+        optimizer = SGD([param], lr=0.1)
+        param.accumulate_grad(np.array([1.0]))
+        optimizer.step()
+        assert param.data[0] == 1.0
+
+    def test_set_parameters_resets_state(self):
+        param = quadratic_params()
+        optimizer = SGD([param], lr=0.1, momentum=0.9)
+        param.accumulate_grad(np.array([1.0]))
+        optimizer.step()
+        assert optimizer._velocity
+        new_param = quadratic_params()
+        optimizer.set_parameters([new_param])
+        assert not optimizer._velocity
+
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(TypeError):
+            SGD([np.zeros(3)], lr=0.1)
+
+    def test_schedule_is_used(self):
+        param = quadratic_params()
+        optimizer = SGD([param], lr=StepLR(1.0, step_size=1, gamma=0.0))
+        assert optimizer.current_lr() == 1.0
+        optimizer.step()
+        assert optimizer.current_lr() == 0.0
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = quadratic_params()
+        optimizer = Adam([param], lr=0.2)
+        for _ in range(200):
+            param.zero_grad()
+            param.accumulate_grad(param.data.copy())
+            optimizer.step()
+        assert abs(param.data[0]) < 1e-2
+
+    def test_first_step_magnitude_close_to_lr(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = Adam([param], lr=0.1)
+        param.accumulate_grad(np.array([123.0]))
+        optimizer.step()
+        # Adam's first update is ~lr regardless of gradient scale.
+        assert abs(1.0 - param.data[0]) == pytest.approx(0.1, rel=1e-3)
+
+    def test_invalid_hyperparameters(self):
+        param = quadratic_params()
+        with pytest.raises(ValueError):
+            Adam([param], beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam([param], eps=0.0)
+
+    def test_decoupled_weight_decay(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = Adam([param], lr=0.1, weight_decay=0.5, decoupled=True)
+        optimizer.step()  # zero gradient: only the decoupled decay applies
+        assert param.data[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_reset_state(self):
+        param = quadratic_params()
+        optimizer = Adam([param], lr=0.1)
+        param.accumulate_grad(np.array([1.0]))
+        optimizer.step()
+        optimizer.reset_state()
+        assert not optimizer._m and not optimizer._v

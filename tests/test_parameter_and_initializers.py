@@ -1,0 +1,139 @@
+"""Tests for Parameter (masks, gradients) and weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import (
+    Constant,
+    HeNormal,
+    Initializer,
+    NormalInit,
+    UniformInit,
+    XavierUniform,
+    Zeros,
+    available_initializers,
+    get_initializer,
+)
+from repro.nn.parameter import Parameter
+
+
+class TestParameter:
+    def test_grad_starts_at_zero(self):
+        p = Parameter(np.ones((2, 3)))
+        assert np.array_equal(p.grad, np.zeros((2, 3)))
+
+    def test_accumulate_and_zero_grad(self):
+        p = Parameter(np.zeros((2, 2)))
+        p.accumulate_grad(np.ones((2, 2)))
+        p.accumulate_grad(np.ones((2, 2)))
+        assert np.array_equal(p.grad, 2 * np.ones((2, 2)))
+        p.zero_grad()
+        assert np.array_equal(p.grad, np.zeros((2, 2)))
+
+    def test_accumulate_grad_shape_mismatch(self):
+        p = Parameter(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            p.accumulate_grad(np.ones((3, 2)))
+
+    def test_set_mask_zeroes_data(self):
+        p = Parameter(np.ones((2, 2)))
+        mask = np.array([[True, False], [False, True]])
+        p.set_mask(mask)
+        assert np.array_equal(p.data, np.array([[1.0, 0.0], [0.0, 1.0]]))
+
+    def test_apply_mask_zeroes_grad_and_data(self):
+        p = Parameter(np.ones((2, 2)))
+        p.set_mask(np.array([[True, False], [True, True]]))
+        p.data = np.full((2, 2), 5.0)
+        p.grad = np.full((2, 2), 3.0)
+        p.apply_mask()
+        assert p.data[0, 1] == 0.0
+        assert p.grad[0, 1] == 0.0
+        assert p.data[0, 0] == 5.0
+
+    def test_set_mask_shape_mismatch(self):
+        p = Parameter(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            p.set_mask(np.ones((3, 3), dtype=bool))
+
+    def test_clear_mask(self):
+        p = Parameter(np.ones((2, 2)))
+        p.set_mask(np.zeros((2, 2), dtype=bool))
+        p.clear_mask()
+        assert p.mask is None
+
+    def test_density(self):
+        p = Parameter(np.array([[1.0, 0.0], [0.0, 0.0]]))
+        assert p.density() == pytest.approx(0.25)
+
+    def test_copy_is_deep(self):
+        p = Parameter(np.ones((2, 2)), name="w")
+        p.set_mask(np.array([[True, True], [True, False]]))
+        clone = p.copy()
+        clone.data[0, 0] = 9.0
+        clone.mask[0, 1] = False
+        assert p.data[0, 0] == 1.0
+        assert p.mask[0, 1]
+
+    def test_shape_and_size(self):
+        p = Parameter(np.zeros((3, 4)))
+        assert p.shape == (3, 4)
+        assert p.size == 12
+
+
+class TestInitializers:
+    def test_zeros_and_constant(self):
+        assert np.all(Zeros()((3, 3), 3, 3, 0) == 0)
+        assert np.all(Constant(2.5)((2, 2), 2, 2, 0) == 2.5)
+
+    def test_normal_std(self):
+        samples = NormalInit(std=0.5)((200, 200), 200, 200, 0)
+        assert samples.std() == pytest.approx(0.5, rel=0.05)
+
+    def test_uniform_limits(self):
+        samples = UniformInit(limit=0.1)((100, 100), 100, 100, 0)
+        assert samples.min() >= -0.1 and samples.max() <= 0.1
+
+    def test_xavier_uniform_limit(self):
+        fan_in, fan_out = 50, 30
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        samples = XavierUniform()((500, 30), fan_in, fan_out, 0)
+        assert np.abs(samples).max() <= limit + 1e-12
+
+    def test_he_normal_variance(self):
+        fan_in = 100
+        samples = HeNormal()((400, 100), fan_in, 100, 0)
+        assert samples.std() == pytest.approx(np.sqrt(2.0 / fan_in), rel=0.05)
+
+    def test_determinism_with_seed(self):
+        a = HeNormal()((4, 4), 4, 4, 99)
+        b = HeNormal()((4, 4), 4, 4, 99)
+        assert np.array_equal(a, b)
+
+    def test_rejects_bad_fan(self):
+        with pytest.raises(ValueError):
+            HeNormal()((2, 2), 0, 2, 0)
+
+    def test_get_initializer_by_name(self):
+        assert isinstance(get_initializer("he_normal"), HeNormal)
+        assert isinstance(get_initializer("glorot_uniform"), XavierUniform)
+
+    def test_get_initializer_passthrough_and_errors(self):
+        init = HeNormal()
+        assert get_initializer(init) is init
+        with pytest.raises(ValueError):
+            get_initializer("unknown_init")
+        with pytest.raises(TypeError):
+            get_initializer(42)
+
+    def test_registry_listing(self):
+        names = available_initializers()
+        assert "he_normal" in names and "xavier_uniform" in names
+        for name in names:
+            assert isinstance(get_initializer(name), Initializer)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            NormalInit(std=0.0)
+        with pytest.raises(ValueError):
+            UniformInit(limit=-1.0)

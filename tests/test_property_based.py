@@ -1,0 +1,219 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These cover the data structures and math the whole reproduction rests on:
+reconstruction-error spectra, low-rank factorizations, crossbar tiling and
+wire counting, area arithmetic, and the im2col/col2im adjoint pair.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.hardware import (
+    CrossbarLibrary,
+    TechnologyParameters,
+    count_remaining_wires,
+    dense_layer_area,
+    factorized_layer_area,
+    largest_divisor_at_most,
+    layer_area_fraction,
+    plan_tiling,
+)
+from repro.lowrank import (
+    LowRankApproximator,
+    minimal_rank,
+    reconstruction_error_curve,
+    svd_factorize,
+)
+from repro.nn import functional as F
+
+# Keep hypothesis examples modest so the whole suite stays fast.
+COMMON_SETTINGS = settings(max_examples=40, deadline=None)
+
+
+spectra = arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 30),
+    elements=st.floats(0.0, 1e3, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestSpectrumProperties:
+    @COMMON_SETTINGS
+    @given(spectrum=spectra)
+    def test_error_curve_is_monotone_and_bounded(self, spectrum):
+        curve = reconstruction_error_curve(spectrum)
+        assert curve.shape == spectrum.shape
+        assert np.all(curve >= -1e-12)
+        assert np.all(curve <= 1.0 + 1e-12)
+        assert np.all(np.diff(curve) <= 1e-12)  # non-increasing in K
+        assert curve[-1] == pytest.approx(0.0, abs=1e-12)
+
+    @COMMON_SETTINGS
+    @given(spectrum=spectra, tolerance=st.floats(0.0, 1.0))
+    def test_minimal_rank_satisfies_tolerance(self, spectrum, tolerance):
+        rank = minimal_rank(spectrum, tolerance)
+        curve = reconstruction_error_curve(spectrum)
+        assert 1 <= rank <= spectrum.size
+        assert curve[rank - 1] <= tolerance + 1e-9
+        if rank > 1:
+            # Minimality: one rank less would violate the tolerance.
+            assert curve[rank - 2] > tolerance - 1e-12
+
+
+matrices = st.tuples(st.integers(2, 12), st.integers(2, 12)).flatmap(
+    lambda shape: arrays(
+        dtype=np.float64,
+        shape=shape,
+        elements=st.floats(-5, 5, allow_nan=False, allow_infinity=False, width=32),
+    )
+)
+
+
+class TestFactorizationProperties:
+    @COMMON_SETTINGS
+    @given(matrix=matrices)
+    def test_full_rank_factorization_is_exact(self, matrix):
+        for method in ("pca", "svd"):
+            factorization = LowRankApproximator(method).factorize(matrix)
+            assert np.allclose(factorization.reconstruct(), matrix, atol=1e-8)
+
+    @COMMON_SETTINGS
+    @given(matrix=matrices, data=st.data())
+    def test_truncation_error_matches_spectrum_tail(self, matrix, data):
+        max_rank = min(matrix.shape)
+        rank = data.draw(st.integers(1, max_rank))
+        result = svd_factorize(matrix, rank)
+        norm_sq = np.linalg.norm(matrix) ** 2
+        if norm_sq < 1e-12:
+            return
+        actual = np.linalg.norm(matrix - result.reconstruct()) ** 2 / norm_sq
+        expected = np.sum(result.singular_values[rank:] ** 2) / np.sum(
+            result.singular_values**2
+        )
+        assert actual == pytest.approx(expected, abs=1e-8)
+
+    @COMMON_SETTINGS
+    @given(matrix=matrices, data=st.data())
+    def test_error_decreases_with_rank(self, matrix, data):
+        approximator = LowRankApproximator("svd")
+        max_rank = min(matrix.shape)
+        rank = data.draw(st.integers(1, max_rank - 1)) if max_rank > 1 else 1
+        low = approximator.factorize(matrix, rank).relative_error(matrix)
+        high = approximator.factorize(matrix, min(rank + 1, max_rank)).relative_error(matrix)
+        assert high <= low + 1e-9
+
+
+class TestDivisorAndTilingProperties:
+    @COMMON_SETTINGS
+    @given(value=st.integers(1, 5000), limit=st.integers(1, 128))
+    def test_largest_divisor_properties(self, value, limit):
+        divisor = largest_divisor_at_most(value, limit)
+        assert 1 <= divisor <= min(value, limit)
+        assert value % divisor == 0
+        # No larger divisor below the limit exists.
+        for candidate in range(divisor + 1, min(value, limit) + 1):
+            assert value % candidate != 0
+
+    @COMMON_SETTINGS
+    @given(rows=st.integers(1, 600), cols=st.integers(1, 600), max_size=st.integers(2, 64))
+    def test_tiling_covers_matrix_exactly(self, rows, cols, max_size):
+        tech = TechnologyParameters(max_crossbar_rows=max_size, max_crossbar_cols=max_size)
+        library = CrossbarLibrary(technology=tech)
+        plan = plan_tiling(rows, cols, library=library)
+        assert plan.tile_rows <= max_size or rows <= max_size
+        assert plan.tile_cols <= max_size or cols <= max_size
+        covered = np.zeros((rows, cols), dtype=int)
+        total_wires = 0
+        for _, _, row_slice, col_slice in plan.iter_tiles():
+            covered[row_slice, col_slice] += 1
+            total_wires += (row_slice.stop - row_slice.start) + (col_slice.stop - col_slice.start)
+        assert np.all(covered == 1)
+        assert total_wires == plan.dense_wire_count()
+        assert plan.allocated_cells >= plan.total_cells
+
+    @COMMON_SETTINGS
+    @given(
+        rows=st.integers(2, 80),
+        cols=st.integers(2, 80),
+        max_size=st.integers(2, 16),
+        data=st.data(),
+    )
+    def test_wire_count_bounds_and_monotonicity(self, rows, cols, max_size, data):
+        tech = TechnologyParameters(max_crossbar_rows=max_size, max_crossbar_cols=max_size)
+        plan = plan_tiling(rows, cols, library=CrossbarLibrary(technology=tech))
+        weights = data.draw(
+            arrays(
+                dtype=np.float64,
+                shape=(rows, cols),
+                elements=st.floats(-1, 1, allow_nan=False, width=32),
+            )
+        )
+        remaining = count_remaining_wires(weights, plan)
+        assert 0 <= remaining <= plan.dense_wire_count()
+        # Zeroing more entries can never increase the wire count.
+        sparser = weights.copy()
+        sparser[:: max(1, rows // 3)] = 0.0
+        assert count_remaining_wires(sparser, plan) <= remaining
+
+
+class TestAreaProperties:
+    @COMMON_SETTINGS
+    @given(n=st.integers(1, 512), m=st.integers(1, 512), data=st.data())
+    def test_area_fraction_bounds_and_eq2(self, n, m, data):
+        rank = data.draw(st.integers(1, min(n, m)))
+        fraction = layer_area_fraction(n, m, rank)
+        assert fraction > 0
+        assert factorized_layer_area(n, m, rank) == pytest.approx(
+            fraction * dense_layer_area(n, m)
+        )
+        # Paper Eq. (2): the factorization saves area iff K < NM/(N+M).
+        bound = n * m / (n + m)
+        if rank < bound:
+            assert fraction < 1.0
+        elif rank > bound:
+            assert fraction > 1.0
+
+
+class TestIm2ColProperties:
+    @COMMON_SETTINGS
+    @given(
+        batch=st.integers(1, 3),
+        channels=st.integers(1, 3),
+        size=st.integers(3, 9),
+        kernel=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        padding=st.integers(0, 2),
+        data=st.data(),
+    )
+    def test_adjoint_property(self, batch, channels, size, kernel, stride, padding, data):
+        if size + 2 * padding < kernel:
+            return
+        x = data.draw(
+            arrays(
+                dtype=np.float64,
+                shape=(batch, channels, size, size),
+                elements=st.floats(-2, 2, allow_nan=False, width=32),
+            )
+        )
+        cols, _, _ = F.im2col(x, kernel, kernel, stride, padding)
+        rng = np.random.default_rng(0)
+        c = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * c))
+        rhs = float(np.sum(x * F.col2im(c, x.shape, kernel, kernel, stride, padding)))
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+    @COMMON_SETTINGS
+    @given(
+        logits=arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 6), st.integers(2, 8)),
+            elements=st.floats(-50, 50, allow_nan=False),
+        )
+    )
+    def test_softmax_is_distribution(self, logits):
+        probs = F.softmax(logits, axis=1)
+        assert np.all(probs >= 0)
+        assert np.allclose(probs.sum(axis=1), 1.0)

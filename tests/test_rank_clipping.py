@@ -1,0 +1,152 @@
+"""Tests for rank clipping (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RankClipper,
+    RankClippingCallback,
+    RankClippingConfig,
+    clip_layer_rank,
+    convert_to_lowrank,
+)
+from repro.exceptions import ConfigurationError
+from repro.lowrank import LowRankApproximator
+from repro.models import build_mlp
+from repro.nn import Linear, LowRankLinear
+from repro.nn.layers import LowRankConv2D
+
+
+def make_lowrank_layer(n=10, m=16, true_rank=3, noise=0.0, seed=0):
+    """A LowRankLinear whose dense weight has (approximately) rank ``true_rank``."""
+    rng = np.random.default_rng(seed)
+    weight = rng.normal(size=(n, true_rank)) @ rng.normal(size=(true_rank, m))
+    if noise:
+        weight = weight + noise * rng.normal(size=(n, m))
+    return LowRankLinear.from_dense(weight, None, name="fc")
+
+
+class TestClipLayerRank:
+    def test_clips_to_intrinsic_rank(self):
+        layer = make_lowrank_layer(true_rank=3)
+        before = layer.effective_weight()
+        new_rank = clip_layer_rank(layer, tolerance=1e-9)
+        assert new_rank == 3
+        assert layer.rank == 3
+        # A (near) zero-tolerance clip preserves the effective weight.
+        assert np.allclose(layer.effective_weight(), before, atol=1e-8)
+
+    def test_tolerance_controls_aggressiveness(self):
+        gentle = make_lowrank_layer(true_rank=8, noise=0.05, seed=1)
+        aggressive = make_lowrank_layer(true_rank=8, noise=0.05, seed=1)
+        clip_layer_rank(gentle, tolerance=0.001)
+        clip_layer_rank(aggressive, tolerance=0.5)
+        assert aggressive.rank <= gentle.rank
+
+    def test_reconstruction_error_within_tolerance(self):
+        layer = make_lowrank_layer(true_rank=10, noise=0.3, seed=2)
+        before = layer.effective_weight()
+        tolerance = 0.05
+        clip_layer_rank(layer, tolerance=tolerance)
+        after = layer.effective_weight()
+        relative = np.linalg.norm(before - after) ** 2 / np.linalg.norm(before) ** 2
+        assert relative <= tolerance + 1e-9
+
+    def test_never_clips_below_min_rank(self):
+        layer = make_lowrank_layer(true_rank=1, seed=3)
+        clip_layer_rank(layer, tolerance=0.9, min_rank=2)
+        assert layer.rank >= 2
+
+    def test_no_clip_when_already_minimal(self):
+        layer = make_lowrank_layer(true_rank=3, seed=4)
+        clip_layer_rank(layer, tolerance=1e-9)
+        rank_before = layer.rank
+        assert clip_layer_rank(layer, tolerance=1e-9) == rank_before
+
+    def test_svd_backend(self):
+        layer = make_lowrank_layer(true_rank=4, seed=5)
+        approximator = LowRankApproximator("svd")
+        assert clip_layer_rank(layer, 1e-9, approximator=approximator) == 4
+
+    def test_rejects_dense_layer(self):
+        with pytest.raises(ConfigurationError):
+            clip_layer_rank(Linear(4, 4, rng=0), 0.1)
+
+    def test_works_on_lowrank_conv(self):
+        layer = LowRankConv2D(2, 6, 3, rng=0)
+        # He-initialized random factors are full rank; a huge tolerance clips hard.
+        clip_layer_rank(layer, tolerance=0.9)
+        assert layer.rank < 6
+
+
+class TestRankClippingCallback:
+    def test_requires_lowrank_layers(self):
+        with pytest.raises(ConfigurationError):
+            RankClippingCallback([], RankClippingConfig())
+        with pytest.raises(ConfigurationError):
+            RankClippingCallback([Linear(4, 4, rng=0)], RankClippingConfig())
+
+    def test_trace_records_full_ranks(self):
+        layer = make_lowrank_layer()
+        callback = RankClippingCallback([layer], RankClippingConfig())
+        assert callback.trace.full_ranks == {"fc": layer.rank}
+
+
+class TestRankClipper:
+    def test_select_layers_respects_config(self, mlp_trainer_factory):
+        net = convert_to_lowrank(build_mlp(20, [16, 12], 4, rng=0))
+        clipper = RankClipper(RankClippingConfig(layers=("fc1",)))
+        assert [l.name for l in clipper.select_layers(net)] == ["fc1"]
+        bad = RankClipper(RankClippingConfig(layers=("missing",)))
+        with pytest.raises(ConfigurationError):
+            bad.select_layers(net)
+
+    def test_select_layers_requires_lowrank_network(self):
+        clipper = RankClipper(RankClippingConfig())
+        with pytest.raises(ConfigurationError):
+            clipper.select_layers(build_mlp(20, [16], 4, rng=0))
+
+    def test_end_to_end_reduces_ranks_and_keeps_accuracy(self, blob_data, mlp_trainer_factory):
+        train, test = blob_data
+        # Train a dense baseline first.
+        dense = build_mlp(20, [24, 16], 4, rng=5)
+        trainer = mlp_trainer_factory(dense)
+        trainer.run(150)
+        baseline_accuracy = trainer.evaluate()
+        assert baseline_accuracy > 0.9
+
+        lowrank = convert_to_lowrank(dense)
+        full_ranks = {l.name: l.rank for l in lowrank if isinstance(l, LowRankLinear)}
+        config = RankClippingConfig(tolerance=0.05, clip_interval=20, max_iterations=120)
+        result = RankClipper(config).run(
+            lowrank, mlp_trainer_factory, baseline_accuracy=baseline_accuracy
+        )
+        assert set(result.final_ranks) == {"fc1", "fc2"}
+        # Ranks must be reduced relative to the full-rank start.
+        assert any(result.final_ranks[n] < full_ranks[n] for n in full_ranks)
+        # And accuracy must be retained (the paper's central claim).
+        assert result.final_accuracy >= baseline_accuracy - 0.05
+        assert result.accuracy_drop() <= 0.05
+
+    def test_trace_monotone_ranks(self, mlp_trainer_factory, blob_data):
+        dense = build_mlp(20, [24], 4, rng=6)
+        mlp_trainer_factory(dense).run(80)
+        lowrank = convert_to_lowrank(dense)
+        config = RankClippingConfig(tolerance=0.05, clip_interval=10, max_iterations=60)
+        result = RankClipper(config).run(lowrank, mlp_trainer_factory)
+        series = result.trace.ranks["fc1"]
+        assert all(a >= b for a, b in zip(series, series[1:]))
+        ratios = result.trace.rank_ratio("fc1")
+        assert ratios[0] == pytest.approx(1.0)
+        assert all(0 < r <= 1 for r in ratios)
+
+    def test_trace_serializable(self, mlp_trainer_factory):
+        dense = build_mlp(20, [16], 4, rng=7)
+        lowrank = convert_to_lowrank(dense)
+        config = RankClippingConfig(tolerance=0.1, clip_interval=10, max_iterations=20)
+        result = RankClipper(config).run(lowrank, mlp_trainer_factory)
+        payload = result.trace.as_dict()
+        assert set(payload) == {"iterations", "ranks", "accuracy", "full_ranks"}
+        assert result.trace.final_ranks() == result.final_ranks
+        with pytest.raises(KeyError):
+            result.trace.rank_ratio("unknown")

@@ -1,0 +1,98 @@
+"""Integration tests for the end-to-end Group Scissor pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import GroupDeletionConfig, GroupScissor, RankClippingConfig, ScissorConfig
+from repro.hardware import CrossbarLibrary, NetworkMapper, TechnologyParameters
+from repro.models import build_mlp
+
+
+@pytest.fixture
+def small_mapper():
+    tech = TechnologyParameters(max_crossbar_rows=8, max_crossbar_cols=8)
+    return NetworkMapper(technology=tech, library=CrossbarLibrary(technology=tech))
+
+
+class TestGroupScissorPipeline:
+    def test_full_pipeline_on_mlp(self, blob_data, mlp_trainer_factory, small_mapper):
+        dense = build_mlp(20, [24, 16], 4, rng=10)
+        trainer = mlp_trainer_factory(dense)
+        trainer.run(150)
+        baseline_accuracy = trainer.evaluate()
+        assert baseline_accuracy > 0.9
+
+        config = ScissorConfig(
+            rank_clipping=RankClippingConfig(
+                tolerance=0.05, clip_interval=20, max_iterations=100
+            ),
+            group_deletion=GroupDeletionConfig(
+                strength=0.05,
+                iterations=120,
+                finetune_iterations=80,
+                include_small_matrices=True,
+            ),
+        )
+        scissor = GroupScissor(config, mlp_trainer_factory, mapper=small_mapper)
+        result = scissor.run(dense, baseline_accuracy=baseline_accuracy)
+
+        # Step 1 shrinks the crossbar area (paper headline metric 1).
+        assert result.crossbar_area_fraction < 1.0
+        assert result.rank_clipping.final_ranks
+        assert all(rank >= 1 for rank in result.rank_clipping.final_ranks.values())
+
+        # Step 2 deletes routing wires (paper headline metric 2).
+        assert result.group_deletion.mean_wire_fraction() < 1.0
+        assert result.mean_routing_area_fraction() <= result.group_deletion.mean_wire_fraction()
+
+        # Accuracy is retained within a small margin on this easy dataset.
+        assert result.final_accuracy >= baseline_accuracy - 0.1
+
+        # The reports are consistent: baseline >= clipped >= final crossbar area
+        # is not guaranteed in general (deletion does not change area), but
+        # clipped area must be below the dense baseline.
+        assert (
+            result.clipped_report.total_crossbar_area_f2
+            < result.baseline_report.total_crossbar_area_f2
+        )
+        assert result.final_report.total_crossbar_area_f2 == pytest.approx(
+            result.clipped_report.total_crossbar_area_f2
+        )
+
+        # Human-readable summary mentions the key quantities.
+        summary = result.format_summary()
+        assert "crossbar area fraction" in summary
+        assert "mean routing area" in summary
+        assert result.wire_fractions()
+
+    def test_pipeline_respects_excluded_layers(self, mlp_trainer_factory, small_mapper):
+        dense = build_mlp(20, [24, 16], 4, rng=11)
+        mlp_trainer_factory(dense).run(60)
+        config = ScissorConfig(
+            rank_clipping=RankClippingConfig(tolerance=0.1, clip_interval=10, max_iterations=30),
+            group_deletion=GroupDeletionConfig(
+                strength=0.05, iterations=40, finetune_iterations=20,
+                include_small_matrices=True,
+            ),
+            exclude_layers=("fc2",),
+        )
+        scissor = GroupScissor(config, mlp_trainer_factory, mapper=small_mapper)
+        result = scissor.run(dense)
+        # fc2 was excluded from clipping: it must not appear in the final ranks.
+        assert set(result.rank_clipping.final_ranks) == {"fc1"}
+
+    def test_final_network_is_functional(self, blob_data, mlp_trainer_factory, small_mapper):
+        train, test = blob_data
+        dense = build_mlp(20, [24], 4, rng=12)
+        mlp_trainer_factory(dense).run(100)
+        config = ScissorConfig(
+            rank_clipping=RankClippingConfig(tolerance=0.05, clip_interval=20, max_iterations=60),
+            group_deletion=GroupDeletionConfig(
+                strength=0.03, iterations=60, finetune_iterations=40,
+                include_small_matrices=True,
+            ),
+        )
+        result = GroupScissor(config, mlp_trainer_factory, mapper=small_mapper).run(dense)
+        logits = result.final_network.predict(test.inputs)
+        assert logits.shape == (len(test), 4)
+        assert np.all(np.isfinite(logits))
