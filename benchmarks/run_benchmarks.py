@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Standalone kernel-benchmark runner emitting a ``BENCH_kernels.json`` trajectory.
+
+Runs the vectorized-vs-reference kernel measurements from
+``test_bench_kernels.py`` outside pytest and appends one record per run to a
+JSON trajectory file, so kernel performance can be tracked across commits:
+
+    python benchmarks/run_benchmarks.py                 # appends to ./BENCH_kernels.json
+    python benchmarks/run_benchmarks.py --output /tmp/bench.json
+    python benchmarks/run_benchmarks.py --check         # non-zero exit below 2x
+
+Each record carries the per-kernel reference/vectorized timings (ms), the
+speedups, and the ``map_network`` throughput numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_utils import _SRC  # noqa: F401,E402  (puts src/ on sys.path)
+
+from test_bench_kernels import collect_kernel_stats, map_network_stats  # noqa: E402
+
+
+def run(output: Path, check: bool) -> int:
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    record.update({k: round(v, 4) if isinstance(v, float) else v
+                   for k, v in collect_kernel_stats().items()})
+    record.update({k: round(v, 4) for k, v in map_network_stats().items()})
+
+    trajectory = []
+    if output.exists():
+        try:
+            trajectory = json.loads(output.read_text())
+        except json.JSONDecodeError:
+            print(f"warning: {output} held invalid JSON; starting a fresh trajectory")
+        if not isinstance(trajectory, list):
+            trajectory = [trajectory]
+    trajectory.append(record)
+    output.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+    print(f"kernel benchmark ({record['timestamp']}) -> {output}")
+    for key in ("conv_speedup", "maxpool_speedup", "avgpool_speedup", "total_speedup"):
+        print(f"  {key:<18} {record[key]:.2f}x")
+    print(f"  map_network warm   {record['map_network_warm_ms']:.3f} ms "
+          f"({record['maps_per_second_warm']:.0f} maps/s)")
+
+    if check and record["total_speedup"] < 2.0:
+        print("FAIL: combined conv+pool speedup fell below 2x", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parents[1] / "BENCH_kernels.json",
+        help="trajectory file to append to (default: repo-root BENCH_kernels.json)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when the combined speedup drops below 2x",
+    )
+    args = parser.parse_args()
+    return run(args.output, args.check)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

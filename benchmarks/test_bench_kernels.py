@@ -1,0 +1,152 @@
+"""Kernel benchmark: vectorized execution engine vs the seed loop kernels.
+
+Measures, on a ``32×3×32×32`` batch (the ConvNet's CIFAR geometry):
+
+* the conv kernel pair — ``im2col`` forward + ``col2im`` backward at the
+  ConvNet's ``5×5 / stride 1 / padding 2`` configuration,
+* full max-pool and average-pool layer forward+backward at ``2×2 / stride 2``,
+* ``NetworkMapper.map_network`` throughput with warm (memoized) tiling plans.
+
+Each vectorized kernel is timed against the preserved loop implementation
+(:mod:`repro.nn._reference`) and the combined conv+pool forward+backward
+speedup is asserted to stay ≥ 2× (ratios use best-of-``REPEATS`` timings, so
+they are robust to background load).  Per-kernel numbers land in
+``benchmark.extra_info`` and in ``BENCH_kernels.json`` via
+``benchmarks/run_benchmarks.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from bench_utils import run_once
+from repro.hardware.mapper import NetworkMapper
+from repro.models.convnet import ConvNetConfig, build_convnet
+from repro.nn import AvgPool2D, MaxPool2D
+from repro.nn import _reference as ref
+from repro.nn import functional as F
+
+BATCH_SHAPE = (32, 3, 32, 32)
+CONV_KERNEL = 5
+CONV_STRIDE = 1
+CONV_PADDING = 2
+POOL = 2
+POOL_STRIDE = 2
+REPEATS = 5
+
+
+def best_of(func, repeats: int = REPEATS) -> float:
+    """Best-of-``repeats`` wall time of ``func()`` in seconds (after warmup)."""
+    func()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def make_batch():
+    rng = np.random.default_rng(1234)
+    return rng.standard_normal(BATCH_SHAPE)
+
+
+def conv_pair_timings(x):
+    """(reference, vectorized) times for im2col forward + col2im backward."""
+    cols, _, _ = F.im2col(x, CONV_KERNEL, CONV_KERNEL, CONV_STRIDE, CONV_PADDING)
+    grad_cols = np.random.default_rng(0).standard_normal(cols.shape)
+
+    t_ref = best_of(
+        lambda: ref.im2col_loop(x, CONV_KERNEL, CONV_KERNEL, CONV_STRIDE, CONV_PADDING)
+    ) + best_of(
+        lambda: ref.col2im_loop(
+            grad_cols, x.shape, CONV_KERNEL, CONV_KERNEL, CONV_STRIDE, CONV_PADDING
+        )
+    )
+    t_new = best_of(
+        lambda: F.im2col(x, CONV_KERNEL, CONV_KERNEL, CONV_STRIDE, CONV_PADDING)
+    ) + best_of(
+        lambda: F.col2im(
+            grad_cols, x.shape, CONV_KERNEL, CONV_KERNEL, CONV_STRIDE, CONV_PADDING
+        )
+    )
+    return t_ref, t_new
+
+
+def pool_timings(x, layer_cls, ref_func):
+    """(reference, vectorized) times for a full pooling forward + backward."""
+    layer = layer_cls(POOL, POOL_STRIDE)
+    out = layer.forward(x)
+    grad_out = np.random.default_rng(0).standard_normal(out.shape)
+
+    def run_new():
+        layer.train()
+        result = layer.forward(x)
+        layer.backward(grad_out)
+        return result
+
+    t_ref = best_of(lambda: ref_func(x, POOL, POOL_STRIDE, 0, grad_out))
+    t_new = best_of(run_new)
+    return t_ref, t_new
+
+
+def collect_kernel_stats():
+    """All kernel timings/speedups as a flat dict (shared with run_benchmarks)."""
+    x = make_batch()
+    conv_ref, conv_new = conv_pair_timings(x)
+    max_ref, max_new = pool_timings(x, MaxPool2D, ref.maxpool_forward_backward_loop)
+    avg_ref, avg_new = pool_timings(x, AvgPool2D, ref.avgpool_forward_backward_loop)
+    total_ref = conv_ref + max_ref + avg_ref
+    total_new = conv_new + max_new + avg_new
+    return {
+        "batch_shape": list(BATCH_SHAPE),
+        "conv_ref_ms": 1e3 * conv_ref,
+        "conv_new_ms": 1e3 * conv_new,
+        "conv_speedup": conv_ref / conv_new,
+        "maxpool_ref_ms": 1e3 * max_ref,
+        "maxpool_new_ms": 1e3 * max_new,
+        "maxpool_speedup": max_ref / max_new,
+        "avgpool_ref_ms": 1e3 * avg_ref,
+        "avgpool_new_ms": 1e3 * avg_new,
+        "avgpool_speedup": avg_ref / avg_new,
+        "total_speedup": total_ref / total_new,
+    }
+
+
+def _check_shape(stats):
+    # The tentpole acceptance bar: ≥2x combined conv+pool forward+backward.
+    assert stats["total_speedup"] >= 2.0, stats
+    # Per-family regression guards (well below the measured 2.2-2.9x so that
+    # machine noise cannot flake the suite).
+    assert stats["conv_speedup"] >= 1.3, stats
+    assert stats["maxpool_speedup"] >= 1.2, stats
+    assert stats["avgpool_speedup"] >= 1.2, stats
+
+
+def test_kernel_speedups(benchmark):
+    stats = run_once(benchmark, collect_kernel_stats)
+    _check_shape(stats)
+    benchmark.extra_info.update({k: round(v, 3) if isinstance(v, float) else v
+                                 for k, v in stats.items()})
+
+
+def map_network_stats():
+    """map_network throughput on the small-scale ConvNet, cold vs warm plans."""
+    network = build_convnet(ConvNetConfig(), rng=0)
+    mapper = NetworkMapper()
+    t_cold = best_of(lambda: NetworkMapper().map_network(network), repeats=3)
+    mapper.map_network(network)  # warm the plan cache
+    t_warm = best_of(lambda: mapper.map_network(network), repeats=3)
+    return {
+        "map_network_cold_ms": 1e3 * t_cold,
+        "map_network_warm_ms": 1e3 * t_warm,
+        "maps_per_second_warm": 1.0 / t_warm,
+    }
+
+
+def test_map_network_throughput(benchmark):
+    stats = run_once(benchmark, map_network_stats)
+    assert stats["map_network_warm_ms"] <= stats["map_network_cold_ms"] * 1.5
+    benchmark.extra_info.update({k: round(v, 3) for k, v in stats.items()})

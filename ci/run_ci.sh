@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Lightweight CI for the repo.
+#
+#   ci/run_ci.sh            # tier-1: full test + benchmark suite (includes
+#                           # the kernel parity / engine regression tests)
+#   ci/run_ci.sh --quick    # engine regression tests only (fast iteration)
+#   ci/run_ci.sh --bench    # tier-1 plus a BENCH_kernels.json data point
+#
+# Keeps to the stock toolchain: python + pytest only.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+ENGINE_TESTS=(
+  tests/test_kernel_parity.py
+  tests/test_cache_release.py
+  tests/test_dtype_policy.py
+  tests/test_mapper_cache.py
+  tests/test_sweep_regression.py
+)
+
+if [[ "${1:-}" == "--quick" ]]; then
+  echo "== quick: kernel parity and engine regression tests =="
+  python -m pytest -x -q "${ENGINE_TESTS[@]}"
+else
+  echo "== tier-1: full test + benchmark suite (kernel parity included) =="
+  python -m pytest -x -q
+fi
+
+if [[ "${1:-}" == "--bench" ]]; then
+  echo "== kernel benchmark trajectory =="
+  python benchmarks/run_benchmarks.py --check
+fi
+
+echo "CI OK"

@@ -218,7 +218,10 @@ def sweep_group_deletion(
         baseline_acc = setup.evaluate(baseline_network)
 
     layer_order = list(workload.clippable_layers)
-    clipped = convert_to_lowrank(baseline_network, layers=layer_order)
+    # Defensive copy, matching sweep_rank_clipping: the caller's baseline is
+    # typically shared across sweeps and must stay bit-identical no matter
+    # how convert_to_lowrank or the clipping run evolve.
+    clipped = convert_to_lowrank(copy.deepcopy(baseline_network), layers=layer_order)
     clip_config = RankClippingConfig(
         tolerance=tolerance,
         clip_interval=scale.clip_interval,

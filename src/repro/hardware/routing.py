@@ -39,9 +39,16 @@ def count_remaining_wires(
             f"{plan.matrix_rows}x{plan.matrix_cols}"
         )
     check_non_negative(zero_threshold, "zero_threshold")
+    live = np.abs(weights) > zero_threshold
+    blocks = plan.block_view(live)
+    if blocks is not None:
+        # (grid_rows, tile_rows, grid_cols, tile_cols): a row wire survives
+        # when its tile row has any live weight (reduce over tile columns),
+        # a column wire when its tile column does (reduce over tile rows).
+        return int(np.count_nonzero(blocks.any(axis=3)) + np.count_nonzero(blocks.any(axis=1)))
     remaining = 0
     for _, _, row_slice, col_slice in plan.iter_tiles():
-        block = np.abs(weights[row_slice, col_slice]) > zero_threshold
+        block = live[row_slice, col_slice]
         remaining += int(np.sum(np.any(block, axis=1)))  # live input rows
         remaining += int(np.sum(np.any(block, axis=0)))  # live output columns
     return remaining

@@ -100,6 +100,20 @@ class TilingPlan:
                 row_slice, col_slice = self.tile_bounds(tile_row, tile_col)
                 yield tile_row, tile_col, row_slice, col_slice
 
+    def block_view(self, matrix: np.ndarray) -> Optional[np.ndarray]:
+        """Zero-copy ``(grid_rows, tile_rows, grid_cols, tile_cols)`` tile view.
+
+        Reshapes a ``(matrix_rows, matrix_cols)`` array so that
+        ``view[r, :, c, :]`` is the block implemented by tile ``(r, c)``;
+        per-tile statistics then reduce over axes 1/3 without any Python-level
+        tile loop.  Returns ``None`` for padded plans, whose ragged edge tiles
+        do not admit a rectangular view (callers fall back to
+        :meth:`iter_tiles`).
+        """
+        if self.padded:
+            return None
+        return matrix.reshape(self.grid_rows, self.tile_rows, self.grid_cols, self.tile_cols)
+
     # ---------------------------------------------------------------- wires
     def dense_wire_count(self) -> int:
         """Routing wires of the fully-connected (undeleted) crossbar array.
@@ -108,10 +122,33 @@ class TilingPlan:
         and one per (occupied) output column, so the dense total is
         ``Σ_tiles (tile_height + tile_width)``.
         """
+        if not self.padded:
+            return self.num_crossbars * (self.tile_rows + self.tile_cols)
         total = 0
         for _, _, row_slice, col_slice in self.iter_tiles():
             total += (row_slice.stop - row_slice.start) + (col_slice.stop - col_slice.start)
         return total
+
+    def count_empty_tiles(self, weights: np.ndarray, zero_threshold: float = 0.0) -> int:
+        """Number of tiles whose block holds no weight with ``|w| > threshold``.
+
+        Empty crossbars can be removed from the design entirely (Figure 9).
+        """
+        weights = np.asarray(weights)
+        if weights.shape != (self.matrix_rows, self.matrix_cols):
+            raise TilingError(
+                f"weights shape {weights.shape} does not match matrix "
+                f"{self.matrix_rows}x{self.matrix_cols}"
+            )
+        live = np.abs(weights) > zero_threshold
+        blocks = self.block_view(live)
+        if blocks is not None:
+            return int(np.count_nonzero(~blocks.any(axis=(1, 3))))
+        return sum(
+            1
+            for _, _, row_slice, col_slice in self.iter_tiles()
+            if not live[row_slice, col_slice].any()
+        )
 
     @property
     def total_cells(self) -> int:

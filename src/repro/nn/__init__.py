@@ -7,7 +7,8 @@ an iteration-based trainer with callbacks (through which rank clipping and
 group connection deletion hook into training).
 """
 
-from repro.nn import functional
+from repro.nn import dtype, functional
+from repro.nn.dtype import as_float, default_dtype, dtype_scope, set_default_dtype
 from repro.nn.initializers import available_initializers, get_initializer
 from repro.nn.layers import (
     AvgPool2D,
@@ -49,6 +50,11 @@ from repro.nn.trainer import Callback, Trainer, TrainingHistory
 
 __all__ = [
     "functional",
+    "dtype",
+    "as_float",
+    "default_dtype",
+    "dtype_scope",
+    "set_default_dtype",
     "Parameter",
     "Layer",
     "Linear",

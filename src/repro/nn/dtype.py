@@ -1,0 +1,73 @@
+"""Global floating-point dtype policy for the nn substrate.
+
+Every layer, loss and :class:`~repro.nn.parameter.Parameter` coerces incoming
+arrays through :func:`as_float` instead of hard-coding ``np.float64``.  The
+policy defaults to ``float64`` so all numerics match the original
+implementation bit-for-bit; ``float32`` can be opted into — typically for
+inference, where the halved memory traffic roughly doubles effective
+bandwidth on the im2col/pooling hot paths:
+
+>>> from repro.nn import dtype
+>>> with dtype.dtype_scope("float32"):
+...     logits = network.predict(images)          # float32 end to end
+
+Only ``float32`` and ``float64`` are valid policies.  The setting is a
+process-wide module global (not thread-local): training loops are
+single-threaded in this codebase, and numpy releases the GIL only inside
+individual kernels.
+
+Note that :class:`Parameter` values are cast when the parameter is
+*constructed*, so switching the policy mid-training does not retroactively
+convert existing weights — use :func:`dtype_scope` around whole phases
+(e.g. an inference pass) rather than toggling between individual calls.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Union
+
+import numpy as np
+
+DtypeLike = Union[str, type, np.dtype]
+
+#: dtypes a policy may select.
+SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+_default_dtype: np.dtype = np.dtype(np.float64)
+
+
+def _validate(dtype: DtypeLike) -> np.dtype:
+    resolved = np.dtype(dtype)
+    if resolved not in SUPPORTED_DTYPES:
+        supported = ", ".join(str(d) for d in SUPPORTED_DTYPES)
+        raise ValueError(f"unsupported dtype policy {resolved}; choose one of: {supported}")
+    return resolved
+
+
+def default_dtype() -> np.dtype:
+    """The floating dtype currently used by layers, losses and parameters."""
+    return _default_dtype
+
+
+def set_default_dtype(dtype: DtypeLike) -> np.dtype:
+    """Set the global dtype policy, returning the previous one."""
+    global _default_dtype
+    previous = _default_dtype
+    _default_dtype = _validate(dtype)
+    return previous
+
+
+@contextmanager
+def dtype_scope(dtype: DtypeLike) -> Iterator[np.dtype]:
+    """Temporarily switch the dtype policy within a ``with`` block."""
+    previous = set_default_dtype(dtype)
+    try:
+        yield _default_dtype
+    finally:
+        set_default_dtype(previous)
+
+
+def as_float(x) -> np.ndarray:
+    """Coerce ``x`` to an ndarray of the policy dtype (no copy when it already is)."""
+    return np.asarray(x, dtype=_default_dtype)

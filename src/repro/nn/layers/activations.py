@@ -8,35 +8,43 @@ import numpy as np
 
 from repro.exceptions import ShapeError
 from repro.nn import functional as F
+from repro.nn.dtype import as_float
 from repro.nn.layers.base import Layer
 
 
 class ReLU(Layer):
     """Rectified linear unit ``max(x, 0)``."""
 
+    _cache_attrs = ("_mask",)
+
     def __init__(self, name: str = ""):
         super().__init__(name=name or "relu")
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
-        self._mask = x > 0
-        return x * self._mask
+        x = as_float(x)
+        mask = x > 0
+        self._mask = mask if self.training else None
+        return x * mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise ShapeError(f"{self.name}: backward called before forward")
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = as_float(grad_output)
         if grad_output.shape != self._mask.shape:
             raise ShapeError(
                 f"{self.name}: expected grad_output of shape {self._mask.shape}, "
                 f"got {grad_output.shape}"
             )
-        return grad_output * self._mask
+        grad_input = grad_output * self._mask
+        self.release_caches()
+        return grad_input
 
 
 class LeakyReLU(Layer):
     """Leaky ReLU with configurable negative slope."""
+
+    _cache_attrs = ("_mask",)
 
     def __init__(self, negative_slope: float = 0.01, name: str = ""):
         super().__init__(name=name or "leaky_relu")
@@ -46,46 +54,59 @@ class LeakyReLU(Layer):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
-        self._mask = x > 0
-        return np.where(self._mask, x, self.negative_slope * x)
+        x = as_float(x)
+        mask = x > 0
+        self._mask = mask if self.training else None
+        return np.where(mask, x, self.negative_slope * x)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise ShapeError(f"{self.name}: backward called before forward")
-        grad_output = np.asarray(grad_output, dtype=np.float64)
-        return np.where(self._mask, grad_output, self.negative_slope * grad_output)
+        grad_output = as_float(grad_output)
+        grad_input = np.where(self._mask, grad_output, self.negative_slope * grad_output)
+        self.release_caches()
+        return grad_input
 
 
 class Sigmoid(Layer):
     """Logistic sigmoid activation."""
+
+    _cache_attrs = ("_output",)
 
     def __init__(self, name: str = ""):
         super().__init__(name=name or "sigmoid")
         self._output: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._output = F.sigmoid(np.asarray(x, dtype=np.float64))
-        return self._output
+        out = F.sigmoid(as_float(x))
+        self._output = out if self.training else None
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._output is None:
             raise ShapeError(f"{self.name}: backward called before forward")
-        return np.asarray(grad_output, dtype=np.float64) * self._output * (1.0 - self._output)
+        grad_input = as_float(grad_output) * self._output * (1.0 - self._output)
+        self.release_caches()
+        return grad_input
 
 
 class Tanh(Layer):
     """Hyperbolic tangent activation."""
+
+    _cache_attrs = ("_output",)
 
     def __init__(self, name: str = ""):
         super().__init__(name=name or "tanh")
         self._output: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._output = np.tanh(np.asarray(x, dtype=np.float64))
-        return self._output
+        out = np.tanh(as_float(x))
+        self._output = out if self.training else None
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._output is None:
             raise ShapeError(f"{self.name}: backward called before forward")
-        return np.asarray(grad_output, dtype=np.float64) * (1.0 - self._output**2)
+        grad_input = as_float(grad_output) * (1.0 - self._output**2)
+        self.release_caches()
+        return grad_input

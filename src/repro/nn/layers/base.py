@@ -5,6 +5,17 @@ relying on an autograd engine.  ``forward`` caches whatever it needs for the
 backward pass on the instance; ``backward`` consumes the cache, accumulates
 parameter gradients into the layer's :class:`~repro.nn.parameter.Parameter`
 objects and returns the gradient with respect to the layer input.
+
+Cache lifecycle
+---------------
+Backward context is cached **only in training mode** and is released at the
+end of ``backward`` — a layer never retains O(batch) activations across
+iterations or in inference-only use.  Layers start in training mode so the
+common construct-forward-backward pattern works out of the box;
+:meth:`~repro.nn.network.Sequential.predict` switches to ``eval`` for the
+duration of an inference pass, which skips caching entirely.  Each layer
+lists its cache slots in ``_cache_attrs`` so :meth:`release_caches` can drop
+them generically (e.g. before serializing or deep-copying a network).
 """
 
 from __future__ import annotations
@@ -20,10 +31,13 @@ from repro.nn.parameter import Parameter
 class Layer:
     """Base class for all layers."""
 
+    #: Names of instance attributes holding backward context; set by subclasses.
+    _cache_attrs: Tuple[str, ...] = ()
+
     def __init__(self, name: str = ""):
         self.name = name or type(self).__name__.lower()
         self._parameters: Dict[str, Parameter] = {}
-        self.training = False
+        self.training = True
 
     # -------------------------------------------------------------- compute
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -36,6 +50,12 @@ class Layer:
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.forward(x)
+
+    # --------------------------------------------------------------- caches
+    def release_caches(self) -> None:
+        """Drop any cached forward/backward context held by this layer."""
+        for attr in self._cache_attrs:
+            setattr(self, attr, None)
 
     # ------------------------------------------------------------ parameters
     def add_parameter(self, key: str, param: Parameter) -> Parameter:
@@ -66,12 +86,12 @@ class Layer:
 
     # ---------------------------------------------------------------- modes
     def train(self) -> "Layer":
-        """Switch the layer to training mode (affects e.g. dropout)."""
+        """Switch the layer to training mode (enables caching, dropout, ...)."""
         self.training = True
         return self
 
     def eval(self) -> "Layer":
-        """Switch the layer to inference mode."""
+        """Switch the layer to inference mode (no backward caching)."""
         self.training = False
         return self
 

@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.exceptions import ShapeError
 from repro.nn import functional as F
+from repro.nn.dtype import as_float
 from repro.nn.initializers import get_initializer
 from repro.nn.layers.base import Layer
 from repro.nn.parameter import Parameter
@@ -22,7 +23,13 @@ class Conv2D(Layer):
     flattened view ``(out_channels, in_channels·kh·kw)`` is the ``N×M`` weight
     matrix the paper factorizes (one row per filter), exposed through
     :attr:`weight_matrix`.
+
+    The im2col patch matrix is cached for the backward pass only in training
+    mode and released at the end of ``backward`` (see
+    :mod:`repro.nn.layers.base` for the cache lifecycle).
     """
+
+    _cache_attrs = ("_cols_cache", "_input_shape", "_out_hw")
 
     def __init__(
         self,
@@ -80,7 +87,7 @@ class Conv2D(Layer):
         return self.weight.data.reshape(self.out_channels, self.fan_in)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_float(x)
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ShapeError(
                 f"{self.name}: expected input of shape (batch, {self.in_channels}, H, W), "
@@ -89,9 +96,12 @@ class Conv2D(Layer):
         cols, out_h, out_w = F.im2col(
             x, self.kernel_size, self.kernel_size, self.stride, self.padding
         )
-        self._cols_cache = cols
-        self._input_shape = x.shape
-        self._out_hw = (out_h, out_w)
+        if self.training:
+            self._cols_cache = cols
+            self._input_shape = x.shape
+            self._out_hw = (out_h, out_w)
+        else:
+            self.release_caches()
         out = cols @ self.weight_matrix.T  # (N*out_h*out_w, out_channels)
         if self.bias is not None:
             out = out + self.bias.data
@@ -104,7 +114,7 @@ class Conv2D(Layer):
         n = self._input_shape[0]
         out_h, out_w = self._out_hw
         expected = (n, self.out_channels, out_h, out_w)
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = as_float(grad_output)
         if grad_output.shape != expected:
             raise ShapeError(
                 f"{self.name}: expected grad_output of shape {expected}, got {grad_output.shape}"
@@ -115,7 +125,7 @@ class Conv2D(Layer):
         if self.bias is not None:
             self.bias.accumulate_grad(grad_mat.sum(axis=0))
         grad_cols = grad_mat @ self.weight_matrix
-        return F.col2im(
+        grad_input = F.col2im(
             grad_cols,
             self._input_shape,
             self.kernel_size,
@@ -123,6 +133,8 @@ class Conv2D(Layer):
             self.stride,
             self.padding,
         )
+        self.release_caches()
+        return grad_input
 
     # ------------------------------------------------------------- geometry
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:

@@ -7,6 +7,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.exceptions import ShapeError
+from repro.nn.dtype import as_float
 from repro.nn.initializers import Zeros, get_initializer
 from repro.nn.layers.base import Layer
 from repro.nn.parameter import Parameter
@@ -22,6 +23,8 @@ class Linear(Layer):
     and ``M`` the fan-in; this is the matrix that rank clipping factorizes and
     that the hardware mapper tiles onto crossbars.
     """
+
+    _cache_attrs = ("_input_cache",)
 
     def __init__(
         self,
@@ -51,12 +54,12 @@ class Linear(Layer):
 
     # ----------------------------------------------------------------- math
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_float(x)
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ShapeError(
                 f"{self.name}: expected input of shape (batch, {self.in_features}), got {x.shape}"
             )
-        self._input_cache = x
+        self._input_cache = x if self.training else None
         out = x @ self.weight.data.T
         if self.bias is not None:
             out = out + self.bias.data
@@ -66,7 +69,7 @@ class Linear(Layer):
         if self._input_cache is None:
             raise ShapeError(f"{self.name}: backward called before forward")
         x = self._input_cache
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = as_float(grad_output)
         if grad_output.shape != (x.shape[0], self.out_features):
             raise ShapeError(
                 f"{self.name}: expected grad_output of shape "
@@ -75,6 +78,7 @@ class Linear(Layer):
         self.weight.accumulate_grad(grad_output.T @ x)
         if self.bias is not None:
             self.bias.accumulate_grad(grad_output.sum(axis=0))
+        self.release_caches()
         return grad_output @ self.weight.data
 
     # ------------------------------------------------------------- geometry

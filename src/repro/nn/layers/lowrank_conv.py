@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.exceptions import RankError, ShapeError
 from repro.nn import functional as F
+from repro.nn.dtype import as_float
 from repro.nn.initializers import get_initializer
 from repro.nn.layers.base import Layer
 from repro.nn.parameter import Parameter
@@ -31,6 +32,8 @@ from repro.utils.validation import check_positive_int
 
 class LowRankConv2D(Layer):
     """2-D convolution with an explicit rank-``K`` factorization of its kernel."""
+
+    _cache_attrs = ("_cols_cache", "_mid_cache", "_input_shape", "_out_hw")
 
     def __init__(
         self,
@@ -132,8 +135,8 @@ class LowRankConv2D(Layer):
 
     def set_factors(self, u: np.ndarray, v: np.ndarray) -> None:
         """Replace the factors (used by rank clipping), updating ``rank``."""
-        u = np.asarray(u, dtype=np.float64)
-        v = np.asarray(v, dtype=np.float64)
+        u = as_float(u)
+        v = as_float(v)
         if u.ndim != 2 or v.ndim != 2:
             raise ShapeError("factors must be 2-D")
         if u.shape[0] != self.out_channels:
@@ -154,7 +157,7 @@ class LowRankConv2D(Layer):
         self.rank = new_rank
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_float(x)
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ShapeError(
                 f"{self.name}: expected input of shape (batch, {self.in_channels}, H, W), "
@@ -163,11 +166,14 @@ class LowRankConv2D(Layer):
         cols, out_h, out_w = F.im2col(
             x, self.kernel_size, self.kernel_size, self.stride, self.padding
         )
-        self._cols_cache = cols
-        self._input_shape = x.shape
-        self._out_hw = (out_h, out_w)
         mid = cols @ self.v.data  # (N*oh*ow, K): the K basis-filter responses
-        self._mid_cache = mid
+        if self.training:
+            self._cols_cache = cols
+            self._input_shape = x.shape
+            self._out_hw = (out_h, out_w)
+            self._mid_cache = mid
+        else:
+            self.release_caches()
         out = mid @ self.u.data.T  # (N*oh*ow, out_channels)
         if self.bias is not None:
             out = out + self.bias.data
@@ -180,7 +186,7 @@ class LowRankConv2D(Layer):
         n = self._input_shape[0]
         out_h, out_w = self._out_hw
         expected = (n, self.out_channels, out_h, out_w)
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = as_float(grad_output)
         if grad_output.shape != expected:
             raise ShapeError(
                 f"{self.name}: expected grad_output of shape {expected}, got {grad_output.shape}"
@@ -192,7 +198,7 @@ class LowRankConv2D(Layer):
         if self.bias is not None:
             self.bias.accumulate_grad(grad_mat.sum(axis=0))
         grad_cols = grad_mid @ self.v.data.T
-        return F.col2im(
+        grad_input = F.col2im(
             grad_cols,
             self._input_shape,
             self.kernel_size,
@@ -200,6 +206,8 @@ class LowRankConv2D(Layer):
             self.stride,
             self.padding,
         )
+        self.release_caches()
+        return grad_input
 
     # ------------------------------------------------------------- geometry
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:

@@ -18,6 +18,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.exceptions import RankError, ShapeError
+from repro.nn.dtype import as_float
 from repro.nn.initializers import get_initializer
 from repro.nn.layers.base import Layer
 from repro.nn.parameter import Parameter
@@ -27,6 +28,8 @@ from repro.utils.validation import check_positive_int
 
 class LowRankLinear(Layer):
     """Fully-connected layer with an explicit rank-``K`` factorization."""
+
+    _cache_attrs = ("_input_cache", "_mid_cache")
 
     def __init__(
         self,
@@ -88,7 +91,7 @@ class LowRankLinear(Layer):
         the optimal (Frobenius) truncation, i.e. the paper's "Direct LRA"
         baseline.
         """
-        weight = np.asarray(weight, dtype=np.float64)
+        weight = as_float(weight)
         if weight.ndim != 2:
             raise ShapeError(f"weight must be 2-D, got shape {weight.shape}")
         out_features, in_features = weight.shape
@@ -109,19 +112,22 @@ class LowRankLinear(Layer):
         layer.u.data = u_mat[:, :k] * s[:k]
         layer.v.data = vt[:k, :].T
         if bias is not None:
-            layer.bias.data = np.asarray(bias, dtype=np.float64).copy()
+            layer.bias.data = as_float(bias).copy()
         return layer
 
     # ----------------------------------------------------------------- math
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_float(x)
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ShapeError(
                 f"{self.name}: expected input of shape (batch, {self.in_features}), got {x.shape}"
             )
-        self._input_cache = x
         mid = x @ self.v.data  # (batch, K)
-        self._mid_cache = mid
+        if self.training:
+            self._input_cache = x
+            self._mid_cache = mid
+        else:
+            self.release_caches()
         out = mid @ self.u.data.T  # (batch, out)
         if self.bias is not None:
             out = out + self.bias.data
@@ -132,7 +138,7 @@ class LowRankLinear(Layer):
             raise ShapeError(f"{self.name}: backward called before forward")
         x = self._input_cache
         mid = self._mid_cache
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = as_float(grad_output)
         if grad_output.shape != (x.shape[0], self.out_features):
             raise ShapeError(
                 f"{self.name}: expected grad_output of shape "
@@ -144,6 +150,7 @@ class LowRankLinear(Layer):
         self.v.accumulate_grad(x.T @ grad_mid)
         if self.bias is not None:
             self.bias.accumulate_grad(grad_output.sum(axis=0))
+        self.release_caches()
         return grad_mid @ self.v.data.T
 
     # -------------------------------------------------------------- clipping
@@ -157,8 +164,8 @@ class LowRankLinear(Layer):
         Any pruning masks on the old factors are discarded because their
         shapes no longer apply.
         """
-        u = np.asarray(u, dtype=np.float64)
-        v = np.asarray(v, dtype=np.float64)
+        u = as_float(u)
+        v = as_float(v)
         if u.ndim != 2 or v.ndim != 2:
             raise ShapeError("factors must be 2-D")
         if u.shape[0] != self.out_features:

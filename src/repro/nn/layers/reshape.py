@@ -7,6 +7,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.exceptions import ShapeError
+from repro.nn.dtype import as_float
 from repro.nn.layers.base import Layer
 from repro.utils.rng import RngLike, as_rng
 from repro.utils.validation import check_probability
@@ -15,21 +16,25 @@ from repro.utils.validation import check_probability
 class Flatten(Layer):
     """Flatten all non-batch dimensions into a single feature axis."""
 
+    _cache_attrs = ("_input_shape",)
+
     def __init__(self, name: str = ""):
         super().__init__(name=name or "flatten")
         self._input_shape: Optional[Tuple[int, ...]] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_float(x)
         if x.ndim < 2:
             raise ShapeError(f"{self.name}: expected at least 2-D input, got shape {x.shape}")
-        self._input_shape = x.shape
+        self._input_shape = x.shape if self.training else None
         return x.reshape(x.shape[0], -1)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._input_shape is None:
             raise ShapeError(f"{self.name}: backward called before forward")
-        return np.asarray(grad_output, dtype=np.float64).reshape(self._input_shape)
+        grad_input = as_float(grad_output).reshape(self._input_shape)
+        self.release_caches()
+        return grad_input
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         total = 1
@@ -41,6 +46,8 @@ class Flatten(Layer):
 class Dropout(Layer):
     """Inverted dropout: active only in training mode."""
 
+    _cache_attrs = ("_mask",)
+
     def __init__(self, rate: float = 0.5, *, name: str = "", rng: RngLike = None):
         super().__init__(name=name or "dropout")
         self.rate = check_probability(rate, "rate")
@@ -48,16 +55,20 @@ class Dropout(Layer):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = as_float(x)
         if not self.training or self.rate == 0.0:
             self._mask = None
             return x
         keep = 1.0 - self.rate
-        self._mask = (self._rng.random(x.shape) < keep) / keep
-        return x * self._mask
+        mask = (self._rng.random(x.shape) < keep).astype(x.dtype)
+        mask /= keep
+        self._mask = mask
+        return x * mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = as_float(grad_output)
         if self._mask is None:
             return grad_output
-        return grad_output * self._mask
+        grad_input = grad_output * self._mask
+        self.release_caches()
+        return grad_input

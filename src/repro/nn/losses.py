@@ -2,7 +2,10 @@
 
 A loss object exposes ``forward(predictions, targets) -> float`` and
 ``backward() -> ndarray`` (gradient w.r.t. the predictions), mirroring the
-layer protocol.
+layer protocol — including the cache lifecycle: the O(batch) context cached
+by ``forward`` is released when ``backward`` consumes it.  After a forward
+pass with no backward (e.g. reporting a validation loss), call
+``release_caches()`` to drop the pinned batch context explicitly.
 """
 
 from __future__ import annotations
@@ -13,16 +16,25 @@ import numpy as np
 
 from repro.exceptions import ShapeError
 from repro.nn import functional as F
+from repro.nn.dtype import as_float
 
 
 class Loss:
     """Base class for losses."""
+
+    #: Names of instance attributes holding backward context; set by subclasses.
+    _cache_attrs: tuple = ()
 
     def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
         raise NotImplementedError
 
     def backward(self) -> np.ndarray:
         raise NotImplementedError
+
+    def release_caches(self) -> None:
+        """Drop any cached forward context held by this loss."""
+        for attr in self._cache_attrs:
+            setattr(self, attr, None)
 
     def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
         return self.forward(predictions, targets)
@@ -35,12 +47,14 @@ class SoftmaxCrossEntropy(Loss):
     ``softmax(logits) - one_hot(targets)`` form.
     """
 
+    _cache_attrs = ("_probs", "_targets")
+
     def __init__(self):
         self._probs: Optional[np.ndarray] = None
         self._targets: Optional[np.ndarray] = None
 
     def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
-        logits = np.asarray(logits, dtype=np.float64)
+        logits = as_float(logits)
         targets = np.asarray(targets)
         if logits.ndim != 2:
             raise ShapeError(f"logits must be 2-D (batch, classes), got shape {logits.shape}")
@@ -64,18 +78,21 @@ class SoftmaxCrossEntropy(Loss):
         batch, num_classes = self._probs.shape
         grad = self._probs.copy()
         grad[np.arange(batch), self._targets] -= 1.0
+        self.release_caches()
         return grad / batch
 
 
 class MSELoss(Loss):
     """Mean squared error over all entries."""
 
+    _cache_attrs = ("_diff",)
+
     def __init__(self):
         self._diff: Optional[np.ndarray] = None
 
     def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
-        predictions = np.asarray(predictions, dtype=np.float64)
-        targets = np.asarray(targets, dtype=np.float64)
+        predictions = as_float(predictions)
+        targets = as_float(targets)
         if predictions.shape != targets.shape:
             raise ShapeError(
                 f"predictions shape {predictions.shape} does not match targets shape {targets.shape}"
@@ -86,18 +103,22 @@ class MSELoss(Loss):
     def backward(self) -> np.ndarray:
         if self._diff is None:
             raise ShapeError("backward called before forward")
-        return 2.0 * self._diff / self._diff.size
+        grad = 2.0 * self._diff / self._diff.size
+        self.release_caches()
+        return grad
 
 
 class L1Loss(Loss):
     """Mean absolute error over all entries."""
 
+    _cache_attrs = ("_diff",)
+
     def __init__(self):
         self._diff: Optional[np.ndarray] = None
 
     def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
-        predictions = np.asarray(predictions, dtype=np.float64)
-        targets = np.asarray(targets, dtype=np.float64)
+        predictions = as_float(predictions)
+        targets = as_float(targets)
         if predictions.shape != targets.shape:
             raise ShapeError(
                 f"predictions shape {predictions.shape} does not match targets shape {targets.shape}"
@@ -108,4 +129,6 @@ class L1Loss(Loss):
     def backward(self) -> np.ndarray:
         if self._diff is None:
             raise ShapeError("backward called before forward")
-        return np.sign(self._diff) / self._diff.size
+        grad = np.sign(self._diff) / self._diff.size
+        self.release_caches()
+        return grad

@@ -13,6 +13,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Ty
 import numpy as np
 
 from repro.exceptions import LayerError
+from repro.nn.dtype import as_float
 from repro.nn.layers.base import Layer
 from repro.nn.parameter import Parameter
 
@@ -147,6 +148,11 @@ class Sequential:
             layer.eval()
         return self
 
+    def release_caches(self) -> None:
+        """Drop every layer's cached forward/backward context (frees O(batch) memory)."""
+        for layer in self._layers:
+            layer.release_caches()
+
     # --------------------------------------------------------------- export
     def state_dict(self) -> Dict[str, np.ndarray]:
         """Flat ``qualified_name -> array`` mapping of all parameter values."""
@@ -168,7 +174,7 @@ class Sequential:
         for name, param in own.items():
             if name not in state:
                 continue
-            value = np.asarray(state[name], dtype=np.float64)
+            value = as_float(state[name])
             if value.shape != param.data.shape:
                 raise LayerError(
                     f"shape mismatch for {name!r}: expected {param.data.shape}, got {value.shape}"

@@ -1,7 +1,8 @@
 """Trainable parameter container.
 
 A :class:`Parameter` bundles a value array with its accumulated gradient and
-an optional boolean mask.  Masks are how the group-connection-deletion step
+an optional boolean mask.  Values are stored at the global dtype policy
+(:mod:`repro.nn.dtype`, float64 by default) captured at construction time.  Masks are how the group-connection-deletion step
 freezes pruned weights: once a group is deleted its mask entries are set to
 ``False`` and every subsequent gradient update is zeroed for those entries, so
 fine-tuning cannot resurrect a deleted connection.
@@ -13,12 +14,14 @@ from typing import Optional
 
 import numpy as np
 
+from repro.nn.dtype import as_float
+
 
 class Parameter:
     """A named trainable array with gradient and pruning-mask bookkeeping."""
 
     def __init__(self, data: np.ndarray, name: str = "", trainable: bool = True):
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = as_float(data)
         self.grad = np.zeros_like(self.data)
         self.name = name
         self.trainable = bool(trainable)

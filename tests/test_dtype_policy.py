@@ -1,0 +1,107 @@
+"""Tests for the global dtype policy (:mod:`repro.nn.dtype`)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2D, Linear, MaxPool2D, Parameter, ReLU, Sequential, dtype
+from repro.nn.layers import Flatten
+
+
+@pytest.fixture(autouse=True)
+def restore_policy():
+    """Never leak a modified policy into other tests."""
+    previous = dtype.default_dtype()
+    yield
+    dtype.set_default_dtype(previous)
+
+
+class TestPolicyPlumbing:
+    def test_default_is_float64(self):
+        assert dtype.default_dtype() == np.float64
+        assert dtype.as_float([1, 2]).dtype == np.float64
+
+    def test_set_and_restore(self):
+        previous = dtype.set_default_dtype(np.float32)
+        assert previous == np.float64
+        assert dtype.default_dtype() == np.float32
+        dtype.set_default_dtype(previous)
+        assert dtype.default_dtype() == np.float64
+
+    def test_scope_restores_on_exit_and_error(self):
+        with dtype.dtype_scope("float32") as active:
+            assert active == np.float32
+            assert dtype.default_dtype() == np.float32
+        assert dtype.default_dtype() == np.float64
+        with pytest.raises(RuntimeError):
+            with dtype.dtype_scope(np.float32):
+                raise RuntimeError("boom")
+        assert dtype.default_dtype() == np.float64
+
+    def test_rejects_non_float_dtypes(self):
+        for bad in (np.int32, np.complex128, "int64", bool):
+            with pytest.raises(ValueError):
+                dtype.set_default_dtype(bad)
+
+    def test_as_float_no_copy_when_matching(self):
+        x = np.ones(4, dtype=np.float64)
+        assert dtype.as_float(x) is x
+
+
+class TestPolicyInLayers:
+    def test_parameter_uses_policy_at_construction(self):
+        with dtype.dtype_scope(np.float32):
+            p = Parameter(np.arange(3))
+            assert p.data.dtype == np.float32
+            assert p.grad.dtype == np.float32
+        assert Parameter(np.arange(3)).data.dtype == np.float64
+
+    def test_float32_inference_end_to_end(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((4, 1, 8, 8))
+        with dtype.dtype_scope(np.float32):
+            network = Sequential(
+                [
+                    Conv2D(1, 2, 3, padding=1, rng=0, name="c"),
+                    ReLU(),
+                    MaxPool2D(2, 2),
+                    Flatten(),
+                    Linear(2 * 4 * 4, 3, rng=1, name="fc"),
+                ]
+            )
+            out = network.predict(x)
+            assert out.dtype == np.float32
+            for param in network.parameters():
+                assert param.data.dtype == np.float32
+
+    def test_float64_default_unchanged(self):
+        network = Sequential([Linear(5, 2, rng=0)])
+        out = network.forward(np.ones((3, 5), dtype=np.float32))
+        assert out.dtype == np.float64
+
+    def test_float32_matches_float64_numerics(self):
+        """Same weights: float32 inference tracks float64 to single precision."""
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((2, 1, 6, 6))
+        net64 = Sequential([Conv2D(1, 2, 3, rng=3, name="c"), ReLU()])
+        out64 = net64.predict(x)
+        with dtype.dtype_scope(np.float32):
+            net32 = Sequential([Conv2D(1, 2, 3, rng=3, name="c"), ReLU()])
+            out32 = net32.predict(x)
+        np.testing.assert_allclose(out32, out64, atol=1e-5)
+
+    def test_training_gradients_follow_policy(self):
+        with dtype.dtype_scope(np.float32):
+            layer = Linear(4, 2, rng=0)
+            out = layer.forward(np.ones((3, 4)))
+            layer.backward(np.ones_like(out))
+            assert layer.weight.grad.dtype == np.float32
+
+    def test_dropout_mask_follows_policy(self):
+        from repro.nn import Dropout
+
+        with dtype.dtype_scope(np.float32):
+            layer = Dropout(0.5, rng=0)
+            layer.train()
+            out = layer.forward(np.ones((16, 16)))
+            assert out.dtype == np.float32
+            assert layer._mask.dtype == np.float32

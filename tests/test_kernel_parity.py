@@ -1,0 +1,193 @@
+"""Parity tests: vectorized kernels vs the preserved loop reference kernels.
+
+The vectorized im2col/col2im and pooling paths must match the seed's
+offset-loop implementations (kept in :mod:`repro.nn._reference`) to 1e-12 on
+randomized shapes — in fact they are bit-identical everywhere the semantics
+did not intentionally change (max pooling with ``padding > 0`` now pads with
+``-inf`` instead of zero; see ``TestMaxPoolPaddingFix``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import _reference as ref
+from repro.nn import functional as F
+from repro.nn.layers import AvgPool2D, MaxPool2D
+
+ATOL = 1e-12
+
+
+def random_conv_cases(rng):
+    """Randomized (shape, kernel, stride, padding) conv geometries."""
+    cases = []
+    for _ in range(12):
+        n = int(rng.integers(1, 5))
+        c = int(rng.integers(1, 4))
+        kernel = int(rng.integers(1, 5))
+        stride = int(rng.integers(1, 4))
+        padding = int(rng.integers(0, 3))
+        # Input large enough to give a positive output size.
+        min_side = max(kernel - 2 * padding, 1)
+        h = int(rng.integers(min_side + 2, min_side + 11))
+        w = int(rng.integers(min_side + 2, min_side + 11))
+        cases.append(((n, c, h, w), kernel, stride, padding))
+    # Deterministic corner cases: 1x1 kernel, disjoint stride, kernel == input.
+    cases.append(((2, 3, 8, 8), 1, 1, 0))
+    cases.append(((2, 3, 8, 8), 2, 2, 0))
+    cases.append(((1, 1, 4, 4), 4, 4, 0))
+    cases.append(((2, 2, 5, 5), 3, 3, 1))
+    return cases
+
+
+class TestConvKernelParity:
+    def test_im2col_matches_loop_reference(self, rng):
+        for shape, kernel, stride, padding in random_conv_cases(rng):
+            x = rng.standard_normal(shape)
+            cols_new, oh_new, ow_new = F.im2col(x, kernel, kernel, stride, padding)
+            cols_ref, oh_ref, ow_ref = ref.im2col_loop(x, kernel, kernel, stride, padding)
+            assert (oh_new, ow_new) == (oh_ref, ow_ref)
+            np.testing.assert_allclose(cols_new, cols_ref, atol=ATOL, rtol=0)
+
+    def test_col2im_matches_loop_reference(self, rng):
+        for shape, kernel, stride, padding in random_conv_cases(rng):
+            x = rng.standard_normal(shape)
+            cols, _, _ = F.im2col(x, kernel, kernel, stride, padding)
+            grad_cols = rng.standard_normal(cols.shape)
+            new = F.col2im(grad_cols, shape, kernel, kernel, stride, padding)
+            expected = ref.col2im_loop(grad_cols, shape, kernel, kernel, stride, padding)
+            np.testing.assert_allclose(new, expected, atol=ATOL, rtol=0)
+
+    def test_rectangular_kernels(self, rng):
+        x = rng.standard_normal((2, 3, 9, 11))
+        for kh, kw in [(1, 3), (3, 1), (2, 4)]:
+            cols_new, _, _ = F.im2col(x, kh, kw, 1, 1)
+            cols_ref, _, _ = ref.im2col_loop(x, kh, kw, 1, 1)
+            np.testing.assert_allclose(cols_new, cols_ref, atol=ATOL, rtol=0)
+            g = rng.standard_normal(cols_new.shape)
+            np.testing.assert_allclose(
+                F.col2im(g, x.shape, kh, kw, 1, 1),
+                ref.col2im_loop(g, x.shape, kh, kw, 1, 1),
+                atol=ATOL,
+                rtol=0,
+            )
+
+    def test_col2im_is_adjoint_of_im2col(self, rng):
+        """<im2col(x), g> == <x, col2im(g)> — the defining adjoint identity."""
+        shape = (3, 2, 7, 7)
+        x = rng.standard_normal(shape)
+        cols, _, _ = F.im2col(x, 3, 3, 2, 1)
+        g = rng.standard_normal(cols.shape)
+        lhs = float(np.sum(cols * g))
+        rhs = float(np.sum(x * F.col2im(g, shape, 3, 3, 2, 1)))
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_pool_windows_matches_loop_reference(self, rng):
+        for pool, stride, padding in [(2, 2, 0), (3, 2, 1), (2, 1, 0), (3, 3, 0)]:
+            x = rng.standard_normal((2, 3, 8, 8))
+            win_new, oh, ow = F.pool_windows(x, pool, stride, padding)
+            win_ref, oh_r, ow_r = ref.extract_pool_windows_loop(x, pool, stride, padding)
+            assert (oh, ow) == (oh_r, ow_r)
+            flat = win_new.reshape(win_new.shape[:4] + (pool * pool,))
+            np.testing.assert_allclose(flat, win_ref, atol=ATOL, rtol=0)
+
+
+class TestPoolingLayerParity:
+    @pytest.mark.parametrize("pool,stride", [(2, 2), (3, 2), (2, 1), (3, 3)])
+    def test_maxpool_unpadded_matches_reference(self, rng, pool, stride):
+        x = rng.standard_normal((3, 2, 9, 9))
+        layer = MaxPool2D(pool, stride)
+        out = layer.forward(x)
+        grad_out = rng.standard_normal(out.shape)
+        grad_in = layer.backward(grad_out)
+        out_ref, grad_ref = ref.maxpool_forward_backward_loop(x, pool, stride, 0, grad_out)
+        np.testing.assert_allclose(out, out_ref, atol=ATOL, rtol=0)
+        np.testing.assert_allclose(grad_in, grad_ref, atol=ATOL, rtol=0)
+
+    @pytest.mark.parametrize("pool,stride,padding", [(2, 2, 0), (3, 2, 1), (2, 1, 0)])
+    def test_avgpool_matches_reference(self, rng, pool, stride, padding):
+        x = rng.standard_normal((3, 2, 8, 8))
+        layer = AvgPool2D(pool, stride, padding=padding)
+        out = layer.forward(x)
+        grad_out = rng.standard_normal(out.shape)
+        grad_in = layer.backward(grad_out)
+        out_ref, grad_ref = ref.avgpool_forward_backward_loop(x, pool, stride, padding, grad_out)
+        np.testing.assert_allclose(out, out_ref, atol=ATOL, rtol=0)
+        np.testing.assert_allclose(grad_in, grad_ref, atol=ATOL, rtol=0)
+
+    def test_maxpool_tie_breaking_matches_reference_argmax(self):
+        """All-tied windows (e.g. post-ReLU zeros) must route gradient like argmax."""
+        x = np.zeros((2, 2, 4, 4))
+        layer = MaxPool2D(2, 2)
+        out = layer.forward(x)
+        grad_out = np.arange(out.size, dtype=float).reshape(out.shape) + 1.0
+        grad_in = layer.backward(grad_out)
+        out_ref, grad_ref = ref.maxpool_forward_backward_loop(x, 2, 2, 0, grad_out)
+        np.testing.assert_allclose(out, out_ref, atol=ATOL, rtol=0)
+        np.testing.assert_allclose(grad_in, grad_ref, atol=ATOL, rtol=0)
+
+    def test_maxpool_padded_positive_input_matches_reference(self, rng):
+        """With strictly positive inputs the -inf padding fix changes nothing."""
+        x = np.abs(rng.standard_normal((2, 2, 6, 6))) + 0.5
+        layer = MaxPool2D(3, 2, padding=1)
+        out = layer.forward(x)
+        grad_out = rng.standard_normal(out.shape)
+        grad_in = layer.backward(grad_out)
+        out_ref, grad_ref = ref.maxpool_forward_backward_loop(x, 3, 2, 1, grad_out)
+        np.testing.assert_allclose(out, out_ref, atol=ATOL, rtol=0)
+        np.testing.assert_allclose(grad_in, grad_ref, atol=ATOL, rtol=0)
+
+
+class TestMaxPoolPaddingFix:
+    """Regression tests: padding must not win the max nor swallow gradient."""
+
+    def test_all_negative_input_ignores_padding(self):
+        x = -np.abs(np.random.default_rng(0).standard_normal((2, 3, 4, 4))) - 0.1
+        layer = MaxPool2D(2, 2, padding=1)
+        out = layer.forward(x)
+        # Zero padding would have produced 0.0 in every border window; the
+        # -inf padding must select the largest *real* (negative) entry.
+        assert np.all(out < 0)
+
+    def test_gradient_flows_for_all_negative_windows(self, grad_checker):
+        rng = np.random.default_rng(3)
+        x = -np.abs(rng.standard_normal((1, 1, 4, 4))) - 0.1
+        layer = MaxPool2D(2, 2, padding=1)
+        target = rng.standard_normal(layer.output_shape((1, 4, 4)))[None]
+
+        def loss():
+            return 0.5 * float(np.sum((layer.forward(x) - target) ** 2))
+
+        out = layer.forward(x)
+        grad_in = layer.backward(out - target)
+        numeric = grad_checker(loss, x)
+        np.testing.assert_allclose(grad_in, numeric, atol=1e-6)
+        # Every output window routes its gradient to a real input position,
+        # so the total gradient mass is conserved (nothing cropped away).
+        assert np.count_nonzero(grad_in) > 0
+
+    def test_gradient_mass_conserved_with_padding(self):
+        rng = np.random.default_rng(4)
+        x = -np.abs(rng.standard_normal((2, 2, 4, 4))) - 0.1
+        layer = MaxPool2D(2, 2, padding=1)
+        out = layer.forward(x)
+        grad_out = np.ones_like(out)
+        grad_in = layer.backward(grad_out)
+        # Disjoint windows: each unit of output gradient lands on exactly one
+        # input entry.  With zero padding, border windows lost their unit.
+        assert float(grad_in.sum()) == pytest.approx(float(grad_out.sum()))
+
+    def test_padding_at_least_pool_size_rejected(self):
+        """padding >= pool_size would create windows made purely of padding."""
+        for layer_cls in (MaxPool2D, AvgPool2D):
+            with pytest.raises(ValueError):
+                layer_cls(2, 2, padding=2)
+            with pytest.raises(ValueError):
+                layer_cls(2, 2, padding=3)
+
+    def test_avgpool_keeps_zero_padding_semantics(self, rng):
+        """Average pooling still counts padded zeros toward the mean."""
+        x = rng.standard_normal((1, 1, 2, 2))
+        layer = AvgPool2D(2, 2, padding=1)
+        out = layer.forward(x)
+        out_ref, _ = ref.avgpool_forward_backward_loop(x, 2, 2, 1, np.zeros_like(out))
+        np.testing.assert_allclose(out, out_ref, atol=ATOL, rtol=0)

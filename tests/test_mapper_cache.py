@@ -1,0 +1,137 @@
+"""Tests for the mapper's memoized tiling plans and vectorized tile stats."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import mapper as mapper_module
+from repro.hardware.library import CrossbarLibrary
+from repro.hardware.mapper import NetworkMapper
+from repro.hardware.routing import count_remaining_wires
+from repro.hardware.technology import TechnologyParameters
+from repro.hardware.tiling import plan_tiling
+from repro.nn import Linear, ReLU, Sequential
+
+
+def tiny_mapper():
+    technology = TechnologyParameters(max_crossbar_rows=8, max_crossbar_cols=8)
+    return NetworkMapper(
+        technology=technology, library=CrossbarLibrary(technology=technology)
+    )
+
+
+def repeated_shape_network():
+    """Three weighted layers, two of which share the same matrix shape."""
+    return Sequential(
+        [
+            Linear(16, 16, rng=0, name="fc1"),
+            ReLU(name="r1"),
+            Linear(16, 16, rng=1, name="fc2"),
+            ReLU(name="r2"),
+            Linear(16, 4, rng=2, name="fc3"),
+        ],
+        name="repeat",
+    )
+
+
+@pytest.fixture
+def plan_counter(monkeypatch):
+    """Count invocations of the underlying tiling planner."""
+    calls = []
+
+    def counting_plan_tiling(rows, cols, *, library, name=""):
+        calls.append((rows, cols))
+        return plan_tiling(rows, cols, library=library, name=name)
+
+    monkeypatch.setattr(mapper_module, "plan_tiling", counting_plan_tiling)
+    return calls
+
+
+class TestPlanMemoization:
+    def test_map_network_plans_each_shape_exactly_once(self, plan_counter):
+        mapper = tiny_mapper()
+        network = repeated_shape_network()
+        mapper.map_network(network)
+        # fc1 and fc2 share the 16x16 shape; fc3 maps as Wᵀ with shape 16x4.
+        distinct_shapes = {(16, 16), (16, 4)}
+        assert sorted(plan_counter) == sorted(distinct_shapes)
+
+    def test_repeat_calls_plan_nothing_new(self, plan_counter):
+        mapper = tiny_mapper()
+        network = repeated_shape_network()
+        first = mapper.map_network(network)
+        planned_after_first = len(plan_counter)
+        second = mapper.map_network(network)
+        assert len(plan_counter) == planned_after_first
+        assert second.total_crossbar_area_f2 == first.total_crossbar_area_f2
+
+    def test_plan_network_and_big_matrices_share_cache(self, plan_counter):
+        mapper = tiny_mapper()
+        network = repeated_shape_network()
+        mapper.plan_network(network)
+        planned = len(plan_counter)
+        mapper.big_matrices(network)
+        mapper.crossbar_area(network)
+        assert len(plan_counter) == planned
+
+    def test_cached_plans_carry_matrix_names(self):
+        mapper = tiny_mapper()
+        plans = mapper.plan_network(repeated_shape_network())
+        assert set(plans) == {"fc1_w", "fc2_w", "fc3_w"}
+        for name, plan in plans.items():
+            assert plan.name == name
+        # Shared shape, distinct labels, identical geometry.
+        assert plans["fc1_w"].tile_shape() == plans["fc2_w"].tile_shape()
+
+    def test_clear_plan_cache(self, plan_counter):
+        mapper = tiny_mapper()
+        network = repeated_shape_network()
+        mapper.map_network(network)
+        first = len(plan_counter)
+        mapper.clear_plan_cache()
+        mapper.map_network(network)
+        assert len(plan_counter) == 2 * first
+
+    def test_distinct_libraries_do_not_collide(self):
+        technology = TechnologyParameters(max_crossbar_rows=8, max_crossbar_cols=8)
+        wide = TechnologyParameters(max_crossbar_rows=64, max_crossbar_cols=64)
+        network = repeated_shape_network()
+        small = NetworkMapper(
+            technology=technology, library=CrossbarLibrary(technology=technology)
+        )
+        big = NetworkMapper(technology=wide, library=CrossbarLibrary(technology=wide))
+        assert small.plan_network(network)["fc1_w"].num_crossbars == 4
+        assert big.plan_network(network)["fc1_w"].num_crossbars == 1
+
+
+class TestVectorizedTileStats:
+    def test_count_remaining_wires_matches_tile_loop(self, rng):
+        plan = plan_tiling(16, 12, library=CrossbarLibrary(
+            technology=TechnologyParameters(max_crossbar_rows=4, max_crossbar_cols=4)
+        ))
+        weights = rng.standard_normal((16, 12))
+        weights[weights < 0.3] = 0.0
+        expected = 0
+        for _, _, row_slice, col_slice in plan.iter_tiles():
+            block = np.abs(weights[row_slice, col_slice]) > 0.0
+            expected += int(block.any(axis=1).sum()) + int(block.any(axis=0).sum())
+        assert count_remaining_wires(weights, plan) == expected
+
+    def test_count_empty_tiles_matches_instances(self, rng):
+        plan = plan_tiling(16, 12, library=CrossbarLibrary(
+            technology=TechnologyParameters(max_crossbar_rows=4, max_crossbar_cols=4)
+        ))
+        weights = rng.standard_normal((16, 12))
+        weights[:4, :4] = 0.0  # tile (0, 0) fully empty
+        weights[8:12, :] = 0.0  # the whole third tile row empty
+        instances = plan.instantiate(weights)
+        expected = sum(1 for inst in instances if inst.is_empty(0.0))
+        assert plan.count_empty_tiles(weights, 0.0) == expected
+        assert expected == 1 + 3
+
+    def test_empty_tiles_respect_threshold(self):
+        plan = plan_tiling(8, 8, library=CrossbarLibrary(
+            technology=TechnologyParameters(max_crossbar_rows=4, max_crossbar_cols=4)
+        ))
+        weights = np.full((8, 8), 1e-9)
+        assert plan.count_empty_tiles(weights, 0.0) == 0
+        assert plan.count_empty_tiles(weights, 1e-6) == 4
