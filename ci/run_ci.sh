@@ -2,9 +2,11 @@
 # Lightweight CI for the repo.
 #
 #   ci/run_ci.sh            # tier-1: full test + benchmark suite (includes
-#                           # the kernel parity / engine regression tests)
+#                           # the kernel parity / engine regression tests and
+#                           # the 2-worker sweep parity tests)
 #   ci/run_ci.sh --quick    # engine regression tests only (fast iteration)
-#   ci/run_ci.sh --bench    # tier-1 plus a BENCH_kernels.json data point
+#   ci/run_ci.sh --bench    # tier-1 plus BENCH_kernels.json and
+#                           # BENCH_sweeps.json data points
 #
 # Keeps to the stock toolchain: python + pytest only.
 set -euo pipefail
@@ -12,24 +14,27 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+# test_sweep_engine.py runs the serial-vs-parallel parity tests with a
+# 2-worker process pool, so every CI invocation exercises the fan-out path.
 ENGINE_TESTS=(
   tests/test_kernel_parity.py
   tests/test_cache_release.py
   tests/test_dtype_policy.py
   tests/test_mapper_cache.py
   tests/test_sweep_regression.py
+  tests/test_sweep_engine.py
 )
 
 if [[ "${1:-}" == "--quick" ]]; then
-  echo "== quick: kernel parity and engine regression tests =="
+  echo "== quick: kernel parity and engine regression tests (2-worker sweep parity included) =="
   python -m pytest -x -q "${ENGINE_TESTS[@]}"
 else
-  echo "== tier-1: full test + benchmark suite (kernel parity included) =="
+  echo "== tier-1: full test + benchmark suite (kernel + sweep parity included) =="
   python -m pytest -x -q
 fi
 
 if [[ "${1:-}" == "--bench" ]]; then
-  echo "== kernel benchmark trajectory =="
+  echo "== kernel + sweep benchmark trajectories =="
   python benchmarks/run_benchmarks.py --check
 fi
 

@@ -20,12 +20,14 @@ from repro.core.group_deletion import (
     matrix_values,
 )
 from repro.core.groups import (
+    CrossbarGroupLasso,
     GroupedMatrix,
     derive_layer_grouped_matrices,
     derive_matrix_groups,
     derive_network_groups,
     flatten_groups,
     group_summary,
+    matrix_group_norms,
 )
 from repro.core.rank_clipping import (
     RankClipper,
@@ -50,6 +52,8 @@ __all__ = [
     "RankClippingResult",
     "RankClippingTrace",
     "GroupedMatrix",
+    "CrossbarGroupLasso",
+    "matrix_group_norms",
     "derive_matrix_groups",
     "derive_layer_grouped_matrices",
     "derive_network_groups",

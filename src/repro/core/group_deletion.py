@@ -16,10 +16,20 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.config import GroupDeletionConfig
-from repro.core.groups import GroupedMatrix, derive_network_groups, flatten_groups
+from repro.core.groups import (
+    CrossbarGroupLasso,
+    GroupedMatrix,
+    derive_network_groups,
+    flatten_groups,
+    matrix_group_norms,
+)
 from repro.exceptions import ConfigurationError
 from repro.hardware.library import PAPER_LIBRARY, CrossbarLibrary
-from repro.hardware.routing import RoutingReport, count_remaining_wires
+from repro.hardware.routing import (
+    RoutingAnalysisCache,
+    RoutingReport,
+    count_remaining_wires,
+)
 from repro.nn.network import Sequential
 from repro.nn.regularization import GroupLassoRegularizer
 from repro.nn.trainer import Callback, Trainer
@@ -30,21 +40,36 @@ logger = get_logger("core.group_deletion")
 
 def matrix_values(matrix: GroupedMatrix) -> np.ndarray:
     """Current crossbar-matrix values of a grouped matrix (inputs × outputs)."""
-    data = matrix.parameter.data
-    return data.T if matrix.transpose else data
+    return matrix.values()
 
 
 def matrix_routing_report(
-    matrix: GroupedMatrix, *, zero_threshold: float = 0.0
+    matrix: GroupedMatrix,
+    *,
+    zero_threshold: float = 0.0,
+    cache: Optional[RoutingAnalysisCache] = None,
 ) -> RoutingReport:
     """Routing report of one grouped matrix for its current weights."""
+    if cache is not None:
+        return cache.analyze(
+            matrix.values(), matrix.plan, zero_threshold=zero_threshold, name=matrix.name
+        )
     return RoutingReport(
         name=matrix.name,
         dense_wires=matrix.plan.dense_wire_count(),
         remaining_wires=count_remaining_wires(
-            matrix_values(matrix), matrix.plan, zero_threshold=zero_threshold
+            matrix.values(), matrix.plan, zero_threshold=zero_threshold
         ),
     )
+
+
+def _flat_group_norms(matrix: GroupedMatrix) -> Optional[np.ndarray]:
+    """All row+column group norms of a matrix as one flat vectorized array."""
+    norms = matrix_group_norms(matrix.values(), matrix.plan)
+    if norms is None:
+        return None
+    row_norms, col_norms = norms
+    return np.concatenate([row_norms.ravel(), col_norms.ravel()])
 
 
 def effective_threshold(
@@ -59,21 +84,37 @@ def effective_threshold(
     """
     if relative_threshold <= 0.0 or not matrix.groups:
         return zero_threshold
-    max_norm = max(group.norm() for group in matrix.groups)
+    norms = _flat_group_norms(matrix)
+    if norms is not None:
+        max_norm = float(norms.max())
+    else:
+        max_norm = max(group.norm() for group in matrix.groups)
     return max(zero_threshold, relative_threshold * max_norm)
 
 
 def group_deletion_fractions(
-    matrix: GroupedMatrix, *, zero_threshold: float, relative_threshold: float
+    matrix: GroupedMatrix,
+    *,
+    zero_threshold: float,
+    relative_threshold: float,
+    vectorized: bool = True,
 ) -> float:
     """Fraction of the matrix's routing wires that would be deleted right now.
 
     Every row/column group guards exactly one routing wire, so the fraction of
     groups at or below the effective threshold equals the fraction of
-    deletable wires (Figure 5's y-axis).
+    deletable wires (Figure 5's y-axis).  The default path computes all group
+    norms in two block reductions; ``vectorized=False`` (or a padded tiling
+    plan) keeps the original per-group loop.
     """
     if not matrix.groups:
         return 0.0
+    norms = _flat_group_norms(matrix) if vectorized else None
+    if norms is not None:
+        threshold = zero_threshold
+        if relative_threshold > 0.0:
+            threshold = max(zero_threshold, relative_threshold * float(norms.max()))
+        return float(np.count_nonzero(norms <= threshold)) / norms.size
     threshold = effective_threshold(
         matrix, zero_threshold=zero_threshold, relative_threshold=relative_threshold
     )
@@ -88,15 +129,28 @@ class GroupDeletionTrace:
     iterations: List[int] = field(default_factory=list)
     deleted_wire_fraction: Dict[str, List[float]] = field(default_factory=dict)
     accuracy: List[Optional[float]] = field(default_factory=list)
+    remaining_wire_fraction: Dict[str, List[float]] = field(default_factory=dict)
 
     def record(
-        self, iteration: int, fractions: Dict[str, float], accuracy: Optional[float]
+        self,
+        iteration: int,
+        fractions: Dict[str, float],
+        accuracy: Optional[float],
+        wire_fractions: Optional[Dict[str, float]] = None,
     ) -> None:
-        """Append one observation (per-matrix deleted-wire fractions + accuracy)."""
+        """Append one observation (per-matrix deleted-wire fractions + accuracy).
+
+        ``wire_fractions`` optionally carries the *actual* remaining-wire
+        fraction of every matrix (from a routing analysis of the current
+        weights), complementing the norm-threshold-based deleted fraction.
+        """
         self.iterations.append(int(iteration))
         for name, fraction in fractions.items():
             self.deleted_wire_fraction.setdefault(name, []).append(float(fraction))
         self.accuracy.append(None if accuracy is None else float(accuracy))
+        if wire_fractions is not None:
+            for name, fraction in wire_fractions.items():
+                self.remaining_wire_fraction.setdefault(name, []).append(float(fraction))
 
     def final_deleted_fractions(self) -> Dict[str, float]:
         """Deleted-wire fraction of every matrix at the last observation."""
@@ -108,6 +162,9 @@ class GroupDeletionTrace:
             "iterations": list(self.iterations),
             "deleted_wire_fraction": {k: list(v) for k, v in self.deleted_wire_fraction.items()},
             "accuracy": list(self.accuracy),
+            "remaining_wire_fraction": {
+                k: list(v) for k, v in self.remaining_wire_fraction.items()
+            },
         }
 
 
@@ -122,6 +179,8 @@ class GroupDeletionCallback(Callback):
         zero_threshold: float = 1e-4,
         relative_threshold: float = 0.05,
         evaluate: bool = True,
+        vectorized: bool = True,
+        routing_cache: Optional[RoutingAnalysisCache] = None,
     ):
         if record_interval < 1:
             raise ConfigurationError(f"record_interval must be >= 1, got {record_interval}")
@@ -130,6 +189,8 @@ class GroupDeletionCallback(Callback):
         self.zero_threshold = float(zero_threshold)
         self.relative_threshold = float(relative_threshold)
         self.evaluate = bool(evaluate)
+        self.vectorized = bool(vectorized)
+        self.routing_cache = routing_cache
         self.trace = GroupDeletionTrace()
 
     def _fractions(self) -> Dict[str, float]:
@@ -138,19 +199,32 @@ class GroupDeletionCallback(Callback):
                 matrix,
                 zero_threshold=self.zero_threshold,
                 relative_threshold=self.relative_threshold,
+                vectorized=self.vectorized,
             )
             for matrix in self.grouped_matrices
         }
 
-    def on_train_begin(self, trainer: Trainer) -> None:
+    def _wire_fractions(self) -> Optional[Dict[str, float]]:
+        if self.routing_cache is None:
+            return None
+        return {
+            matrix.name: self.routing_cache.analyze(
+                matrix.values(), matrix.plan, name=matrix.name
+            ).wire_fraction
+            for matrix in self.grouped_matrices
+        }
+
+    def _record(self, trainer: Trainer, iteration: int) -> None:
         accuracy = trainer.evaluate() if self.evaluate else None
-        self.trace.record(trainer.iteration, self._fractions(), accuracy)
+        self.trace.record(iteration, self._fractions(), accuracy, self._wire_fractions())
+
+    def on_train_begin(self, trainer: Trainer) -> None:
+        self._record(trainer, trainer.iteration)
 
     def on_iteration_end(self, trainer: Trainer, iteration: int) -> None:
         if iteration % self.record_interval != 0:
             return
-        accuracy = trainer.evaluate() if self.evaluate else None
-        self.trace.record(iteration, self._fractions(), accuracy)
+        self._record(trainer, iteration)
 
 
 def apply_deletion(
@@ -179,6 +253,31 @@ def apply_deletion(
                 else existing.copy()
             )
             parameters[key] = matrix.parameter
+        blocks = matrix.plan.block_view(matrix.values())
+        if blocks is not None:
+            # Vectorized deletion replicating the per-group loop's order: the
+            # loop zeroes each deleted row group *before* measuring the column
+            # groups of the same tile, so a row deletion can cascade a
+            # borderline column below the threshold.  Row decisions use the
+            # pre-deletion norms (rows are mutually disjoint); column norms
+            # are then measured with the deleted rows masked out, exactly the
+            # squares the loop's post-zeroing recomputation would sum.
+            squared = blocks * blocks
+            row_norms = np.sqrt(squared.sum(axis=3))  # (gr, tr, gc)
+            threshold = zero_threshold
+            if relative_threshold > 0.0 and matrix.groups:
+                col_norms = np.sqrt(squared.sum(axis=1))  # (gr, gc, tc)
+                max_norm = max(float(row_norms.max()), float(col_norms.max()))
+                threshold = max(zero_threshold, relative_threshold * max_norm)
+            row_deleted = row_norms <= threshold
+            surviving_squares = squared * ~row_deleted[:, :, :, None]
+            col_deleted = np.sqrt(surviving_squares.sum(axis=1)) <= threshold
+            keep = (~row_deleted[:, :, :, None] & ~col_deleted[:, None, :, :]).reshape(
+                matrix.plan.matrix_rows, matrix.plan.matrix_cols
+            )
+            masks[key] &= keep.T if matrix.transpose else keep
+            deleted_counts[matrix.name] = int(row_deleted.sum() + col_deleted.sum())
+            continue
         threshold = effective_threshold(
             matrix, zero_threshold=zero_threshold, relative_threshold=relative_threshold
         )
@@ -230,7 +329,27 @@ class GroupDeletionResult:
 
 
 class GroupConnectionDeleter:
-    """High-level driver for group connection deletion."""
+    """High-level driver for group connection deletion.
+
+    Parameters
+    ----------
+    config, library, record_interval:
+        As before: hyper-parameters, crossbar library, and Figure-5 trace
+        cadence.
+    structured_lasso:
+        Use the vectorized :class:`~repro.core.groups.CrossbarGroupLasso`
+        penalty (same objective as the flat per-group regularizer, computed
+        with block reductions).  ``False`` keeps the original per-group
+        :class:`~repro.nn.regularization.GroupLassoRegularizer`.
+    memoize_routing:
+        Route every routing analysis (record steps and final reports)
+        through a :class:`~repro.hardware.routing.RoutingAnalysisCache` so
+        repeated analyses of near-identical live masks collapse to a hash
+        lookup.
+    routing_cache:
+        Optional externally-shared cache (e.g. one cache across all points
+        of a sweep); ignored when ``memoize_routing`` is ``False``.
+    """
 
     def __init__(
         self,
@@ -238,10 +357,19 @@ class GroupConnectionDeleter:
         *,
         library: CrossbarLibrary = PAPER_LIBRARY,
         record_interval: int = 100,
+        structured_lasso: bool = True,
+        memoize_routing: bool = True,
+        routing_cache: Optional[RoutingAnalysisCache] = None,
     ):
         self.config = config
         self.library = library
         self.record_interval = int(record_interval)
+        self.structured_lasso = bool(structured_lasso)
+        self.memoize_routing = bool(memoize_routing)
+        if not self.memoize_routing:
+            self.routing_cache: Optional[RoutingAnalysisCache] = None
+        else:
+            self.routing_cache = routing_cache or RoutingAnalysisCache()
 
     def derive_groups(self, network: Sequential) -> List[GroupedMatrix]:
         """Grouped crossbar matrices this configuration penalizes."""
@@ -268,9 +396,14 @@ class GroupConnectionDeleter:
             record_interval=self.record_interval,
             zero_threshold=self.config.zero_threshold,
             relative_threshold=self.config.relative_threshold,
+            vectorized=self.structured_lasso,
+            routing_cache=self.routing_cache,
         )
         trainer = trainer_factory(network, [callback])
-        regularizer = GroupLassoRegularizer(flatten_groups(grouped), self.config.strength)
+        if self.structured_lasso:
+            regularizer = CrossbarGroupLasso(grouped, self.config.strength)
+        else:
+            regularizer = GroupLassoRegularizer(flatten_groups(grouped), self.config.strength)
         trainer.add_regularizer(regularizer)
         accuracy_before = trainer.evaluate()
         trainer.run(self.config.iterations)
@@ -292,7 +425,9 @@ class GroupConnectionDeleter:
         accuracy_after_finetune = trainer.evaluate()
 
         reports = {
-            matrix.name: matrix_routing_report(matrix, zero_threshold=0.0)
+            matrix.name: matrix_routing_report(
+                matrix, zero_threshold=0.0, cache=self.routing_cache
+            )
             for matrix in grouped
         }
         return GroupDeletionResult(

@@ -19,6 +19,15 @@ from repro.experiments.headline import (
     routing_area_percent_from_wires,
 )
 from repro.experiments.presets import PAPER, SMALL, TINY, ExperimentScale, get_scale
+from repro.experiments.runner import (
+    StrengthPointOutcome,
+    StrengthPointTask,
+    SweepEngine,
+    TolerancePointOutcome,
+    TolerancePointTask,
+    run_strength_point,
+    run_tolerance_point,
+)
 from repro.experiments.sweeps import (
     StrengthPoint,
     StrengthSweepResult,
@@ -51,6 +60,13 @@ __all__ = [
     "get_workload",
     "TrainingSetup",
     "train_baseline",
+    "SweepEngine",
+    "TolerancePointTask",
+    "TolerancePointOutcome",
+    "StrengthPointTask",
+    "StrengthPointOutcome",
+    "run_tolerance_point",
+    "run_strength_point",
     "Table1Result",
     "Table1Row",
     "run_table1",

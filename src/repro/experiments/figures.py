@@ -13,20 +13,17 @@ the same rows/series the paper plots; no plotting dependency is required.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import GroupDeletionConfig, RankClippingConfig
 from repro.core.conversion import convert_to_lowrank
-from repro.core.group_deletion import (
-    GroupConnectionDeleter,
-    GroupDeletionResult,
-    matrix_values,
-)
+from repro.core.group_deletion import GroupDeletionResult, matrix_values
 from repro.core.groups import derive_network_groups
 from repro.core.rank_clipping import RankClipper, RankClippingResult
+from repro.experiments.runner import SweepEngine
 from repro.experiments.training import TrainingSetup, train_baseline
 from repro.experiments.workloads import Workload
 
@@ -97,13 +94,21 @@ def run_figure3(
 # --------------------------------------------------------------------------- Figure 5
 @dataclass
 class Figure5Series:
-    """Deleted-routing-wire and accuracy traces during group deletion."""
+    """Deleted-routing-wire and accuracy traces during group deletion.
+
+    ``deleted_wire_fraction`` is the paper's norm-threshold estimate (which
+    groups *would* be deleted right now); ``remaining_wire_fraction`` is the
+    measured routing analysis of the current weights (memoized per mask
+    fingerprint, so record steps pay a hash instead of a re-tiling).  The
+    latter is empty when the deleter ran without routing memoization.
+    """
 
     workload_name: str
     iterations: List[int]
     deleted_wire_fraction: Dict[str, List[float]]
     accuracy: List[Optional[float]]
     deletion_result: Optional[GroupDeletionResult] = None
+    remaining_wire_fraction: Optional[Dict[str, List[float]]] = None
 
     def final_deleted_fractions(self) -> Dict[str, float]:
         """Deleted-wire fraction of every matrix at the last record."""
@@ -132,8 +137,14 @@ def run_figure5(
     include_small_matrices: bool = False,
     setup: Optional[TrainingSetup] = None,
     baseline_network=None,
+    engine: Optional[SweepEngine] = None,
 ) -> Figure5Series:
-    """Regenerate the Figure 5 traces: deletion starting from a clipped network."""
+    """Regenerate the Figure 5 traces: deletion starting from a clipped network.
+
+    ``engine`` selects the deletion-phase execution policy; the figure's
+    accuracy trace is always evaluated inline.
+    """
+    engine = engine or SweepEngine()
     scale = workload.scale
     if baseline_network is None or setup is None:
         baseline_network, _, setup = train_baseline(workload)
@@ -154,7 +165,7 @@ def run_figure5(
         finetune_iterations=scale.finetune_iterations,
         include_small_matrices=include_small_matrices,
     )
-    deleter = GroupConnectionDeleter(deletion_config, record_interval=scale.record_interval)
+    deleter = engine.make_deleter(deletion_config, record_interval=scale.record_interval)
     deletion = deleter.run(lowrank_network, setup.trainer_factory)
     trace = deletion.trace
     return Figure5Series(
@@ -163,6 +174,9 @@ def run_figure5(
         deleted_wire_fraction={k: list(v) for k, v in trace.deleted_wire_fraction.items()},
         accuracy=list(trace.accuracy),
         deletion_result=deletion,
+        remaining_wire_fraction={
+            k: list(v) for k, v in trace.remaining_wire_fraction.items()
+        },
     )
 
 

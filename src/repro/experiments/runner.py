@@ -1,0 +1,271 @@
+"""Sweep execution engine: process fan-out, batched evaluation, shared caches.
+
+The paper's headline results (Figures 6–8, Tables 1/3) are hyper-parameter
+sweeps: many ε rank-clipping points and λ group-deletion points, each a full
+retrain from one shared baseline.  The points are mutually independent, so a
+:class:`SweepEngine` executes them as self-contained *point tasks*:
+
+* **Process fan-out** — with ``workers >= 2`` the tasks run on a
+  ``ProcessPoolExecutor`` (``fork`` start method where available); with
+  ``workers=1`` the same task functions run inline, so the serial path and
+  the parallel path execute byte-for-byte identical code on identical
+  payloads.  Every payload is a pure value (network copy, training setup,
+  config): no shared mutable state crosses a task boundary, which is what
+  makes parallel results bit-identical to serial ones.
+* **Deterministic per-point seeding** — by default every point trains on the
+  same data stream as the shared baseline (the paper's "points differ only in
+  the swept hyper-parameter" protocol).  ``per_point_seed=True`` instead
+  derives each point's seed as a pure function of ``(setup.seed, index)``
+  via :func:`repro.utils.rng.derive_point_seed`, so even independently-seeded
+  sweeps are reproducible regardless of execution order or process placement.
+* **Batched multi-network evaluation** — the engine skips the per-point
+  test-set passes whose results the sweep never reports
+  (``inline_training_eval=False`` strips the held-out split from the point
+  trainers) and instead evaluates all finished point networks together with
+  :func:`repro.nn.batched.batched_evaluate`: im2col patches are extracted
+  once per group of identical architectures and all K networks ride one
+  stack of batched matmuls.
+* **Routing memoization / structured group Lasso** — point tasks construct
+  their :class:`~repro.core.group_deletion.GroupConnectionDeleter` through
+  the engine flags, enabling the vectorized
+  :class:`~repro.core.groups.CrossbarGroupLasso` penalty and the
+  :class:`~repro.hardware.routing.RoutingAnalysisCache`.
+
+``SweepEngine.reference()`` disables every optimization (inline per-point
+evaluation, flat per-group Lasso, no memoization, no batching) and is kept as
+the benchmark baseline configuration.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.core.config import GroupDeletionConfig, RankClippingConfig
+from repro.core.group_deletion import GroupConnectionDeleter
+from repro.core.rank_clipping import RankClipper
+from repro.exceptions import ConfigurationError
+from repro.experiments.training import TrainingSetup
+from repro.nn.batched import batched_evaluate
+from repro.nn.network import Sequential
+from repro.utils.rng import derive_point_seed
+
+TaskT = TypeVar("TaskT")
+OutcomeT = TypeVar("OutcomeT")
+
+
+@dataclass(frozen=True)
+class SweepEngine:
+    """Execution policy for hyper-parameter sweeps.
+
+    Attributes
+    ----------
+    workers:
+        Number of worker processes for sweep points.  ``1`` (default) runs
+        the point tasks inline; ``>= 2`` fans them out over a process pool.
+        Results are bit-identical either way.
+    batched_eval:
+        Evaluate the finished point networks together through
+        :func:`repro.nn.batched.batched_evaluate` instead of one ``predict``
+        per network.
+    memoize_routing:
+        Give each point's deleter a
+        :class:`~repro.hardware.routing.RoutingAnalysisCache`.
+    structured_lasso:
+        Use the vectorized crossbar-aware group-Lasso penalty.
+    inline_training_eval:
+        Keep the held-out split attached to the point trainers so every
+        record/clip step evaluates, as the pre-engine sweeps did.  Off by
+        default: the sweeps never report those intermediate accuracies, and
+        the training trajectory is unaffected.
+    per_point_seed:
+        Derive an independent, order-insensitive seed per point instead of
+        sharing the baseline's data stream across points.
+    start_method:
+        Multiprocessing start method (default: ``fork`` when available).
+    """
+
+    workers: int = 1
+    batched_eval: bool = True
+    memoize_routing: bool = True
+    structured_lasso: bool = True
+    inline_training_eval: bool = False
+    per_point_seed: bool = False
+    start_method: Optional[str] = None
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.start_method is not None:
+            if self.start_method not in mp.get_all_start_methods():
+                raise ConfigurationError(
+                    f"unknown start method {self.start_method!r}; expected one of "
+                    f"{mp.get_all_start_methods()}"
+                )
+
+    @classmethod
+    def reference(cls) -> "SweepEngine":
+        """The pre-engine execution policy (serial, unbatched, unmemoized).
+
+        Kept as the baseline configuration for the sweep-throughput
+        benchmark so speedups are measured against like-for-like work.
+        """
+        return cls(
+            workers=1,
+            batched_eval=False,
+            memoize_routing=False,
+            structured_lasso=False,
+            inline_training_eval=True,
+        )
+
+    # ------------------------------------------------------------ setups
+    def point_setup(self, setup: TrainingSetup, index: int) -> TrainingSetup:
+        """The training setup one sweep point should run with."""
+        prepared = setup
+        if self.per_point_seed:
+            prepared = replace(prepared, seed=derive_point_seed(setup.seed, index))
+        if not self.inline_training_eval and prepared.evaluate_during_training:
+            prepared = replace(prepared, evaluate_during_training=False)
+        return prepared
+
+    def shared_setup(self, setup: TrainingSetup) -> TrainingSetup:
+        """Setup for shared (pre-fan-out) phases, e.g. the λ sweep's clipping."""
+        if not self.inline_training_eval and setup.evaluate_during_training:
+            return replace(setup, evaluate_during_training=False)
+        return setup
+
+    # ----------------------------------------------------------- drivers
+    def make_deleter(
+        self, config: GroupDeletionConfig, *, record_interval: int, **kwargs
+    ) -> GroupConnectionDeleter:
+        """A :class:`GroupConnectionDeleter` honouring the engine flags."""
+        return GroupConnectionDeleter(
+            config,
+            record_interval=record_interval,
+            structured_lasso=self.structured_lasso,
+            memoize_routing=self.memoize_routing,
+            **kwargs,
+        )
+
+    # ----------------------------------------------------------- fan-out
+    def map_points(
+        self,
+        point_fn: Callable[[TaskT], OutcomeT],
+        tasks: Iterable[TaskT],
+    ) -> List[OutcomeT]:
+        """Run ``point_fn`` over every task, serially or process-fanned.
+
+        ``point_fn`` must be a module-level function and every task a pure
+        picklable value; results come back in task order.  The serial path
+        consumes ``tasks`` lazily, so generators keep only one point's
+        payload (e.g. its network deep copy) alive at a time; the parallel
+        path materializes them to feed the pool.
+        """
+        if self.workers <= 1:
+            return [point_fn(task) for task in tasks]
+        tasks = list(tasks)
+        if len(tasks) <= 1:
+            return [point_fn(task) for task in tasks]
+        method = self.start_method
+        if method is None:
+            method = "fork" if "fork" in mp.get_all_start_methods() else None
+        context = mp.get_context(method)
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(tasks)), mp_context=context
+        ) as pool:
+            return list(pool.map(point_fn, tasks))
+
+    # -------------------------------------------------------- evaluation
+    def evaluate_networks(
+        self, networks: Sequence[Sequential], setup: TrainingSetup
+    ) -> List[float]:
+        """Held-out accuracy of every network, batched when enabled."""
+        inputs, targets = setup.test_dataset.arrays()
+        if self.batched_eval:
+            return batched_evaluate(networks, inputs, targets, batch_size=256)
+        return [setup.evaluate(network) for network in networks]
+
+
+# --------------------------------------------------------------- point tasks
+@dataclass
+class TolerancePointTask:
+    """Self-contained payload for one ε rank-clipping point."""
+
+    index: int
+    tolerance: float
+    network: Sequential
+    setup: TrainingSetup
+    config: RankClippingConfig
+
+
+@dataclass
+class TolerancePointOutcome:
+    """What one ε point sends back to the sweep."""
+
+    index: int
+    tolerance: float
+    network: Sequential
+    ranks: Dict[str, int]
+    accuracy: Optional[float]
+
+
+def run_tolerance_point(task: TolerancePointTask) -> TolerancePointOutcome:
+    """Execute one ε point (module-level so process pools can import it)."""
+    clipping = RankClipper(task.config).run(task.network, task.setup.trainer_factory)
+    return TolerancePointOutcome(
+        index=task.index,
+        tolerance=task.tolerance,
+        network=task.network,
+        ranks=dict(clipping.final_ranks),
+        accuracy=clipping.final_accuracy,
+    )
+
+
+@dataclass
+class StrengthPointTask:
+    """Self-contained payload for one λ group-deletion point."""
+
+    index: int
+    strength: float
+    network: Sequential
+    setup: TrainingSetup
+    config: GroupDeletionConfig
+    record_interval: int
+    structured_lasso: bool = True
+    memoize_routing: bool = True
+
+
+@dataclass
+class StrengthPointOutcome:
+    """What one λ point sends back to the sweep."""
+
+    index: int
+    strength: float
+    network: Sequential
+    wire_fractions: Dict[str, float]
+    routing_area_fractions: Dict[str, float]
+    accuracy: Optional[float]
+    routing_cache_stats: Optional[Dict[str, int]] = None
+
+
+def run_strength_point(task: StrengthPointTask) -> StrengthPointOutcome:
+    """Execute one λ point (module-level so process pools can import it)."""
+    deleter = GroupConnectionDeleter(
+        task.config,
+        record_interval=task.record_interval,
+        structured_lasso=task.structured_lasso,
+        memoize_routing=task.memoize_routing,
+    )
+    deletion = deleter.run(task.network, task.setup.trainer_factory)
+    stats = None if deleter.routing_cache is None else deleter.routing_cache.stats()
+    return StrengthPointOutcome(
+        index=task.index,
+        strength=task.strength,
+        network=task.network,
+        wire_fractions=deletion.wire_fractions(),
+        routing_area_fractions=deletion.routing_area_fractions(),
+        accuracy=deletion.accuracy_after_finetune,
+        routing_cache_stats=stats,
+    )

@@ -8,21 +8,31 @@
   error, swept over the group-Lasso strength ``λ`` (ConvNet).
 
 Each sweep re-runs the corresponding training phase from the same trained
-baseline so points differ only in the swept hyper-parameter.
+baseline so points differ only in the swept hyper-parameter.  Execution is
+delegated to a :class:`~repro.experiments.runner.SweepEngine`: points can fan
+out over worker processes (bit-identical to the serial order), the finished
+point networks are evaluated together with batched multi-network inference,
+and the group-deletion points run with the vectorized group-Lasso penalty and
+memoized routing analysis.  Passing ``engine=SweepEngine.reference()``
+restores the original serial per-point execution.
 """
 
 from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import GroupDeletionConfig, RankClippingConfig
 from repro.core.conversion import convert_to_lowrank
-from repro.core.group_deletion import GroupConnectionDeleter
 from repro.core.rank_clipping import RankClipper
+from repro.experiments.runner import (
+    StrengthPointTask,
+    SweepEngine,
+    TolerancePointTask,
+    run_strength_point,
+    run_tolerance_point,
+)
 from repro.experiments.training import TrainingSetup, train_baseline
 from repro.experiments.workloads import Workload
 from repro.hardware.area import layer_area_fraction, network_area_fraction
@@ -68,8 +78,13 @@ class ToleranceSweepResult:
         return [p.error for p in self.points]
 
     def format_table(self) -> str:
-        """Text rendering of the sweep."""
-        layers = sorted(self.points[0].ranks) if self.points else []
+        """Text rendering of the sweep.
+
+        Layer columns are the union over all points; a point missing a layer
+        (e.g. a partially-recorded run) renders stub cells instead of
+        raising.
+        """
+        layers = sorted({layer for p in self.points for layer in p.ranks})
         header = (
             f"{'eps':>8}{'error':>9}{'total%':>9}"
             + "".join(f"{f'{l} K':>9}" for l in layers)
@@ -77,8 +92,15 @@ class ToleranceSweepResult:
         )
         lines = [f"Tolerance sweep ({self.workload_name})", header, "-" * len(header)]
         for p in self.points:
-            ranks = "".join(f"{p.ranks[l]:>9}" for l in layers)
-            areas = "".join(f"{100 * p.layer_area_fractions[l]:>8.1f}%" for l in layers)
+            ranks = "".join(
+                f"{p.ranks[l]:>9}" if l in p.ranks else f"{'-':>9}" for l in layers
+            )
+            areas = "".join(
+                f"{100 * p.layer_area_fractions[l]:>8.1f}%"
+                if l in p.layer_area_fractions
+                else f"{'-':>9}"
+                for l in layers
+            )
             lines.append(
                 f"{p.tolerance:>8.3f}{p.error:>9.3f}{100 * p.total_area_fraction:>8.1f}%"
                 f"{ranks}{areas}"
@@ -94,10 +116,17 @@ def sweep_rank_clipping(
     baseline_network=None,
     baseline_accuracy: Optional[float] = None,
     method: str = "pca",
+    engine: Optional[SweepEngine] = None,
 ) -> ToleranceSweepResult:
-    """Run rank clipping at each tolerance, reporting ranks, accuracy and areas."""
+    """Run rank clipping at each tolerance, reporting ranks, accuracy and areas.
+
+    ``engine`` selects the execution policy (worker processes, batched final
+    evaluation); the default :class:`SweepEngine` runs the points serially
+    in-process with batched evaluation.
+    """
     if not tolerances:
         raise ValueError("tolerances must contain at least one value")
+    engine = engine or SweepEngine()
     scale = workload.scale
     if baseline_network is None or setup is None:
         baseline_network, baseline_accuracy, setup = train_baseline(workload)
@@ -105,20 +134,45 @@ def sweep_rank_clipping(
         baseline_accuracy = setup.evaluate(baseline_network)
 
     layer_order = list(workload.clippable_layers)
+
+    # Generator, not list: the serial engine then keeps only one point's
+    # network copy alive at a time (the parallel engine materializes them).
+    def tolerance_tasks():
+        for index, tolerance in enumerate(tolerances):
+            network = convert_to_lowrank(
+                copy.deepcopy(baseline_network), layers=layer_order
+            )
+            config = RankClippingConfig(
+                tolerance=float(tolerance),
+                clip_interval=scale.clip_interval,
+                max_iterations=scale.clip_iterations,
+                layers=tuple(layer_order),
+                method=method,
+            )
+            yield TolerancePointTask(
+                index=index,
+                tolerance=float(tolerance),
+                network=network,
+                setup=engine.point_setup(setup, index),
+                config=config,
+            )
+
+    outcomes = engine.map_points(run_tolerance_point, tolerance_tasks())
+    if engine.inline_training_eval:
+        accuracies = [
+            outcome.accuracy if outcome.accuracy is not None else 0.0
+            for outcome in outcomes
+        ]
+    else:
+        accuracies = engine.evaluate_networks(
+            [outcome.network for outcome in outcomes], setup
+        )
+
     result = ToleranceSweepResult(
         workload_name=workload.name, baseline_accuracy=baseline_accuracy
     )
-    for tolerance in tolerances:
-        network = convert_to_lowrank(copy.deepcopy(baseline_network), layers=layer_order)
-        config = RankClippingConfig(
-            tolerance=float(tolerance),
-            clip_interval=scale.clip_interval,
-            max_iterations=scale.clip_iterations,
-            layers=tuple(layer_order),
-            method=method,
-        )
-        clipping = RankClipper(config).run(network, setup.trainer_factory)
-        ranks = clipping.final_ranks
+    for outcome, accuracy in zip(outcomes, accuracies):
+        ranks = outcome.ranks
         fractions = {
             name: layer_area_fraction(*workload.layer_shapes[name], ranks.get(name))
             for name in layer_order
@@ -127,10 +181,9 @@ def sweep_rank_clipping(
             workload.layer_shapes,
             {name: ranks.get(name) for name in workload.layer_shapes},
         )
-        accuracy = clipping.final_accuracy if clipping.final_accuracy is not None else 0.0
         result.points.append(
             TolerancePoint(
-                tolerance=float(tolerance),
+                tolerance=outcome.tolerance,
                 accuracy=accuracy,
                 error=1.0 - accuracy,
                 ranks=dict(ranks),
@@ -155,11 +208,16 @@ class StrengthPoint:
 
 @dataclass
 class StrengthSweepResult:
-    """Routing wires/area versus λ sweep (data behind Figure 8)."""
+    """Routing wires/area versus λ sweep (data behind Figure 8).
+
+    ``routing_cache_stats`` aggregates the hit/miss counters of the points'
+    memoized routing analyses (zeros when memoization was disabled).
+    """
 
     workload_name: str
     points: List[StrengthPoint] = field(default_factory=list)
     baseline_accuracy: Optional[float] = None
+    routing_cache_stats: Dict[str, int] = field(default_factory=dict)
 
     def strengths(self) -> List[float]:
         """The swept λ values in run order."""
@@ -178,13 +236,15 @@ class StrengthSweepResult:
         return [p.routing_area_fractions[matrix] for p in self.points]
 
     def matrices(self) -> List[str]:
-        """Matrix names present in the sweep."""
-        if not self.points:
-            return []
-        return sorted(self.points[0].wire_fractions)
+        """Matrix names present in the sweep (union over all points)."""
+        return sorted({name for p in self.points for name in p.wire_fractions})
 
     def format_table(self) -> str:
-        """Text rendering of the sweep."""
+        """Text rendering of the sweep.
+
+        Matrix columns are the union over all points; a point missing a
+        matrix renders stub cells instead of raising.
+        """
         names = self.matrices()
         header = (
             f"{'lambda':>10}{'error':>9}"
@@ -193,8 +253,18 @@ class StrengthSweepResult:
         )
         lines = [f"Strength sweep ({self.workload_name})", header, "-" * len(header)]
         for p in self.points:
-            wires = "".join(f"{100 * p.wire_fractions[n]:>13.1f}%" for n in names)
-            areas = "".join(f"{100 * p.routing_area_fractions[n]:>13.1f}%" for n in names)
+            wires = "".join(
+                f"{100 * p.wire_fractions[n]:>13.1f}%"
+                if n in p.wire_fractions
+                else f"{'-':>14}"
+                for n in names
+            )
+            areas = "".join(
+                f"{100 * p.routing_area_fractions[n]:>13.1f}%"
+                if n in p.routing_area_fractions
+                else f"{'-':>14}"
+                for n in names
+            )
             lines.append(f"{p.strength:>10.4f}{p.error:>9.3f}{wires}{areas}")
         return "\n".join(lines)
 
@@ -207,10 +277,16 @@ def sweep_group_deletion(
     include_small_matrices: bool = False,
     setup: Optional[TrainingSetup] = None,
     baseline_network=None,
+    engine: Optional[SweepEngine] = None,
 ) -> StrengthSweepResult:
-    """Run group deletion at each λ starting from the same rank-clipped network."""
+    """Run group deletion at each λ starting from the same rank-clipped network.
+
+    ``engine`` selects the execution policy (worker processes, batched final
+    evaluation, vectorized group Lasso, memoized routing analysis).
+    """
     if not strengths:
         raise ValueError("strengths must contain at least one value")
+    engine = engine or SweepEngine()
     scale = workload.scale
     if baseline_network is None or setup is None:
         baseline_network, baseline_acc, setup = train_baseline(workload)
@@ -228,31 +304,55 @@ def sweep_group_deletion(
         max_iterations=scale.clip_iterations,
         layers=tuple(layer_order),
     )
-    RankClipper(clip_config).run(clipped, setup.trainer_factory)
+    RankClipper(clip_config).run(clipped, engine.shared_setup(setup).trainer_factory)
+
+    # Generator, not list: the serial engine then keeps only one point's
+    # network copy alive at a time (the parallel engine materializes them).
+    def strength_tasks():
+        for index, strength in enumerate(strengths):
+            config = GroupDeletionConfig(
+                strength=float(strength),
+                iterations=scale.deletion_iterations,
+                finetune_iterations=scale.finetune_iterations,
+                include_small_matrices=include_small_matrices,
+            )
+            yield StrengthPointTask(
+                index=index,
+                strength=float(strength),
+                network=copy.deepcopy(clipped),
+                setup=engine.point_setup(setup, index),
+                config=config,
+                record_interval=scale.record_interval,
+                structured_lasso=engine.structured_lasso,
+                memoize_routing=engine.memoize_routing,
+            )
+
+    outcomes = engine.map_points(run_strength_point, strength_tasks())
+    if engine.inline_training_eval:
+        accuracies = [
+            outcome.accuracy if outcome.accuracy is not None else 0.0
+            for outcome in outcomes
+        ]
+    else:
+        accuracies = engine.evaluate_networks(
+            [outcome.network for outcome in outcomes], setup
+        )
 
     result = StrengthSweepResult(workload_name=workload.name, baseline_accuracy=baseline_acc)
-    for strength in strengths:
-        network = copy.deepcopy(clipped)
-        config = GroupDeletionConfig(
-            strength=float(strength),
-            iterations=scale.deletion_iterations,
-            finetune_iterations=scale.finetune_iterations,
-            include_small_matrices=include_small_matrices,
-        )
-        deleter = GroupConnectionDeleter(config, record_interval=scale.record_interval)
-        deletion = deleter.run(network, setup.trainer_factory)
-        accuracy = (
-            deletion.accuracy_after_finetune
-            if deletion.accuracy_after_finetune is not None
-            else 0.0
-        )
+    for outcome in outcomes:
+        for key, value in (outcome.routing_cache_stats or {}).items():
+            if key != "size":
+                result.routing_cache_stats[key] = (
+                    result.routing_cache_stats.get(key, 0) + value
+                )
+    for outcome, accuracy in zip(outcomes, accuracies):
         result.points.append(
             StrengthPoint(
-                strength=float(strength),
+                strength=outcome.strength,
                 accuracy=accuracy,
                 error=1.0 - accuracy,
-                wire_fractions=deletion.wire_fractions(),
-                routing_area_fractions=deletion.routing_area_fractions(),
+                wire_fractions=outcome.wire_fractions,
+                routing_area_fractions=outcome.routing_area_fractions,
             )
         )
     return result

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 from repro.core.config import RankClippingConfig
 from repro.core.conversion import convert_to_lowrank, direct_lra
 from repro.core.rank_clipping import RankClipper, RankClippingResult
+from repro.experiments.runner import SweepEngine
 from repro.experiments.training import TrainingSetup, train_baseline
 from repro.experiments.workloads import Workload
 
@@ -75,6 +76,7 @@ def run_table1(
     baseline_network=None,
     baseline_accuracy: Optional[float] = None,
     method: str = "pca",
+    engine: Optional[SweepEngine] = None,
 ) -> Table1Result:
     """Regenerate Table 1 for one workload.
 
@@ -90,7 +92,11 @@ def run_table1(
     method:
         Low-rank backend (``"pca"`` or ``"svd"``) — the SVD ablation reuses
         this entry point.
+    engine:
+        Execution policy; the control-row evaluations go through its
+        (batched) network evaluator.
     """
+    engine = engine or SweepEngine()
     scale = workload.scale
     if baseline_network is None or setup is None:
         baseline_network, baseline_accuracy, setup = train_baseline(workload)
@@ -119,7 +125,7 @@ def run_table1(
     # Step 2: Direct LRA control — truncate the baseline at the clipped ranks
     # without retraining.
     direct_network = direct_lra(baseline_network, clipping.final_ranks, method=method)
-    direct_accuracy = setup.evaluate(direct_network)
+    direct_accuracy = engine.evaluate_networks([direct_network], setup)[0]
 
     result = Table1Result(workload_name=workload.name, layer_order=layer_order)
     result.rows.append(Table1Row("Original", baseline_accuracy, full_ranks))

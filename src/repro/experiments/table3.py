@@ -11,14 +11,15 @@ paper quotes (8.1 % / 52.06 %).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import GroupDeletionConfig, RankClippingConfig
 from repro.core.conversion import convert_to_lowrank
-from repro.core.group_deletion import GroupConnectionDeleter, GroupDeletionResult
+from repro.core.group_deletion import GroupDeletionResult
 from repro.core.rank_clipping import RankClipper, RankClippingResult
+from repro.experiments.runner import SweepEngine
 from repro.experiments.training import TrainingSetup, train_baseline
 from repro.experiments.workloads import Workload
 from repro.hardware.mapper import NetworkMapper
@@ -103,8 +104,15 @@ def run_table3(
     setup: Optional[TrainingSetup] = None,
     baseline_network=None,
     baseline_accuracy: Optional[float] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> Table3Result:
-    """Regenerate Table 3 for one workload (clipping + deletion + reporting)."""
+    """Regenerate Table 3 for one workload (clipping + deletion + reporting).
+
+    ``engine`` selects the deletion-phase execution policy (vectorized group
+    Lasso, memoized routing analysis); the in-run accuracies the table
+    quotes are always evaluated inline.
+    """
+    engine = engine or SweepEngine()
     scale = workload.scale
     if baseline_network is None or setup is None:
         baseline_network, baseline_accuracy, setup = train_baseline(workload)
@@ -129,9 +137,7 @@ def run_table3(
         finetune_iterations=scale.finetune_iterations,
         include_small_matrices=include_small_matrices,
     )
-    deleter = GroupConnectionDeleter(
-        deletion_config, record_interval=scale.record_interval
-    )
+    deleter = engine.make_deleter(deletion_config, record_interval=scale.record_interval)
     deletion = deleter.run(lowrank_network, setup.trainer_factory)
 
     mapper = NetworkMapper()

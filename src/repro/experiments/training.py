@@ -22,7 +22,15 @@ from repro.utils.rng import as_rng, derive_seed
 
 @dataclass
 class TrainingSetup:
-    """Datasets + hyper-parameters for one experiment run."""
+    """Datasets + hyper-parameters for one experiment run.
+
+    ``evaluate_during_training`` controls whether trainers built by
+    :meth:`trainer_factory` carry the held-out split for periodic/in-run
+    evaluation.  Sweep points whose traces are discarded switch it off (the
+    training trajectory is bit-identical either way — evaluation is a pure
+    inference pass — but each point stops paying for test-set passes nobody
+    reads); :meth:`evaluate` keeps working regardless.
+    """
 
     train_dataset: ArrayDataset
     test_dataset: ArrayDataset
@@ -32,6 +40,7 @@ class TrainingSetup:
     weight_decay: float = 0.0
     eval_interval: int = 100
     seed: int = 0
+    evaluate_during_training: bool = True
     _loader_seed: int = field(init=False, default=0)
 
     def __post_init__(self):
@@ -76,7 +85,7 @@ class TrainingSetup:
             SoftmaxCrossEntropy(),
             optimizer,
             self.make_loader(),
-            eval_data=self.test_dataset.arrays(),
+            eval_data=self.test_dataset.arrays() if self.evaluate_during_training else None,
             callbacks=list(callbacks),
             eval_interval=self.eval_interval,
         )

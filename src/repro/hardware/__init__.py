@@ -25,9 +25,12 @@ from repro.hardware.report import (
     NetworkHardwareReport,
 )
 from repro.hardware.routing import (
+    RoutingAnalysisCache,
     RoutingReport,
     analyze_routing,
     count_remaining_wires,
+    live_weight_mask,
+    mask_fingerprint,
     routing_area,
     routing_area_from_lengths,
 )
@@ -46,8 +49,11 @@ __all__ = [
     "plan_tiling",
     "plan_for_matrix",
     "RoutingReport",
+    "RoutingAnalysisCache",
     "analyze_routing",
     "count_remaining_wires",
+    "live_weight_mask",
+    "mask_fingerprint",
     "routing_area",
     "routing_area_from_lengths",
     "matrix_crossbar_area",

@@ -12,8 +12,10 @@ of a layer is ``(N_w_remaining / N_w_dense)²``.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -23,15 +25,10 @@ from repro.hardware.tiling import TilingPlan
 from repro.utils.validation import check_non_negative
 
 
-def count_remaining_wires(
+def live_weight_mask(
     weights: np.ndarray, plan: TilingPlan, *, zero_threshold: float = 0.0
-) -> int:
-    """Count the routing wires that survive after deleting all-zero groups.
-
-    For every crossbar tile, one input wire is needed per row that contains
-    at least one weight with ``|w| > zero_threshold``, and one output wire per
-    such column.
-    """
+) -> np.ndarray:
+    """Boolean mask of weights with ``|w| > zero_threshold``, shape-checked."""
     weights = np.asarray(weights, dtype=np.float64)
     if weights.shape != (plan.matrix_rows, plan.matrix_cols):
         raise ShapeError(
@@ -39,7 +36,10 @@ def count_remaining_wires(
             f"{plan.matrix_rows}x{plan.matrix_cols}"
         )
     check_non_negative(zero_threshold, "zero_threshold")
-    live = np.abs(weights) > zero_threshold
+    return np.abs(weights) > zero_threshold
+
+
+def _count_live_wires(live: np.ndarray, plan: TilingPlan) -> int:
     blocks = plan.block_view(live)
     if blocks is not None:
         # (grid_rows, tile_rows, grid_cols, tile_cols): a row wire survives
@@ -52,6 +52,34 @@ def count_remaining_wires(
         remaining += int(np.sum(np.any(block, axis=1)))  # live input rows
         remaining += int(np.sum(np.any(block, axis=0)))  # live output columns
     return remaining
+
+
+def count_remaining_wires(
+    weights: np.ndarray, plan: TilingPlan, *, zero_threshold: float = 0.0
+) -> int:
+    """Count the routing wires that survive after deleting all-zero groups.
+
+    For every crossbar tile, one input wire is needed per row that contains
+    at least one weight with ``|w| > zero_threshold``, and one output wire per
+    such column.
+    """
+    return _count_live_wires(
+        live_weight_mask(weights, plan, zero_threshold=zero_threshold), plan
+    )
+
+
+def mask_fingerprint(mask: np.ndarray) -> bytes:
+    """Compact digest of a boolean mask (bit-packed, shape-sensitive).
+
+    Two masks collide only when they agree on every entry (up to hash
+    collision of SHA-1, which is negligible here), so the fingerprint can key
+    memoized routing analyses across record steps whose live masks rarely
+    change.
+    """
+    mask = np.ascontiguousarray(mask, dtype=bool)
+    digest = hashlib.sha1(np.packbits(mask, axis=None).tobytes())
+    digest.update(repr(mask.shape).encode())
+    return digest.digest()
 
 
 def routing_area(num_wires: int, technology: TechnologyParameters = PAPER_TECHNOLOGY) -> float:
@@ -133,3 +161,74 @@ def analyze_routing(
         dense_wires=dense,
         remaining_wires=remaining,
     )
+
+
+class RoutingAnalysisCache:
+    """Memoized :func:`analyze_routing` keyed on (mask fingerprint, plan).
+
+    Group-deletion record steps analyze the same matrices over and over with
+    near-identical live masks: before deletion essentially every weight is
+    non-zero (the mask never changes between records), and after deletion the
+    pruning mask is frozen for the whole fine-tuning phase.  Hashing the
+    bit-packed live mask is orders of magnitude cheaper than re-tiling and
+    re-reducing the matrix, so repeated analyses collapse to a dictionary
+    lookup.  Reports are value objects, so cache hits are observationally
+    identical to fresh analyses.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._wires: "OrderedDict[tuple, int]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._wires)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters (for tests and benchmark reports)."""
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._wires)}
+
+    def clear(self) -> None:
+        """Drop all memoized analyses and reset the counters."""
+        self._wires.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def _plan_key(self, plan: TilingPlan) -> tuple:
+        return (
+            plan.matrix_rows,
+            plan.matrix_cols,
+            plan.tile_rows,
+            plan.tile_cols,
+            plan.padded,
+        )
+
+    def analyze(
+        self,
+        weights: np.ndarray,
+        plan: TilingPlan,
+        *,
+        zero_threshold: float = 0.0,
+        name: Optional[str] = None,
+    ) -> RoutingReport:
+        """Memoized equivalent of :func:`analyze_routing`."""
+        live = live_weight_mask(weights, plan, zero_threshold=zero_threshold)
+        key = (self._plan_key(plan), mask_fingerprint(live))
+        remaining = self._wires.get(key)
+        if remaining is None:
+            self.misses += 1
+            remaining = _count_live_wires(live, plan)
+            self._wires[key] = remaining
+            if len(self._wires) > self.maxsize:
+                self._wires.popitem(last=False)
+        else:
+            self.hits += 1
+            self._wires.move_to_end(key)
+        return RoutingReport(
+            name=name if name is not None else plan.name,
+            dense_wires=plan.dense_wire_count(),
+            remaining_wires=remaining,
+        )

@@ -8,6 +8,7 @@ group connection deletion hook into training).
 """
 
 from repro.nn import dtype, functional
+from repro.nn.batched import architecture_signature, batched_evaluate, stacked_predict
 from repro.nn.dtype import as_float, default_dtype, dtype_scope, set_default_dtype
 from repro.nn.initializers import available_initializers, get_initializer
 from repro.nn.layers import (
@@ -87,6 +88,9 @@ __all__ = [
     "L2Regularizer",
     "GroupLassoRegularizer",
     "WeightGroup",
+    "architecture_signature",
+    "batched_evaluate",
+    "stacked_predict",
     "accuracy",
     "error_rate",
     "top_k_accuracy",

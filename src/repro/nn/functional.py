@@ -160,6 +160,80 @@ def col2im(
     return x_padded[:, :, padding:-padding, padding:-padding]
 
 
+#: Minimum input-channel count for the fused per-offset conv backward; below
+#: this the per-offset matmuls are too skinny to beat one large matmul.
+FUSED_BACKWARD_MIN_CHANNELS = 8
+
+
+def conv_backward_input(
+    grad_mat: np.ndarray,
+    weight_matrix: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Input gradient of an im2col convolution, fused per kernel offset.
+
+    Computes ``col2im(grad_mat @ weight_matrix)`` — when profitable without
+    materializing the ``(N·out_h·out_w, C·kh·kw)`` column gradient: for every
+    kernel offset ``(i, j)`` the slice ``weight_matrix[:, :, i, j]`` (viewing
+    the matrix as ``(out, C, kh, kw)``) is multiplied against ``grad_mat``
+    and the ``(N·out_h·out_w, C)`` result is accumulated straight into the
+    padded input gradient.  For overlapping windows with enough input
+    channels this replaces the single large matmul + contiguous prefetch +
+    k² strided adds of the unfused path with k² small matmuls that write
+    directly to their destination, skipping one full-size intermediate array
+    (~2x on 5×5/stride-1 mid-network convolutions).  Disjoint windows keep
+    the loop-free strided-assignment path, and narrow inputs (fewer than
+    ``FUSED_BACKWARD_MIN_CHANNELS`` channels, where the per-offset matmuls
+    are too skinny for BLAS to win) keep the unfused path.
+
+    Parameters
+    ----------
+    grad_mat:
+        Output gradient as a ``(N·out_h·out_w, out_like)`` matrix (the same
+        orientation the forward pass multiplies from the right).
+    weight_matrix:
+        ``(out_like, C·kh·kw)`` weight matrix (``Conv2D.weight_matrix``, or a
+        low-rank factor transposed to this orientation).
+    input_shape, kernel_h, kernel_w, stride, padding:
+        The convolution geometry being differentiated.
+    """
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+    expected_rows = n * out_h * out_w
+    if grad_mat.shape[0] != expected_rows:
+        raise ShapeError(
+            f"conv_backward_input expected grad_mat with {expected_rows} rows, "
+            f"got shape {grad_mat.shape}"
+        )
+    if weight_matrix.shape != (grad_mat.shape[1], c * kernel_h * kernel_w):
+        raise ShapeError(
+            f"conv_backward_input expected weight_matrix of shape "
+            f"{(grad_mat.shape[1], c * kernel_h * kernel_w)}, got {weight_matrix.shape}"
+        )
+    if (stride >= kernel_h and stride >= kernel_w) or c < FUSED_BACKWARD_MIN_CHANNELS:
+        return col2im(
+            grad_mat @ weight_matrix, input_shape, kernel_h, kernel_w, stride, padding
+        )
+    weight4 = weight_matrix.reshape(grad_mat.shape[1], c, kernel_h, kernel_w)
+    x_padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=grad_mat.dtype)
+    for i in range(kernel_h):
+        i_max = i + stride * out_h
+        for j in range(kernel_w):
+            j_max = j + stride * out_w
+            contribution = grad_mat @ weight4[:, :, i, j]  # (N·out_h·out_w, C)
+            x_padded[:, :, i:i_max:stride, j:j_max:stride] += contribution.reshape(
+                n, out_h, out_w, c
+            ).transpose(0, 3, 1, 2)
+    if padding == 0:
+        return x_padded
+    return x_padded[:, :, padding:-padding, padding:-padding]
+
+
 def pool_windows(
     x: np.ndarray, pool_size: int, stride: int, padding: int, *, pad_value: float = 0.0
 ) -> Tuple[np.ndarray, int, int]:

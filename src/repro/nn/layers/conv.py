@@ -124,9 +124,9 @@ class Conv2D(Layer):
         self.weight.accumulate_grad(grad_weight)
         if self.bias is not None:
             self.bias.accumulate_grad(grad_mat.sum(axis=0))
-        grad_cols = grad_mat @ self.weight_matrix
-        grad_input = F.col2im(
-            grad_cols,
+        grad_input = F.conv_backward_input(
+            grad_mat,
+            self.weight_matrix,
             self._input_shape,
             self.kernel_size,
             self.kernel_size,

@@ -197,9 +197,11 @@ class LowRankConv2D(Layer):
         self.v.accumulate_grad(self._cols_cache.T @ grad_mid)
         if self.bias is not None:
             self.bias.accumulate_grad(grad_mat.sum(axis=0))
-        grad_cols = grad_mid @ self.v.data.T
-        grad_input = F.col2im(
-            grad_cols,
+        # The V factor transposed to (rank, fan_in) plays the weight-matrix
+        # role of the fused input-gradient kernel: grad_cols = grad_mid · Vᵀ.
+        grad_input = F.conv_backward_input(
+            grad_mid,
+            self.v.data.T,
             self._input_shape,
             self.kernel_size,
             self.kernel_size,

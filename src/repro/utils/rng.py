@@ -48,6 +48,19 @@ def derive_seed(rng: np.random.Generator) -> int:
     return int(rng.integers(0, 2**63 - 1))
 
 
+def derive_point_seed(base_seed: int, index: int) -> int:
+    """Deterministic per-point seed for fan-out work (sweep points, workers).
+
+    The seed is a pure function of ``(base_seed, index)`` — no shared
+    generator state is consumed — so the same point gets the same seed
+    whether the points run serially, in any order, or in separate processes.
+    """
+    if index < 0:
+        raise ValueError(f"index must be >= 0, got {index}")
+    sequence = np.random.SeedSequence(entropy=int(base_seed), spawn_key=(int(index),))
+    return int(sequence.generate_state(1, dtype=np.uint64)[0] >> 1)
+
+
 def temporary_seed(seed: Optional[int]):
     """Context manager that temporarily seeds numpy's *legacy* global RNG.
 

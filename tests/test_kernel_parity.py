@@ -91,6 +91,61 @@ class TestConvKernelParity:
             np.testing.assert_allclose(flat, win_ref, atol=ATOL, rtol=0)
 
 
+class TestFusedConvBackwardParity:
+    """conv_backward_input must equal col2im(grad_mat @ W) to 1e-12."""
+
+    @pytest.mark.parametrize(
+        "shape,kernel,stride,padding,out_like",
+        [
+            ((2, 16, 10, 10), 3, 1, 1, 12),  # fused path (c >= threshold)
+            ((2, 8, 9, 9), 5, 1, 2, 6),      # fused path, rank-like out dim
+            ((3, 3, 8, 8), 3, 1, 1, 10),     # narrow input -> unfused dispatch
+            ((2, 16, 8, 8), 2, 2, 0, 7),     # disjoint stride -> unfused dispatch
+            ((1, 9, 6, 6), 3, 2, 1, 5),      # overlapping strided
+        ],
+    )
+    def test_matches_unfused_reference(self, rng, shape, kernel, stride, padding, out_like):
+        n, c, h, w = shape
+        out_h = F.conv_output_size(h, kernel, stride, padding)
+        out_w = F.conv_output_size(w, kernel, stride, padding)
+        grad_mat = rng.standard_normal((n * out_h * out_w, out_like))
+        weight = rng.standard_normal((out_like, c * kernel * kernel))
+        fused = F.conv_backward_input(
+            grad_mat, weight, shape, kernel, kernel, stride, padding
+        )
+        reference = ref.col2im_loop(
+            grad_mat @ weight, shape, kernel, kernel, stride, padding
+        )
+        np.testing.assert_allclose(fused, reference, atol=ATOL, rtol=0)
+
+    def test_shape_validation(self, rng):
+        grad_mat = rng.standard_normal((8, 4))
+        weight = rng.standard_normal((4, 9))
+        with pytest.raises(Exception):
+            F.conv_backward_input(grad_mat, weight, (1, 1, 5, 5), 3, 3, 1, 0)
+        with pytest.raises(Exception):
+            F.conv_backward_input(
+                rng.standard_normal((9, 4)), rng.standard_normal((5, 9)),
+                (1, 1, 5, 5), 3, 3, 1, 0,
+            )
+
+    def test_conv_layer_backward_matches_manual_reference(self, rng):
+        """Full Conv2D backward (fused path) vs the reference col2im chain."""
+        from repro.nn.layers import Conv2D
+
+        layer = Conv2D(16, 6, 3, stride=1, padding=1, rng=rng)
+        x = rng.standard_normal((2, 16, 7, 7))
+        layer.train()
+        out = layer.forward(x)
+        grad_out = rng.standard_normal(out.shape)
+        grad_in = layer.backward(grad_out)
+        grad_mat = grad_out.transpose(0, 2, 3, 1).reshape(-1, 6)
+        expected = ref.col2im_loop(
+            grad_mat @ layer.weight_matrix, x.shape, 3, 3, 1, 1
+        )
+        np.testing.assert_allclose(grad_in, expected, atol=ATOL, rtol=0)
+
+
 class TestPoolingLayerParity:
     @pytest.mark.parametrize("pool,stride", [(2, 2), (3, 2), (2, 1), (3, 3)])
     def test_maxpool_unpadded_matches_reference(self, rng, pool, stride):
