@@ -4,15 +4,18 @@
 Runs the engine benchmarks outside pytest and appends one record per run to a
 JSON trajectory file per suite, so performance can be tracked across commits:
 
-    python benchmarks/run_benchmarks.py                   # kernels + sweeps
+    python benchmarks/run_benchmarks.py                   # kernels + sweeps + lockstep
     python benchmarks/run_benchmarks.py --suite kernels   # BENCH_kernels.json
     python benchmarks/run_benchmarks.py --suite sweeps    # BENCH_sweeps.json
+    python benchmarks/run_benchmarks.py --suite lockstep  # BENCH_lockstep.json
     python benchmarks/run_benchmarks.py --check           # non-zero exit on regression
 
 The kernel records carry the per-kernel reference/vectorized timings (ms),
 the speedups, and the ``map_network`` throughput numbers.  The sweep records
 carry the reference / serial-engine / parallel-engine wall-clock of a
-multi-point λ sweep plus the batched-evaluation timings.
+multi-point λ sweep plus the batched-evaluation timings.  The lockstep
+records carry the serial-per-point vs lockstep-stacked training wall-clock of
+the λ sweep's point phase and the end-to-end sweep.
 """
 
 from __future__ import annotations
@@ -99,11 +102,36 @@ def run_sweeps(output: Path, check: bool) -> int:
     return 0
 
 
+def run_lockstep(output: Path, check: bool) -> int:
+    from test_bench_lockstep import collect_lockstep_stats
+
+    record = _base_record()
+    record.update({k: round(v, 4) if isinstance(v, float) else v
+                   for k, v in collect_lockstep_stats().items()})
+    _append(output, record)
+
+    print(f"lockstep benchmark ({record['timestamp']}) -> {output}")
+    print(f"  serial points          {record['serial_points_s']:.2f} s "
+          f"({record['points']} lambda points)")
+    print(f"  lockstep points        {record['lockstep_points_s']:.2f} s "
+          f"({record['lockstep_speedup']:.2f}x)")
+    print(f"  sweep end-to-end       {record['sweep_serial_s']:.2f} s -> "
+          f"{record['sweep_lockstep_s']:.2f} s ({record['sweep_speedup']:.2f}x)")
+
+    if check and record["lockstep_speedup"] < 2.0:
+        print("FAIL: lockstep training speedup fell below 2x", file=sys.stderr)
+        return 1
+    return 0
+
+
+_SUITES = {"kernels": run_kernels, "sweeps": run_sweeps, "lockstep": run_lockstep}
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("kernels", "sweeps", "all"),
+        choices=tuple(_SUITES) + ("all",),
         default="all",
         help="which benchmark suite(s) to run (default: all)",
     )
@@ -120,15 +148,14 @@ def main() -> int:
         help="exit non-zero when a suite regresses below its threshold",
     )
     args = parser.parse_args()
-    suites = ("kernels", "sweeps") if args.suite == "all" else (args.suite,)
+    suites = tuple(_SUITES) if args.suite == "all" else (args.suite,)
     if args.output is not None and len(suites) > 1:
-        parser.error("--output requires --suite kernels or --suite sweeps")
+        parser.error("--output requires a single --suite")
 
     status = 0
     for suite in suites:
         output = args.output or _REPO_ROOT / f"BENCH_{suite}.json"
-        runner = run_kernels if suite == "kernels" else run_sweeps
-        status = max(status, runner(output, args.check))
+        status = max(status, _SUITES[suite](output, args.check))
     return status
 
 

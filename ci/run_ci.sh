@@ -5,8 +5,9 @@
 #                           # the kernel parity / engine regression tests and
 #                           # the 2-worker sweep parity tests)
 #   ci/run_ci.sh --quick    # engine regression tests only (fast iteration)
-#   ci/run_ci.sh --bench    # tier-1 plus BENCH_kernels.json and
-#                           # BENCH_sweeps.json data points
+#   ci/run_ci.sh --bench    # tier-1 plus BENCH_kernels.json,
+#                           # BENCH_sweeps.json and BENCH_lockstep.json
+#                           # data points
 #
 # Keeps to the stock toolchain: python + pytest only.
 set -euo pipefail
@@ -23,6 +24,8 @@ ENGINE_TESTS=(
   tests/test_mapper_cache.py
   tests/test_sweep_regression.py
   tests/test_sweep_engine.py
+  tests/test_lockstep.py
+  tests/test_optim.py
 )
 
 if [[ "${1:-}" == "--quick" ]]; then
@@ -34,7 +37,7 @@ else
 fi
 
 if [[ "${1:-}" == "--bench" ]]; then
-  echo "== kernel + sweep benchmark trajectories =="
+  echo "== kernel + sweep + lockstep benchmark trajectories =="
   python benchmarks/run_benchmarks.py --check
 fi
 

@@ -18,10 +18,12 @@ from repro.core.group_deletion import (
     group_deletion_fractions,
     matrix_routing_report,
     matrix_values,
+    run_lockstep_deletion,
 )
 from repro.core.groups import (
     CrossbarGroupLasso,
     GroupedMatrix,
+    LockstepCrossbarGroupLasso,
     derive_layer_grouped_matrices,
     derive_matrix_groups,
     derive_network_groups,
@@ -53,6 +55,7 @@ __all__ = [
     "RankClippingTrace",
     "GroupedMatrix",
     "CrossbarGroupLasso",
+    "LockstepCrossbarGroupLasso",
     "matrix_group_norms",
     "derive_matrix_groups",
     "derive_layer_grouped_matrices",
@@ -68,6 +71,7 @@ __all__ = [
     "group_deletion_fractions",
     "matrix_routing_report",
     "matrix_values",
+    "run_lockstep_deletion",
     "GroupScissor",
     "GroupScissorResult",
 ]

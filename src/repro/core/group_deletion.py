@@ -19,6 +19,7 @@ from repro.core.config import GroupDeletionConfig
 from repro.core.groups import (
     CrossbarGroupLasso,
     GroupedMatrix,
+    LockstepCrossbarGroupLasso,
     derive_network_groups,
     flatten_groups,
     matrix_group_norms,
@@ -31,7 +32,7 @@ from repro.hardware.routing import (
     count_remaining_wires,
 )
 from repro.nn.network import Sequential
-from repro.nn.regularization import GroupLassoRegularizer
+from repro.nn.regularization import GroupLassoRegularizer, PerPointRegularizers
 from repro.nn.trainer import Callback, Trainer
 from repro.utils.logging import get_logger
 
@@ -439,3 +440,160 @@ class GroupConnectionDeleter:
             accuracy_after_deletion=accuracy_after_deletion,
             accuracy_after_finetune=accuracy_after_finetune,
         )
+
+
+def _check_lockstep_configs(configs: Sequence[GroupDeletionConfig]) -> None:
+    base = configs[0]
+    shared_fields = (
+        "iterations",
+        "finetune_iterations",
+        "zero_threshold",
+        "relative_threshold",
+        "include_small_matrices",
+        "layers",
+    )
+    for config in configs[1:]:
+        for name in shared_fields:
+            if getattr(config, name) != getattr(base, name):
+                raise ConfigurationError(
+                    "lockstep group deletion requires configs that differ only "
+                    f"in strength; {name} disagrees "
+                    f"({getattr(config, name)!r} vs {getattr(base, name)!r})"
+                )
+
+
+def run_lockstep_deletion(
+    networks: Sequence[Sequential],
+    configs: Sequence[GroupDeletionConfig],
+    lockstep_trainer_factory,
+    *,
+    library: CrossbarLibrary = PAPER_LIBRARY,
+    record_interval: int = 100,
+    structured_lasso: bool = True,
+    memoize_routing: bool = True,
+    routing_cache: Optional[RoutingAnalysisCache] = None,
+) -> List[GroupDeletionResult]:
+    """Run group deletion on K same-architecture networks in lockstep.
+
+    The lockstep counterpart of :meth:`GroupConnectionDeleter.run`: the K
+    λ-points train as one stacked program (see
+    :class:`~repro.nn.trainer.LockstepTrainer`) with a per-point-λ group
+    Lasso, per-point record callbacks, a single shared deletion boundary and
+    a stacked fine-tune over the per-point pruning masks.  Every per-point
+    result is bit-identical to K independent serial runs.  A point whose
+    network diverges structurally mid-run drops out of the stack and finishes
+    on the serial path inside the same loop.
+
+    ``lockstep_trainer_factory`` is a callable
+    ``(networks, callbacks_per_point) -> LockstepTrainer`` — the lockstep
+    analogue of the serial ``trainer_factory``.  ``configs`` must differ only
+    in ``strength``.  The routing cache (created when ``memoize_routing``,
+    unless an external ``routing_cache`` is supplied) is shared by every
+    point's record steps and final reports, so one mask fingerprint warms all
+    K points.
+    """
+    if memoize_routing and routing_cache is None:
+        routing_cache = RoutingAnalysisCache()
+    elif not memoize_routing:
+        routing_cache = None
+    networks = list(networks)
+    configs = list(configs)
+    if not networks:
+        raise ConfigurationError("lockstep deletion needs at least one network")
+    if len(networks) != len(configs):
+        raise ConfigurationError(
+            f"{len(networks)} networks but {len(configs)} configs"
+        )
+    _check_lockstep_configs(configs)
+    base = configs[0]
+
+    grouped_per_point = [
+        derive_network_groups(
+            network,
+            library=library,
+            layers=config.layers,
+            include_small_matrices=config.include_small_matrices,
+        )
+        for network, config in zip(networks, configs)
+    ]
+    if not grouped_per_point[0]:
+        raise ConfigurationError(
+            "no crossbar matrices selected for deletion; "
+            "set include_small_matrices=True or check the layer list"
+        )
+    callbacks_per_point = [
+        [
+            GroupDeletionCallback(
+                grouped,
+                record_interval=record_interval,
+                zero_threshold=base.zero_threshold,
+                relative_threshold=base.relative_threshold,
+                vectorized=structured_lasso,
+                routing_cache=routing_cache,
+            )
+        ]
+        for grouped in grouped_per_point
+    ]
+    trainer = lockstep_trainer_factory(networks, callbacks_per_point)
+    if structured_lasso:
+        regularizer = LockstepCrossbarGroupLasso(
+            trainer.stack, grouped_per_point, [config.strength for config in configs]
+        )
+    else:
+        regularizer = PerPointRegularizers(
+            [
+                GroupLassoRegularizer(flatten_groups(grouped), config.strength)
+                for grouped, config in zip(grouped_per_point, configs)
+            ]
+        )
+    trainer.add_regularizer(regularizer)
+
+    accuracy_before = trainer.evaluate()
+    trainer.run(base.iterations)
+    trainer.remove_regularizer(regularizer)
+
+    deleted = [
+        apply_deletion(
+            grouped,
+            zero_threshold=base.zero_threshold,
+            relative_threshold=base.relative_threshold,
+        )
+        for grouped in grouped_per_point
+    ]
+    # Mask installation re-bound the parameters; fold it back into the slabs
+    # (momentum persists across the boundary, exactly as in the serial run).
+    trainer.refresh_points()
+    accuracy_after_deletion = trainer.evaluate()
+    logger.info(
+        "lockstep-deleted %d groups across %d points",
+        sum(sum(counts.values()) for counts in deleted),
+        len(networks),
+    )
+    if base.finetune_iterations > 0:
+        trainer.run(base.finetune_iterations)
+    accuracy_after_finetune = trainer.evaluate()
+    trainer.finalize()
+
+    def _point_accuracy(values, slot):
+        return None if values is None else values[slot]
+
+    results = []
+    for slot, (network, grouped) in enumerate(zip(networks, grouped_per_point)):
+        reports = {
+            matrix.name: matrix_routing_report(
+                matrix, zero_threshold=0.0, cache=routing_cache
+            )
+            for matrix in grouped
+        }
+        results.append(
+            GroupDeletionResult(
+                network=network,
+                trace=callbacks_per_point[slot][0].trace,
+                routing_reports=reports,
+                deleted_groups=deleted[slot],
+                accuracy_before=_point_accuracy(accuracy_before, slot),
+                accuracy_after_deletion=_point_accuracy(accuracy_after_deletion, slot),
+                accuracy_after_finetune=_point_accuracy(accuracy_after_finetune, slot),
+            )
+        )
+    return results

@@ -30,7 +30,7 @@ from repro.hardware.tiling import TilingPlan, plan_tiling
 from repro.nn.layers import Conv2D, Linear, LowRankConv2D, LowRankLinear
 from repro.nn.network import Sequential
 from repro.nn.parameter import Parameter
-from repro.nn.regularization import Regularizer, WeightGroup
+from repro.nn.regularization import LockstepRegularizer, Regularizer, WeightGroup
 from repro.utils.validation import check_non_negative
 
 
@@ -176,6 +176,230 @@ class CrossbarGroupLasso(Regularizer):
             group.parameter.grad[group.index] += (
                 self.strength * values / max(norm, self.eps)
             )
+
+
+class LockstepCrossbarGroupLasso(LockstepRegularizer):
+    """Crossbar group Lasso over the ``(K, rows, cols)`` slabs of a stack.
+
+    The lockstep counterpart of :class:`CrossbarGroupLasso`: the K sweep
+    points of one architecture group share the same tiling plans, so the
+    row/column group norms of all K points are computed with one set of
+    5-D block reductions over the parameter slabs, and the penalty gradient
+    — with one λ per point — is written back into the gradient slabs in a
+    single broadcast multiply-add per matrix.  Row ``k`` of every reduction
+    ranges over exactly the elements (in the same order) as the serial
+    regularizer for point ``k``, so per-point penalties and gradients are
+    bit-identical to K :class:`CrossbarGroupLasso` instances.
+
+    Padded tiling plans keep the serial per-group formulation, and a λ grid
+    containing a zero strength drops the whole stack to cached per-point
+    serial regularizers (a zero-strength serial regularizer contributes
+    nothing at all, which a slab-wide multiply by ``0.0`` would not exactly
+    replicate for negative-zero gradients).
+
+    Parameters
+    ----------
+    stack:
+        The :class:`~repro.nn.batched.NetworkStack` the points ride; used to
+        resolve each point's parameters to their slabs.
+    grouped_per_point:
+        One :func:`derive_network_groups` result per point, in stack order.
+    strengths:
+        One λ per point.
+    """
+
+    def __init__(
+        self,
+        stack,
+        grouped_per_point: Sequence[Sequence["GroupedMatrix"]],
+        strengths: Sequence[float],
+        *,
+        eps: float = 1e-12,
+    ):
+        if eps <= 0:
+            raise ValueError(f"eps must be > 0, got {eps}")
+        self.eps = float(eps)
+        self.stack = stack
+        self._grouped: List[List[GroupedMatrix]] = [list(g) for g in grouped_per_point]
+        self.strengths: List[float] = [
+            check_non_negative(float(s), "strength") for s in strengths
+        ]
+        if len(self._grouped) != len(self.strengths):
+            raise ConfigurationError(
+                f"{len(self._grouped)} grouped-matrix lists but "
+                f"{len(self.strengths)} strengths"
+            )
+        if len(self._grouped) != stack.num_points:
+            raise ConfigurationError(
+                f"{len(self._grouped)} points but the stack holds {stack.num_points}"
+            )
+        counts = {len(g) for g in self._grouped}
+        if len(counts) != 1:
+            raise ConfigurationError(
+                "all points must penalize the same matrices (identical "
+                "architectures yield identical groupings)"
+            )
+        for position in range(counts.pop()):
+            plans = {
+                (m.name, m.transpose, m.plan.matrix_rows, m.plan.matrix_cols,
+                 m.plan.tile_rows, m.plan.tile_cols, m.plan.padded)
+                for m in (g[position] for g in self._grouped)
+            }
+            if len(plans) != 1:
+                raise ConfigurationError(
+                    f"matrix position {position} differs across points: {sorted(plans)}"
+                )
+        self._vector_positions = [
+            j for j, m in enumerate(self._grouped[0]) if not m.plan.padded
+        ]
+        self._fallback_positions = [
+            j for j, m in enumerate(self._grouped[0]) if m.plan.padded
+        ]
+        self._norms_cache = None
+        self._point_regs: Optional[List[CrossbarGroupLasso]] = None
+        # position -> (values, grads) slab views; valid until a point drops
+        # (slabs are updated in place, so the views stay live across steps).
+        self._slab_views: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------ plumbing
+    @property
+    def num_points(self) -> int:
+        """Number of points this regularizer still penalizes."""
+        return len(self._grouped)
+
+    def _slabs(self, position: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(values, grads)`` slabs of one matrix, crossbar-oriented ``(K, rows, cols)``."""
+        cached = self._slab_views.get(position)
+        if cached is not None:
+            return cached
+        matrix0 = self._grouped[0][position]
+        slab, slot = self.stack.slab_pair(matrix0.parameter)
+        if slot != 0:
+            raise ConfigurationError("grouped_per_point must follow stack order")
+        for k, grouped in enumerate(self._grouped):
+            other, other_slot = self.stack.slab_pair(grouped[position].parameter)
+            if other is not slab or other_slot != k:
+                raise ConfigurationError(
+                    "grouped matrices are not aligned with the stack's slabs"
+                )
+        if matrix0.transpose:
+            views = slab.data.transpose(0, 2, 1), slab.grad.transpose(0, 2, 1)
+        else:
+            views = slab.data, slab.grad
+        self._slab_views[position] = views
+        return views
+
+    def _all_positive(self) -> bool:
+        return all(s > 0.0 for s in self.strengths)
+
+    def _point_regularizers(self) -> List[CrossbarGroupLasso]:
+        # Cached: the serial regularizers read/write through the per-point
+        # Parameters (slab views), so the same instances stay valid across
+        # steps — and each instance's own norms cache then links its
+        # penalty() to the following apply_gradients(), like the serial
+        # trainer's call pattern.
+        if self._point_regs is None:
+            self._point_regs = [
+                CrossbarGroupLasso(grouped, strength, eps=self.eps)
+                for grouped, strength in zip(self._grouped, self.strengths)
+            ]
+        return self._point_regs
+
+    # ---------------------------------------------------------- evaluation
+    def _block_norms(self):
+        entries = []
+        for position in self._vector_positions:
+            plan = self._grouped[0][position].plan
+            values, _ = self._slabs(position)
+            blocks = values.reshape(
+                self.num_points,
+                plan.grid_rows,
+                plan.tile_rows,
+                plan.grid_cols,
+                plan.tile_cols,
+            )
+            squared = blocks * blocks
+            entries.append(
+                (
+                    position,
+                    blocks,
+                    np.sqrt(squared.sum(axis=4)),  # (K, gr, tr, gc) row norms
+                    np.sqrt(squared.sum(axis=2)),  # (K, gr, gc, tc) col norms
+                )
+            )
+        return entries
+
+    def penalties(self) -> np.ndarray:
+        k = self.num_points
+        if not self._all_positive():
+            return np.array([reg.penalty() for reg in self._point_regularizers()])
+        entries = self._block_norms()
+        self._norms_cache = entries
+        totals = np.zeros(k)
+        for _, _, row_norms, col_norms in entries:
+            # One accumulate per matrix, like the serial regularizer, so the
+            # float summation order matches per point.
+            totals += (
+                row_norms.reshape(k, -1).sum(axis=1)
+                + col_norms.reshape(k, -1).sum(axis=1)
+            )
+        for slot, grouped in enumerate(self._grouped):
+            if self._fallback_positions:
+                # One flat sum across all padded matrices' groups, mirroring
+                # the serial regularizer's accumulation order.
+                totals[slot] += sum(
+                    group.norm()
+                    for position in self._fallback_positions
+                    for group in grouped[position].groups
+                )
+        return np.asarray(self.strengths) * totals
+
+    def apply_gradients(self) -> None:
+        if not self._all_positive():
+            for reg in self._point_regularizers():
+                reg.apply_gradients()
+            return
+        entries = self._norms_cache if self._norms_cache is not None else self._block_norms()
+        self._norms_cache = None
+        k = self.num_points
+        strengths = np.asarray(self.strengths).reshape(k, 1, 1, 1, 1)
+        for position, blocks, row_norms, col_norms in entries:
+            plan = self._grouped[0][position].plan
+            # The norms are this call's private arrays (consumed from the
+            # cache), so the clamped reciprocals can reuse their buffers.
+            row_inv = np.maximum(row_norms, self.eps, out=row_norms)
+            np.divide(1.0, row_inv, out=row_inv)
+            col_inv = np.maximum(col_norms, self.eps, out=col_norms)
+            np.divide(1.0, col_inv, out=col_inv)
+            coef = row_inv[:, :, :, :, None] + col_inv[:, :, None, :, :]
+            grad = strengths * blocks
+            grad *= coef
+            _, grad_slab = self._slabs(position)
+            grad_slab += grad.reshape(k, plan.matrix_rows, plan.matrix_cols)
+        for slot, grouped in enumerate(self._grouped):
+            strength = self.strengths[slot]
+            for position in self._fallback_positions:
+                for group in grouped[position].groups:
+                    values = group.values()
+                    norm = np.linalg.norm(values)
+                    group.parameter.grad[group.index] += (
+                        strength * values / max(norm, self.eps)
+                    )
+
+    # ------------------------------------------------------- point handling
+    def point_regularizer(self, slot: int) -> CrossbarGroupLasso:
+        """The serial group Lasso for one point (used when it leaves the stack)."""
+        return CrossbarGroupLasso(
+            self._grouped[slot], self.strengths[slot], eps=self.eps
+        )
+
+    def drop_point(self, slot: int) -> None:
+        """Forget a point that left the stack."""
+        del self._grouped[slot]
+        del self.strengths[slot]
+        self._norms_cache = None
+        self._point_regs = None
+        self._slab_views.clear()
 
 
 def _matrix_shape(parameter: Parameter, transpose: bool) -> Tuple[int, int]:

@@ -39,18 +39,23 @@ the benchmark baseline configuration.
 from __future__ import annotations
 
 import multiprocessing as mp
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.config import GroupDeletionConfig, RankClippingConfig
-from repro.core.group_deletion import GroupConnectionDeleter
+from repro.core.group_deletion import GroupConnectionDeleter, run_lockstep_deletion
 from repro.core.rank_clipping import RankClipper
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, LayerError
 from repro.experiments.training import TrainingSetup
-from repro.nn.batched import batched_evaluate
+from repro.hardware.routing import RoutingAnalysisCache
+from repro.nn.batched import architecture_signature, batched_evaluate
 from repro.nn.network import Sequential
+from repro.utils.logging import get_logger
 from repro.utils.rng import derive_point_seed
+
+logger = get_logger("experiments.runner")
 
 TaskT = TypeVar("TaskT")
 OutcomeT = TypeVar("OutcomeT")
@@ -85,6 +90,17 @@ class SweepEngine:
         sharing the baseline's data stream across points.
     start_method:
         Multiprocessing start method (default: ``fork`` when available).
+    mode:
+        ``"points"`` (default) executes sweep points as independent tasks
+        (inline or process-fanned).  ``"lockstep"`` trains all λ-points of
+        one architecture group together in a single process via
+        :func:`repro.core.group_deletion.run_lockstep_deletion` — stacked
+        forward/backward/SGD with per-point λ, bit-identical per point to the
+        serial path — which is the fastest policy on 1-core boxes with
+        identical-shape λ grids.  Points that cannot be stacked (differing
+        architectures or configs, active dropout) fall back to the serial
+        path; ε rank-clipping sweeps always use the points path because their
+        points diverge structurally at the first clip.
     """
 
     workers: int = 1
@@ -94,6 +110,7 @@ class SweepEngine:
     inline_training_eval: bool = False
     per_point_seed: bool = False
     start_method: Optional[str] = None
+    mode: str = "points"
 
     def __post_init__(self):
         if self.workers < 1:
@@ -104,6 +121,10 @@ class SweepEngine:
                     f"unknown start method {self.start_method!r}; expected one of "
                     f"{mp.get_all_start_methods()}"
                 )
+        if self.mode not in ("points", "lockstep"):
+            raise ConfigurationError(
+                f"unknown mode {self.mode!r}; expected 'points' or 'lockstep'"
+            )
 
     @classmethod
     def reference(cls) -> "SweepEngine":
@@ -187,6 +208,37 @@ class SweepEngine:
             return batched_evaluate(networks, inputs, targets, batch_size=256)
         return [setup.evaluate(network) for network in networks]
 
+    # --------------------------------------------------- strength execution
+    def run_strength_points(
+        self, tasks: Iterable["StrengthPointTask"]
+    ) -> List["StrengthPointOutcome"]:
+        """Execute λ group-deletion points under this engine's policy.
+
+        ``mode="lockstep"`` trains every stackable architecture group in
+        lockstep (singletons and unstackable groups run serially, warm-seeded
+        from the group cache); ``mode="points"`` runs the tasks independently.
+        On the serial points path, routing-analysis cache entries are
+        threaded between tasks — each point starts with every entry earlier
+        points discovered, consuming ``tasks`` lazily so only one point's
+        network copy is alive at a time.  On the parallel path every worker's
+        entries come back in its outcome (``routing_cache_entries``) for
+        callers with later analysis phases to merge.
+        """
+        if self.mode == "lockstep":
+            tasks = list(tasks)
+            if len(tasks) > 1:
+                return _run_lockstep_strength_points(self, tasks)
+        if not self.memoize_routing or self.workers > 1:
+            return self.map_points(run_strength_point, tasks)
+        cache = RoutingAnalysisCache()
+        outcomes = []
+        for task in tasks:
+            task.routing_cache_entries = cache.export_entries()
+            outcome = run_strength_point(task)
+            cache.merge_entries(outcome.routing_cache_entries)
+            outcomes.append(outcome)
+        return outcomes
+
 
 # --------------------------------------------------------------- point tasks
 @dataclass
@@ -225,7 +277,12 @@ def run_tolerance_point(task: TolerancePointTask) -> TolerancePointOutcome:
 
 @dataclass
 class StrengthPointTask:
-    """Self-contained payload for one λ group-deletion point."""
+    """Self-contained payload for one λ group-deletion point.
+
+    ``routing_cache_entries`` optionally seeds the point's routing-analysis
+    cache with entries earlier points already computed (see
+    :meth:`SweepEngine.run_strength_points`).
+    """
 
     index: int
     strength: float
@@ -235,11 +292,16 @@ class StrengthPointTask:
     record_interval: int
     structured_lasso: bool = True
     memoize_routing: bool = True
+    routing_cache_entries: Optional[List[Tuple[tuple, int]]] = None
 
 
 @dataclass
 class StrengthPointOutcome:
-    """What one λ point sends back to the sweep."""
+    """What one λ point sends back to the sweep.
+
+    ``routing_cache_entries`` carries the point's memoized routing analyses
+    back to the parent so the engine can warm later points and phases.
+    """
 
     index: int
     strength: float
@@ -248,18 +310,25 @@ class StrengthPointOutcome:
     routing_area_fractions: Dict[str, float]
     accuracy: Optional[float]
     routing_cache_stats: Optional[Dict[str, int]] = None
+    routing_cache_entries: Optional[List[Tuple[tuple, int]]] = None
 
 
 def run_strength_point(task: StrengthPointTask) -> StrengthPointOutcome:
     """Execute one λ point (module-level so process pools can import it)."""
+    cache = None
+    if task.memoize_routing:
+        cache = RoutingAnalysisCache()
+        cache.merge_entries(task.routing_cache_entries)
     deleter = GroupConnectionDeleter(
         task.config,
         record_interval=task.record_interval,
         structured_lasso=task.structured_lasso,
         memoize_routing=task.memoize_routing,
+        routing_cache=cache,
     )
     deletion = deleter.run(task.network, task.setup.trainer_factory)
     stats = None if deleter.routing_cache is None else deleter.routing_cache.stats()
+    entries = None if deleter.routing_cache is None else deleter.routing_cache.export_entries()
     return StrengthPointOutcome(
         index=task.index,
         strength=task.strength,
@@ -268,4 +337,92 @@ def run_strength_point(task: StrengthPointTask) -> StrengthPointOutcome:
         routing_area_fractions=deletion.routing_area_fractions(),
         accuracy=deletion.accuracy_after_finetune,
         routing_cache_stats=stats,
+        routing_cache_entries=entries,
     )
+
+
+# ----------------------------------------------------------- lockstep driver
+def _lockstep_group_key(task: StrengthPointTask) -> tuple:
+    """Tasks sharing this key can train as one lockstep stack."""
+    config = task.config
+    return (
+        architecture_signature(task.network),
+        config.iterations,
+        config.finetune_iterations,
+        config.zero_threshold,
+        config.relative_threshold,
+        config.include_small_matrices,
+        config.layers,
+        task.record_interval,
+        task.structured_lasso,
+        task.memoize_routing,
+    )
+
+
+def _run_lockstep_strength_points(
+    engine: SweepEngine, tasks: List[StrengthPointTask]
+) -> List[StrengthPointOutcome]:
+    """Train λ points in lockstep per architecture group (serial leftovers warm-cached)."""
+    outcomes: List[Optional[StrengthPointOutcome]] = [None] * len(tasks)
+    cache = RoutingAnalysisCache() if engine.memoize_routing else None
+    groups: "OrderedDict[tuple, List[int]]" = OrderedDict()
+    for position, task in enumerate(tasks):
+        groups.setdefault(_lockstep_group_key(task), []).append(position)
+
+    serial_positions: List[int] = []
+    for indices in groups.values():
+        if len(indices) < 2:
+            serial_positions.extend(indices)
+            continue
+        group = [tasks[i] for i in indices]
+        setups = [task.setup for task in group]
+
+        def factory(networks, callbacks_per_point, _setups=setups):
+            return _setups[0].lockstep_trainer_factory(
+                networks, callbacks_per_point, point_setups=_setups
+            )
+
+        before = cache.stats() if cache is not None else None
+        try:
+            results = run_lockstep_deletion(
+                [task.network for task in group],
+                [task.config for task in group],
+                factory,
+                record_interval=group[0].record_interval,
+                structured_lasso=group[0].structured_lasso,
+                memoize_routing=group[0].memoize_routing,
+                routing_cache=cache if group[0].memoize_routing else None,
+            )
+        except LayerError as error:
+            logger.info("lockstep group fell back to serial points: %s", error)
+            serial_positions.extend(indices)
+            continue
+        stats = None
+        if cache is not None and group[0].memoize_routing:
+            after = cache.stats()
+            stats = {
+                "hits": after["hits"] - before["hits"],
+                "misses": after["misses"] - before["misses"],
+                "size": after["size"],
+            }
+        for slot, (position, result) in enumerate(zip(indices, results)):
+            task = tasks[position]
+            outcomes[position] = StrengthPointOutcome(
+                index=task.index,
+                strength=task.strength,
+                network=result.network,
+                wire_fractions=result.wire_fractions(),
+                routing_area_fractions=result.routing_area_fractions(),
+                accuracy=result.accuracy_after_finetune,
+                routing_cache_stats=stats if slot == 0 else None,
+            )
+
+    for position in sorted(serial_positions):
+        task = tasks[position]
+        if cache is not None and task.memoize_routing:
+            task.routing_cache_entries = cache.export_entries()
+        outcome = run_strength_point(task)
+        if cache is not None:
+            cache.merge_entries(outcome.routing_cache_entries)
+        outcomes[position] = outcome
+    return outcomes

@@ -13,8 +13,13 @@ delegated to a :class:`~repro.experiments.runner.SweepEngine`: points can fan
 out over worker processes (bit-identical to the serial order), the finished
 point networks are evaluated together with batched multi-network inference,
 and the group-deletion points run with the vectorized group-Lasso penalty and
-memoized routing analysis.  Passing ``engine=SweepEngine.reference()``
-restores the original serial per-point execution.
+memoized routing analysis — with cache entries threaded between points so
+later ones start warm.  ``SweepEngine(mode="lockstep")`` instead trains all
+λ-points of one architecture group together as a single stacked program
+(bit-identical per point; the fastest policy on 1-core boxes); the ε sweep
+keeps the points path because rank clipping makes its points diverge
+structurally.  Passing ``engine=SweepEngine.reference()`` restores the
+original serial per-point execution.
 """
 
 from __future__ import annotations
@@ -30,7 +35,6 @@ from repro.experiments.runner import (
     StrengthPointTask,
     SweepEngine,
     TolerancePointTask,
-    run_strength_point,
     run_tolerance_point,
 )
 from repro.experiments.training import TrainingSetup, train_baseline
@@ -281,8 +285,9 @@ def sweep_group_deletion(
 ) -> StrengthSweepResult:
     """Run group deletion at each λ starting from the same rank-clipped network.
 
-    ``engine`` selects the execution policy (worker processes, batched final
-    evaluation, vectorized group Lasso, memoized routing analysis).
+    ``engine`` selects the execution policy (worker processes or lockstep
+    stacked training via ``mode="lockstep"``, batched final evaluation,
+    vectorized group Lasso, memoized routing analysis shared across points).
     """
     if not strengths:
         raise ValueError("strengths must contain at least one value")
@@ -327,7 +332,7 @@ def sweep_group_deletion(
                 memoize_routing=engine.memoize_routing,
             )
 
-    outcomes = engine.map_points(run_strength_point, strength_tasks())
+    outcomes = engine.run_strength_points(strength_tasks())
     if engine.inline_training_eval:
         accuracies = [
             outcome.accuracy if outcome.accuracy is not None else 0.0

@@ -13,10 +13,14 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
 from repro.data import ArrayDataset, DataLoader
+from repro.exceptions import ConfigurationError
 from repro.experiments.presets import ExperimentScale
 from repro.experiments.workloads import Workload
 from repro.nn import SGD, SoftmaxCrossEntropy, Trainer, accuracy
+from repro.nn.batched import NetworkStack
 from repro.nn.network import Sequential
+from repro.nn.optim.lockstep import LockstepSGD
+from repro.nn.trainer import LockstepTrainer
 from repro.utils.rng import as_rng, derive_seed
 
 
@@ -87,6 +91,61 @@ class TrainingSetup:
             self.make_loader(),
             eval_data=self.test_dataset.arrays() if self.evaluate_during_training else None,
             callbacks=list(callbacks),
+            eval_interval=self.eval_interval,
+        )
+
+    def lockstep_trainer_factory(
+        self,
+        networks: Sequence[Sequential],
+        callbacks_per_point: Sequence[Sequence] = (),
+        *,
+        point_setups: Optional[Sequence["TrainingSetup"]] = None,
+    ) -> LockstepTrainer:
+        """Build a lockstep trainer for K same-architecture networks.
+
+        The lockstep counterpart of :meth:`trainer_factory`: one stacked SGD
+        over the networks' parameter slabs and either a single shared data
+        loader (the default — every point trains on this setup's batch
+        stream, enabling shared im2col) or per-point loaders when
+        ``point_setups`` carry differing seeds (``per_point_seed`` sweeps).
+        All setups must agree on every hyper-parameter except the seed.
+        """
+        networks = list(networks)
+        setups = list(point_setups) if point_setups is not None else [self] * len(networks)
+        if len(setups) != len(networks):
+            raise ConfigurationError(
+                f"{len(networks)} networks but {len(setups)} point setups"
+            )
+        for setup in setups:
+            shared = (
+                setup.batch_size, setup.learning_rate, setup.momentum,
+                setup.weight_decay, setup.eval_interval, setup.evaluate_during_training,
+            )
+            if shared != (
+                self.batch_size, self.learning_rate, self.momentum,
+                self.weight_decay, self.eval_interval, self.evaluate_during_training,
+            ):
+                raise ConfigurationError(
+                    "lockstep training requires point setups that differ only in seed"
+                )
+        stack = NetworkStack(networks)
+        optimizer = LockstepSGD(
+            stack.parameters,
+            lr=self.learning_rate,
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+        )
+        if len({setup._loader_seed for setup in setups}) == 1:
+            loaders = setups[0].make_loader()
+        else:
+            loaders = [setup.make_loader() for setup in setups]
+        return LockstepTrainer(
+            stack,
+            SoftmaxCrossEntropy(),
+            optimizer,
+            loaders,
+            eval_data=self.test_dataset.arrays() if self.evaluate_during_training else None,
+            callbacks=callbacks_per_point,
             eval_interval=self.eval_interval,
         )
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -196,6 +196,32 @@ class RoutingAnalysisCache:
         self._wires.clear()
         self.hits = 0
         self.misses = 0
+
+    # --------------------------------------------------- cross-process use
+    def export_entries(self) -> List[Tuple[tuple, int]]:
+        """Memoized ``(key, remaining_wires)`` pairs, oldest first.
+
+        Entries are plain picklable values, so a sweep engine can ship them
+        to worker processes (seeding each point task warm) and merge the
+        workers' entries back into a parent cache.
+        """
+        return list(self._wires.items())
+
+    def merge_entries(self, entries: Optional[Iterable[Tuple[tuple, int]]]) -> int:
+        """Absorb entries exported from another cache; returns how many were new.
+
+        Existing keys are kept (both caches computed the same deterministic
+        analysis, so values can only agree); hit/miss counters are untouched
+        — they describe this cache's own lookups, not the donor's.
+        """
+        added = 0
+        for key, remaining in entries or ():
+            if key not in self._wires:
+                self._wires[key] = remaining
+                added += 1
+                if len(self._wires) > self.maxsize:
+                    self._wires.popitem(last=False)
+        return added
 
     def _plan_key(self, plan: TilingPlan) -> tuple:
         return (

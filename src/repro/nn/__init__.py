@@ -8,7 +8,13 @@ group connection deletion hook into training).
 """
 
 from repro.nn import dtype, functional
-from repro.nn.batched import architecture_signature, batched_evaluate, stacked_predict
+from repro.nn.batched import (
+    NetworkStack,
+    StackedParameter,
+    architecture_signature,
+    batched_evaluate,
+    stacked_predict,
+)
 from repro.nn.dtype import as_float, default_dtype, dtype_scope, set_default_dtype
 from repro.nn.initializers import available_initializers, get_initializer
 from repro.nn.layers import (
@@ -36,6 +42,7 @@ from repro.nn.optim import (
     CosineLR,
     ExponentialLR,
     InverseDecayLR,
+    LockstepSGD,
     LRSchedule,
     Optimizer,
     StepLR,
@@ -44,10 +51,18 @@ from repro.nn.parameter import Parameter
 from repro.nn.regularization import (
     GroupLassoRegularizer,
     L2Regularizer,
+    LockstepRegularizer,
+    PerPointRegularizers,
     Regularizer,
     WeightGroup,
 )
-from repro.nn.trainer import Callback, Trainer, TrainingHistory
+from repro.nn.trainer import (
+    Callback,
+    LockstepPointHandle,
+    LockstepTrainer,
+    Trainer,
+    TrainingHistory,
+)
 
 __all__ = [
     "functional",
@@ -78,6 +93,7 @@ __all__ = [
     "Optimizer",
     "SGD",
     "Adam",
+    "LockstepSGD",
     "LRSchedule",
     "ConstantLR",
     "StepLR",
@@ -87,10 +103,14 @@ __all__ = [
     "Regularizer",
     "L2Regularizer",
     "GroupLassoRegularizer",
+    "LockstepRegularizer",
+    "PerPointRegularizers",
     "WeightGroup",
     "architecture_signature",
     "batched_evaluate",
     "stacked_predict",
+    "NetworkStack",
+    "StackedParameter",
     "accuracy",
     "error_rate",
     "top_k_accuracy",
@@ -98,6 +118,8 @@ __all__ = [
     "Trainer",
     "TrainingHistory",
     "Callback",
+    "LockstepTrainer",
+    "LockstepPointHandle",
     "get_initializer",
     "available_initializers",
 ]

@@ -112,7 +112,10 @@ class LowRankConv2D(Layer):
         )
         u_mat, s, vt = np.linalg.svd(weight_matrix, full_matrices=False)
         layer.u.data = u_mat[:, :rank] * s[:rank]
-        layer.v.data = vt[:rank, :].T
+        # ascontiguousarray: keep the canonical C layout (see
+        # LowRankLinear.from_dense) so products do not depend on whether the
+        # factor is a transposed SVD view or a materialized array.
+        layer.v.data = np.ascontiguousarray(vt[:rank, :].T)
         if conv.bias is not None:
             layer.bias.data = conv.bias.data.copy()
         return layer

@@ -110,7 +110,12 @@ class LowRankLinear(Layer):
         u_mat, s, vt = np.linalg.svd(weight, full_matrices=False)
         k = rank
         layer.u.data = u_mat[:, :k] * s[:k]
-        layer.v.data = vt[:k, :].T
+        # ascontiguousarray: vt.T is a Fortran-ordered view, and BLAS kernels
+        # for transposed operands are not bit-for-bit interchangeable with the
+        # contiguous path; every Parameter keeps one canonical (C) layout so
+        # downstream products are layout-independent (the lockstep trainer's
+        # stacked matmuls rely on this).
+        layer.v.data = np.ascontiguousarray(vt[:k, :].T)
         if bias is not None:
             layer.bias.data = as_float(bias).copy()
         return layer

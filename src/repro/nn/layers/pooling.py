@@ -129,14 +129,19 @@ class MaxPool2D(_Pool2D):
         # gradients always route to a real input entry.
         x_padded = pad_images(x, self.padding, value=-np.inf)
         slabs = [x_padded[:, :, rows, cols] for rows, cols in self._offset_slices(out_h, out_w)]
-        out = np.maximum.reduce(slabs)
+        # Chained in-place maximum: same left-fold as ``np.maximum.reduce``
+        # (max is exact, so bitwise identical) without materializing the
+        # (k², N, C, out_h, out_w) stack the reduce would build.
+        out = np.maximum(slabs[0], slabs[1]) if len(slabs) > 1 else slabs[0].copy()
+        for slab in slabs[2:]:
+            np.maximum(out, slab, out=out)
         if self.training:
             # Compact arg-max map; descending order (down to and including
             # offset 0) makes the first/lowest offset win ties, matching
             # ``argmax`` over explicit windows.
             argmax = np.zeros(out.shape, dtype=np.int16)
             for t in range(len(slabs) - 1, -1, -1):
-                argmax = np.where(slabs[t] == out, t, argmax)
+                np.copyto(argmax, np.int16(t), where=(slabs[t] == out))
             self._input_shape = x.shape
             self._out_hw = (out_h, out_w)
             self._argmax = argmax

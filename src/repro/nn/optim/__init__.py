@@ -2,6 +2,7 @@
 
 from repro.nn.optim.adam import Adam
 from repro.nn.optim.base import Optimizer
+from repro.nn.optim.lockstep import LockstepSGD
 from repro.nn.optim.schedules import (
     ConstantLR,
     CosineLR,
@@ -17,6 +18,7 @@ __all__ = [
     "Optimizer",
     "SGD",
     "Adam",
+    "LockstepSGD",
     "LRSchedule",
     "ConstantLR",
     "StepLR",

@@ -69,3 +69,13 @@ class Adam(Optimizer):
         self._m.clear()
         self._v.clear()
         self._steps.clear()
+
+    def _drop_mismatched_state(self) -> None:
+        for index in list(self._m):
+            if (
+                index >= len(self._parameters)
+                or self._m[index].shape != self._parameters[index].data.shape
+            ):
+                del self._m[index]
+                del self._v[index]
+                self._steps.pop(index, None)

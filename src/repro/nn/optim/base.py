@@ -33,17 +33,31 @@ class Optimizer:
         """Parameters managed by this optimizer."""
         return list(self._parameters)
 
-    def set_parameters(self, parameters: Sequence[Parameter]) -> None:
+    def set_parameters(
+        self, parameters: Sequence[Parameter], *, keep_state: bool = False
+    ) -> None:
         """Re-bind the optimizer to a new parameter list.
 
         Rank clipping replaces factor arrays (their shapes change), so the
-        trainer re-binds and resets optimizer state after every clip.
+        trainer re-binds and resets optimizer state after every clip — the
+        default.  With ``keep_state=True`` per-parameter state buffers are
+        preserved instead, but only after shape validation: state is keyed by
+        parameter *index*, so a structural change that shifts or resizes the
+        list could otherwise apply a stale buffer to the wrong parameter.
+        Buffers whose shape no longer matches the parameter now at their
+        index are dropped (shape-compatible buffers cannot be told apart —
+        callers re-ordering same-shaped parameters must reset instead).
         """
         params = list(parameters)
         if not params:
             raise ValueError("optimizer needs at least one parameter")
+        if not all(isinstance(p, Parameter) for p in params):
+            raise TypeError("all optimized values must be Parameter instances")
         self._parameters = params
-        self.reset_state()
+        if keep_state:
+            self._drop_mismatched_state()
+        else:
+            self.reset_state()
 
     def current_lr(self) -> float:
         """Learning rate that the *next* call to :meth:`step` will use."""
@@ -69,3 +83,10 @@ class Optimizer:
 
     def reset_state(self) -> None:
         """Clear per-parameter optimizer state (momentum buffers etc.)."""
+
+    def _drop_mismatched_state(self) -> None:
+        """Drop state entries whose shape no longer matches their parameter.
+
+        Subclasses that keep per-parameter buffers override this; the default
+        (stateless optimizer) keeps nothing and needs no validation.
+        """

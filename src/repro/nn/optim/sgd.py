@@ -42,7 +42,10 @@ class SGD(Optimizer):
             grad = grad + self.weight_decay * param.data
         if self.momentum > 0.0:
             velocity = self._velocity.get(index)
-            if velocity is None:
+            if velocity is None or velocity.shape != param.data.shape:
+                # A shape mismatch means the parameter was restructured (e.g.
+                # set_factors) without a state reset; a stale buffer must not
+                # be applied to the new array.
                 velocity = np.zeros_like(param.data)
             velocity = self.momentum * velocity + grad
             self._velocity[index] = velocity
@@ -56,3 +59,11 @@ class SGD(Optimizer):
     def reset_state(self) -> None:
         """Drop momentum buffers (used after structural changes such as rank clipping)."""
         self._velocity.clear()
+
+    def _drop_mismatched_state(self) -> None:
+        for index in list(self._velocity):
+            if (
+                index >= len(self._parameters)
+                or self._velocity[index].shape != self._parameters[index].data.shape
+            ):
+                del self._velocity[index]

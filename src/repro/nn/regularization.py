@@ -136,3 +136,60 @@ class GroupLassoRegularizer(Regularizer):
         """Return the groups whose norm is at or below ``threshold``."""
         threshold = check_non_negative(threshold, "threshold")
         return [group for group in self._groups if group.norm() <= threshold]
+
+
+class LockstepRegularizer:
+    """Per-point penalty over the K points of a lockstep training stack.
+
+    The lockstep counterpart of :class:`Regularizer`:
+    :meth:`penalties` returns one penalty value per stacked point and
+    :meth:`apply_gradients` accumulates into the per-point gradients (which
+    alias the stack's gradient slabs).  :meth:`point_regularizer` materializes
+    the ordinary serial regularizer for a point that leaves the stack, and
+    :meth:`drop_point` removes a departed point's slot.
+    """
+
+    def penalties(self) -> np.ndarray:
+        """Penalty value of every stacked point, in stack order."""
+        raise NotImplementedError
+
+    def apply_gradients(self) -> None:
+        """Accumulate every point's penalty gradient into its parameters."""
+        raise NotImplementedError
+
+    def point_regularizer(self, k: int) -> Regularizer:
+        """The serial regularizer equivalent for stacked point ``k``."""
+        raise NotImplementedError
+
+    def drop_point(self, k: int) -> None:
+        """Forget stacked point ``k`` (it left the stack)."""
+        raise NotImplementedError
+
+
+class PerPointRegularizers(LockstepRegularizer):
+    """Wrap K ordinary per-point regularizers as one lockstep regularizer.
+
+    Each point's regularizer reads and writes that point's ``Parameter``
+    objects directly — during lockstep training those alias the stack's
+    slabs — so results are bit-identical to serial training by construction.
+    This is the generic composition; slab-vectorized penalties (e.g.
+    :class:`repro.core.groups.LockstepCrossbarGroupLasso`) specialize it.
+    """
+
+    def __init__(self, regularizers: Sequence[Regularizer]):
+        self._regularizers: List[Regularizer] = list(regularizers)
+        if not self._regularizers:
+            raise ValueError("PerPointRegularizers needs at least one regularizer")
+
+    def penalties(self) -> np.ndarray:
+        return np.array([reg.penalty() for reg in self._regularizers])
+
+    def apply_gradients(self) -> None:
+        for reg in self._regularizers:
+            reg.apply_gradients()
+
+    def point_regularizer(self, k: int) -> Regularizer:
+        return self._regularizers[k]
+
+    def drop_point(self, k: int) -> None:
+        del self._regularizers[k]

@@ -11,18 +11,22 @@ new parameter arrays.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.data.loaders import DataLoader
-from repro.exceptions import TrainingError
-from repro.nn.losses import Loss
+from repro.exceptions import ShapeError, TrainingError
+from repro.nn import functional as F
+from repro.nn.batched import NetworkStack, stacked_predict
+from repro.nn.losses import Loss, SoftmaxCrossEntropy
 from repro.nn.metrics import accuracy
 from repro.nn.network import Sequential
 from repro.nn.optim.base import Optimizer
-from repro.nn.regularization import Regularizer
+from repro.nn.optim.lockstep import LockstepSGD
+from repro.nn.regularization import LockstepRegularizer, Regularizer
 from repro.utils.logging import get_logger
 
 logger = get_logger("nn.trainer")
@@ -178,3 +182,467 @@ class Trainer:
         for callback in self.callbacks:
             callback.on_train_end(self)
         return self.history
+
+
+# ---------------------------------------------------------------------------
+# Lockstep training: K same-architecture networks trained as one tensor op
+# ---------------------------------------------------------------------------
+def _stacked_softmax_ce(logits3: np.ndarray, targets: np.ndarray):
+    """Per-point softmax cross-entropy over ``(K, N, classes)`` logits.
+
+    One log-softmax pass over the super-batch replaces K
+    :class:`~repro.nn.losses.SoftmaxCrossEntropy` calls; every operation is
+    row-wise or per-point, so losses and gradients are bit-identical to the
+    per-point loss objects.  ``targets`` is the ``(K·N,)`` point-major
+    concatenation; returns ``(losses (K,), grad (K·N, classes))``.
+    """
+    k, n, num_classes = logits3.shape
+    if targets.shape != (k * n,):
+        raise ShapeError(
+            f"targets must be 1-D with length {k * n}, got shape {targets.shape}"
+        )
+    if targets.size and (targets.min() < 0 or targets.max() >= num_classes):
+        raise ValueError(f"targets must be class indices in [0, {num_classes - 1}]")
+    targets = targets.astype(int)
+    log_probs = F.log_softmax(logits3.reshape(k * n, num_classes), axis=1)
+    picked = log_probs[np.arange(k * n), targets]
+    losses = -(picked.reshape(k, n).mean(axis=1))
+    grad = np.exp(log_probs)
+    grad[np.arange(k * n), targets] -= 1.0
+    return losses, grad / n
+
+
+class _LockstepPoint:
+    """Bookkeeping for one network riding (or having left) a lockstep stack."""
+
+    __slots__ = (
+        "index",
+        "network",
+        "loss",
+        "callbacks",
+        "history",
+        "handle",
+        "loader",
+        "batch_iter",
+        "detached",
+        "optimizer",
+        "regularizers",
+        "rebind_requested",
+    )
+
+    def __init__(self, index: int, network: Sequential, loss: Loss, callbacks):
+        self.index = index
+        self.network = network
+        self.loss = loss
+        self.callbacks = list(callbacks)
+        self.history = TrainingHistory()
+        self.handle: Optional["LockstepPointHandle"] = None
+        self.loader: Optional[DataLoader] = None
+        self.batch_iter = None
+        self.detached = False
+        self.optimizer: Optional[Optimizer] = None
+        # (source lockstep regularizer, materialized serial regularizer)
+        # pairs, so removing the lockstep regularizer also detaches its
+        # serial counterpart from this point.
+        self.regularizers: List[tuple] = []
+        self.rebind_requested = False
+
+
+class LockstepPointHandle:
+    """Per-point facade with the :class:`Trainer` surface callbacks rely on.
+
+    Callbacks written against ``Trainer`` (rank clipping, group deletion)
+    receive one of these per point: ``network``, ``history``, ``iteration``
+    and ``evaluate()`` behave exactly like the serial trainer's, and
+    ``rebind_optimizer()`` flags the point so the lockstep trainer re-absorbs
+    an in-place restructure (same shapes: slab refresh + per-point momentum
+    reset) or detaches the point from the stack (new shapes: it finishes on
+    the serial path).
+    """
+
+    def __init__(self, trainer: "LockstepTrainer", point: _LockstepPoint):
+        self._trainer = trainer
+        self._point = point
+
+    @property
+    def network(self) -> Sequential:
+        """The point's network (its parameters alias the stack while stacked)."""
+        return self._point.network
+
+    @property
+    def history(self) -> TrainingHistory:
+        """The point's training history."""
+        return self._point.history
+
+    @property
+    def iteration(self) -> int:
+        """The lockstep trainer's shared iteration counter."""
+        return self._trainer.iteration
+
+    def evaluate(self) -> Optional[float]:
+        """Evaluate this point on the held-out data (mirrors ``Trainer.evaluate``)."""
+        return self._trainer._evaluate_point(self._point)
+
+    def rebind_optimizer(self) -> None:
+        """Signal a structural change (mirrors ``Trainer.rebind_optimizer``)."""
+        self._point.rebind_requested = True
+
+
+class LockstepTrainer:
+    """Train K same-architecture networks in lockstep on one core.
+
+    Mirrors the :class:`Trainer` iteration/callback/regularizer contract over
+    a :class:`~repro.nn.batched.NetworkStack`: each iteration draws one
+    mini-batch (shared by every point, or one per point), runs the stacked
+    forward/backward, applies :class:`~repro.nn.regularization.LockstepRegularizer`
+    penalties (e.g. the per-point-λ crossbar group Lasso) and one
+    :class:`~repro.nn.optim.lockstep.LockstepSGD` step over the slabs.  Every
+    per-point trajectory — weights, losses, penalties, evaluation accuracies
+    — is bit-identical to running K serial :class:`Trainer` instances.
+
+    Structural changes made by callbacks are handled per point: a mask
+    installation (same parameter shapes) is re-absorbed into the slabs, and a
+    shape-changing restructure (rank clipping) detaches the point, which
+    finishes the run on the ordinary serial path inside the same loop —
+    drawing the same batches — so remaining points keep the stacked fast
+    path.
+
+    Parameters
+    ----------
+    stack:
+        The compiled :class:`~repro.nn.batched.NetworkStack`.
+    loss:
+        Loss template; one deep copy is made per point.
+    optimizer:
+        A :class:`~repro.nn.optim.lockstep.LockstepSGD` over the stack's slabs.
+    train_loader:
+        One shared :class:`~repro.data.loaders.DataLoader` (every point sees
+        the same batch stream, enabling shared im2col) or a sequence of K
+        per-point loaders (independent streams, e.g. ``per_point_seed``).
+    callbacks:
+        One callback list per point (or empty).
+    regularizers, eval_data, eval_interval, eval_batch_size, log_interval:
+        As in :class:`Trainer`; regularizers must implement the
+        :class:`~repro.nn.regularization.LockstepRegularizer` protocol.
+    """
+
+    def __init__(
+        self,
+        stack: NetworkStack,
+        loss: Loss,
+        optimizer: LockstepSGD,
+        train_loader: Union[DataLoader, Sequence[DataLoader]],
+        *,
+        eval_data: Optional[tuple] = None,
+        regularizers: Sequence[LockstepRegularizer] = (),
+        callbacks: Sequence[Sequence[Callback]] = (),
+        eval_interval: int = 100,
+        eval_batch_size: int = 256,
+        log_interval: int = 0,
+    ):
+        if eval_interval < 1:
+            raise TrainingError(f"eval_interval must be >= 1, got {eval_interval}")
+        self.stack = stack
+        self.optimizer = optimizer
+        self.eval_data = eval_data
+        self.regularizers: List[LockstepRegularizer] = list(regularizers)
+        self.eval_interval = int(eval_interval)
+        self.eval_batch_size = int(eval_batch_size)
+        self.log_interval = int(log_interval)
+        self.iteration = 0
+
+        num_points = stack.num_points
+        per_point_callbacks = [list(cbs) for cbs in callbacks] if callbacks else []
+        if per_point_callbacks and len(per_point_callbacks) != num_points:
+            raise TrainingError(
+                f"expected one callback list per point ({num_points}), "
+                f"got {len(per_point_callbacks)}"
+            )
+        if not per_point_callbacks:
+            per_point_callbacks = [[] for _ in range(num_points)]
+
+        # With the (stateless) softmax CE, the stacked path fuses all K loss
+        # computations into one log-softmax over the super-batch.
+        self._fused_ce = type(loss) is SoftmaxCrossEntropy
+        self._points: List[_LockstepPoint] = []
+        for index, network in enumerate(stack.networks):
+            point = _LockstepPoint(
+                index, network, copy.deepcopy(loss), per_point_callbacks[index]
+            )
+            point.handle = LockstepPointHandle(self, point)
+            self._points.append(point)
+        self._stacked: List[_LockstepPoint] = list(self._points)
+        self._detached: List[_LockstepPoint] = []
+
+        if isinstance(train_loader, DataLoader):
+            self._shared_loader: Optional[DataLoader] = train_loader
+            self._shared_iter = None
+        else:
+            loaders = list(train_loader)
+            if len(loaders) != num_points:
+                raise TrainingError(
+                    f"expected one loader per point ({num_points}), got {len(loaders)}"
+                )
+            self._shared_loader = None
+            self._shared_iter = None
+            for point, loader in zip(self._points, loaders):
+                point.loader = loader
+
+    # ------------------------------------------------------------- plumbing
+    @property
+    def points(self) -> List[LockstepPointHandle]:
+        """Per-point handles, in original point order."""
+        return [point.handle for point in self._points]
+
+    @property
+    def histories(self) -> List[TrainingHistory]:
+        """Per-point training histories, in original point order."""
+        return [point.history for point in self._points]
+
+    @property
+    def num_stacked(self) -> int:
+        """Number of points still on the stacked fast path."""
+        return len(self._stacked)
+
+    @property
+    def num_detached(self) -> int:
+        """Number of points that diverged structurally and run serially."""
+        return len(self._detached)
+
+    def add_regularizer(self, regularizer: LockstepRegularizer) -> None:
+        """Attach a lockstep penalty term (e.g. the per-point-λ group Lasso).
+
+        The penalty covers the points currently in the stack; points that
+        already diverged onto the serial path are not retrofitted (a lockstep
+        regularizer has no slot for them), so attach penalties before
+        training starts, as :func:`~repro.core.group_deletion.run_lockstep_deletion`
+        does.
+        """
+        self.regularizers.append(regularizer)
+
+    def remove_regularizer(self, regularizer: LockstepRegularizer) -> None:
+        """Detach a previously-added penalty term — including the serial
+        counterparts materialized for points that left the stack."""
+        self.regularizers = [r for r in self.regularizers if r is not regularizer]
+        for point in self._detached:
+            point.regularizers = [
+                (source, serial)
+                for source, serial in point.regularizers
+                if source is not regularizer
+            ]
+
+    def _next_shared_batch(self):
+        if self._shared_iter is None:
+            self._shared_iter = iter(self._shared_loader)
+        try:
+            return next(self._shared_iter)
+        except StopIteration:
+            self._shared_iter = iter(self._shared_loader)
+            return next(self._shared_iter)
+
+    @staticmethod
+    def _next_point_batch(point: _LockstepPoint):
+        if point.batch_iter is None:
+            point.batch_iter = iter(point.loader)
+        try:
+            return next(point.batch_iter)
+        except StopIteration:
+            point.batch_iter = iter(point.loader)
+            return next(point.batch_iter)
+
+    # ------------------------------------------------------- point handling
+    def refresh_points(self) -> None:
+        """Re-absorb external in-place restructures (e.g. mask installation).
+
+        Call after structural operations performed outside :meth:`run` —
+        ``apply_deletion`` re-binds parameter data when it installs pruning
+        masks — so the slabs pick the changes up before training resumes.
+        """
+        self._absorb_point_changes()
+
+    def _absorb_point_changes(self) -> None:
+        # Reversed so a detach does not shift the slots still to be scanned.
+        for slot in range(len(self._stacked) - 1, -1, -1):
+            point = self._stacked[slot]
+            status = self.stack.scan_point(slot)
+            if status == "diverged":
+                self._detach_point(slot)
+            elif status == "rebound" or point.rebind_requested:
+                self.stack.refresh_point(slot)
+                if point.rebind_requested:
+                    self.optimizer.reset_point(slot)
+            point.rebind_requested = False
+        for point in self._detached:
+            if point.rebind_requested:
+                point.optimizer.set_parameters(point.network.parameters())
+                point.rebind_requested = False
+
+    def _detach_point(self, slot: int) -> None:
+        point = self._stacked.pop(slot)
+        # Materialize the serial equivalents before the lockstep objects
+        # forget the slot, keeping the source so remove_regularizer reaches
+        # them.
+        point.regularizers = [
+            (regularizer, regularizer.point_regularizer(slot))
+            for regularizer in self.regularizers
+        ]
+        network = self.stack.drop_point(slot)
+        point.optimizer = self.optimizer.make_point_optimizer(
+            slot, network.parameters()
+        )
+        self.optimizer.drop_point(slot)
+        for regularizer in self.regularizers:
+            regularizer.drop_point(slot)
+        point.detached = True
+        self._detached.append(point)
+        logger.info(
+            "lockstep point %d diverged structurally; finishing on the serial path",
+            point.index,
+        )
+
+    # ------------------------------------------------------------- training
+    def train_step(self) -> List[float]:
+        """Run one lockstep mini-batch update; returns per-point total losses.
+
+        Losses come back in original point order (stacked and detached points
+        alike).
+        """
+        if self._shared_loader is not None:
+            shared_batch = self._next_shared_batch()
+            batch_of = {id(point): shared_batch for point in self._points}
+        else:
+            batch_of = {
+                id(point): self._next_point_batch(point) for point in self._points
+            }
+
+        self.iteration += 1
+        totals: Dict[int, float] = {}
+
+        if self._stacked:
+            self.stack.train()
+            self.stack.zero_grad()
+            if self._shared_loader is not None:
+                inputs = shared_batch[0]
+                logits3 = self.stack.forward(inputs)
+            else:
+                logits3 = self.stack.forward(
+                    [batch_of[id(point)][0] for point in self._stacked]
+                )
+            if self._fused_ce:
+                targets = np.concatenate(
+                    [batch_of[id(point)][1] for point in self._stacked]
+                )
+                data_losses, grad_super = _stacked_softmax_ce(logits3, targets)
+            else:
+                data_losses = []
+                grads = []
+                for slot, point in enumerate(self._stacked):
+                    targets = batch_of[id(point)][1]
+                    data_losses.append(point.loss.forward(logits3[slot], targets))
+                    grads.append(point.loss.backward())
+                grad_super = np.concatenate(grads, axis=0)
+            self.stack.backward(grad_super)
+            penalties = [0.0 for _ in self._stacked]
+            for regularizer in self.regularizers:
+                values = regularizer.penalties()
+                regularizer.apply_gradients()
+                for slot in range(len(self._stacked)):
+                    penalties[slot] += float(values[slot])
+            self.optimizer.step()
+            for slot, point in enumerate(self._stacked):
+                point.history.iterations.append(self.iteration)
+                point.history.loss.append(float(data_losses[slot]))
+                point.history.penalty.append(float(penalties[slot]))
+                totals[point.index] = float(data_losses[slot] + penalties[slot])
+
+        for point in self._detached:
+            inputs, targets = batch_of[id(point)]
+            point.network.train()
+            point.network.zero_grad()
+            logits = point.network.forward(inputs)
+            data_loss = point.loss.forward(logits, targets)
+            grad = point.loss.backward()
+            point.network.backward(grad)
+            penalty = 0.0
+            for _, regularizer in point.regularizers:
+                penalty += regularizer.penalty()
+                regularizer.apply_gradients()
+            point.optimizer.step()
+            point.history.iterations.append(self.iteration)
+            point.history.loss.append(float(data_loss))
+            point.history.penalty.append(float(penalty))
+            totals[point.index] = float(data_loss + penalty)
+
+        return [totals[point.index] for point in self._points]
+
+    def _evaluate_point(self, point: _LockstepPoint) -> Optional[float]:
+        if self.eval_data is None:
+            return None
+        inputs, targets = self.eval_data
+        logits = point.network.predict(inputs, batch_size=self.eval_batch_size)
+        acc = accuracy(logits, targets)
+        point.history.eval_iterations.append(self.iteration)
+        point.history.eval_accuracy.append(float(acc))
+        return float(acc)
+
+    def evaluate(self) -> Optional[List[float]]:
+        """Evaluate every point on the held-out data, recording histories.
+
+        Stacked points share one batched inference pass (bit-identical to
+        per-network ``predict``); detached points predict individually.
+        Returns per-point accuracies in original order, or ``None`` when no
+        evaluation data is attached (mirroring :class:`Trainer`).
+        """
+        if self.eval_data is None:
+            return None
+        inputs, targets = self.eval_data
+        accuracies: Dict[int, float] = {}
+        if self._stacked:
+            logits3 = stacked_predict(
+                [point.network for point in self._stacked],
+                inputs,
+                batch_size=self.eval_batch_size,
+            )
+            for slot, point in enumerate(self._stacked):
+                accuracies[point.index] = float(accuracy(logits3[slot], targets))
+        for point in self._detached:
+            logits = point.network.predict(inputs, batch_size=self.eval_batch_size)
+            accuracies[point.index] = float(accuracy(logits, targets))
+        for point in self._points:
+            point.history.eval_iterations.append(self.iteration)
+            point.history.eval_accuracy.append(accuracies[point.index])
+        return [accuracies[point.index] for point in self._points]
+
+    def run(self, num_iterations: int) -> List[TrainingHistory]:
+        """Train every point for ``num_iterations`` lockstep mini-batch steps."""
+        if num_iterations < 0:
+            raise TrainingError(f"num_iterations must be >= 0, got {num_iterations}")
+        for point in self._points:
+            for callback in point.callbacks:
+                callback.on_train_begin(point.handle)
+        self._absorb_point_changes()
+        for _ in range(num_iterations):
+            losses = self.train_step()
+            if self.eval_data is not None and self.iteration % self.eval_interval == 0:
+                self.evaluate()
+            if self.log_interval and self.iteration % self.log_interval == 0:
+                logger.info(
+                    "lockstep iter %d: mean loss=%.4f (%d stacked, %d serial)",
+                    self.iteration,
+                    float(np.mean(losses)),
+                    len(self._stacked),
+                    len(self._detached),
+                )
+            for point in self._points:
+                for callback in point.callbacks:
+                    callback.on_iteration_end(point.handle, self.iteration)
+            self._absorb_point_changes()
+        for point in self._points:
+            for callback in point.callbacks:
+                callback.on_train_end(point.handle)
+        self._absorb_point_changes()
+        return self.histories
+
+    def finalize(self) -> None:
+        """Release the slab aliases: every network owns its arrays again."""
+        self.stack.detach_all()

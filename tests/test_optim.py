@@ -124,6 +124,52 @@ class TestSGD:
         optimizer.set_parameters([new_param])
         assert not optimizer._velocity
 
+    def test_set_parameters_keep_state_drops_mismatched_buffers(self):
+        """Regression: state is keyed by index, so a structural change that
+        resizes a parameter must not leave a stale buffer to be applied to
+        whatever parameter now sits at that index."""
+        first = Parameter(np.zeros(3))
+        second = Parameter(np.zeros(2))
+        optimizer = SGD([first, second], lr=0.1, momentum=0.9)
+        first.accumulate_grad(np.ones(3))
+        second.accumulate_grad(np.ones(2))
+        optimizer.step()
+        assert set(optimizer._velocity) == {0, 1}
+        # Structural change: index 0 now holds a smaller parameter.
+        replacement = Parameter(np.zeros(2))
+        optimizer.set_parameters([replacement, second], keep_state=True)
+        assert 0 not in optimizer._velocity  # stale 3-vector dropped
+        assert 1 in optimizer._velocity  # shape-matched buffer kept
+        replacement.accumulate_grad(np.ones(2))
+        second.zero_grad()
+        second.accumulate_grad(np.ones(2))
+        optimizer.step()  # must not broadcast a stale buffer
+        assert optimizer._velocity[0].shape == (2,)
+
+    def test_set_parameters_keep_state_drops_out_of_range_indices(self):
+        params = [quadratic_params(), quadratic_params()]
+        optimizer = SGD(params, lr=0.1, momentum=0.9)
+        for param in params:
+            param.accumulate_grad(np.array([1.0]))
+        optimizer.step()
+        optimizer.set_parameters(params[:1], keep_state=True)
+        assert set(optimizer._velocity) == {0}
+
+    def test_stale_velocity_shape_discarded_on_step(self):
+        """Regression: an in-place restructure (set_factors style) changes the
+        parameter's shape without re-binding the optimizer; the next step must
+        re-zero the velocity rather than apply the stale buffer."""
+        param = Parameter(np.zeros(3))
+        optimizer = SGD([param], lr=0.1, momentum=0.9)
+        param.accumulate_grad(np.ones(3))
+        optimizer.step()
+        param.data = np.zeros(2)  # structural change, no rebind
+        param.grad = np.zeros(2)
+        param.accumulate_grad(np.ones(2))
+        optimizer.step()
+        assert optimizer._velocity[0].shape == (2,)
+        np.testing.assert_allclose(param.data, -0.1 * np.ones(2))
+
     def test_requires_parameters(self):
         with pytest.raises(ValueError):
             SGD([], lr=0.1)
@@ -176,3 +222,18 @@ class TestAdam:
         optimizer.step()
         optimizer.reset_state()
         assert not optimizer._m and not optimizer._v
+
+    def test_set_parameters_keep_state_drops_mismatched_buffers(self):
+        first = Parameter(np.zeros(3))
+        second = Parameter(np.zeros(2))
+        optimizer = Adam([first, second], lr=0.1)
+        first.accumulate_grad(np.ones(3))
+        second.accumulate_grad(np.ones(2))
+        optimizer.step()
+        replacement = Parameter(np.zeros(2))
+        optimizer.set_parameters([replacement, second], keep_state=True)
+        assert 0 not in optimizer._m and 0 not in optimizer._steps
+        assert 1 in optimizer._m and optimizer._steps[1] == 1
+        replacement.accumulate_grad(np.ones(2))
+        optimizer.step()  # stale moments must not be applied
+        assert optimizer._m[0].shape == (2,)

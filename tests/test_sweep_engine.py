@@ -116,6 +116,148 @@ class TestSerialParallelParity:
             SweepEngine(workers=0)
         with pytest.raises(ConfigurationError):
             SweepEngine(start_method="not-a-method")
+        with pytest.raises(ConfigurationError):
+            SweepEngine(mode="turbo")
+
+
+class TestLockstepMode:
+    def test_lockstep_sweep_bit_identical_to_points(self, trained_baseline):
+        """mode="lockstep" must reproduce the per-point engine path bitwise."""
+        workload, network, accuracy, setup = trained_baseline
+        kwargs = dict(setup=setup, baseline_network=network, include_small_matrices=True)
+        points = sweep_group_deletion(
+            workload, STRENGTHS, engine=SweepEngine(), **kwargs
+        )
+        lockstep = sweep_group_deletion(
+            workload, STRENGTHS, engine=SweepEngine(mode="lockstep"), **kwargs
+        )
+        assert points.baseline_accuracy == lockstep.baseline_accuracy
+        assert points.points == lockstep.points  # frozen dataclass equality: bitwise
+        assert lockstep.routing_cache_stats["hits"] > 0
+
+    def test_lockstep_with_per_point_seed(self, trained_baseline):
+        """Per-point data streams keep lockstep bit-identical to points mode."""
+        workload, network, accuracy, setup = trained_baseline
+        kwargs = dict(setup=setup, baseline_network=network, include_small_matrices=True)
+        points = sweep_group_deletion(
+            workload, STRENGTHS, engine=SweepEngine(per_point_seed=True), **kwargs
+        )
+        lockstep = sweep_group_deletion(
+            workload,
+            STRENGTHS,
+            engine=SweepEngine(per_point_seed=True, mode="lockstep"),
+            **kwargs,
+        )
+        assert points.points == lockstep.points
+
+    def test_single_point_falls_back_to_serial(self, trained_baseline):
+        workload, network, accuracy, setup = trained_baseline
+        kwargs = dict(setup=setup, baseline_network=network, include_small_matrices=True)
+        points = sweep_group_deletion(
+            workload, [0.05], engine=SweepEngine(), **kwargs
+        )
+        lockstep = sweep_group_deletion(
+            workload, [0.05], engine=SweepEngine(mode="lockstep"), **kwargs
+        )
+        assert points.points == lockstep.points
+
+    def test_tolerance_sweep_ignores_lockstep_mode(self, trained_baseline):
+        """ε points diverge structurally at the first clip; the points path runs."""
+        workload, network, accuracy, setup = trained_baseline
+        kwargs = dict(setup=setup, baseline_network=network, baseline_accuracy=accuracy)
+        points = sweep_rank_clipping(
+            workload, TOLERANCES, engine=SweepEngine(), **kwargs
+        )
+        lockstep = sweep_rank_clipping(
+            workload, TOLERANCES, engine=SweepEngine(mode="lockstep"), **kwargs
+        )
+        assert points.points == lockstep.points
+
+
+class TestRoutingCacheThreading:
+    def test_serial_points_start_warm(self, trained_baseline):
+        """Later serial points must reuse entries earlier points discovered."""
+        from repro.experiments.runner import StrengthPointTask, run_strength_point
+        from repro.core import GroupDeletionConfig, convert_to_lowrank
+        import copy
+
+        workload, network, accuracy, setup = trained_baseline
+        engine = SweepEngine()
+        scale = workload.scale
+        lowrank = convert_to_lowrank(workload.build(7))
+
+        def make_tasks():
+            return [
+                StrengthPointTask(
+                    index=index,
+                    strength=strength,
+                    network=copy.deepcopy(lowrank),
+                    setup=engine.point_setup(setup, index),
+                    config=GroupDeletionConfig(
+                        strength=strength,
+                        iterations=scale.deletion_iterations,
+                        finetune_iterations=scale.finetune_iterations,
+                        include_small_matrices=True,
+                    ),
+                    record_interval=scale.record_interval,
+                )
+                for index, strength in enumerate(STRENGTHS)
+            ]
+
+        cold = [run_strength_point(task) for task in make_tasks()]
+        warm = engine.run_strength_points(make_tasks())
+        # Identical results either way (memoized analyses are value objects)...
+        for a, b in zip(cold, warm):
+            assert a.wire_fractions == b.wire_fractions
+            assert a.routing_area_fractions == b.routing_area_fractions
+        # ...but the threaded path converts later points' initial misses into
+        # hits: the dense pre-deletion mask is shared across all points.
+        cold_hits = sum(o.routing_cache_stats["hits"] for o in cold)
+        cold_misses = sum(o.routing_cache_stats["misses"] for o in cold)
+        warm_hits = sum(o.routing_cache_stats["hits"] for o in warm)
+        warm_misses = sum(o.routing_cache_stats["misses"] for o in warm)
+        assert warm_hits > cold_hits
+        assert warm_misses < cold_misses
+
+    def test_outcomes_carry_cache_entries(self, trained_baseline):
+        from repro.experiments.runner import StrengthPointTask, run_strength_point
+        from repro.core import GroupDeletionConfig, convert_to_lowrank
+        from repro.hardware.routing import RoutingAnalysisCache
+        import copy
+
+        workload, network, accuracy, setup = trained_baseline
+        scale = workload.scale
+        engine = SweepEngine()
+        task = StrengthPointTask(
+            index=0,
+            strength=0.05,
+            network=convert_to_lowrank(workload.build(8)),
+            setup=engine.point_setup(setup, 0),
+            config=GroupDeletionConfig(
+                strength=0.05,
+                iterations=scale.deletion_iterations,
+                finetune_iterations=scale.finetune_iterations,
+                include_small_matrices=True,
+            ),
+            record_interval=scale.record_interval,
+        )
+        outcome = run_strength_point(task)
+        assert outcome.routing_cache_entries
+        merged = RoutingAnalysisCache()
+        assert merged.merge_entries(outcome.routing_cache_entries) == len(
+            outcome.routing_cache_entries
+        )
+        # Re-merging adds nothing; counters are untouched by merging.
+        assert merged.merge_entries(outcome.routing_cache_entries) == 0
+        assert merged.stats()["hits"] == 0 and merged.stats()["misses"] == 0
+
+    def test_merge_respects_maxsize(self):
+        from repro.hardware.routing import RoutingAnalysisCache
+
+        entries = [((("p",), bytes([i])), i) for i in range(8)]
+        small = RoutingAnalysisCache(maxsize=3)
+        small.merge_entries(entries)
+        assert len(small) <= 3
 
 
 class TestDerivePointSeed:
