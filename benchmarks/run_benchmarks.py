@@ -4,11 +4,15 @@
 Runs the engine benchmarks outside pytest and appends one record per run to a
 JSON trajectory file per suite, so performance can be tracked across commits:
 
-    python benchmarks/run_benchmarks.py                   # kernels + sweeps + lockstep
-    python benchmarks/run_benchmarks.py --suite kernels   # BENCH_kernels.json
-    python benchmarks/run_benchmarks.py --suite sweeps    # BENCH_sweeps.json
-    python benchmarks/run_benchmarks.py --suite lockstep  # BENCH_lockstep.json
+    python benchmarks/run_benchmarks.py                   # every registered suite
+    python benchmarks/run_benchmarks.py --suite kernels   # one suite
+    python benchmarks/run_benchmarks.py --list            # suite names, one per line
     python benchmarks/run_benchmarks.py --check           # non-zero exit on regression
+
+The ``SUITES`` registry below is the single source of truth for suite names:
+``--suite`` choices, the CI loop in ``ci/run_ci.sh`` (which iterates
+``--list`` output), and ``python -m repro bench`` all read it, so the three
+can never drift.
 
 The kernel records carry the per-kernel reference/vectorized timings (ms),
 the speedups, and the ``map_network`` throughput numbers.  The sweep records
@@ -25,7 +29,10 @@ import json
 import platform
 import sys
 import time
+from collections import OrderedDict
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable, List, Optional, Tuple
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 from bench_utils import _SRC  # noqa: F401,E402  (puts src/ on sys.path)
@@ -124,16 +131,60 @@ def run_lockstep(output: Path, check: bool) -> int:
     return 0
 
 
-_SUITES = {"kernels": run_kernels, "sweeps": run_sweeps, "lockstep": run_lockstep}
+@dataclass(frozen=True)
+class BenchmarkSuite:
+    """One registered benchmark suite: runner, trajectory file, description."""
+
+    name: str
+    runner: Callable[[Path, bool], int]
+    output: str
+    description: str
 
 
-def main() -> int:
+#: Single source of truth for suite names — consumed by ``--suite``/``--list``,
+#: the CI loop in ``ci/run_ci.sh``, and ``python -m repro bench``.
+SUITES: "OrderedDict[str, BenchmarkSuite]" = OrderedDict(
+    (suite.name, suite)
+    for suite in (
+        BenchmarkSuite(
+            "kernels",
+            run_kernels,
+            "BENCH_kernels.json",
+            "conv/pool kernel and map_network micro-benchmarks",
+        ),
+        BenchmarkSuite(
+            "sweeps",
+            run_sweeps,
+            "BENCH_sweeps.json",
+            "reference vs serial vs parallel lambda-sweep wall-clock",
+        ),
+        BenchmarkSuite(
+            "lockstep",
+            run_lockstep,
+            "BENCH_lockstep.json",
+            "serial-per-point vs lockstep stacked training wall-clock",
+        ),
+    )
+)
+
+
+def suite_names() -> Tuple[str, ...]:
+    """Registered suite names, in registration order."""
+    return tuple(SUITES)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=tuple(_SUITES) + ("all",),
+        choices=suite_names() + ("all",),
         default="all",
         help="which benchmark suite(s) to run (default: all)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the registered suite names (one per line) and exit",
     )
     parser.add_argument(
         "--output",
@@ -147,15 +198,20 @@ def main() -> int:
         action="store_true",
         help="exit non-zero when a suite regresses below its threshold",
     )
-    args = parser.parse_args()
-    suites = tuple(_SUITES) if args.suite == "all" else (args.suite,)
-    if args.output is not None and len(suites) > 1:
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in suite_names():
+            print(name)
+        return 0
+    names = suite_names() if args.suite == "all" else (args.suite,)
+    if args.output is not None and len(names) > 1:
         parser.error("--output requires a single --suite")
 
     status = 0
-    for suite in suites:
-        output = args.output or _REPO_ROOT / f"BENCH_{suite}.json"
-        status = max(status, _SUITES[suite](output, args.check))
+    for name in names:
+        suite = SUITES[name]
+        output = args.output or _REPO_ROOT / suite.output
+        status = max(status, suite.runner(output, args.check))
     return status
 
 

@@ -2,12 +2,15 @@
 # Lightweight CI for the repo.
 #
 #   ci/run_ci.sh            # tier-1: full test + benchmark suite (includes
-#                           # the kernel parity / engine regression tests and
-#                           # the 2-worker sweep parity tests)
+#                           # the kernel parity / engine regression tests,
+#                           # the 2-worker sweep parity tests, and the
+#                           # spec/store/CLI/deprecation-shim tests) plus a
+#                           # `python -m repro` CLI smoke job
 #   ci/run_ci.sh --quick    # engine regression tests only (fast iteration)
-#   ci/run_ci.sh --bench    # tier-1 plus BENCH_kernels.json,
-#                           # BENCH_sweeps.json and BENCH_lockstep.json
-#                           # data points
+#   ci/run_ci.sh --bench    # tier-1 plus one BENCH_<suite>.json data point
+#                           # per registered suite (suite names come from the
+#                           # SUITES registry in benchmarks/run_benchmarks.py
+#                           # via --list; nothing is hard-coded here)
 #
 # Keeps to the stock toolchain: python + pytest only.
 set -euo pipefail
@@ -26,6 +29,10 @@ ENGINE_TESTS=(
   tests/test_sweep_engine.py
   tests/test_lockstep.py
   tests/test_optim.py
+  tests/test_spec.py
+  tests/test_run_store.py
+  tests/test_cli.py
+  tests/test_shims.py
 )
 
 if [[ "${1:-}" == "--quick" ]]; then
@@ -34,11 +41,26 @@ if [[ "${1:-}" == "--quick" ]]; then
 else
   echo "== tier-1: full test + benchmark suite (kernel + sweep parity included) =="
   python -m pytest -x -q
+
+  echo "== CLI smoke: spec -> run -> artifact -> resume -> show/compare =="
+  CLI_STORE="$(mktemp -d)"
+  trap 'rm -rf "$CLI_STORE"' EXIT
+  python -m repro run table1 --scale tiny --workers 1 --store "$CLI_STORE"
+  # Re-running the identical spec must resume the complete artifact: zero new
+  # training ("0 computed" in the summary).
+  RESUME_OUT="$(python -m repro run table1 --scale tiny --workers 1 --store "$CLI_STORE" --quiet)"
+  echo "$RESUME_OUT"
+  grep -q "0 computed, 1 reused" <<< "$RESUME_OUT"
+  python -m repro show table1 --store "$CLI_STORE" > /dev/null
+  python -m repro compare table1 table1 --store "$CLI_STORE" > /dev/null
+  python -m repro list --store "$CLI_STORE" > /dev/null
 fi
 
 if [[ "${1:-}" == "--bench" ]]; then
-  echo "== kernel + sweep + lockstep benchmark trajectories =="
-  python benchmarks/run_benchmarks.py --check
+  echo "== benchmark trajectories (suites from run_benchmarks.py --list) =="
+  for suite in $(python benchmarks/run_benchmarks.py --list); do
+    python benchmarks/run_benchmarks.py --suite "$suite" --check
+  done
 fi
 
 echo "CI OK"

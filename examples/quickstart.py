@@ -1,45 +1,30 @@
 #!/usr/bin/env python
-"""Quickstart: the Group Scissor pipeline end to end in under a minute.
+"""Quickstart: the declarative experiment API end to end in under a minute.
 
-This example trains a small fully-connected network on an easy synthetic
-classification task, then applies both steps of the Group Scissor framework:
+Every paper deliverable of this reproduction — Tables 1/3, the Figure 3/5
+traces, the Figure 6-8 sweeps, the headline area numbers — runs through one
+declarative pipeline:
 
-1. **Rank clipping** — the dense layers are converted to explicit low-rank
-   factorizations ``W ≈ U·Vᵀ`` and their ranks are clipped during training
-   (paper Algorithm 2), shrinking the crossbar area needed to implement them.
-2. **Group connection deletion** — group-Lasso regularization aligned with
-   the crossbar tiling drives whole row/column groups to zero so their
-   routing wires can be removed (paper Section 3.2).
+    ExperimentSpec  ->  plan  ->  run  ->  artifact
 
-Finally, the network is mapped onto the memristor-crossbar hardware model and
-the crossbar-area / routing-area savings are reported.
+1. **Spec** — a frozen, JSON-serializable description of the experiment:
+   workload + scale (+ overrides), method (rank_clipping / group_deletion /
+   baseline), sweep grid, engine policy (serial / process-fanned / lockstep)
+   and seed policy.  Specs round-trip through plain dicts and hash to stable
+   content fingerprints.
+2. **Plan** — the spec expands into fingerprinted point tasks executed by the
+   ``SweepEngine`` (the PR 2-3 machinery: process fan-out, batched
+   multi-network evaluation, lockstep stacked training — all bit-identical).
+3. **Run** — ``execute_spec`` trains whatever is not already stored.
+4. **Artifact** — a ``RunStore`` persists every run as a content-addressed
+   JSON artifact.  Re-running a complete spec performs **zero training**, and
+   runs with overlapping grids (or different engine policies) reuse each
+   other's point results.
 
-Four engine features worth knowing about (demonstrated at the end):
+The same workflow is available from the shell:
 
-* **Parallel sweeps** — the ε/λ hyper-parameter sweeps behind the paper's
-  figures run through ``SweepEngine``: pass ``SweepEngine(workers=2)`` to fan
-  sweep points over worker processes (results are bit-identical to a serial
-  run) with batched multi-network evaluation of the finished points.
-* **Lockstep sweeps** — ``SweepEngine(mode="lockstep")`` instead trains all
-  λ-points of one architecture group together as a single stacked program
-  (shared im2col, one ``(K, out, in)`` batched matmul per weighted layer,
-  stacked-state SGD, per-point-λ group Lasso), bit-identical per point to
-  the serial path.  It beats process fan-out on 1-core boxes and on
-  identical-shape λ grids, which is exactly the Figure-8 shape; ε sweeps
-  keep the per-point path because rank clipping makes their points diverge
-  structurally.  Lockstep shares one batch stream across points by default
-  (that is what lets im2col be extracted once); with
-  ``per_point_seed=True`` each point keeps its own stream and the engine
-  stacks the per-point batches instead — still bit-identical, just without
-  the shared-input savings.
-* **Dtype policy** — all layers/losses/parameters follow the global policy in
-  ``repro.nn.dtype`` (float64 by default).  Wrap inference in
-  ``dtype_scope("float32")`` to halve memory traffic when full precision is
-  not needed.
-* **Cache lifecycle** — layers cache backward context only in training mode
-  and release it when ``backward`` completes, so inference (``predict``) and
-  idle networks hold no O(batch) activations.  ``network.release_caches()``
-  drops any remaining context explicitly.
+    python -m repro run table1 --scale tiny --workers 1
+    python -m repro list / show / compare / bench
 
 Run with:  python examples/quickstart.py
 """
@@ -47,128 +32,94 @@ Run with:  python examples/quickstart.py
 from __future__ import annotations
 
 import sys
+import tempfile
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.core import (
-    GroupDeletionConfig,
-    GroupScissor,
-    RankClippingConfig,
-    ScissorConfig,
+from repro.experiments import (
+    REGISTRY,
+    ExperimentSpec,
+    RunStore,
+    execute_spec,
+    result_from_payload,
 )
-from repro.data import ArrayDataset, DataLoader, make_gaussian_blobs
-from repro.hardware import CrossbarLibrary, NetworkMapper, TechnologyParameters
-from repro.models import build_mlp
-from repro.nn import SGD, SoftmaxCrossEntropy, Trainer, dtype
-
-
-def make_data():
-    """An easy, normalized 10-class classification problem."""
-    train, test = make_gaussian_blobs(
-        num_classes=10, num_features=64, samples_per_class=60, separation=3.5, seed=0
-    )
-    mean, std = train.inputs.mean(), train.inputs.std()
-    return (
-        ArrayDataset((train.inputs - mean) / std, train.targets),
-        ArrayDataset((test.inputs - mean) / std, test.targets),
-    )
 
 
 def main() -> None:
-    train, test = make_data()
+    # A store directory holds one JSON artifact per spec fingerprint.  Use a
+    # persistent path (e.g. ``runs/``) in real projects; the CLI defaults to
+    # ``$REPRO_RUN_STORE`` or ``runs/``.
+    store = RunStore(Path(tempfile.mkdtemp(prefix="repro-quickstart-")))
+    print(f"run store: {store.root}\n")
 
-    def trainer_factory(network, callbacks=()):
-        """Standard SGD trainer used for every phase of the pipeline."""
-        loader = DataLoader(train, batch_size=32, shuffle=True, rng=1)
-        optimizer = SGD(network.parameters(), lr=0.05, momentum=0.9)
-        return Trainer(
-            network,
-            SoftmaxCrossEntropy(),
-            optimizer,
-            loader,
-            eval_data=test.arrays(),
-            callbacks=list(callbacks),
-            eval_interval=50,
-        )
-
-    # ----------------------------------------------------------- baseline
-    print("=== Training the dense baseline ===")
-    dense = build_mlp(64, [96, 48], 10, rng=0)
-    trainer = trainer_factory(dense)
-    trainer.run(300)
-    baseline_accuracy = trainer.evaluate()
-    print(f"baseline accuracy: {baseline_accuracy:.2%}")
-
-    # A small crossbar limit (16x16) makes even this MLP "big" for the
-    # hardware, so both pipeline steps have real work to do.
-    technology = TechnologyParameters(max_crossbar_rows=16, max_crossbar_cols=16)
-    mapper = NetworkMapper(technology=technology, library=CrossbarLibrary(technology=technology))
-
-    # ------------------------------------------------------ group scissor
-    print("\n=== Running Group Scissor (rank clipping + group deletion) ===")
-    config = ScissorConfig(
-        rank_clipping=RankClippingConfig(tolerance=0.05, clip_interval=25, max_iterations=150),
-        group_deletion=GroupDeletionConfig(
-            strength=0.05,
-            iterations=150,
-            finetune_iterations=100,
-            include_small_matrices=True,
-        ),
+    # ------------------------------------------------------- 1. define a spec
+    # An ε rank-clipping sweep (the Figure 6/7 experiment) on the fast MLP
+    # workload.  `scale_overrides` trims the tiny preset further so this
+    # example stays sub-second; drop them (or use scale="small"/"paper") for
+    # real runs.
+    spec = ExperimentSpec(
+        kind="sweep",
+        method="rank_clipping",
+        workload="mlp",
+        scale="tiny",
+        grid=(0.02, 0.1, 0.3),
+        name="quickstart-sweep",
     )
-    scissor = GroupScissor(config, trainer_factory, mapper=mapper)
-    result = scissor.run(dense, baseline_accuracy=baseline_accuracy)
+    print("=== Spec ===")
+    print(spec.to_json())
 
-    print(result.format_summary())
+    # ------------------------------------------------------------- 2. run it
+    print("=== First run (trains baseline + 3 sweep points) ===")
+    run = execute_spec(spec, store=store)
+    print(run.format_summary())
+    print()
+    print(run.result.format_table())
 
-    # ------------------------------------------------------------ hardware
-    print("\n=== Crossbar mapping of the final network ===")
-    print(result.final_report.format_table())
+    # ------------------------------------------------- 3. resume = no training
+    print("\n=== Second run (complete artifact: zero new training) ===")
+    again = execute_spec(spec, store=store)
+    assert again.computed_points == 0
+    print(again.format_summary())
 
-    # ------------------------------------------------- float32 inference
-    # The dtype policy makes reduced-precision inference a one-liner; the
-    # compressed network loses no measurable accuracy at single precision.
-    # (Parameters are stored at the policy active when they are set, so the
-    # state_dict round-trip casts the trained weights to float32.)
-    inputs, targets = test.arrays()
-    with dtype.dtype_scope("float32"):
-        result.final_network.load_state_dict(result.final_network.state_dict())
-        predictions = result.final_network.predict_classes(inputs)
-    accuracy32 = float((predictions == targets).mean())
-    print(f"\nfloat32 inference accuracy: {accuracy32:.2%}")
+    # A wider grid reuses the three stored points and only trains the new
+    # one.  (The distinct name keeps `store.find("quickstart-sweep")`
+    # unambiguous; artifacts are addressed by content fingerprint either way.)
+    wider = spec.with_updates(grid=(0.02, 0.1, 0.3, 0.5), name="quickstart-sweep-wide")
+    print("\n=== Wider grid (3 points reused, 1 trained) ===")
+    print(execute_spec(wider, store=store).format_summary())
 
-    # --------------------------------------------------- parallel sweeps
-    # The paper's Figure 6-8 sweeps retrain one point per hyper-parameter
-    # value.  A SweepEngine fans the points over worker processes — results
-    # are bit-identical to a serial run — and evaluates all finished point
-    # networks in one batched pass.
-    print("\n=== Parallel ε sweep (2 worker processes) ===")
-    from repro.experiments import (
-        SweepEngine,
-        mlp_workload,
-        sweep_group_deletion,
-        sweep_rank_clipping,
+    # ------------------------------------- 4. reload the artifact from disk
+    print("\n=== Reloaded from the stored artifact ===")
+    artifact = store.find(spec.fingerprint())
+    result = result_from_payload(spec, artifact["result"])
+    print(result.format_table())
+
+    # ----------------------------------------------------- registry presets
+    # Paper deliverables are registered by name; overrides apply per call.
+    # Engine fields route automatically: workers=2 fans sweep points over
+    # processes, mode="lockstep" trains all λ-points as one stacked program —
+    # both bit-identical to the serial path.
+    print("\n=== Registry preset: table1 on the tiny MLP workload ===")
+    table1 = REGISTRY.get("table1", workload="mlp", scale="tiny")
+    print(execute_spec(table1, store=store).result.format_table())
+
+    print("\n=== Registry preset: λ-deletion sweep in lockstep mode ===")
+    figure8 = REGISTRY.get(
+        "figure8", workload="mlp", scale="tiny", grid=(0.01, 0.03, 0.08), mode="lockstep"
     )
+    print(execute_spec(figure8, store=store).result.format_table())
 
-    engine = SweepEngine(workers=2)  # workers=1 falls back to serial execution
-    sweep = sweep_rank_clipping(mlp_workload("tiny"), [0.02, 0.1, 0.3], engine=engine)
-    print(sweep.format_table())
+    print("\nStored runs:")
+    for row in store.list_runs():
+        print(f"  {row['fingerprint']}  {row['name']:<18} {row['kind']:<8} complete={row['complete']}")
 
-    # ---------------------------------------------------- lockstep λ sweep
-    # The λ group-deletion sweep trains K identically-shaped networks; on a
-    # 1-core box the fastest policy is to train them in lockstep as one
-    # stacked program rather than fanning processes.  Results are
-    # bit-identical to the per-point path.
-    print("\n=== Lockstep λ sweep (stacked multi-network training) ===")
-    lockstep = sweep_group_deletion(
-        mlp_workload("tiny"),
-        [0.01, 0.03, 0.08],
-        include_small_matrices=True,
-        engine=SweepEngine(mode="lockstep"),
+    print(
+        "\nDone.  Try the CLI next:\n"
+        f"  python -m repro list --store {store.root}\n"
+        f"  python -m repro show quickstart-sweep --store {store.root}\n"
+        "  python -m repro run table1 --scale tiny --workers 1"
     )
-    print(lockstep.format_table())
-
-    print("\nDone. Explore examples/lenet_mnist_scissor.py for the paper's LeNet workload.")
 
 
 if __name__ == "__main__":

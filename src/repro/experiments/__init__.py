@@ -1,4 +1,21 @@
-"""Experiment harnesses that regenerate every table and figure of the paper."""
+"""Experiment harnesses that regenerate every table and figure of the paper.
+
+The declarative API is the primary entry point: build (or look up) an
+:class:`ExperimentSpec`, execute it with :func:`execute_spec` against a
+:class:`RunStore`, and every paper artifact runs through one engine-backed,
+resumable path::
+
+    from repro.experiments import REGISTRY, RunStore, execute_spec
+
+    spec = REGISTRY.get("table1", workload="mlp", scale="tiny")
+    run = execute_spec(spec, store=RunStore("runs"))
+    print(run.result.format_table())
+
+The same workflow is available from the shell as ``python -m repro``
+(``run`` / ``list`` / ``show`` / ``compare`` / ``bench``).  The imperative
+entry points (``run_table1``, ``sweep_rank_clipping``, …) remain as
+deprecation shims over the declarative core.
+"""
 
 from repro.experiments.figures import (
     Figure3Series,
@@ -18,7 +35,20 @@ from repro.experiments.headline import (
     paper_headline_numbers,
     routing_area_percent_from_wires,
 )
-from repro.experiments.presets import PAPER, SMALL, TINY, ExperimentScale, get_scale
+from repro.experiments.plan import (
+    BaselineResult,
+    ExperimentContext,
+    ExperimentPlan,
+    ExperimentRun,
+    PlanPoint,
+    build_plan,
+    execute_spec,
+    render_result,
+    result_from_payload,
+    result_to_payload,
+)
+from repro.experiments.presets import PAPER, SMALL, TINY, ExperimentScale, get_scale, scale_names
+from repro.experiments.registry import REGISTRY, ExperimentRegistry
 from repro.experiments.runner import (
     StrengthPointOutcome,
     StrengthPointTask,
@@ -27,6 +57,20 @@ from repro.experiments.runner import (
     TolerancePointTask,
     run_strength_point,
     run_tolerance_point,
+)
+from repro.experiments.spec import (
+    KINDS,
+    METHODS,
+    ExperimentSpec,
+    baseline_fingerprint,
+    point_fingerprint,
+    spec_for_workload,
+)
+from repro.experiments.store import (
+    RunStore,
+    compare_artifacts,
+    default_store_root,
+    render_artifact,
 )
 from repro.experiments.sweeps import (
     StrengthPoint,
@@ -45,21 +89,49 @@ from repro.experiments.workloads import (
     get_workload,
     lenet_workload,
     mlp_workload,
+    workload_names,
 )
 
 __all__ = [
+    # Declarative experiment API
+    "ExperimentSpec",
+    "KINDS",
+    "METHODS",
+    "spec_for_workload",
+    "point_fingerprint",
+    "baseline_fingerprint",
+    "ExperimentRegistry",
+    "REGISTRY",
+    "ExperimentPlan",
+    "PlanPoint",
+    "build_plan",
+    "ExperimentContext",
+    "ExperimentRun",
+    "execute_spec",
+    "BaselineResult",
+    "render_result",
+    "result_to_payload",
+    "result_from_payload",
+    "RunStore",
+    "default_store_root",
+    "compare_artifacts",
+    "render_artifact",
+    # Scales and workloads
     "ExperimentScale",
     "TINY",
     "SMALL",
     "PAPER",
     "get_scale",
+    "scale_names",
     "Workload",
     "lenet_workload",
     "convnet_workload",
     "mlp_workload",
     "get_workload",
+    "workload_names",
     "TrainingSetup",
     "train_baseline",
+    # Engine
     "SweepEngine",
     "TolerancePointTask",
     "TolerancePointOutcome",
@@ -67,6 +139,7 @@ __all__ = [
     "StrengthPointOutcome",
     "run_tolerance_point",
     "run_strength_point",
+    # Result views and legacy entry points
     "Table1Result",
     "Table1Row",
     "run_table1",

@@ -1,0 +1,291 @@
+"""``python -m repro`` — the declarative experiment command line.
+
+Subcommands::
+
+    python -m repro run table1 --scale tiny --workers 1   # run a preset
+    python -m repro run my_spec.json --store runs         # run a spec file
+    python -m repro list                                  # presets + stored runs
+    python -m repro show table1                           # render one artifact
+    python -m repro compare <fp-a> <fp-b>                 # diff two artifacts
+    python -m repro bench --suite kernels                 # benchmark suites
+
+Runs persist to a :class:`~repro.experiments.store.RunStore`
+(``--store DIR``, default ``$REPRO_RUN_STORE`` or ``runs/``) and resume by
+default: re-running a spec whose artifact is complete performs zero new
+training, and overlapping sweep grids reuse each other's points.  ``--fresh``
+forces recomputation.
+
+The ``bench`` subcommand delegates to ``benchmarks/run_benchmarks.py`` so the
+suite names here, in CI, and in the benchmark runner come from the single
+``SUITES`` registry defined there.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.exceptions import ReproError
+from repro.experiments.plan import execute_spec, render_result
+from repro.experiments.presets import scale_names
+from repro.experiments.registry import REGISTRY
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.store import (
+    RunStore,
+    compare_artifacts,
+    default_store_root,
+    render_artifact,
+)
+from repro.experiments.workloads import workload_names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run, inspect and compare Group Scissor paper experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run a registered experiment preset or a spec JSON file"
+    )
+    run.add_argument(
+        "experiment",
+        help="preset name (see `list`) or path to an ExperimentSpec JSON file",
+    )
+    run.add_argument("--workload", choices=workload_names(), help="workload override")
+    run.add_argument("--scale", choices=scale_names(), help="scale preset override")
+    run.add_argument(
+        "--grid", type=float, nargs="+", metavar="VALUE", help="sweep grid override"
+    )
+    run.add_argument("--tolerance", type=float, help="clipping tolerance ε override")
+    run.add_argument("--strength", type=float, help="group-Lasso λ override")
+    run.add_argument(
+        "--method",
+        choices=("rank_clipping", "group_deletion"),
+        help="sweep method override (kind='sweep' only)",
+    )
+    run.add_argument(
+        "--lowrank-method",
+        dest="lowrank_method",
+        choices=("pca", "svd"),
+        help="low-rank backend override",
+    )
+    run.add_argument(
+        "--include-small-matrices",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="also delete matrices that fit a single crossbar",
+    )
+    run.add_argument("--seed", type=int, help="seed override")
+    run.add_argument("--workers", type=int, help="engine worker processes")
+    run.add_argument(
+        "--engine-mode",
+        dest="mode",
+        choices=("points", "lockstep"),
+        help="engine execution mode",
+    )
+    run.add_argument(
+        "--per-point-seed",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="derive an independent data stream per sweep point",
+    )
+    run.add_argument(
+        "--store", type=Path, default=None, help="run store directory (default: runs/)"
+    )
+    run.add_argument(
+        "--no-store", action="store_true", help="do not persist an artifact"
+    )
+    run.add_argument(
+        "--fresh",
+        action="store_true",
+        help="recompute everything (ignore stored artifacts and points)",
+    )
+    run.add_argument("--json", action="store_true", help="emit the result as JSON")
+    run.add_argument(
+        "--quiet", action="store_true", help="suppress the result table rendering"
+    )
+
+    lst = sub.add_parser("list", help="list registered presets and stored runs")
+    lst.add_argument("--store", type=Path, default=None)
+
+    show = sub.add_parser("show", help="render one stored run artifact")
+    show.add_argument("key", help="spec fingerprint, fingerprint prefix, or run name")
+    show.add_argument("--store", type=Path, default=None)
+    show.add_argument("--json", action="store_true", help="emit the raw artifact JSON")
+
+    compare = sub.add_parser("compare", help="compare two stored run artifacts")
+    compare.add_argument("first", help="fingerprint / prefix / name of the first run")
+    compare.add_argument("second", help="fingerprint / prefix / name of the second run")
+    compare.add_argument("--store", type=Path, default=None)
+
+    bench = sub.add_parser(
+        "bench", help="run benchmark suites (delegates to benchmarks/run_benchmarks.py)"
+    )
+    bench.add_argument("--suite", default="all", help="suite name or 'all'")
+    bench.add_argument("--check", action="store_true", help="fail on regressions")
+    bench.add_argument("--list", action="store_true", help="list suite names and exit")
+    return parser
+
+
+def _store_for(args) -> RunStore:
+    return RunStore(args.store if args.store is not None else default_store_root())
+
+
+def _resolve_spec(args) -> ExperimentSpec:
+    name = args.experiment
+    if name in REGISTRY:
+        spec = REGISTRY.get(name)
+    else:
+        path = Path(name)
+        if path.exists() and path.suffix == ".json":
+            spec = ExperimentSpec.from_dict(json.loads(path.read_text()))
+        else:
+            raise ReproError(
+                f"unknown experiment {name!r}: not a registered preset "
+                f"{list(REGISTRY.names())} and not a spec JSON file"
+            )
+    overrides = {
+        "workload": args.workload,
+        "scale": args.scale,
+        "grid": tuple(args.grid) if args.grid else None,
+        "tolerance": args.tolerance,
+        "strength": args.strength,
+        "method": args.method,
+        "lowrank_method": args.lowrank_method,
+        "include_small_matrices": args.include_small_matrices,
+        "seed": args.seed,
+        "workers": args.workers,
+        "mode": args.mode,
+        "per_point_seed": args.per_point_seed,
+    }
+    overrides = {key: value for key, value in overrides.items() if value is not None}
+    return spec.with_updates(**overrides) if overrides else spec
+
+
+def _cmd_run(args) -> int:
+    spec = _resolve_spec(args)
+    store = None if args.no_store else _store_for(args)
+    run = execute_spec(spec, store=store, resume=not args.fresh)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "fingerprint": run.fingerprint,
+                    "spec": spec.to_dict(),
+                    "computed_points": run.computed_points,
+                    "reused_points": run.reused_points,
+                    "duration_s": run.duration_s,
+                    "artifact": str(run.artifact_path) if run.artifact_path else None,
+                    "result": run.payload,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(run.format_summary())
+    if not args.quiet:
+        print()
+        print(render_result(run.result))
+    return 0
+
+
+def _cmd_list(args) -> int:
+    print("registered experiments:")
+    width = max(len(name) for name in REGISTRY.names())
+    for name, spec, description in REGISTRY.items():
+        grid = f" grid={list(spec.grid)}" if spec.grid else ""
+        print(
+            f"  {name:<{width}}  kind={spec.kind:<8} workload={spec.workload:<8} "
+            f"scale={spec.scale}{grid}"
+        )
+        if description:
+            print(f"  {'':<{width}}  {description}")
+    store_root = args.store if args.store is not None else default_store_root()
+    if not Path(store_root).exists():
+        print(f"\nrun store {store_root}: (empty)")
+        return 0
+    rows = RunStore(store_root).list_runs()
+    print(f"\nrun store {store_root}: {len(rows)} artifact(s)")
+    for row in rows:
+        status = "complete" if row["complete"] else "partial"
+        print(
+            f"  {row['fingerprint']}  {row['name']:<10} {row['kind']:<8} "
+            f"{row['workload']:<8} {row['scale']:<6} {row['points']:>3} point(s)  "
+            f"{status}  {row['updated']}"
+        )
+    return 0
+
+
+def _cmd_show(args) -> int:
+    artifact = _store_for(args).find(args.key)
+    if args.json:
+        print(json.dumps(artifact, indent=2, sort_keys=True))
+    else:
+        print(render_artifact(artifact))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    store = _store_for(args)
+    print(compare_artifacts(store.find(args.first), store.find(args.second)))
+    return 0
+
+
+def _load_benchmark_runner():
+    """Import ``benchmarks/run_benchmarks.py`` from the repository checkout."""
+    script = Path(__file__).resolve().parents[3] / "benchmarks" / "run_benchmarks.py"
+    if not script.exists():
+        raise ReproError(
+            "benchmark suites are only available from a repository checkout "
+            f"(missing {script})"
+        )
+    module_spec = importlib.util.spec_from_file_location("repro_run_benchmarks", script)
+    module = importlib.util.module_from_spec(module_spec)
+    # Register before exec: dataclasses resolves annotations via sys.modules.
+    sys.modules[module_spec.name] = module
+    module_spec.loader.exec_module(module)
+    return module
+
+
+def _cmd_bench(args) -> int:
+    runner = _load_benchmark_runner()
+    argv: List[str] = []
+    if args.list:
+        argv.append("--list")
+    else:
+        argv.extend(["--suite", args.suite])
+        if args.check:
+            argv.append("--check")
+    return runner.main(argv)
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "list": _cmd_list,
+    "show": _cmd_show,
+    "compare": _cmd_compare,
+    "bench": _cmd_bench,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

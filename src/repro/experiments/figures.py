@@ -1,4 +1,4 @@
-"""Figure harnesses: the time-series and sparsity-map figures.
+"""Figure result views (3, 5 and 9) and the legacy figure entry points.
 
 * Figure 3 — rank ratio of each clipped layer and accuracy versus training
   iteration during rank clipping (LeNet).
@@ -7,24 +7,27 @@
 * Figure 9 — structurally-sparse weight matrices after deletion (per-crossbar
   block sparsity), rendered as arrays and an ASCII sketch.
 
-The harnesses return plain data-series objects so benchmark scripts can print
-the same rows/series the paper plots; no plotting dependency is required.
+The trace-producing runs live in the declarative core
+(:mod:`repro.experiments.plan`, ``kind="figure3"`` / ``kind="figure5"``); this
+module keeps the plain data-series objects — with their text renderings and
+JSON payload round-trips, so stored artifacts rebuild the same series — plus
+:func:`run_figure3` / :func:`run_figure5` as deprecation shims.
+:func:`sparsity_maps` (Figure 9) is a pure post-processing function over a
+deleted network and stays imperative.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.config import GroupDeletionConfig, RankClippingConfig
-from repro.core.conversion import convert_to_lowrank
 from repro.core.group_deletion import GroupDeletionResult, matrix_values
 from repro.core.groups import derive_network_groups
-from repro.core.rank_clipping import RankClipper, RankClippingResult
+from repro.core.rank_clipping import RankClippingResult
 from repro.experiments.runner import SweepEngine
-from repro.experiments.training import TrainingSetup, train_baseline
+from repro.experiments.training import TrainingSetup
 from repro.experiments.workloads import Workload
 
 
@@ -42,6 +45,28 @@ class Figure3Series:
     def final_rank_ratios(self) -> Dict[str, float]:
         """Rank ratio of every layer at the end of clipping."""
         return {name: series[-1] for name, series in self.rank_ratio.items() if series}
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON view stored in run artifacts (drops the training trace)."""
+        return {
+            "workload_name": self.workload_name,
+            "iterations": list(self.iterations),
+            "rank_ratio": {name: list(series) for name, series in self.rank_ratio.items()},
+            "accuracy": list(self.accuracy),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "Figure3Series":
+        """Rebuild from :meth:`to_payload` output (``clipping_result`` is lost)."""
+        return cls(
+            workload_name=payload["workload_name"],
+            iterations=[int(i) for i in payload["iterations"]],
+            rank_ratio={
+                name: [float(v) for v in series]
+                for name, series in payload["rank_ratio"].items()
+            },
+            accuracy=[None if v is None else float(v) for v in payload["accuracy"]],
+        )
 
     def format_series(self) -> str:
         """Text rendering of the traces (one line per recorded iteration)."""
@@ -64,31 +89,33 @@ def run_figure3(
     baseline_network=None,
     baseline_accuracy: Optional[float] = None,
 ) -> Figure3Series:
-    """Regenerate the Figure 3 traces for one workload."""
-    scale = workload.scale
-    if baseline_network is None or setup is None:
-        baseline_network, baseline_accuracy, setup = train_baseline(workload)
+    """Regenerate the Figure 3 traces (deprecated imperative entry point).
 
-    layer_order = list(workload.clippable_layers)
-    lowrank_network = convert_to_lowrank(baseline_network, layers=layer_order)
-    config = RankClippingConfig(
-        tolerance=tolerance,
-        clip_interval=scale.clip_interval,
-        max_iterations=scale.clip_iterations,
-        layers=tuple(layer_order),
+    .. deprecated::
+        Build an :class:`~repro.experiments.spec.ExperimentSpec` with
+        ``kind="figure3"`` (or resolve the ``figure3`` registry preset) and
+        call :func:`~repro.experiments.plan.execute_spec`.  This shim lifts
+        its arguments into the same spec and returns the identical result.
+    """
+    from repro.experiments.plan import (
+        ExperimentContext,
+        execute_spec,
+        warn_deprecated_entry_point,
     )
-    clipping = RankClipper(config).run(
-        lowrank_network, setup.trainer_factory, baseline_accuracy=baseline_accuracy
+    from repro.experiments.spec import spec_for_workload
+
+    warn_deprecated_entry_point("run_figure3", 'ExperimentSpec(kind="figure3")')
+    spec = spec_for_workload("figure3", workload, tolerance=tolerance)
+    run = execute_spec(
+        spec,
+        context=ExperimentContext(
+            workload=workload,
+            setup=setup,
+            baseline_network=baseline_network,
+            baseline_accuracy=baseline_accuracy,
+        ),
     )
-    trace = clipping.trace
-    rank_ratio = {name: trace.rank_ratio(name) for name in trace.ranks}
-    return Figure3Series(
-        workload_name=workload.name,
-        iterations=list(trace.iterations),
-        rank_ratio=rank_ratio,
-        accuracy=list(trace.accuracy),
-        clipping_result=clipping,
-    )
+    return run.result
 
 
 # --------------------------------------------------------------------------- Figure 5
@@ -113,6 +140,42 @@ class Figure5Series:
     def final_deleted_fractions(self) -> Dict[str, float]:
         """Deleted-wire fraction of every matrix at the last record."""
         return {k: v[-1] for k, v in self.deleted_wire_fraction.items() if v}
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON view stored in run artifacts (drops the training trace)."""
+        return {
+            "workload_name": self.workload_name,
+            "iterations": list(self.iterations),
+            "deleted_wire_fraction": {
+                name: list(series) for name, series in self.deleted_wire_fraction.items()
+            },
+            "accuracy": list(self.accuracy),
+            "remaining_wire_fraction": None
+            if self.remaining_wire_fraction is None
+            else {
+                name: list(series)
+                for name, series in self.remaining_wire_fraction.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "Figure5Series":
+        """Rebuild from :meth:`to_payload` output (``deletion_result`` is lost)."""
+        remaining = payload.get("remaining_wire_fraction")
+        return cls(
+            workload_name=payload["workload_name"],
+            iterations=[int(i) for i in payload["iterations"]],
+            deleted_wire_fraction={
+                name: [float(v) for v in series]
+                for name, series in payload["deleted_wire_fraction"].items()
+            },
+            accuracy=[None if v is None else float(v) for v in payload["accuracy"]],
+            remaining_wire_fraction=None
+            if remaining is None
+            else {
+                name: [float(v) for v in series] for name, series in remaining.items()
+            },
+        )
 
     def format_series(self) -> str:
         """Text rendering of the traces."""
@@ -139,45 +202,37 @@ def run_figure5(
     baseline_network=None,
     engine: Optional[SweepEngine] = None,
 ) -> Figure5Series:
-    """Regenerate the Figure 5 traces: deletion starting from a clipped network.
+    """Regenerate the Figure 5 traces (deprecated imperative entry point).
 
-    ``engine`` selects the deletion-phase execution policy; the figure's
-    accuracy trace is always evaluated inline.
+    .. deprecated::
+        Build an :class:`~repro.experiments.spec.ExperimentSpec` with
+        ``kind="figure5"`` (or resolve the ``figure5`` registry preset) and
+        call :func:`~repro.experiments.plan.execute_spec`.  This shim lifts
+        its arguments into the same spec and returns the identical result.
     """
-    engine = engine or SweepEngine()
-    scale = workload.scale
-    if baseline_network is None or setup is None:
-        baseline_network, _, setup = train_baseline(workload)
+    from repro.experiments.plan import (
+        ExperimentContext,
+        execute_spec,
+        warn_deprecated_entry_point,
+    )
+    from repro.experiments.spec import spec_for_workload
 
-    layer_order = list(workload.clippable_layers)
-    lowrank_network = convert_to_lowrank(baseline_network, layers=layer_order)
-    clip_config = RankClippingConfig(
+    warn_deprecated_entry_point("run_figure5", 'ExperimentSpec(kind="figure5")')
+    spec = spec_for_workload(
+        "figure5",
+        workload,
         tolerance=tolerance,
-        clip_interval=scale.clip_interval,
-        max_iterations=scale.clip_iterations,
-        layers=tuple(layer_order),
-    )
-    RankClipper(clip_config).run(lowrank_network, setup.trainer_factory)
-
-    deletion_config = GroupDeletionConfig(
         strength=strength,
-        iterations=scale.deletion_iterations,
-        finetune_iterations=scale.finetune_iterations,
         include_small_matrices=include_small_matrices,
+        engine=engine,
     )
-    deleter = engine.make_deleter(deletion_config, record_interval=scale.record_interval)
-    deletion = deleter.run(lowrank_network, setup.trainer_factory)
-    trace = deletion.trace
-    return Figure5Series(
-        workload_name=workload.name,
-        iterations=list(trace.iterations),
-        deleted_wire_fraction={k: list(v) for k, v in trace.deleted_wire_fraction.items()},
-        accuracy=list(trace.accuracy),
-        deletion_result=deletion,
-        remaining_wire_fraction={
-            k: list(v) for k, v in trace.remaining_wire_fraction.items()
-        },
+    run = execute_spec(
+        spec,
+        context=ExperimentContext(
+            workload=workload, setup=setup, baseline_network=baseline_network
+        ),
     )
+    return run.result
 
 
 # --------------------------------------------------------------------------- Figure 9

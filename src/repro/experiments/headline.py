@@ -100,6 +100,18 @@ class HeadlineNumbers:
             "convnet_mean_wire_percent": self.convnet_mean_wire_percent,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, float]) -> "HeadlineNumbers":
+        """Rebuild from :meth:`as_dict` output (stored run artifacts)."""
+        return cls(
+            lenet_crossbar_area_percent=float(payload["lenet_crossbar_area_percent"]),
+            convnet_crossbar_area_percent=float(payload["convnet_crossbar_area_percent"]),
+            lenet_routing_area_percent=float(payload["lenet_routing_area_percent"]),
+            convnet_routing_area_percent=float(payload["convnet_routing_area_percent"]),
+            lenet_mean_wire_percent=float(payload["lenet_mean_wire_percent"]),
+            convnet_mean_wire_percent=float(payload["convnet_mean_wire_percent"]),
+        )
+
     def format_table(self) -> str:
         """Side-by-side comparison against the paper's reported values."""
         rows = [

@@ -1,0 +1,903 @@
+"""Planner and executor for declarative experiment specs.
+
+:func:`build_plan` expands an :class:`~repro.experiments.spec.ExperimentSpec`
+into an :class:`ExperimentPlan` — one fingerprinted :class:`PlanPoint` per
+sweep value (or a single point for the one-shot kinds) plus the execution
+policy the engine will use (serial / parallel / lockstep, chosen per spec).
+:func:`execute_spec` runs a plan through the existing PR 2–3 machinery
+(:class:`~repro.experiments.runner.SweepEngine` point tasks, batched
+evaluation, lockstep stacked training — unchanged at the kernel level),
+skipping any point whose fingerprint already has a stored result when a
+:class:`~repro.experiments.store.RunStore` is supplied with ``resume=True``,
+and persists the outcome as a content-addressed JSON artifact.
+
+The imperative entry points (``run_table1``, ``sweep_rank_clipping``, …) are
+thin deprecation shims over this module: they lift their arguments into a
+spec, thread any pre-trained baseline through an :class:`ExperimentContext`,
+and return ``execute_spec(...).result``.
+"""
+
+from __future__ import annotations
+
+import copy
+import platform
+import time
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import GroupDeletionConfig, RankClippingConfig
+from repro.core.conversion import convert_to_lowrank, direct_lra
+from repro.core.rank_clipping import RankClipper
+from repro.exceptions import ExperimentError
+from repro.experiments.figures import Figure3Series, Figure5Series
+from repro.experiments.headline import HeadlineNumbers, paper_headline_numbers
+from repro.experiments.runner import (
+    StrengthPointTask,
+    TolerancePointTask,
+    run_tolerance_point,
+)
+from repro.experiments.spec import (
+    ExperimentSpec,
+    baseline_fingerprint,
+    point_fingerprint,
+)
+from repro.experiments.sweeps import (
+    StrengthPoint,
+    StrengthSweepResult,
+    TolerancePoint,
+    ToleranceSweepResult,
+)
+from repro.experiments.table1 import Table1Result, Table1Row
+from repro.experiments.table3 import Table3Result, Table3Row
+from repro.experiments.training import TrainingSetup, train_baseline
+from repro.experiments.workloads import Workload
+from repro.hardware.area import layer_area_fraction, network_area_fraction
+from repro.hardware.mapper import NetworkMapper
+from repro.utils.logging import get_logger
+
+logger = get_logger("experiments.plan")
+
+
+# ------------------------------------------------------------------------ plan
+@dataclass(frozen=True)
+class PlanPoint:
+    """One unit of resumable work: a sweep value or a one-shot deliverable."""
+
+    index: int
+    value: Optional[float]
+    fingerprint: str
+    label: str
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """A spec expanded into fingerprinted points plus an execution policy."""
+
+    spec: ExperimentSpec
+    fingerprint: str
+    points: Tuple[PlanPoint, ...]
+    execution: str
+    baseline_fingerprint: str
+
+    def describe(self) -> str:
+        """One-line summary for logs and the CLI."""
+        return (
+            f"{self.spec.name} [{self.fingerprint}]: {len(self.points)} point(s), "
+            f"{self.execution} execution"
+        )
+
+
+def build_plan(spec: ExperimentSpec) -> ExperimentPlan:
+    """Expand ``spec`` into fingerprinted plan points."""
+    if spec.kind == "sweep":
+        symbol = "eps" if spec.method == "rank_clipping" else "lambda"
+        points = tuple(
+            PlanPoint(
+                index=index,
+                value=value,
+                fingerprint=point_fingerprint(spec, index, value),
+                label=f"{symbol}={value:g}",
+            )
+            for index, value in enumerate(spec.grid)
+        )
+        if spec.engine.mode == "lockstep" and spec.method == "group_deletion":
+            execution = "lockstep"
+        elif spec.engine.workers > 1:
+            execution = "parallel"
+        else:
+            execution = "serial"
+    else:
+        points = (
+            PlanPoint(
+                index=0,
+                value=None,
+                fingerprint=point_fingerprint(spec, 0, None),
+                label=spec.kind,
+            ),
+        )
+        execution = "serial"
+    return ExperimentPlan(
+        spec=spec,
+        fingerprint=spec.fingerprint(),
+        points=points,
+        execution=execution,
+        baseline_fingerprint=baseline_fingerprint(spec),
+    )
+
+
+# --------------------------------------------------------------------- context
+@dataclass
+class ExperimentContext:
+    """Optional pre-trained material threaded into :func:`execute_spec`.
+
+    The deprecation shims and the benchmark harness reuse one trained
+    baseline across several experiments; passing it here skips the baseline
+    phase exactly as the old keyword arguments did.  ``workload`` overrides
+    the spec's registry lookup (required for workloads built with custom
+    constructor arguments).
+    """
+
+    workload: Optional[Workload] = None
+    setup: Optional[TrainingSetup] = None
+    baseline_network: Any = None
+    baseline_accuracy: Optional[float] = None
+
+
+@dataclass
+class ExperimentRun:
+    """What :func:`execute_spec` returns: the result plus run bookkeeping."""
+
+    spec: ExperimentSpec
+    fingerprint: str
+    result: Any
+    payload: Dict[str, Any]
+    computed_points: int
+    reused_points: int
+    duration_s: float
+    artifact_path: Optional[Path] = None
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def format_summary(self) -> str:
+        """One-paragraph run summary for the CLI."""
+        lines = [
+            f"{self.spec.name} (kind={self.spec.kind}, method={self.spec.method}, "
+            f"workload={self.spec.workload}, scale={self.spec.scale})",
+            f"fingerprint: {self.fingerprint}",
+            f"points: {self.computed_points} computed, {self.reused_points} reused "
+            f"| {self.duration_s:.2f}s",
+        ]
+        if self.artifact_path is not None:
+            lines.append(f"artifact: {self.artifact_path}")
+        return "\n".join(lines)
+
+
+# -------------------------------------------------------------------- baseline
+@dataclass(frozen=True)
+class BaselineResult:
+    """Result of a ``kind="baseline"`` spec: the dense network's accuracy."""
+
+    workload_name: str
+    scale: str
+    iterations: int
+    accuracy: Optional[float]
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON view stored in run artifacts."""
+        return {
+            "workload_name": self.workload_name,
+            "scale": self.scale,
+            "iterations": self.iterations,
+            "accuracy": self.accuracy,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "BaselineResult":
+        """Rebuild from :meth:`to_payload` output."""
+        return cls(
+            workload_name=payload["workload_name"],
+            scale=payload["scale"],
+            iterations=int(payload["iterations"]),
+            accuracy=payload["accuracy"],
+        )
+
+    def format_table(self) -> str:
+        """Text rendering."""
+        accuracy = "n/a" if self.accuracy is None else f"{self.accuracy:.2%}"
+        return (
+            f"Baseline ({self.workload_name} @ {self.scale})\n"
+            f"iterations: {self.iterations}\naccuracy:   {accuracy}"
+        )
+
+
+# ------------------------------------------------------------- result payloads
+def result_to_payload(spec: ExperimentSpec, result: Any) -> Dict[str, Any]:
+    """JSON-serializable view of a result object (artifact ``result`` field)."""
+    if spec.kind == "headline":
+        return result.as_dict()
+    return result.to_payload()
+
+
+def result_from_payload(spec: ExperimentSpec, payload: Dict[str, Any]) -> Any:
+    """Rebuild the rich result object a stored artifact describes.
+
+    Training-time extras that do not serialize (``clipping_result``,
+    ``deletion_result``) come back as ``None`` — artifacts persist the
+    reported numbers, not the in-memory training traces.
+    """
+    if spec.kind == "table1":
+        return Table1Result.from_payload(payload)
+    if spec.kind == "table3":
+        return Table3Result.from_payload(payload)
+    if spec.kind == "figure3":
+        return Figure3Series.from_payload(payload)
+    if spec.kind == "figure5":
+        return Figure5Series.from_payload(payload)
+    if spec.kind == "headline":
+        return HeadlineNumbers.from_dict(payload)
+    if spec.kind == "baseline":
+        return BaselineResult.from_payload(payload)
+    if spec.kind == "sweep":
+        if spec.method == "rank_clipping":
+            return ToleranceSweepResult.from_payload(payload)
+        return StrengthSweepResult.from_payload(payload)
+    raise ExperimentError(f"cannot rebuild results for kind {spec.kind!r}")
+
+
+def render_result(result: Any) -> str:
+    """Best-effort text rendering of any experiment result object."""
+    for attr in ("format_table", "format_series", "format_summary"):
+        renderer = getattr(result, attr, None)
+        if callable(renderer):
+            return renderer()
+    return repr(result)
+
+
+def run_environment() -> Dict[str, str]:
+    """The environment block recorded in every artifact."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "platform": platform.platform(),
+    }
+
+
+def warn_deprecated_entry_point(old: str, new: str) -> None:
+    """Deprecation notice emitted by the legacy imperative entry points."""
+    warnings.warn(
+        f"{old}() is deprecated; use {new} with "
+        "repro.experiments.execute_spec (or `python -m repro run`) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+# ------------------------------------------------------------------- executor
+def execute_spec(
+    spec: ExperimentSpec,
+    *,
+    context: Optional[ExperimentContext] = None,
+    store=None,
+    resume: bool = True,
+) -> ExperimentRun:
+    """Run ``spec`` end to end, resuming from ``store`` where possible.
+
+    Parameters
+    ----------
+    spec:
+        The experiment to run.
+    context:
+        Optional pre-trained baseline material (shims, benchmark harness).
+    store:
+        A :class:`~repro.experiments.store.RunStore`.  When given, the run is
+        persisted as a content-addressed artifact; with ``resume=True`` any
+        point whose fingerprint already has a stored result (in *any*
+        artifact of the store) is reused instead of retrained, and a complete
+        artifact short-circuits the run entirely — zero new training.
+    resume:
+        Set ``False`` to recompute everything (the artifact is overwritten).
+    """
+    started = time.perf_counter()
+    plan = build_plan(spec)
+    context = context or ExperimentContext()
+    if store is not None and (
+        context.workload is not None or context.baseline_network is not None
+    ):
+        # Fingerprints hash only the spec; externally-supplied workloads or
+        # pre-trained baselines are invisible to them, so persisting (or
+        # resuming) such a run would poison the store with results the spec
+        # cannot reproduce.
+        raise ExperimentError(
+            "execute_spec cannot combine a store with a context-supplied "
+            "workload or baseline network: point fingerprints hash only the "
+            "spec. Run without a store, or register the workload and let the "
+            "spec resolve it."
+        )
+    artifact = store.load(plan.fingerprint) if store is not None else None
+
+    if (
+        resume
+        and artifact is not None
+        and artifact.get("complete")
+        and artifact.get("result") is not None
+    ):
+        result = result_from_payload(spec, artifact["result"])
+        logger.info("resumed complete artifact %s", plan.fingerprint)
+        return ExperimentRun(
+            spec=spec,
+            fingerprint=plan.fingerprint,
+            result=result,
+            payload=artifact["result"],
+            computed_points=0,
+            reused_points=len(plan.points),
+            duration_s=time.perf_counter() - started,
+            artifact_path=store.path(plan.fingerprint),
+            timings=dict(artifact.get("timings", {})),
+        )
+
+    stored_points: Dict[str, Dict[str, Any]] = {}
+    if store is not None and resume:
+        stored_points = store.lookup_points(point.fingerprint for point in plan.points)
+
+    timings: Dict[str, float] = {}
+    baseline_info: Optional[Dict[str, Any]] = None
+
+    if spec.kind == "headline":
+        result = paper_headline_numbers()
+        payload = result_to_payload(spec, result)
+        new_points = {plan.points[0].fingerprint: payload}
+    elif spec.kind == "sweep":
+        result, new_points, baseline_info = _execute_sweep(
+            spec, plan, context, stored_points, store if resume else None, timings
+        )
+        payload = result_to_payload(spec, result)
+    else:
+        point = plan.points[0]
+        if point.fingerprint in stored_points:
+            payload = stored_points[point.fingerprint]
+            result = result_from_payload(spec, payload)
+            new_points = {}
+        else:
+            result, baseline_info = _execute_single(spec, context, timings)
+            payload = result_to_payload(spec, result)
+            new_points = {point.fingerprint: payload}
+
+    duration = time.perf_counter() - started
+    timings["total_s"] = round(duration, 6)
+    artifact_path = None
+    if store is not None:
+        artifact = _merge_artifact(
+            artifact, spec, plan, stored_points, new_points, payload, baseline_info, timings
+        )
+        artifact_path = store.save(artifact)
+    return ExperimentRun(
+        spec=spec,
+        fingerprint=plan.fingerprint,
+        result=result,
+        payload=payload,
+        computed_points=len(new_points),
+        reused_points=len(plan.points) - len(new_points),
+        duration_s=duration,
+        artifact_path=artifact_path,
+        timings=timings,
+    )
+
+
+def _merge_artifact(
+    existing: Optional[Dict[str, Any]],
+    spec: ExperimentSpec,
+    plan: ExperimentPlan,
+    stored_points: Dict[str, Dict[str, Any]],
+    new_points: Dict[str, Dict[str, Any]],
+    result_payload: Optional[Dict[str, Any]],
+    baseline_info: Optional[Dict[str, Any]],
+    timings: Dict[str, float],
+) -> Dict[str, Any]:
+    """Fold this run into the spec's (possibly pre-existing) artifact."""
+    now = time.strftime("%Y-%m-%dT%H:%M:%S")
+    artifact = existing or {
+        "version": 1,
+        "fingerprint": plan.fingerprint,
+        "created": now,
+        "spec": spec.to_dict(),
+    }
+    artifact.update(
+        {
+            "name": spec.name,
+            "kind": spec.kind,
+            "method": spec.method,
+            "workload": spec.workload,
+            "scale": spec.scale,
+            "execution": plan.execution,
+            "updated": now,
+            "environment": run_environment(),
+        }
+    )
+    points = artifact.setdefault("points", {})
+    for point in plan.points:
+        if point.fingerprint in new_points:
+            points[point.fingerprint] = {
+                "index": point.index,
+                "value": point.value,
+                "label": point.label,
+                "reused": False,
+                "payload": new_points[point.fingerprint],
+            }
+        elif point.fingerprint in stored_points:
+            points[point.fingerprint] = {
+                "index": point.index,
+                "value": point.value,
+                "label": point.label,
+                "reused": True,
+                "payload": stored_points[point.fingerprint],
+            }
+    if baseline_info is not None:
+        artifact["baseline"] = baseline_info
+    artifact["timings"] = {**artifact.get("timings", {}), **timings}
+    artifact["result"] = result_payload
+    artifact["complete"] = result_payload is not None and all(
+        point.fingerprint in points for point in plan.points
+    )
+    return artifact
+
+
+# ----------------------------------------------------------- baseline plumbing
+def _resolve_workload(spec: ExperimentSpec, context: ExperimentContext) -> Workload:
+    if context.workload is not None:
+        return context.workload
+    return spec.resolved_workload()
+
+
+def _ensure_baseline(
+    spec: ExperimentSpec,
+    context: ExperimentContext,
+    timings: Dict[str, float],
+    *,
+    evaluate_missing_accuracy: bool = True,
+):
+    """The trained dense baseline (from the context, or trained now)."""
+    workload = _resolve_workload(spec, context)
+    setup = context.setup
+    network = context.baseline_network
+    accuracy = context.baseline_accuracy
+    if network is None or setup is None:
+        t0 = time.perf_counter()
+        network, accuracy, setup = train_baseline(workload)
+        timings["baseline_s"] = round(time.perf_counter() - t0, 6)
+    elif accuracy is None and evaluate_missing_accuracy:
+        accuracy = setup.evaluate(network)
+    info = {"fingerprint": baseline_fingerprint(spec), "accuracy": accuracy}
+    return workload, setup, network, accuracy, info
+
+
+# ------------------------------------------------------------ one-shot kinds
+def _execute_single(
+    spec: ExperimentSpec, context: ExperimentContext, timings: Dict[str, float]
+):
+    """Run the single-point kinds (table1/table3/figure3/figure5/baseline)."""
+    workload, setup, network, accuracy, info = _ensure_baseline(
+        spec, context, timings, evaluate_missing_accuracy=spec.kind != "figure5"
+    )
+    t0 = time.perf_counter()
+    if spec.kind == "baseline":
+        result = BaselineResult(
+            workload_name=workload.name,
+            scale=workload.scale.name,
+            iterations=workload.scale.baseline_iterations,
+            accuracy=accuracy,
+        )
+    elif spec.kind == "table1":
+        result = _run_table1(spec, workload, setup, network, accuracy)
+    elif spec.kind == "table3":
+        result = _run_table3(spec, workload, setup, network, accuracy)
+    elif spec.kind == "figure3":
+        result = _run_figure3(spec, workload, setup, network, accuracy)
+    elif spec.kind == "figure5":
+        result = _run_figure5(spec, workload, setup, network)
+    else:  # pragma: no cover - build_plan and KINDS keep this unreachable
+        raise ExperimentError(f"cannot execute kind {spec.kind!r}")
+    timings["points_s"] = round(time.perf_counter() - t0, 6)
+    return result, info
+
+
+def _run_table1(
+    spec: ExperimentSpec,
+    workload: Workload,
+    setup: TrainingSetup,
+    baseline_network,
+    baseline_accuracy: float,
+) -> Table1Result:
+    """Table 1: Original / Direct LRA / Rank clipping rows for one workload."""
+    engine = spec.engine
+    scale = workload.scale
+    layer_order = list(workload.clippable_layers)
+    full_ranks = {name: min(workload.layer_shapes[name]) for name in layer_order}
+
+    # Step 1: rank clipping on a full-rank factorized copy of the baseline.
+    lowrank_network = convert_to_lowrank(baseline_network, layers=layer_order)
+    config = RankClippingConfig(
+        tolerance=spec.tolerance,
+        clip_interval=scale.clip_interval,
+        max_iterations=scale.clip_iterations,
+        method=spec.lowrank_method,
+        layers=tuple(layer_order),
+    )
+    clipping = RankClipper(config).run(
+        lowrank_network, setup.trainer_factory, baseline_accuracy=baseline_accuracy
+    )
+
+    # Step 2: Direct LRA control — truncate the baseline at the clipped ranks
+    # without retraining.
+    direct_network = direct_lra(
+        baseline_network, clipping.final_ranks, method=spec.lowrank_method
+    )
+    direct_accuracy = engine.evaluate_networks([direct_network], setup)[0]
+
+    result = Table1Result(workload_name=workload.name, layer_order=layer_order)
+    result.rows.append(Table1Row("Original", baseline_accuracy, full_ranks))
+    result.rows.append(Table1Row("Direct LRA", direct_accuracy, dict(clipping.final_ranks)))
+    result.rows.append(
+        Table1Row("Rank clipping", clipping.final_accuracy, dict(clipping.final_ranks))
+    )
+    result.clipping_result = clipping
+    return result
+
+
+def _run_table3(
+    spec: ExperimentSpec,
+    workload: Workload,
+    setup: TrainingSetup,
+    baseline_network,
+    baseline_accuracy: float,
+) -> Table3Result:
+    """Table 3: full pipeline (clipping + deletion) and per-matrix reporting."""
+    engine = spec.engine
+    scale = workload.scale
+    layer_order = list(workload.clippable_layers)
+    lowrank_network = convert_to_lowrank(baseline_network, layers=layer_order)
+    clip_config = RankClippingConfig(
+        tolerance=spec.tolerance,
+        clip_interval=scale.clip_interval,
+        max_iterations=scale.clip_iterations,
+        method=spec.lowrank_method,
+        layers=tuple(layer_order),
+    )
+    clipping = RankClipper(clip_config).run(
+        lowrank_network, setup.trainer_factory, baseline_accuracy=baseline_accuracy
+    )
+
+    deletion_config = GroupDeletionConfig(
+        strength=spec.strength,
+        iterations=scale.deletion_iterations,
+        finetune_iterations=scale.finetune_iterations,
+        include_small_matrices=spec.include_small_matrices,
+    )
+    deleter = engine.make_deleter(deletion_config, record_interval=scale.record_interval)
+    deletion = deleter.run(lowrank_network, setup.trainer_factory)
+
+    mapper = NetworkMapper()
+    report = mapper.map_network(lowrank_network)
+    result = Table3Result(
+        workload_name=workload.name,
+        clipping_result=clipping,
+        deletion_result=deletion,
+        baseline_accuracy=baseline_accuracy,
+        final_accuracy=deletion.accuracy_after_finetune,
+    )
+    for name, routing in deletion.routing_reports.items():
+        matrix_report = report.matrix(name)
+        result.rows.append(
+            Table3Row(
+                matrix=name,
+                matrix_shape=matrix_report.matrix_shape,
+                tile_shape=matrix_report.tile_shape,
+                num_crossbars=matrix_report.num_crossbars,
+                wire_fraction=routing.wire_fraction,
+            )
+        )
+    return result
+
+
+def _run_figure3(
+    spec: ExperimentSpec,
+    workload: Workload,
+    setup: TrainingSetup,
+    baseline_network,
+    baseline_accuracy: Optional[float],
+) -> Figure3Series:
+    """Figure 3: rank-ratio and accuracy traces during rank clipping."""
+    scale = workload.scale
+    layer_order = list(workload.clippable_layers)
+    lowrank_network = convert_to_lowrank(baseline_network, layers=layer_order)
+    config = RankClippingConfig(
+        tolerance=spec.tolerance,
+        clip_interval=scale.clip_interval,
+        max_iterations=scale.clip_iterations,
+        method=spec.lowrank_method,
+        layers=tuple(layer_order),
+    )
+    clipping = RankClipper(config).run(
+        lowrank_network, setup.trainer_factory, baseline_accuracy=baseline_accuracy
+    )
+    trace = clipping.trace
+    rank_ratio = {name: trace.rank_ratio(name) for name in trace.ranks}
+    return Figure3Series(
+        workload_name=workload.name,
+        iterations=list(trace.iterations),
+        rank_ratio=rank_ratio,
+        accuracy=list(trace.accuracy),
+        clipping_result=clipping,
+    )
+
+
+def _run_figure5(
+    spec: ExperimentSpec,
+    workload: Workload,
+    setup: TrainingSetup,
+    baseline_network,
+) -> Figure5Series:
+    """Figure 5: deleted-wire and accuracy traces during group deletion."""
+    engine = spec.engine
+    scale = workload.scale
+    layer_order = list(workload.clippable_layers)
+    lowrank_network = convert_to_lowrank(baseline_network, layers=layer_order)
+    clip_config = RankClippingConfig(
+        tolerance=spec.tolerance,
+        clip_interval=scale.clip_interval,
+        max_iterations=scale.clip_iterations,
+        method=spec.lowrank_method,
+        layers=tuple(layer_order),
+    )
+    RankClipper(clip_config).run(lowrank_network, setup.trainer_factory)
+
+    deletion_config = GroupDeletionConfig(
+        strength=spec.strength,
+        iterations=scale.deletion_iterations,
+        finetune_iterations=scale.finetune_iterations,
+        include_small_matrices=spec.include_small_matrices,
+    )
+    deleter = engine.make_deleter(deletion_config, record_interval=scale.record_interval)
+    deletion = deleter.run(lowrank_network, setup.trainer_factory)
+    trace = deletion.trace
+    return Figure5Series(
+        workload_name=workload.name,
+        iterations=list(trace.iterations),
+        deleted_wire_fraction={k: list(v) for k, v in trace.deleted_wire_fraction.items()},
+        accuracy=list(trace.accuracy),
+        deletion_result=deletion,
+        remaining_wire_fraction={
+            k: list(v) for k, v in trace.remaining_wire_fraction.items()
+        },
+    )
+
+
+# ------------------------------------------------------------------ sweep kind
+def _execute_sweep(
+    spec: ExperimentSpec,
+    plan: ExperimentPlan,
+    context: ExperimentContext,
+    stored_points: Dict[str, Dict[str, Any]],
+    store,
+    timings: Dict[str, float],
+):
+    """Run the sweep points not yet stored and assemble the full result."""
+    pending = [point for point in plan.points if point.fingerprint not in stored_points]
+    workload = _resolve_workload(spec, context)
+    setup = context.setup
+    network = context.baseline_network
+    accuracy = context.baseline_accuracy
+    baseline_info: Optional[Dict[str, Any]] = None
+    cache_stats: Dict[str, int] = {}
+    computed: Dict[str, Any] = {}
+
+    if pending:
+        if network is None or setup is None:
+            t0 = time.perf_counter()
+            network, accuracy, setup = train_baseline(workload)
+            timings["baseline_s"] = round(time.perf_counter() - t0, 6)
+        elif accuracy is None:
+            accuracy = setup.evaluate(network)
+        baseline_info = {"fingerprint": plan.baseline_fingerprint, "accuracy": accuracy}
+        if stored_points:
+            logger.info(
+                "resuming sweep %s: %d/%d points stored",
+                plan.fingerprint,
+                len(stored_points),
+                len(plan.points),
+            )
+        t0 = time.perf_counter()
+        if spec.method == "rank_clipping":
+            computed = _run_tolerance_points(spec, workload, setup, network, pending)
+        else:
+            computed, cache_stats = _run_strength_points(
+                spec, workload, setup, network, pending
+            )
+        timings["points_s"] = round(time.perf_counter() - t0, 6)
+    else:
+        # Every point is stored: assemble without training.  The baseline
+        # accuracy the result quotes comes from the context, a stored
+        # baseline record, or (only if material is at hand) a pure
+        # re-evaluation.
+        if accuracy is None and store is not None:
+            accuracy = store.lookup_baseline(plan.baseline_fingerprint)
+        if accuracy is None and setup is not None and network is not None:
+            accuracy = setup.evaluate(network)
+        if accuracy is not None:
+            baseline_info = {
+                "fingerprint": plan.baseline_fingerprint,
+                "accuracy": accuracy,
+            }
+
+    if spec.method == "rank_clipping":
+        result = ToleranceSweepResult(
+            workload_name=workload.name, baseline_accuracy=accuracy
+        )
+        for point in plan.points:
+            if point.fingerprint in computed:
+                result.points.append(computed[point.fingerprint])
+            else:
+                result.points.append(
+                    TolerancePoint.from_payload(stored_points[point.fingerprint])
+                )
+    else:
+        result = StrengthSweepResult(
+            workload_name=workload.name,
+            baseline_accuracy=accuracy,
+            routing_cache_stats=cache_stats,
+        )
+        for point in plan.points:
+            if point.fingerprint in computed:
+                result.points.append(computed[point.fingerprint])
+            else:
+                result.points.append(
+                    StrengthPoint.from_payload(stored_points[point.fingerprint])
+                )
+
+    new_payloads = {
+        fingerprint: point.to_payload() for fingerprint, point in computed.items()
+    }
+    return result, new_payloads, baseline_info
+
+
+def _run_tolerance_points(
+    spec: ExperimentSpec,
+    workload: Workload,
+    setup: TrainingSetup,
+    baseline_network,
+    points: List[PlanPoint],
+) -> Dict[str, TolerancePoint]:
+    """Train the pending ε rank-clipping points through the engine."""
+    engine = spec.engine
+    scale = workload.scale
+    layer_order = list(workload.clippable_layers)
+
+    # Generator, not list: the serial engine then keeps only one point's
+    # network copy alive at a time (the parallel engine materializes them).
+    def tolerance_tasks() -> Iterable[TolerancePointTask]:
+        for point in points:
+            network = convert_to_lowrank(
+                copy.deepcopy(baseline_network), layers=layer_order
+            )
+            config = RankClippingConfig(
+                tolerance=point.value,
+                clip_interval=scale.clip_interval,
+                max_iterations=scale.clip_iterations,
+                layers=tuple(layer_order),
+                method=spec.lowrank_method,
+            )
+            yield TolerancePointTask(
+                index=point.index,
+                tolerance=point.value,
+                network=network,
+                setup=engine.point_setup(setup, point.index),
+                config=config,
+            )
+
+    outcomes = engine.map_points(run_tolerance_point, tolerance_tasks())
+    if engine.inline_training_eval:
+        accuracies = [
+            outcome.accuracy if outcome.accuracy is not None else 0.0
+            for outcome in outcomes
+        ]
+    else:
+        accuracies = engine.evaluate_networks(
+            [outcome.network for outcome in outcomes], setup
+        )
+
+    results: Dict[str, TolerancePoint] = {}
+    for point, outcome, accuracy in zip(points, outcomes, accuracies):
+        ranks = outcome.ranks
+        fractions = {
+            name: layer_area_fraction(*workload.layer_shapes[name], ranks.get(name))
+            for name in layer_order
+        }
+        total = network_area_fraction(
+            workload.layer_shapes,
+            {name: ranks.get(name) for name in workload.layer_shapes},
+        )
+        results[point.fingerprint] = TolerancePoint(
+            tolerance=outcome.tolerance,
+            accuracy=accuracy,
+            error=1.0 - accuracy,
+            ranks=dict(ranks),
+            layer_area_fractions=fractions,
+            total_area_fraction=total,
+        )
+    return results
+
+
+def _run_strength_points(
+    spec: ExperimentSpec,
+    workload: Workload,
+    setup: TrainingSetup,
+    baseline_network,
+    points: List[PlanPoint],
+):
+    """Clip once, then train the pending λ deletion points through the engine."""
+    engine = spec.engine
+    scale = workload.scale
+    layer_order = list(workload.clippable_layers)
+    # Defensive copy: the caller's baseline is typically shared across
+    # experiments and must stay bit-identical.
+    clipped = convert_to_lowrank(copy.deepcopy(baseline_network), layers=layer_order)
+    clip_config = RankClippingConfig(
+        tolerance=spec.tolerance,
+        clip_interval=scale.clip_interval,
+        max_iterations=scale.clip_iterations,
+        layers=tuple(layer_order),
+        method=spec.lowrank_method,
+    )
+    RankClipper(clip_config).run(clipped, engine.shared_setup(setup).trainer_factory)
+
+    # Generator, not list: the serial engine then keeps only one point's
+    # network copy alive at a time (the parallel engine materializes them).
+    def strength_tasks() -> Iterable[StrengthPointTask]:
+        for point in points:
+            config = GroupDeletionConfig(
+                strength=point.value,
+                iterations=scale.deletion_iterations,
+                finetune_iterations=scale.finetune_iterations,
+                include_small_matrices=spec.include_small_matrices,
+            )
+            yield StrengthPointTask(
+                index=point.index,
+                strength=point.value,
+                network=copy.deepcopy(clipped),
+                setup=engine.point_setup(setup, point.index),
+                config=config,
+                record_interval=scale.record_interval,
+                structured_lasso=engine.structured_lasso,
+                memoize_routing=engine.memoize_routing,
+            )
+
+    outcomes = engine.run_strength_points(strength_tasks())
+    if engine.inline_training_eval:
+        accuracies = [
+            outcome.accuracy if outcome.accuracy is not None else 0.0
+            for outcome in outcomes
+        ]
+    else:
+        accuracies = engine.evaluate_networks(
+            [outcome.network for outcome in outcomes], setup
+        )
+
+    cache_stats: Dict[str, int] = {}
+    for outcome in outcomes:
+        for key, value in (outcome.routing_cache_stats or {}).items():
+            if key != "size":
+                cache_stats[key] = cache_stats.get(key, 0) + value
+
+    results: Dict[str, StrengthPoint] = {}
+    for point, outcome, accuracy in zip(points, outcomes, accuracies):
+        results[point.fingerprint] = StrengthPoint(
+            strength=outcome.strength,
+            accuracy=accuracy,
+            error=1.0 - accuracy,
+            wire_fractions=outcome.wire_fractions,
+            routing_area_fractions=outcome.routing_area_fractions,
+        )
+    return results, cache_stats

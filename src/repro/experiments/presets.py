@@ -14,7 +14,8 @@ iteration counts.  Three presets are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
+from typing import Tuple
 
 from repro.exceptions import ConfigurationError
 
@@ -67,7 +68,20 @@ class ExperimentScale:
             raise ConfigurationError(f"momentum must be in [0, 1), got {self.momentum}")
 
     def with_overrides(self, **kwargs) -> "ExperimentScale":
-        """Return a copy with selected fields replaced."""
+        """Return a copy with selected fields replaced.
+
+        Unknown field names raise :class:`ValueError` listing the valid
+        fields (``dataclasses.replace`` would raise an opaque ``TypeError``
+        about ``__init__`` arguments instead, which reads like a library bug
+        rather than a caller typo).
+        """
+        valid = {f.name for f in fields(self)}
+        unknown = sorted(set(kwargs) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown ExperimentScale field(s) {unknown}; "
+                f"valid fields: {sorted(valid)}"
+            )
         return replace(self, **kwargs)
 
 
@@ -129,6 +143,11 @@ PAPER = ExperimentScale(
 )
 
 _PRESETS = {"tiny": TINY, "small": SMALL, "paper": PAPER}
+
+
+def scale_names() -> Tuple[str, ...]:
+    """Names of the registered scale presets (for CLIs and validation)."""
+    return tuple(sorted(_PRESETS))
 
 
 def get_scale(name_or_scale) -> ExperimentScale:

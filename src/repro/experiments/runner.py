@@ -41,8 +41,8 @@ from __future__ import annotations
 import multiprocessing as mp
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, replace
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
+from dataclasses import dataclass, fields, replace
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.config import GroupDeletionConfig, RankClippingConfig
 from repro.core.group_deletion import GroupConnectionDeleter, run_lockstep_deletion
@@ -125,6 +125,31 @@ class SweepEngine:
             raise ConfigurationError(
                 f"unknown mode {self.mode!r}; expected 'points' or 'lockstep'"
             )
+
+    # ------------------------------------------------------- serialization
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view of the execution policy (JSON-serializable).
+
+        This is the encoding the declarative experiment layer
+        (:mod:`repro.experiments.spec`) embeds in specs and run artifacts.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Optional[Mapping[str, object]]) -> "SweepEngine":
+        """Rebuild an engine from :meth:`as_dict` output.
+
+        Unknown keys raise :class:`ConfigurationError` so stale or typo'd
+        artifacts fail loudly instead of silently running a default policy.
+        """
+        payload = dict(payload or {})
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown SweepEngine field(s) {unknown}; valid fields: {sorted(known)}"
+            )
+        return cls(**payload)
 
     @classmethod
     def reference(cls) -> "SweepEngine":

@@ -1,0 +1,270 @@
+"""Content-addressed run store: persisted, resumable experiment artifacts.
+
+Every :func:`~repro.experiments.plan.execute_spec` run with a store attached
+writes one JSON artifact per spec fingerprint (``<root>/<fingerprint>.json``)
+holding the spec, the environment, coarse phase timings, every point result
+keyed by its point fingerprint, and the assembled result payload.  Because
+point fingerprints hash the *science* (workload, scale, method, swept value,
+seed policy) and not the execution policy, a point trained by any earlier
+run — serial, parallel or lockstep, same grid or an overlapping one — can be
+reused by any later run.
+
+:func:`compare_artifacts` and :func:`render_artifact` power the
+``python -m repro compare`` / ``show`` commands from stored artifacts alone:
+reloaded results rebuild their rich view objects (``format_table`` /
+``format_series``) without any retraining.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
+
+from repro.exceptions import ExperimentError
+from repro.utils.logging import get_logger
+from repro.utils.serialization import load_json, save_json
+
+logger = get_logger("experiments.store")
+
+PathLike = Union[str, Path]
+
+#: Environment variable overriding the default store location.
+DEFAULT_STORE_ENV = "REPRO_RUN_STORE"
+
+
+def default_store_root() -> Path:
+    """The store directory the CLI uses by default (``$REPRO_RUN_STORE`` or ``runs/``)."""
+    return Path(os.environ.get(DEFAULT_STORE_ENV, "runs"))
+
+
+class RunStore:
+    """A directory of content-addressed experiment artifacts."""
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def __repr__(self) -> str:
+        return f"RunStore({str(self.root)!r})"
+
+    # ------------------------------------------------------------------ paths
+    def path(self, fingerprint: str) -> Path:
+        """Artifact path for a spec fingerprint."""
+        return self.root / f"{fingerprint}.json"
+
+    def fingerprints(self) -> List[str]:
+        """All stored spec fingerprints (sorted)."""
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+    # -------------------------------------------------------------------- io
+    def save(self, artifact: Dict[str, Any]) -> Path:
+        """Persist an artifact (keyed by its ``fingerprint`` field).
+
+        The write is atomic (temp file + rename), so an interrupted run can
+        never leave a truncated artifact behind.
+        """
+        fingerprint = artifact.get("fingerprint")
+        if not fingerprint:
+            raise ExperimentError("artifact is missing its 'fingerprint' field")
+        path = self.path(fingerprint)
+        temp = path.with_name(f".{path.name}.tmp")
+        save_json(temp, artifact)
+        os.replace(temp, path)
+        return path
+
+    def load(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """Load one artifact, or ``None`` when nothing (valid) is stored.
+
+        A corrupt artifact (e.g. from a pre-atomic-write interruption or
+        manual editing) is treated as absent — the run recomputes and
+        overwrites it — rather than bricking every store operation.
+        """
+        path = self.path(fingerprint)
+        if not path.exists():
+            return None
+        try:
+            return load_json(path)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            logger.warning("ignoring corrupt artifact %s", path)
+            return None
+
+    def delete(self, fingerprint: str) -> bool:
+        """Remove one artifact; returns whether anything was deleted."""
+        path = self.path(fingerprint)
+        if not path.exists():
+            return False
+        path.unlink()
+        return True
+
+    def artifacts(self) -> Iterator[Dict[str, Any]]:
+        """Iterate over every stored artifact."""
+        for fingerprint in self.fingerprints():
+            artifact = self.load(fingerprint)
+            if artifact is not None:
+                yield artifact
+
+    # ---------------------------------------------------------------- queries
+    def list_runs(self) -> List[Dict[str, Any]]:
+        """Summary rows for every artifact, most recently updated first."""
+        rows = []
+        for artifact in self.artifacts():
+            rows.append(
+                {
+                    "fingerprint": artifact.get("fingerprint", ""),
+                    "name": artifact.get("name", ""),
+                    "kind": artifact.get("kind", ""),
+                    "method": artifact.get("method", ""),
+                    "workload": artifact.get("workload", ""),
+                    "scale": artifact.get("scale", ""),
+                    "points": len(artifact.get("points", {})),
+                    "complete": bool(artifact.get("complete")),
+                    "updated": artifact.get("updated", ""),
+                }
+            )
+        rows.sort(key=lambda row: (row["updated"], row["fingerprint"]), reverse=True)
+        return rows
+
+    def find(self, key: str) -> Dict[str, Any]:
+        """Resolve an artifact by fingerprint, fingerprint prefix, or spec name.
+
+        Name matches return the most recently updated artifact with that
+        name.  Ambiguous prefixes and unknown keys raise
+        :class:`~repro.exceptions.ExperimentError`.
+        """
+        exact = self.load(key)
+        if exact is not None:
+            return exact
+        matches = [fp for fp in self.fingerprints() if fp.startswith(key)]
+        if len(matches) == 1:
+            return self.load(matches[0])
+        if len(matches) > 1:
+            raise ExperimentError(
+                f"ambiguous fingerprint prefix {key!r}: matches {matches}"
+            )
+        named = [
+            artifact for artifact in self.artifacts() if artifact.get("name") == key
+        ]
+        if named:
+            named.sort(key=lambda artifact: artifact.get("updated", ""))
+            return named[-1]
+        raise ExperimentError(
+            f"no stored run matches {key!r}; stored fingerprints: {self.fingerprints()}"
+        )
+
+    def lookup_points(self, fingerprints: Iterable[str]) -> Dict[str, Dict[str, Any]]:
+        """Stored point payloads for the given point fingerprints.
+
+        Scans every artifact in the store, so points persisted by *other*
+        runs (different grid, different execution policy) resume too.
+        """
+        wanted = set(fingerprints)
+        found: Dict[str, Dict[str, Any]] = {}
+        if not wanted:
+            return found
+        for artifact in self.artifacts():
+            for fingerprint, entry in artifact.get("points", {}).items():
+                if fingerprint in wanted and fingerprint not in found:
+                    payload = entry.get("payload")
+                    if payload is not None:
+                        found[fingerprint] = payload
+            if len(found) == len(wanted):
+                break
+        return found
+
+    def lookup_baseline(self, fingerprint: str) -> Optional[float]:
+        """Stored dense-baseline accuracy for a baseline fingerprint, if any."""
+        for artifact in self.artifacts():
+            baseline = artifact.get("baseline")
+            if (
+                isinstance(baseline, dict)
+                and baseline.get("fingerprint") == fingerprint
+                and baseline.get("accuracy") is not None
+            ):
+                return float(baseline["accuracy"])
+        return None
+
+
+# ----------------------------------------------------------------- rendering
+def render_artifact(artifact: Dict[str, Any]) -> str:
+    """Human-readable view of one stored artifact (``python -m repro show``)."""
+    from repro.experiments.plan import render_result, result_from_payload
+    from repro.experiments.spec import ExperimentSpec
+
+    lines = [
+        f"run {artifact.get('name', '?')} [{artifact.get('fingerprint', '?')}]",
+        f"kind={artifact.get('kind')} method={artifact.get('method')} "
+        f"workload={artifact.get('workload')} scale={artifact.get('scale')} "
+        f"execution={artifact.get('execution')}",
+        f"created {artifact.get('created')} | updated {artifact.get('updated')} | "
+        f"complete={bool(artifact.get('complete'))}",
+    ]
+    timings = artifact.get("timings") or {}
+    if timings:
+        rendered = ", ".join(f"{key}={value:.2f}s" for key, value in sorted(timings.items()))
+        lines.append(f"timings: {rendered}")
+    points = artifact.get("points") or {}
+    if points:
+        reused = sum(1 for entry in points.values() if entry.get("reused"))
+        lines.append(f"points: {len(points)} stored ({reused} reused from earlier runs)")
+    baseline = artifact.get("baseline") or {}
+    if baseline.get("accuracy") is not None:
+        lines.append(f"baseline accuracy: {baseline['accuracy']:.4f}")
+    result_payload = artifact.get("result")
+    if result_payload is not None and artifact.get("spec"):
+        spec = ExperimentSpec.from_dict(artifact["spec"])
+        lines.append("")
+        lines.append(render_result(result_from_payload(spec, result_payload)))
+    return "\n".join(lines)
+
+
+def _flatten_numeric(value: Any, prefix: str, out: Dict[str, float]) -> None:
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        out[prefix] = float(value)
+    elif isinstance(value, dict):
+        for key in sorted(value):
+            _flatten_numeric(value[key], f"{prefix}.{key}" if prefix else str(key), out)
+    elif isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            _flatten_numeric(item, f"{prefix}[{index}]", out)
+
+
+def flatten_result(payload: Dict[str, Any]) -> Dict[str, float]:
+    """Dotted-path view of every numeric leaf in a result payload."""
+    out: Dict[str, float] = {}
+    _flatten_numeric(payload or {}, "", out)
+    return out
+
+
+def compare_artifacts(first: Dict[str, Any], second: Dict[str, Any]) -> str:
+    """Metric-by-metric comparison of two stored artifacts.
+
+    Numeric leaves of both result payloads are aligned by dotted path;
+    shared metrics render side by side with their delta, and metrics unique
+    to one run are summarized underneath.
+    """
+    label_a = f"{first.get('name', 'a')}[{str(first.get('fingerprint', ''))[:8]}]"
+    label_b = f"{second.get('name', 'b')}[{str(second.get('fingerprint', ''))[:8]}]"
+    flat_a = flatten_result(first.get("result") or {})
+    flat_b = flatten_result(second.get("result") or {})
+    shared = sorted(set(flat_a) & set(flat_b))
+    width = max([len("metric")] + [len(key) for key in shared])
+    header = f"{'metric':<{width}}  {label_a:>16}  {label_b:>16}  {'delta':>12}"
+    lines = [f"compare {label_a} vs {label_b}", header, "-" * len(header)]
+    for key in shared:
+        delta = flat_b[key] - flat_a[key]
+        lines.append(
+            f"{key:<{width}}  {flat_a[key]:>16.6g}  {flat_b[key]:>16.6g}  {delta:>+12.6g}"
+        )
+    only_a = sorted(set(flat_a) - set(flat_b))
+    only_b = sorted(set(flat_b) - set(flat_a))
+    if only_a:
+        lines.append(f"only in {label_a}: {len(only_a)} metric(s), e.g. {only_a[:3]}")
+    if only_b:
+        lines.append(f"only in {label_b}: {len(only_b)} metric(s), e.g. {only_b[:3]}")
+    if not shared:
+        lines.append("(no shared numeric metrics)")
+    return "\n".join(lines)

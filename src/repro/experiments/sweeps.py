@@ -1,4 +1,4 @@
-"""Parameter sweeps behind Figures 6, 7 and 8.
+"""Sweep result views (Figures 6, 7 and 8) and the legacy sweep entry points.
 
 * Figure 6 — remaining ranks of the convolutional layers versus the tolerable
   clipping error ``ε`` (with the achieved accuracy).
@@ -7,39 +7,24 @@
 * Figure 8 — remaining routing wires and routing area versus classification
   error, swept over the group-Lasso strength ``λ`` (ConvNet).
 
-Each sweep re-runs the corresponding training phase from the same trained
-baseline so points differ only in the swept hyper-parameter.  Execution is
-delegated to a :class:`~repro.experiments.runner.SweepEngine`: points can fan
-out over worker processes (bit-identical to the serial order), the finished
-point networks are evaluated together with batched multi-network inference,
-and the group-deletion points run with the vectorized group-Lasso penalty and
-memoized routing analysis — with cache entries threaded between points so
-later ones start warm.  ``SweepEngine(mode="lockstep")`` instead trains all
-λ-points of one architecture group together as a single stacked program
-(bit-identical per point; the fastest policy on 1-core boxes); the ε sweep
-keeps the points path because rank clipping makes its points diverge
-structurally.  Passing ``engine=SweepEngine.reference()`` restores the
-original serial per-point execution.
+The sweep *execution* lives in the declarative core
+(:mod:`repro.experiments.plan`): an :class:`~repro.experiments.spec.ExperimentSpec`
+with ``kind="sweep"`` expands into engine point tasks, runs serial /
+process-fanned / lockstep per its engine policy, and persists per-point
+artifacts through the run store.  This module keeps the result dataclasses —
+including their table renderings and JSON payload round-trips — plus
+:func:`sweep_rank_clipping` / :func:`sweep_group_deletion` as deprecation
+shims that lift their arguments into a spec and return the executed result.
 """
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.core.config import GroupDeletionConfig, RankClippingConfig
-from repro.core.conversion import convert_to_lowrank
-from repro.core.rank_clipping import RankClipper
-from repro.experiments.runner import (
-    StrengthPointTask,
-    SweepEngine,
-    TolerancePointTask,
-    run_tolerance_point,
-)
-from repro.experiments.training import TrainingSetup, train_baseline
+from repro.experiments.runner import SweepEngine
+from repro.experiments.training import TrainingSetup
 from repro.experiments.workloads import Workload
-from repro.hardware.area import layer_area_fraction, network_area_fraction
 
 
 # ----------------------------------------------------------------- Figure 6 / 7
@@ -53,6 +38,32 @@ class TolerancePoint:
     ranks: Dict[str, int]
     layer_area_fractions: Dict[str, float]
     total_area_fraction: float
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON view stored in run artifacts."""
+        return {
+            "tolerance": self.tolerance,
+            "accuracy": self.accuracy,
+            "error": self.error,
+            "ranks": dict(self.ranks),
+            "layer_area_fractions": dict(self.layer_area_fractions),
+            "total_area_fraction": self.total_area_fraction,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "TolerancePoint":
+        """Rebuild from :meth:`to_payload` output."""
+        return cls(
+            tolerance=float(payload["tolerance"]),
+            accuracy=float(payload["accuracy"]),
+            error=float(payload["error"]),
+            ranks={name: int(rank) for name, rank in payload["ranks"].items()},
+            layer_area_fractions={
+                name: float(value)
+                for name, value in payload["layer_area_fractions"].items()
+            },
+            total_area_fraction=float(payload["total_area_fraction"]),
+        )
 
 
 @dataclass
@@ -80,6 +91,23 @@ class ToleranceSweepResult:
     def error_series(self) -> List[float]:
         """Classification error across the sweep (Figure 7's x-axis)."""
         return [p.error for p in self.points]
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON view stored in run artifacts."""
+        return {
+            "workload_name": self.workload_name,
+            "baseline_accuracy": self.baseline_accuracy,
+            "points": [p.to_payload() for p in self.points],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ToleranceSweepResult":
+        """Rebuild from :meth:`to_payload` output."""
+        return cls(
+            workload_name=payload["workload_name"],
+            baseline_accuracy=payload.get("baseline_accuracy"),
+            points=[TolerancePoint.from_payload(p) for p in payload.get("points", [])],
+        )
 
     def format_table(self) -> str:
         """Text rendering of the sweep.
@@ -122,80 +150,46 @@ def sweep_rank_clipping(
     method: str = "pca",
     engine: Optional[SweepEngine] = None,
 ) -> ToleranceSweepResult:
-    """Run rank clipping at each tolerance, reporting ranks, accuracy and areas.
+    """Run rank clipping at each tolerance (deprecated imperative entry point).
 
-    ``engine`` selects the execution policy (worker processes, batched final
-    evaluation); the default :class:`SweepEngine` runs the points serially
-    in-process with batched evaluation.
+    .. deprecated::
+        Build an :class:`~repro.experiments.spec.ExperimentSpec` with
+        ``kind="sweep", method="rank_clipping"`` and call
+        :func:`~repro.experiments.plan.execute_spec` (or use
+        ``python -m repro run``) — that path adds artifact persistence and
+        point-level resume.  This shim lifts its arguments into the same
+        spec and returns the identical result.
     """
     if not tolerances:
         raise ValueError("tolerances must contain at least one value")
-    engine = engine or SweepEngine()
-    scale = workload.scale
-    if baseline_network is None or setup is None:
-        baseline_network, baseline_accuracy, setup = train_baseline(workload)
-    elif baseline_accuracy is None:
-        baseline_accuracy = setup.evaluate(baseline_network)
-
-    layer_order = list(workload.clippable_layers)
-
-    # Generator, not list: the serial engine then keeps only one point's
-    # network copy alive at a time (the parallel engine materializes them).
-    def tolerance_tasks():
-        for index, tolerance in enumerate(tolerances):
-            network = convert_to_lowrank(
-                copy.deepcopy(baseline_network), layers=layer_order
-            )
-            config = RankClippingConfig(
-                tolerance=float(tolerance),
-                clip_interval=scale.clip_interval,
-                max_iterations=scale.clip_iterations,
-                layers=tuple(layer_order),
-                method=method,
-            )
-            yield TolerancePointTask(
-                index=index,
-                tolerance=float(tolerance),
-                network=network,
-                setup=engine.point_setup(setup, index),
-                config=config,
-            )
-
-    outcomes = engine.map_points(run_tolerance_point, tolerance_tasks())
-    if engine.inline_training_eval:
-        accuracies = [
-            outcome.accuracy if outcome.accuracy is not None else 0.0
-            for outcome in outcomes
-        ]
-    else:
-        accuracies = engine.evaluate_networks(
-            [outcome.network for outcome in outcomes], setup
-        )
-
-    result = ToleranceSweepResult(
-        workload_name=workload.name, baseline_accuracy=baseline_accuracy
+    from repro.experiments.plan import (
+        ExperimentContext,
+        execute_spec,
+        warn_deprecated_entry_point,
     )
-    for outcome, accuracy in zip(outcomes, accuracies):
-        ranks = outcome.ranks
-        fractions = {
-            name: layer_area_fraction(*workload.layer_shapes[name], ranks.get(name))
-            for name in layer_order
-        }
-        total = network_area_fraction(
-            workload.layer_shapes,
-            {name: ranks.get(name) for name in workload.layer_shapes},
-        )
-        result.points.append(
-            TolerancePoint(
-                tolerance=outcome.tolerance,
-                accuracy=accuracy,
-                error=1.0 - accuracy,
-                ranks=dict(ranks),
-                layer_area_fractions=fractions,
-                total_area_fraction=total,
-            )
-        )
-    return result
+    from repro.experiments.spec import spec_for_workload
+
+    warn_deprecated_entry_point(
+        "sweep_rank_clipping", 'ExperimentSpec(kind="sweep", method="rank_clipping")'
+    )
+    spec = spec_for_workload(
+        "sweep",
+        workload,
+        method="rank_clipping",
+        grid=tuple(float(t) for t in tolerances),
+        lowrank_method=method,
+        engine=engine,
+    )
+    run = execute_spec(
+        spec,
+        context=ExperimentContext(
+            workload=workload,
+            setup=setup,
+            baseline_network=baseline_network,
+            baseline_accuracy=baseline_accuracy,
+        ),
+    )
+    return run.result
 
 
 # --------------------------------------------------------------------- Figure 8
@@ -209,13 +203,40 @@ class StrengthPoint:
     wire_fractions: Dict[str, float]
     routing_area_fractions: Dict[str, float]
 
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON view stored in run artifacts."""
+        return {
+            "strength": self.strength,
+            "accuracy": self.accuracy,
+            "error": self.error,
+            "wire_fractions": dict(self.wire_fractions),
+            "routing_area_fractions": dict(self.routing_area_fractions),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "StrengthPoint":
+        """Rebuild from :meth:`to_payload` output."""
+        return cls(
+            strength=float(payload["strength"]),
+            accuracy=float(payload["accuracy"]),
+            error=float(payload["error"]),
+            wire_fractions={
+                name: float(value) for name, value in payload["wire_fractions"].items()
+            },
+            routing_area_fractions={
+                name: float(value)
+                for name, value in payload["routing_area_fractions"].items()
+            },
+        )
+
 
 @dataclass
 class StrengthSweepResult:
     """Routing wires/area versus λ sweep (data behind Figure 8).
 
     ``routing_cache_stats`` aggregates the hit/miss counters of the points'
-    memoized routing analyses (zeros when memoization was disabled).
+    memoized routing analyses (zeros when memoization was disabled, and only
+    freshly-trained points contribute on a resumed run).
     """
 
     workload_name: str
@@ -242,6 +263,28 @@ class StrengthSweepResult:
     def matrices(self) -> List[str]:
         """Matrix names present in the sweep (union over all points)."""
         return sorted({name for p in self.points for name in p.wire_fractions})
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON view stored in run artifacts."""
+        return {
+            "workload_name": self.workload_name,
+            "baseline_accuracy": self.baseline_accuracy,
+            "routing_cache_stats": dict(self.routing_cache_stats),
+            "points": [p.to_payload() for p in self.points],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "StrengthSweepResult":
+        """Rebuild from :meth:`to_payload` output."""
+        return cls(
+            workload_name=payload["workload_name"],
+            baseline_accuracy=payload.get("baseline_accuracy"),
+            routing_cache_stats={
+                key: int(value)
+                for key, value in (payload.get("routing_cache_stats") or {}).items()
+            },
+            points=[StrengthPoint.from_payload(p) for p in payload.get("points", [])],
+        )
 
     def format_table(self) -> str:
         """Text rendering of the sweep.
@@ -283,81 +326,41 @@ def sweep_group_deletion(
     baseline_network=None,
     engine: Optional[SweepEngine] = None,
 ) -> StrengthSweepResult:
-    """Run group deletion at each λ starting from the same rank-clipped network.
+    """Run group deletion at each λ (deprecated imperative entry point).
 
-    ``engine`` selects the execution policy (worker processes or lockstep
-    stacked training via ``mode="lockstep"``, batched final evaluation,
-    vectorized group Lasso, memoized routing analysis shared across points).
+    .. deprecated::
+        Build an :class:`~repro.experiments.spec.ExperimentSpec` with
+        ``kind="sweep", method="group_deletion"`` and call
+        :func:`~repro.experiments.plan.execute_spec` (or use
+        ``python -m repro run``) — that path adds artifact persistence and
+        point-level resume.  This shim lifts its arguments into the same
+        spec and returns the identical result.
     """
     if not strengths:
         raise ValueError("strengths must contain at least one value")
-    engine = engine or SweepEngine()
-    scale = workload.scale
-    if baseline_network is None or setup is None:
-        baseline_network, baseline_acc, setup = train_baseline(workload)
-    else:
-        baseline_acc = setup.evaluate(baseline_network)
-
-    layer_order = list(workload.clippable_layers)
-    # Defensive copy, matching sweep_rank_clipping: the caller's baseline is
-    # typically shared across sweeps and must stay bit-identical no matter
-    # how convert_to_lowrank or the clipping run evolve.
-    clipped = convert_to_lowrank(copy.deepcopy(baseline_network), layers=layer_order)
-    clip_config = RankClippingConfig(
-        tolerance=tolerance,
-        clip_interval=scale.clip_interval,
-        max_iterations=scale.clip_iterations,
-        layers=tuple(layer_order),
+    from repro.experiments.plan import (
+        ExperimentContext,
+        execute_spec,
+        warn_deprecated_entry_point,
     )
-    RankClipper(clip_config).run(clipped, engine.shared_setup(setup).trainer_factory)
+    from repro.experiments.spec import spec_for_workload
 
-    # Generator, not list: the serial engine then keeps only one point's
-    # network copy alive at a time (the parallel engine materializes them).
-    def strength_tasks():
-        for index, strength in enumerate(strengths):
-            config = GroupDeletionConfig(
-                strength=float(strength),
-                iterations=scale.deletion_iterations,
-                finetune_iterations=scale.finetune_iterations,
-                include_small_matrices=include_small_matrices,
-            )
-            yield StrengthPointTask(
-                index=index,
-                strength=float(strength),
-                network=copy.deepcopy(clipped),
-                setup=engine.point_setup(setup, index),
-                config=config,
-                record_interval=scale.record_interval,
-                structured_lasso=engine.structured_lasso,
-                memoize_routing=engine.memoize_routing,
-            )
-
-    outcomes = engine.run_strength_points(strength_tasks())
-    if engine.inline_training_eval:
-        accuracies = [
-            outcome.accuracy if outcome.accuracy is not None else 0.0
-            for outcome in outcomes
-        ]
-    else:
-        accuracies = engine.evaluate_networks(
-            [outcome.network for outcome in outcomes], setup
-        )
-
-    result = StrengthSweepResult(workload_name=workload.name, baseline_accuracy=baseline_acc)
-    for outcome in outcomes:
-        for key, value in (outcome.routing_cache_stats or {}).items():
-            if key != "size":
-                result.routing_cache_stats[key] = (
-                    result.routing_cache_stats.get(key, 0) + value
-                )
-    for outcome, accuracy in zip(outcomes, accuracies):
-        result.points.append(
-            StrengthPoint(
-                strength=outcome.strength,
-                accuracy=accuracy,
-                error=1.0 - accuracy,
-                wire_fractions=outcome.wire_fractions,
-                routing_area_fractions=outcome.routing_area_fractions,
-            )
-        )
-    return result
+    warn_deprecated_entry_point(
+        "sweep_group_deletion", 'ExperimentSpec(kind="sweep", method="group_deletion")'
+    )
+    spec = spec_for_workload(
+        "sweep",
+        workload,
+        method="group_deletion",
+        grid=tuple(float(s) for s in strengths),
+        tolerance=tolerance,
+        include_small_matrices=include_small_matrices,
+        engine=engine,
+    )
+    run = execute_spec(
+        spec,
+        context=ExperimentContext(
+            workload=workload, setup=setup, baseline_network=baseline_network
+        ),
+    )
+    return run.result

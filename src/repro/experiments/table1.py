@@ -1,22 +1,23 @@
-"""Table 1: accuracy and per-layer ranks for Original / Direct LRA / Rank clipping.
+"""Table 1 result view and the legacy ``run_table1`` entry point.
 
-The harness trains the dense baseline, runs rank clipping to find the final
-per-layer ranks, and then builds the "Direct LRA" control by truncating the
-*baseline* network at exactly those ranks without any retraining — the same
-protocol as the paper's Table 1, where the Direct LRA row uses the ranks the
-clipping procedure converged to.
+Table 1 reports accuracy and per-layer ranks for Original / Direct LRA /
+Rank clipping.  The harness logic — train the dense baseline, run rank
+clipping to find the final per-layer ranks, then build the "Direct LRA"
+control by truncating the *baseline* network at exactly those ranks without
+retraining — lives in the declarative core
+(:mod:`repro.experiments.plan`, ``kind="table1"``).  This module keeps the
+result dataclasses (with their paper-layout rendering and JSON payload
+round-trip) and a thin deprecation shim preserving the old call signature.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
-from repro.core.config import RankClippingConfig
-from repro.core.conversion import convert_to_lowrank, direct_lra
-from repro.core.rank_clipping import RankClipper, RankClippingResult
+from repro.core.rank_clipping import RankClippingResult
 from repro.experiments.runner import SweepEngine
-from repro.experiments.training import TrainingSetup, train_baseline
+from repro.experiments.training import TrainingSetup
 from repro.experiments.workloads import Workload
 
 
@@ -67,6 +68,33 @@ class Table1Result:
             for row in self.rows
         }
 
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON view stored in run artifacts (drops the training trace)."""
+        return {
+            "workload_name": self.workload_name,
+            "layer_order": list(self.layer_order),
+            "rows": [
+                {"method": row.method, "accuracy": row.accuracy, "ranks": dict(row.ranks)}
+                for row in self.rows
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "Table1Result":
+        """Rebuild from :meth:`to_payload` output (``clipping_result`` is lost)."""
+        return cls(
+            workload_name=payload["workload_name"],
+            layer_order=list(payload["layer_order"]),
+            rows=[
+                Table1Row(
+                    method=row["method"],
+                    accuracy=float(row["accuracy"]),
+                    ranks={name: int(rank) for name, rank in row["ranks"].items()},
+                )
+                for row in payload.get("rows", [])
+            ],
+        )
+
 
 def run_table1(
     workload: Workload,
@@ -78,60 +106,33 @@ def run_table1(
     method: str = "pca",
     engine: Optional[SweepEngine] = None,
 ) -> Table1Result:
-    """Regenerate Table 1 for one workload.
+    """Regenerate Table 1 for one workload (deprecated imperative entry point).
 
-    Parameters
-    ----------
-    workload:
-        The network/dataset pair (LeNet-MNIST or ConvNet-CIFAR analogue).
-    tolerance:
-        Tolerable clipping error ``ε``.
-    setup, baseline_network, baseline_accuracy:
-        Optionally reuse an already-trained baseline (used by benches that
-        produce several tables from one training run).
-    method:
-        Low-rank backend (``"pca"`` or ``"svd"``) — the SVD ablation reuses
-        this entry point.
-    engine:
-        Execution policy; the control-row evaluations go through its
-        (batched) network evaluator.
+    .. deprecated::
+        Build an :class:`~repro.experiments.spec.ExperimentSpec` with
+        ``kind="table1"`` (or resolve the ``table1`` registry preset) and
+        call :func:`~repro.experiments.plan.execute_spec` — that path adds
+        artifact persistence and resume.  This shim lifts its arguments into
+        the same spec and returns the identical result.
     """
-    engine = engine or SweepEngine()
-    scale = workload.scale
-    if baseline_network is None or setup is None:
-        baseline_network, baseline_accuracy, setup = train_baseline(workload)
-    elif baseline_accuracy is None:
-        baseline_accuracy = setup.evaluate(baseline_network)
-
-    layer_order = list(workload.clippable_layers)
-    full_ranks = {
-        name: min(workload.layer_shapes[name]) for name in layer_order
-    }
-
-    # Step 1: rank clipping on a full-rank factorized copy of the baseline.
-    lowrank_network = convert_to_lowrank(baseline_network, layers=layer_order)
-    config = RankClippingConfig(
-        tolerance=tolerance,
-        clip_interval=scale.clip_interval,
-        max_iterations=scale.clip_iterations,
-        method=method,
-        layers=tuple(layer_order),
+    from repro.experiments.plan import (
+        ExperimentContext,
+        execute_spec,
+        warn_deprecated_entry_point,
     )
-    clipper = RankClipper(config)
-    clipping = clipper.run(
-        lowrank_network, setup.trainer_factory, baseline_accuracy=baseline_accuracy
-    )
+    from repro.experiments.spec import spec_for_workload
 
-    # Step 2: Direct LRA control — truncate the baseline at the clipped ranks
-    # without retraining.
-    direct_network = direct_lra(baseline_network, clipping.final_ranks, method=method)
-    direct_accuracy = engine.evaluate_networks([direct_network], setup)[0]
-
-    result = Table1Result(workload_name=workload.name, layer_order=layer_order)
-    result.rows.append(Table1Row("Original", baseline_accuracy, full_ranks))
-    result.rows.append(Table1Row("Direct LRA", direct_accuracy, dict(clipping.final_ranks)))
-    result.rows.append(
-        Table1Row("Rank clipping", clipping.final_accuracy, dict(clipping.final_ranks))
+    warn_deprecated_entry_point("run_table1", 'ExperimentSpec(kind="table1")')
+    spec = spec_for_workload(
+        "table1", workload, tolerance=tolerance, lowrank_method=method, engine=engine
     )
-    result.clipping_result = clipping
-    return result
+    run = execute_spec(
+        spec,
+        context=ExperimentContext(
+            workload=workload,
+            setup=setup,
+            baseline_network=baseline_network,
+            baseline_accuracy=baseline_accuracy,
+        ),
+    )
+    return run.result

@@ -1,28 +1,27 @@
-"""Table 3: MBC sizes and remaining routing wires of the big layers.
+"""Table 3 result view and the legacy ``run_table3`` entry point.
 
-The harness runs the full Group Scissor pipeline (rank clipping on the
-trained baseline, then group connection deletion on the big crossbar
-matrices) and reports, per big matrix, the crossbar tile size selected by the
-library and the percentage of routing wires that survive deletion — the rows
-of Table 3 — plus the layer-wise average wire and routing-area fractions the
-paper quotes (8.1 % / 52.06 %).
+Table 3 reports, per big crossbar matrix, the MBC tile size selected by the
+library and the percentage of routing wires that survive group connection
+deletion, plus the layer-wise average wire and routing-area fractions the
+paper quotes (8.1 % / 52.06 %).  The full pipeline (rank clipping on the
+trained baseline, then deletion on the big matrices) lives in the
+declarative core (:mod:`repro.experiments.plan`, ``kind="table3"``); this
+module keeps the result dataclasses with their rendering and JSON payload
+round-trip, and a thin deprecation shim preserving the old call signature.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.config import GroupDeletionConfig, RankClippingConfig
-from repro.core.conversion import convert_to_lowrank
 from repro.core.group_deletion import GroupDeletionResult
-from repro.core.rank_clipping import RankClipper, RankClippingResult
+from repro.core.rank_clipping import RankClippingResult
 from repro.experiments.runner import SweepEngine
-from repro.experiments.training import TrainingSetup, train_baseline
+from repro.experiments.training import TrainingSetup
 from repro.experiments.workloads import Workload
-from repro.hardware.mapper import NetworkMapper
 
 
 @dataclass(frozen=True)
@@ -71,6 +70,45 @@ class Table3Result:
             return 1.0
         return float(np.mean([row.wire_fraction**2 for row in self.rows]))
 
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON view stored in run artifacts (drops the training traces)."""
+        return {
+            "workload_name": self.workload_name,
+            "baseline_accuracy": self.baseline_accuracy,
+            "final_accuracy": self.final_accuracy,
+            "rows": [
+                {
+                    "matrix": row.matrix,
+                    "matrix_shape": list(row.matrix_shape),
+                    "tile_shape": list(row.tile_shape),
+                    "num_crossbars": row.num_crossbars,
+                    "wire_fraction": row.wire_fraction,
+                }
+                for row in self.rows
+            ],
+            "mean_wire_fraction": self.mean_wire_fraction(),
+            "mean_routing_area_fraction": self.mean_routing_area_fraction(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "Table3Result":
+        """Rebuild from :meth:`to_payload` output (training traces are lost)."""
+        return cls(
+            workload_name=payload["workload_name"],
+            baseline_accuracy=payload.get("baseline_accuracy"),
+            final_accuracy=payload.get("final_accuracy"),
+            rows=[
+                Table3Row(
+                    matrix=row["matrix"],
+                    matrix_shape=tuple(row["matrix_shape"]),
+                    tile_shape=tuple(row["tile_shape"]),
+                    num_crossbars=int(row["num_crossbars"]),
+                    wire_fraction=float(row["wire_fraction"]),
+                )
+                for row in payload.get("rows", [])
+            ],
+        )
+
     def format_table(self) -> str:
         """Render the table in the paper's layout."""
         header = f"{'matrix':<14}{'shape':<12}{'MBC size':<12}{'xbars':>6}{'% wires':>10}"
@@ -106,58 +144,38 @@ def run_table3(
     baseline_accuracy: Optional[float] = None,
     engine: Optional[SweepEngine] = None,
 ) -> Table3Result:
-    """Regenerate Table 3 for one workload (clipping + deletion + reporting).
+    """Regenerate Table 3 for one workload (deprecated imperative entry point).
 
-    ``engine`` selects the deletion-phase execution policy (vectorized group
-    Lasso, memoized routing analysis); the in-run accuracies the table
-    quotes are always evaluated inline.
+    .. deprecated::
+        Build an :class:`~repro.experiments.spec.ExperimentSpec` with
+        ``kind="table3"`` (or resolve the ``table3`` registry preset) and
+        call :func:`~repro.experiments.plan.execute_spec` — that path adds
+        artifact persistence and resume.  This shim lifts its arguments into
+        the same spec and returns the identical result.
     """
-    engine = engine or SweepEngine()
-    scale = workload.scale
-    if baseline_network is None or setup is None:
-        baseline_network, baseline_accuracy, setup = train_baseline(workload)
-    elif baseline_accuracy is None:
-        baseline_accuracy = setup.evaluate(baseline_network)
+    from repro.experiments.plan import (
+        ExperimentContext,
+        execute_spec,
+        warn_deprecated_entry_point,
+    )
+    from repro.experiments.spec import spec_for_workload
 
-    layer_order = list(workload.clippable_layers)
-    lowrank_network = convert_to_lowrank(baseline_network, layers=layer_order)
-    clip_config = RankClippingConfig(
+    warn_deprecated_entry_point("run_table3", 'ExperimentSpec(kind="table3")')
+    spec = spec_for_workload(
+        "table3",
+        workload,
         tolerance=tolerance,
-        clip_interval=scale.clip_interval,
-        max_iterations=scale.clip_iterations,
-        layers=tuple(layer_order),
-    )
-    clipping = RankClipper(clip_config).run(
-        lowrank_network, setup.trainer_factory, baseline_accuracy=baseline_accuracy
-    )
-
-    deletion_config = GroupDeletionConfig(
         strength=strength,
-        iterations=scale.deletion_iterations,
-        finetune_iterations=scale.finetune_iterations,
         include_small_matrices=include_small_matrices,
+        engine=engine,
     )
-    deleter = engine.make_deleter(deletion_config, record_interval=scale.record_interval)
-    deletion = deleter.run(lowrank_network, setup.trainer_factory)
-
-    mapper = NetworkMapper()
-    report = mapper.map_network(lowrank_network)
-    result = Table3Result(
-        workload_name=workload.name,
-        clipping_result=clipping,
-        deletion_result=deletion,
-        baseline_accuracy=baseline_accuracy,
-        final_accuracy=deletion.accuracy_after_finetune,
+    run = execute_spec(
+        spec,
+        context=ExperimentContext(
+            workload=workload,
+            setup=setup,
+            baseline_network=baseline_network,
+            baseline_accuracy=baseline_accuracy,
+        ),
     )
-    for name, routing in deletion.routing_reports.items():
-        matrix_report = report.matrix(name)
-        result.rows.append(
-            Table3Row(
-                matrix=name,
-                matrix_shape=matrix_report.matrix_shape,
-                tile_shape=matrix_report.tile_shape,
-                num_crossbars=matrix_report.num_crossbars,
-                wire_fraction=routing.wire_fraction,
-            )
-        )
-    return result
+    return run.result

@@ -147,6 +147,11 @@ _WORKLOADS = {
 }
 
 
+def workload_names() -> Tuple[str, ...]:
+    """Registered workload names, aliases included (for CLIs and validation)."""
+    return tuple(sorted(_WORKLOADS))
+
+
 def get_workload(name: str, scale="small") -> Workload:
     """Look up a workload factory by name and instantiate it at ``scale``."""
     key = str(name).lower()

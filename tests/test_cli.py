@@ -1,0 +1,136 @@
+"""Tests for the ``python -m repro`` command line (run/list/show/compare/bench)."""
+
+import json
+
+import pytest
+
+from repro.experiments import ExperimentSpec
+from repro.experiments.cli import _load_benchmark_runner, main
+
+FAST = dict(
+    train_samples=120,
+    test_samples=48,
+    baseline_iterations=30,
+    clip_iterations=20,
+    clip_interval=10,
+    deletion_iterations=20,
+    finetune_iterations=10,
+    record_interval=10,
+    eval_interval=20,
+    batch_size=24,
+)
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    spec = ExperimentSpec(
+        kind="sweep",
+        method="rank_clipping",
+        workload="mlp",
+        scale="tiny",
+        scale_overrides=FAST,
+        grid=(0.05, 0.3),
+        name="cli-sweep",
+    )
+    path = tmp_path / "cli_sweep.json"
+    path.write_text(spec.to_json())
+    return spec, path
+
+
+class TestList:
+    def test_lists_presets_and_store(self, tmp_path, capsys):
+        assert main(["list", "--store", str(tmp_path / "empty")]) == 0
+        out = capsys.readouterr().out
+        for preset in ("table1", "table3", "figure3", "figure5", "figure6", "figure7", "figure8", "headline"):
+            assert preset in out
+        assert "(empty)" in out
+
+
+class TestRun:
+    def test_run_spec_file_then_resume_show_compare(self, tmp_path, spec_file, capsys):
+        spec, path = spec_file
+        store = str(tmp_path / "runs")
+
+        assert main(["run", str(path), "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "Tolerance sweep" in out
+        assert spec.fingerprint() in out
+        assert "2 computed, 0 reused" in out
+
+        # Second invocation resumes the complete artifact: zero new points.
+        assert main(["run", str(path), "--store", store]) == 0
+        assert "0 computed, 2 reused" in capsys.readouterr().out
+
+        assert main(["show", "cli-sweep", "--store", store]) == 0
+        shown = capsys.readouterr().out
+        assert spec.fingerprint() in shown
+        assert "Tolerance sweep" in shown
+
+        assert main(["compare", "cli-sweep", spec.fingerprint()[:8], "--store", store]) == 0
+        assert "baseline_accuracy" in capsys.readouterr().out
+
+    def test_run_preset_with_overrides_json_output(self, tmp_path, capsys):
+        store = tmp_path / "runs"
+        rc = main(
+            [
+                "run",
+                "baseline",
+                "--workload",
+                "mlp",
+                "--scale",
+                "tiny",
+                "--workers",
+                "1",
+                "--store",
+                str(store),
+                "--json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["workload"] == "mlp"
+        assert payload["result"]["accuracy"] is not None
+        assert (store / f"{payload['fingerprint']}.json").exists()
+
+    def test_run_grid_override(self, tmp_path, spec_file, capsys):
+        _, path = spec_file
+        store = str(tmp_path / "runs")
+        assert main(["run", str(path), "--grid", "0.05", "--store", store]) == 0
+        assert "1 computed" in capsys.readouterr().out
+
+    def test_no_store_skips_artifact(self, tmp_path, spec_file, capsys):
+        _, path = spec_file
+        assert main(["run", str(path), "--no-store", "--quiet"]) == 0
+        assert "artifact:" not in capsys.readouterr().out
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["run", "table9"]) == 2
+        err = capsys.readouterr().err
+        assert "table9" in err
+        assert "table1" in err  # the registered presets are listed
+
+    def test_show_unknown_errors(self, tmp_path, capsys):
+        assert main(["show", "missing", "--store", str(tmp_path / "runs")]) == 2
+        assert "missing" in capsys.readouterr().err
+
+    def test_boolean_flags_can_disable_preset_defaults(self):
+        """Presets defaulting include_small_matrices=True must be overridable."""
+        from repro.experiments.cli import _resolve_spec, build_parser
+
+        parser = build_parser()
+        on = _resolve_spec(parser.parse_args(["run", "figure8"]))
+        assert on.include_small_matrices is True
+        off = _resolve_spec(
+            parser.parse_args(["run", "figure8", "--no-include-small-matrices"])
+        )
+        assert off.include_small_matrices is False
+
+
+class TestBench:
+    def test_bench_list_matches_registry(self, capsys):
+        """CLI suite names and the benchmark registry share one source."""
+        assert main(["bench", "--list"]) == 0
+        listed = capsys.readouterr().out.split()
+        runner = _load_benchmark_runner()
+        assert tuple(listed) == runner.suite_names()
+        assert set(listed) == {"kernels", "sweeps", "lockstep"}

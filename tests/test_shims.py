@@ -1,0 +1,202 @@
+"""Deprecation-shim tests: the legacy imperative entry points.
+
+The old signatures (``run_table1``, ``run_table3``, ``run_figure3/5``,
+``sweep_rank_clipping``, ``sweep_group_deletion``) must emit a
+``DeprecationWarning`` and return results identical to the declarative
+spec path (:func:`~repro.experiments.plan.execute_spec`), and the
+serial / parallel / lockstep engine policies must stay bit-identical under
+the new planner.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentContext,
+    SweepEngine,
+    execute_spec,
+    mlp_workload,
+    run_figure3,
+    run_figure5,
+    run_table1,
+    run_table3,
+    spec_for_workload,
+    sweep_group_deletion,
+    sweep_rank_clipping,
+    train_baseline,
+    TINY,
+)
+
+FAST = dict(
+    train_samples=120,
+    test_samples=48,
+    baseline_iterations=30,
+    clip_iterations=20,
+    clip_interval=10,
+    deletion_iterations=20,
+    finetune_iterations=10,
+    record_interval=10,
+    eval_interval=20,
+    batch_size=24,
+)
+
+
+@pytest.fixture(scope="module")
+def fast_workload():
+    return mlp_workload(TINY.with_overrides(**FAST))
+
+
+@pytest.fixture(scope="module")
+def fast_baseline(fast_workload):
+    network, accuracy, setup = train_baseline(fast_workload)
+    return network, accuracy, setup
+
+
+class TestShimEquivalence:
+    """Old signatures return exactly what the spec path computes."""
+
+    def test_run_table1(self, fast_workload, fast_baseline):
+        network, accuracy, setup = fast_baseline
+        with pytest.warns(DeprecationWarning, match="run_table1"):
+            shim = run_table1(
+                fast_workload,
+                setup=setup,
+                baseline_network=network,
+                baseline_accuracy=accuracy,
+            )
+        spec = spec_for_workload("table1", fast_workload)
+        declarative = execute_spec(spec)  # trains its own (deterministic) baseline
+        assert shim.to_payload() == declarative.result.to_payload()
+
+    def test_run_table3(self, fast_workload, fast_baseline):
+        network, accuracy, setup = fast_baseline
+        with pytest.warns(DeprecationWarning, match="run_table3"):
+            shim = run_table3(
+                fast_workload,
+                strength=0.05,
+                include_small_matrices=True,
+                setup=setup,
+                baseline_network=network,
+                baseline_accuracy=accuracy,
+            )
+        spec = spec_for_workload(
+            "table3", fast_workload, strength=0.05, include_small_matrices=True
+        )
+        declarative = execute_spec(spec)
+        assert shim.to_payload() == declarative.result.to_payload()
+
+    def test_run_figure3(self, fast_workload, fast_baseline):
+        network, accuracy, setup = fast_baseline
+        with pytest.warns(DeprecationWarning, match="run_figure3"):
+            shim = run_figure3(
+                fast_workload,
+                setup=setup,
+                baseline_network=network,
+                baseline_accuracy=accuracy,
+            )
+        declarative = execute_spec(spec_for_workload("figure3", fast_workload))
+        assert shim.to_payload() == declarative.result.to_payload()
+
+    def test_run_figure5(self, fast_workload, fast_baseline):
+        network, accuracy, setup = fast_baseline
+        with pytest.warns(DeprecationWarning, match="run_figure5"):
+            shim = run_figure5(
+                fast_workload,
+                strength=0.05,
+                include_small_matrices=True,
+                setup=setup,
+                baseline_network=network,
+            )
+        spec = spec_for_workload(
+            "figure5", fast_workload, strength=0.05, include_small_matrices=True
+        )
+        declarative = execute_spec(spec)
+        assert shim.to_payload() == declarative.result.to_payload()
+
+    def test_sweep_rank_clipping(self, fast_workload, fast_baseline):
+        network, accuracy, setup = fast_baseline
+        with pytest.warns(DeprecationWarning, match="sweep_rank_clipping"):
+            shim = sweep_rank_clipping(
+                fast_workload,
+                [0.05, 0.3],
+                setup=setup,
+                baseline_network=network,
+                baseline_accuracy=accuracy,
+            )
+        spec = spec_for_workload(
+            "sweep", fast_workload, method="rank_clipping", grid=(0.05, 0.3)
+        )
+        declarative = execute_spec(spec)
+        assert shim.to_payload() == declarative.result.to_payload()
+
+    def test_sweep_group_deletion(self, fast_workload, fast_baseline):
+        network, accuracy, setup = fast_baseline
+        with pytest.warns(DeprecationWarning, match="sweep_group_deletion"):
+            shim = sweep_group_deletion(
+                fast_workload,
+                [0.01, 0.08],
+                include_small_matrices=True,
+                setup=setup,
+                baseline_network=network,
+            )
+        spec = spec_for_workload(
+            "sweep",
+            fast_workload,
+            method="group_deletion",
+            grid=(0.01, 0.08),
+            include_small_matrices=True,
+        )
+        declarative = execute_spec(spec)
+        assert shim.to_payload() == declarative.result.to_payload()
+
+    def test_empty_grids_still_raise_value_error(self, fast_workload, fast_baseline):
+        network, accuracy, setup = fast_baseline
+        with pytest.raises(ValueError):
+            sweep_rank_clipping(fast_workload, [], setup=setup, baseline_network=network)
+        with pytest.raises(ValueError):
+            sweep_group_deletion(fast_workload, [], setup=setup, baseline_network=network)
+
+
+class TestEngineModesUnderPlanner:
+    """Serial / parallel / lockstep stay bit-identical through the spec path."""
+
+    def test_lambda_sweep_policies_bit_identical(self, fast_workload, fast_baseline):
+        network, accuracy, setup = fast_baseline
+        spec = spec_for_workload(
+            "sweep",
+            fast_workload,
+            method="group_deletion",
+            grid=(0.01, 0.08),
+            include_small_matrices=True,
+        )
+        context = ExperimentContext(
+            workload=fast_workload, setup=setup, baseline_network=network
+        )
+        serial = execute_spec(spec, context=context)
+        parallel = execute_spec(spec.with_updates(workers=2), context=context)
+        lockstep = execute_spec(spec.with_updates(mode="lockstep"), context=context)
+        assert serial.result.points == parallel.result.points
+        assert serial.result.points == lockstep.result.points
+        assert (
+            serial.result.baseline_accuracy
+            == parallel.result.baseline_accuracy
+            == lockstep.result.baseline_accuracy
+        )
+
+    def test_epsilon_sweep_workers_bit_identical(self, fast_workload, fast_baseline):
+        network, accuracy, setup = fast_baseline
+        spec = spec_for_workload(
+            "sweep",
+            fast_workload,
+            method="rank_clipping",
+            grid=(0.05, 0.3),
+            engine=SweepEngine(per_point_seed=True),
+        )
+        context = ExperimentContext(
+            workload=fast_workload,
+            setup=setup,
+            baseline_network=network,
+            baseline_accuracy=accuracy,
+        )
+        serial = execute_spec(spec, context=context)
+        parallel = execute_spec(spec.with_updates(workers=2), context=context)
+        assert serial.result.points == parallel.result.points
