@@ -131,6 +131,29 @@ def run_lockstep(output: Path, check: bool) -> int:
     return 0
 
 
+def run_hardware(output: Path, check: bool) -> int:
+    from test_bench_hardware import collect_hardware_stats
+
+    record = _base_record()
+    record.update({k: round(v, 4) if isinstance(v, float) else v
+                   for k, v in collect_hardware_stats().items()})
+    _append(output, record)
+
+    print(f"hardware benchmark ({record['timestamp']}) -> {output}")
+    print(f"  programming            {record['program_s']:.2f} s "
+          f"({record['networks']} networks x {record['crossbars_per_network']} crossbars)")
+    print(f"  per-tile reference     {record['reference_s']:.2f} s")
+    print(f"  serial vectorized      {record['serial_vectorized_s']:.2f} s "
+          f"({record['serial_speedup']:.2f}x)")
+    print(f"  batched simulator      {record['batched_s']:.2f} s "
+          f"({record['batched_speedup']:.2f}x)")
+
+    if check and record["batched_speedup"] < 2.0:
+        print("FAIL: batched crossbar-simulator speedup fell below 2x", file=sys.stderr)
+        return 1
+    return 0
+
+
 @dataclass(frozen=True)
 class BenchmarkSuite:
     """One registered benchmark suite: runner, trajectory file, description."""
@@ -163,6 +186,12 @@ SUITES: "OrderedDict[str, BenchmarkSuite]" = OrderedDict(
             run_lockstep,
             "BENCH_lockstep.json",
             "serial-per-point vs lockstep stacked training wall-clock",
+        ),
+        BenchmarkSuite(
+            "hardware",
+            run_hardware,
+            "BENCH_hardware.json",
+            "batched crossbar-simulator inference vs naive per-tile loop",
         ),
     )
 )

@@ -3,9 +3,10 @@
 #
 #   ci/run_ci.sh            # tier-1: full test + benchmark suite (includes
 #                           # the kernel parity / engine regression tests,
-#                           # the 2-worker sweep parity tests, and the
-#                           # spec/store/CLI/deprecation-shim tests) plus a
-#                           # `python -m repro` CLI smoke job
+#                           # the 2-worker sweep parity tests, the
+#                           # spec/store/CLI/deprecation-shim tests, and the
+#                           # crossbar-simulator parity/eval tests) plus
+#                           # `python -m repro` CLI smoke jobs
 #   ci/run_ci.sh --quick    # engine regression tests only (fast iteration)
 #   ci/run_ci.sh --bench    # tier-1 plus one BENCH_<suite>.json data point
 #                           # per registered suite (suite names come from the
@@ -25,6 +26,7 @@ ENGINE_TESTS=(
   tests/test_cache_release.py
   tests/test_dtype_policy.py
   tests/test_mapper_cache.py
+  tests/test_routing_cache.py
   tests/test_sweep_regression.py
   tests/test_sweep_engine.py
   tests/test_lockstep.py
@@ -33,6 +35,8 @@ ENGINE_TESTS=(
   tests/test_run_store.py
   tests/test_cli.py
   tests/test_shims.py
+  tests/test_hardware_sim.py
+  tests/test_hardware_eval.py
 )
 
 if [[ "${1:-}" == "--quick" ]]; then
@@ -54,6 +58,15 @@ else
   python -m repro show table1 --store "$CLI_STORE" > /dev/null
   python -m repro compare table1 table1 --store "$CLI_STORE" > /dev/null
   python -m repro list --store "$CLI_STORE" > /dev/null
+
+  echo "== CLI smoke: device-level hardware evaluation (figure_hw) =="
+  python -m repro run figure_hw --workload mlp --scale tiny --store "$CLI_STORE" --quiet
+  python -m repro run figure_hw_baseline --workload mlp --scale tiny --store "$CLI_STORE" --quiet
+  # The compare view must render the per-corner accuracy deltas between the
+  # dense baseline and the Scissor-compressed run.  (Capture instead of
+  # piping into `grep -q`, which would close the pipe mid-write.)
+  HW_COMPARE="$(python -m repro compare figure_hw_baseline figure_hw --store "$CLI_STORE")"
+  grep -q "simulated hardware accuracy" <<< "$HW_COMPARE"
 fi
 
 if [[ "${1:-}" == "--bench" ]]; then

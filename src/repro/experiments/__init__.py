@@ -20,6 +20,7 @@ deprecation shims over the declarative core.
 from repro.experiments.figures import (
     Figure3Series,
     Figure5Series,
+    HardwareAccuracySeries,
     SparsityMap,
     run_figure3,
     run_figure5,
@@ -148,6 +149,7 @@ __all__ = [
     "run_table3",
     "Figure3Series",
     "Figure5Series",
+    "HardwareAccuracySeries",
     "SparsityMap",
     "run_figure3",
     "run_figure5",

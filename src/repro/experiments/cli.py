@@ -83,6 +83,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="also delete matrices that fit a single crossbar",
     )
     run.add_argument("--seed", type=int, help="seed override")
+    run.add_argument(
+        "--hardware",
+        help=(
+            "device-simulation override: JSON list of HardwareConfig dicts "
+            "(inline, or a path to a JSON file); '[]' disables simulation. "
+            "Only kind='sweep'/'baseline' specs accept it."
+        ),
+    )
     run.add_argument("--workers", type=int, help="engine worker processes")
     run.add_argument(
         "--engine-mode",
@@ -138,6 +146,35 @@ def _store_for(args) -> RunStore:
     return RunStore(args.store if args.store is not None else default_store_root())
 
 
+def _parse_hardware(argument: Optional[str]):
+    """Decode ``--hardware`` into a tuple of config dicts (``None`` = keep preset).
+
+    Accepts inline JSON (a list of :class:`~repro.hardware.sim.HardwareConfig`
+    dicts, or one bare dict) or the path of a JSON file holding the same;
+    ``ExperimentSpec`` validates the entries.
+    """
+    if argument is None:
+        return None
+    text = argument
+    path = Path(argument)
+    try:
+        if path.exists() and path.is_file():
+            text = path.read_text()
+    except OSError:  # e.g. an inline JSON string too long for a file name
+        pass
+    try:
+        parsed = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ReproError(
+            f"--hardware expects JSON (inline or a file path): {error}"
+        ) from None
+    if isinstance(parsed, dict):
+        parsed = [parsed]
+    if not isinstance(parsed, list):
+        raise ReproError("--hardware JSON must be a list of HardwareConfig dicts")
+    return tuple(parsed)
+
+
 def _resolve_spec(args) -> ExperimentSpec:
     name = args.experiment
     if name in REGISTRY:
@@ -161,6 +198,7 @@ def _resolve_spec(args) -> ExperimentSpec:
         "lowrank_method": args.lowrank_method,
         "include_small_matrices": args.include_small_matrices,
         "seed": args.seed,
+        "hardware": _parse_hardware(args.hardware),
         "workers": args.workers,
         "mode": args.mode,
         "per_point_seed": args.per_point_seed,

@@ -235,6 +235,75 @@ def run_figure5(
     return run.result
 
 
+# ------------------------------------------------------------------ Figure HW
+@dataclass
+class HardwareAccuracySeries:
+    """Accuracy-versus-device-corner curves of a hardware-evaluated run.
+
+    The view behind the ``figure_hw`` preset: one row per evaluated network
+    (the single dense baseline, or every sweep point), one column per
+    :class:`~repro.hardware.sim.HardwareConfig` corner label, cells holding
+    the simulated accuracy.  Built from any result object that carries
+    ``hardware`` blocks — :class:`~repro.experiments.plan.BaselineResult` or
+    the sweep results — so stored artifacts rebuild the same series.
+    """
+
+    workload_name: str
+    labels: List[str]
+    rows: Dict[str, Dict[str, float]]
+
+    @classmethod
+    def from_result(cls, result) -> "HardwareAccuracySeries":
+        """Extract the series from a hardware-evaluated result object."""
+        from repro.experiments.sweeps import hardware_labels
+
+        points = getattr(result, "points", None)
+        rows: Dict[str, Dict[str, float]] = {}
+        if points is None:
+            hardware = getattr(result, "hardware", None) or {}
+            if hardware:
+                rows["baseline"] = dict(hardware)
+        else:
+            for point in points:
+                hardware = getattr(point, "hardware", None) or {}
+                if not hardware:
+                    continue
+                value = getattr(point, "strength", getattr(point, "tolerance", None))
+                symbol = "lambda" if hasattr(point, "strength") else "eps"
+                rows[f"{symbol}={value:g}"] = dict(hardware)
+        return cls(
+            workload_name=getattr(result, "workload_name", "?"),
+            labels=hardware_labels([result] if points is None else points),
+            rows=rows,
+        )
+
+    def series(self, label: str) -> List[float]:
+        """Accuracy of every row at one device corner (row order)."""
+        return [hardware[label] for hardware in self.rows.values() if label in hardware]
+
+    def format_series(self) -> str:
+        """Text rendering: networks as rows, device corners as columns."""
+        if not self.rows:
+            return f"Hardware accuracy ({self.workload_name}): no simulated corners"
+        width = max(len("network"), max(len(name) for name in self.rows))
+        columns = [max(10, len(label) + 2) for label in self.labels]
+        header = f"{'network':<{width}}" + "".join(
+            f"{label:>{column}}" for label, column in zip(self.labels, columns)
+        )
+        lines = [
+            f"Hardware accuracy ({self.workload_name}): simulated device corners",
+            header,
+            "-" * len(header),
+        ]
+        for name, hardware in self.rows.items():
+            cells = "".join(
+                f"{hardware[label]:>{column}.3f}" if label in hardware else f"{'-':>{column}}"
+                for label, column in zip(self.labels, columns)
+            )
+            lines.append(f"{name:<{width}}{cells}")
+        return "\n".join(lines)
+
+
 # --------------------------------------------------------------------------- Figure 9
 @dataclass(frozen=True)
 class SparsityMap:

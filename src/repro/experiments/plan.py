@@ -9,7 +9,11 @@ policy the engine will use (serial / parallel / lockstep, chosen per spec).
 evaluation, lockstep stacked training — unchanged at the kernel level),
 skipping any point whose fingerprint already has a stored result when a
 :class:`~repro.experiments.store.RunStore` is supplied with ``resume=True``,
-and persists the outcome as a content-addressed JSON artifact.
+and persists the outcome as a content-addressed JSON artifact.  Specs with a
+``hardware`` section additionally run a device-level evaluation stage over
+every finished point network (:func:`repro.hardware.sim.simulate_evaluate`,
+batched across points); the simulated per-corner accuracies ride the point
+payloads and resume with them.
 
 The imperative entry points (``run_table1``, ``sweep_rank_clipping``, …) are
 thin deprecation shims over this module: they lift their arguments into a
@@ -57,6 +61,7 @@ from repro.experiments.training import TrainingSetup, train_baseline
 from repro.experiments.workloads import Workload
 from repro.hardware.area import layer_area_fraction, network_area_fraction
 from repro.hardware.mapper import NetworkMapper
+from repro.hardware.sim import simulate_evaluate
 from repro.utils.logging import get_logger
 
 logger = get_logger("experiments.plan")
@@ -178,39 +183,58 @@ class ExperimentRun:
 # -------------------------------------------------------------------- baseline
 @dataclass(frozen=True)
 class BaselineResult:
-    """Result of a ``kind="baseline"`` spec: the dense network's accuracy."""
+    """Result of a ``kind="baseline"`` spec: the dense network's accuracy.
+
+    ``hardware`` optionally carries the network's simulated accuracy per
+    device corner (``HardwareConfig.label`` → accuracy) when the spec has a
+    ``hardware`` section.
+    """
 
     workload_name: str
     scale: str
     iterations: int
     accuracy: Optional[float]
+    hardware: Optional[Dict[str, float]] = None
 
     def to_payload(self) -> Dict[str, Any]:
         """JSON view stored in run artifacts."""
-        return {
+        payload = {
             "workload_name": self.workload_name,
             "scale": self.scale,
             "iterations": self.iterations,
             "accuracy": self.accuracy,
         }
+        if self.hardware is not None:
+            payload["hardware"] = dict(self.hardware)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Dict[str, Any]) -> "BaselineResult":
         """Rebuild from :meth:`to_payload` output."""
+        hardware = payload.get("hardware")
         return cls(
             workload_name=payload["workload_name"],
             scale=payload["scale"],
             iterations=int(payload["iterations"]),
             accuracy=payload["accuracy"],
+            hardware=None
+            if hardware is None
+            else {label: float(value) for label, value in hardware.items()},
         )
 
     def format_table(self) -> str:
         """Text rendering."""
         accuracy = "n/a" if self.accuracy is None else f"{self.accuracy:.2%}"
-        return (
-            f"Baseline ({self.workload_name} @ {self.scale})\n"
-            f"iterations: {self.iterations}\naccuracy:   {accuracy}"
-        )
+        lines = [
+            f"Baseline ({self.workload_name} @ {self.scale})",
+            f"iterations: {self.iterations}",
+            f"accuracy:   {accuracy}",
+        ]
+        if self.hardware:
+            lines.append("simulated hardware accuracy:")
+            for label, value in self.hardware.items():
+                lines.append(f"  {label:<24} {value:.2%}")
+        return "\n".join(lines)
 
 
 # ------------------------------------------------------------- result payloads
@@ -474,6 +498,41 @@ def _ensure_baseline(
     return workload, setup, network, accuracy, info
 
 
+# ------------------------------------------------------------ hardware stage
+def _run_hardware_stage(
+    spec: ExperimentSpec,
+    setup: TrainingSetup,
+    networks,
+    timings: Dict[str, float],
+):
+    """Device-level simulated accuracy of every network per hardware corner.
+
+    Returns one ``{config.label: accuracy}`` dict per network (in order).
+    All networks of a sweep ride the batched simulator together — im2col is
+    shared and the tile MVMs stack across same-architecture groups — and one
+    mapper memoizes the tiling plans across corners.
+    """
+    networks = list(networks)
+    if not spec.hardware or not networks:
+        return [None] * len(networks)
+    t0 = time.perf_counter()
+    inputs, targets = setup.test_dataset.arrays()
+    mapper = NetworkMapper()
+    per_network: List[Dict[str, float]] = [{} for _ in networks]
+    for config in spec.hardware:
+        # batch_size bounds the im2col super-batch like the software eval
+        # path; the per-conversion ADC makes the chunking value-neutral.
+        accuracies = simulate_evaluate(
+            networks, inputs, targets, config, mapper=mapper, batch_size=256
+        )
+        for slot, value in enumerate(accuracies):
+            per_network[slot][config.label] = value
+    timings["hardware_s"] = round(
+        timings.get("hardware_s", 0.0) + time.perf_counter() - t0, 6
+    )
+    return per_network
+
+
 # ------------------------------------------------------------ one-shot kinds
 def _execute_single(
     spec: ExperimentSpec, context: ExperimentContext, timings: Dict[str, float]
@@ -484,11 +543,15 @@ def _execute_single(
     )
     t0 = time.perf_counter()
     if spec.kind == "baseline":
+        hardware = None
+        if spec.hardware:
+            hardware = _run_hardware_stage(spec, setup, [network], timings)[0]
         result = BaselineResult(
             workload_name=workload.name,
             scale=workload.scale.name,
             iterations=workload.scale.baseline_iterations,
             accuracy=accuracy,
+            hardware=hardware,
         )
     elif spec.kind == "table1":
         result = _run_table1(spec, workload, setup, network, accuracy)
@@ -500,7 +563,11 @@ def _execute_single(
         result = _run_figure5(spec, workload, setup, network)
     else:  # pragma: no cover - build_plan and KINDS keep this unreachable
         raise ExperimentError(f"cannot execute kind {spec.kind!r}")
-    timings["points_s"] = round(time.perf_counter() - t0, 6)
+    # The baseline kind's hardware-eval stage books its own hardware_s entry;
+    # keep points_s as pure result-building time.
+    timings["points_s"] = round(
+        time.perf_counter() - t0 - timings.get("hardware_s", 0.0), 6
+    )
     return result, info
 
 
@@ -711,12 +778,18 @@ def _execute_sweep(
             )
         t0 = time.perf_counter()
         if spec.method == "rank_clipping":
-            computed = _run_tolerance_points(spec, workload, setup, network, pending)
+            computed = _run_tolerance_points(
+                spec, workload, setup, network, pending, timings
+            )
         else:
             computed, cache_stats = _run_strength_points(
-                spec, workload, setup, network, pending
+                spec, workload, setup, network, pending, timings
             )
-        timings["points_s"] = round(time.perf_counter() - t0, 6)
+        # The hardware-eval stage ran inside this window but books its own
+        # hardware_s entry; keep points_s as pure training/evaluation time.
+        timings["points_s"] = round(
+            time.perf_counter() - t0 - timings.get("hardware_s", 0.0), 6
+        )
     else:
         # Every point is stored: assemble without training.  The baseline
         # accuracy the result quotes comes from the context, a stored
@@ -769,6 +842,7 @@ def _run_tolerance_points(
     setup: TrainingSetup,
     baseline_network,
     points: List[PlanPoint],
+    timings: Dict[str, float],
 ) -> Dict[str, TolerancePoint]:
     """Train the pending ε rank-clipping points through the engine."""
     engine = spec.engine
@@ -807,9 +881,12 @@ def _run_tolerance_points(
         accuracies = engine.evaluate_networks(
             [outcome.network for outcome in outcomes], setup
         )
+    hardware = _run_hardware_stage(
+        spec, setup, [outcome.network for outcome in outcomes], timings
+    )
 
     results: Dict[str, TolerancePoint] = {}
-    for point, outcome, accuracy in zip(points, outcomes, accuracies):
+    for slot, (point, outcome, accuracy) in enumerate(zip(points, outcomes, accuracies)):
         ranks = outcome.ranks
         fractions = {
             name: layer_area_fraction(*workload.layer_shapes[name], ranks.get(name))
@@ -826,6 +903,7 @@ def _run_tolerance_points(
             ranks=dict(ranks),
             layer_area_fractions=fractions,
             total_area_fraction=total,
+            hardware=hardware[slot],
         )
     return results
 
@@ -836,6 +914,7 @@ def _run_strength_points(
     setup: TrainingSetup,
     baseline_network,
     points: List[PlanPoint],
+    timings: Dict[str, float],
 ):
     """Clip once, then train the pending λ deletion points through the engine."""
     engine = spec.engine
@@ -891,13 +970,17 @@ def _run_strength_points(
             if key != "size":
                 cache_stats[key] = cache_stats.get(key, 0) + value
 
+    hardware = _run_hardware_stage(
+        spec, setup, [outcome.network for outcome in outcomes], timings
+    )
     results: Dict[str, StrengthPoint] = {}
-    for point, outcome, accuracy in zip(points, outcomes, accuracies):
+    for slot, (point, outcome, accuracy) in enumerate(zip(points, outcomes, accuracies)):
         results[point.fingerprint] = StrengthPoint(
             strength=outcome.strength,
             accuracy=accuracy,
             error=1.0 - accuracy,
             wire_fractions=outcome.wire_fractions,
             routing_area_fractions=outcome.routing_area_fractions,
+            hardware=hardware[slot],
         )
     return results, cache_stats

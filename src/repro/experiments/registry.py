@@ -21,6 +21,7 @@ from typing import Iterator, Mapping, Tuple, Union
 
 from repro.exceptions import ExperimentError
 from repro.experiments.spec import ExperimentSpec
+from repro.hardware.sim import HardwareConfig
 
 SpecLike = Union[ExperimentSpec, Mapping]
 
@@ -98,6 +99,20 @@ class ExperimentRegistry:
 
 #: The process-wide registry the CLI and shims consult.
 REGISTRY = ExperimentRegistry()
+
+#: Device corners swept by the ``figure_hw`` / ``figure_hw_baseline`` presets:
+#: a write-precision axis (2–8 bits), a programming-noise axis at 6 bits, and
+#: one combined corner with faults and a 6-bit ADC.
+HARDWARE_CORNERS = (
+    HardwareConfig.ideal(),
+    HardwareConfig(bits=2),
+    HardwareConfig(bits=4),
+    HardwareConfig(bits=6),
+    HardwareConfig(bits=8),
+    HardwareConfig(bits=6, program_noise=0.02),
+    HardwareConfig(bits=6, program_noise=0.1),
+    HardwareConfig(bits=6, program_noise=0.02, fault_rate=0.002, adc_bits=6),
+)
 
 
 def _register_paper_presets(registry: ExperimentRegistry) -> None:
@@ -177,6 +192,35 @@ def _register_paper_presets(registry: ExperimentRegistry) -> None:
         "headline",
         ExperimentSpec(kind="headline"),
         description="Abstract headline area numbers recomputed through the hardware model",
+    )
+    registry.register(
+        "figure_hw",
+        ExperimentSpec(
+            kind="sweep",
+            method="group_deletion",
+            workload="lenet",
+            scale="small",
+            grid=(0.04,),
+            include_small_matrices=True,
+            hardware=HARDWARE_CORNERS,
+        ),
+        description=(
+            "Hardware-fidelity accuracy of the Scissor-compressed LeNet across "
+            "device precision / noise / fault corners (compare with figure_hw_baseline)"
+        ),
+    )
+    registry.register(
+        "figure_hw_baseline",
+        ExperimentSpec(
+            kind="baseline",
+            workload="lenet",
+            scale="small",
+            hardware=HARDWARE_CORNERS,
+        ),
+        description=(
+            "Dense LeNet baseline evaluated on the same simulated device corners "
+            "as figure_hw"
+        ),
     )
 
 

@@ -38,9 +38,15 @@ from repro.exceptions import ConfigurationError, ExperimentError
 from repro.experiments.presets import ExperimentScale, get_scale
 from repro.experiments.runner import SweepEngine
 from repro.experiments.workloads import Workload, get_workload
+from repro.hardware.sim import HardwareConfig
 
 #: Experiment families the planner knows how to expand.
 KINDS = ("table1", "table3", "figure3", "figure5", "sweep", "headline", "baseline")
+
+#: Kinds whose trained networks can ride the device-level hardware simulator
+#: (their point results carry per-network payload dicts; the trace/table kinds
+#: would need a different result shape).
+HARDWARE_KINDS = ("sweep", "baseline")
 
 #: Training methods a spec can select.
 METHODS = ("rank_clipping", "group_deletion", "baseline")
@@ -100,6 +106,16 @@ class ExperimentSpec:
         Low-rank backend for clipping (``pca`` / ``svd``).
     seed:
         Optional seed override (replaces the scale preset's seed).
+    hardware:
+        Optional tuple of :class:`~repro.hardware.sim.HardwareConfig` device
+        corners.  When non-empty (``kind`` must be in
+        :data:`HARDWARE_KINDS`) every finished point network is additionally
+        evaluated on the crossbar simulator under each corner, and the
+        simulated accuracies land in the point payloads keyed by
+        ``config.label``.  Participates in spec *and* point fingerprints —
+        hardware-evaluated points are distinct artifacts from software-only
+        ones — but an empty tuple is excluded, so pre-existing fingerprints
+        are unchanged.
     engine:
         The :class:`~repro.experiments.runner.SweepEngine` execution policy.
     name:
@@ -118,6 +134,7 @@ class ExperimentSpec:
     include_small_matrices: bool = False
     lowrank_method: str = "pca"
     seed: Optional[int] = None
+    hardware: Tuple[HardwareConfig, ...] = ()
     engine: SweepEngine = SweepEngine()
     name: str = ""
 
@@ -165,6 +182,28 @@ class ExperimentSpec:
             )
         if self.seed is not None:
             object.__setattr__(self, "seed", int(self.seed))
+        hardware = []
+        for entry in self.hardware:
+            if isinstance(entry, HardwareConfig):
+                hardware.append(entry)
+            elif isinstance(entry, Mapping):
+                hardware.append(HardwareConfig.from_dict(entry))
+            else:
+                raise ExperimentError(
+                    "hardware entries must be HardwareConfig objects or mappings, "
+                    f"got {type(entry).__name__}"
+                )
+        object.__setattr__(self, "hardware", tuple(hardware))
+        if hardware and self.kind not in HARDWARE_KINDS:
+            raise ExperimentError(
+                f"kind {self.kind!r} does not support hardware evaluation; "
+                f"expected one of {list(HARDWARE_KINDS)}"
+            )
+        labels = [config.label for config in hardware]
+        if len(set(labels)) != len(labels):
+            raise ExperimentError(
+                f"hardware corners must have distinct labels, got {labels}"
+            )
         if not self.name:
             object.__setattr__(self, "name", self.kind)
 
@@ -184,6 +223,7 @@ class ExperimentSpec:
             "include_small_matrices": self.include_small_matrices,
             "lowrank_method": self.lowrank_method,
             "seed": self.seed,
+            "hardware": [config.as_dict() for config in self.hardware],
             "engine": self.engine.as_dict(),
         }
 
@@ -211,9 +251,16 @@ class ExperimentSpec:
 
     # ----------------------------------------------------------- fingerprints
     def canonical(self) -> Dict[str, Any]:
-        """The content that addresses this spec's run artifact."""
+        """The content that addresses this spec's run artifact.
+
+        An empty ``hardware`` tuple is dropped so specs that never touch the
+        simulator keep the fingerprints (and stored artifacts) they had
+        before the hardware section existed.
+        """
         payload = self.to_dict()
         payload.pop("name")
+        if not payload["hardware"]:
+            payload.pop("hardware")
         return payload
 
     def fingerprint(self) -> str:

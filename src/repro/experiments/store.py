@@ -211,12 +211,52 @@ def render_artifact(artifact: Dict[str, Any]) -> str:
     baseline = artifact.get("baseline") or {}
     if baseline.get("accuracy") is not None:
         lines.append(f"baseline accuracy: {baseline['accuracy']:.4f}")
+    hardware = hardware_summary(artifact)
+    if hardware:
+        lines.append(
+            f"hardware corners: {len(hardware)} simulated accuracy value(s) "
+            f"({', '.join(list(hardware)[:4])}{', …' if len(hardware) > 4 else ''})"
+        )
     result_payload = artifact.get("result")
     if result_payload is not None and artifact.get("spec"):
         spec = ExperimentSpec.from_dict(artifact["spec"])
         lines.append("")
         lines.append(render_result(result_from_payload(spec, result_payload)))
     return "\n".join(lines)
+
+
+def hardware_summary(artifact: Dict[str, Any]) -> Dict[str, float]:
+    """Flat ``corner label → simulated accuracy`` rows of one artifact.
+
+    Collects the device-simulation blocks a hardware-evaluated run stores —
+    the result-level ``hardware`` dict of a baseline run, or the per-point
+    ``hardware`` dicts of a sweep.  Single-point artifacts key rows by the
+    corner label alone, so a baseline and a single-λ compressed run align in
+    :func:`compare_artifacts`; multi-point sweeps qualify each row with the
+    point's swept value.  Returns ``{}`` for runs without simulation.
+    """
+    result = artifact.get("result") or {}
+    entries = []
+    hardware = result.get("hardware")
+    if isinstance(hardware, dict) and hardware:
+        entries.append(("", hardware))
+    for point in result.get("points") or []:
+        if not isinstance(point, dict):
+            continue
+        hardware = point.get("hardware")
+        if isinstance(hardware, dict) and hardware:
+            value = point.get("strength", point.get("tolerance"))
+            qualifier = f"{value:g}" if isinstance(value, (int, float)) else str(value)
+            entries.append((qualifier, hardware))
+    if not entries:
+        return {}
+    if len(entries) == 1:
+        return {label: float(value) for label, value in entries[0][1].items()}
+    rows: Dict[str, float] = {}
+    for qualifier, hardware in entries:
+        for label, value in hardware.items():
+            rows[f"{label}@{qualifier}"] = float(value)
+    return rows
 
 
 def _flatten_numeric(value: Any, prefix: str, out: Dict[str, float]) -> None:
@@ -226,6 +266,11 @@ def _flatten_numeric(value: Any, prefix: str, out: Dict[str, float]) -> None:
         out[prefix] = float(value)
     elif isinstance(value, dict):
         for key in sorted(value):
+            if key == "hardware":
+                # Simulated accuracies render in compare_artifacts' dedicated
+                # hardware table; flattening them too would list every corner
+                # twice.
+                continue
             _flatten_numeric(value[key], f"{prefix}.{key}" if prefix else str(key), out)
     elif isinstance(value, (list, tuple)):
         for index, item in enumerate(value):
@@ -267,4 +312,19 @@ def compare_artifacts(first: Dict[str, Any], second: Dict[str, Any]) -> str:
         lines.append(f"only in {label_b}: {len(only_b)} metric(s), e.g. {only_b[:3]}")
     if not shared:
         lines.append("(no shared numeric metrics)")
+    hw_a = hardware_summary(first)
+    hw_b = hardware_summary(second)
+    shared_hw = [label for label in hw_a if label in hw_b]
+    if shared_hw:
+        width = max(len("corner"), max(len(label) for label in shared_hw))
+        lines.append("")
+        lines.append("simulated hardware accuracy:")
+        lines.append(
+            f"{'corner':<{width}}  {label_a:>16}  {label_b:>16}  {'delta':>12}"
+        )
+        for label in shared_hw:
+            delta = hw_b[label] - hw_a[label]
+            lines.append(
+                f"{label:<{width}}  {hw_a[label]:>16.4f}  {hw_b[label]:>16.4f}  {delta:>+12.4f}"
+            )
     return "\n".join(lines)

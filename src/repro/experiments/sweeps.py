@@ -27,10 +27,53 @@ from repro.experiments.training import TrainingSetup
 from repro.experiments.workloads import Workload
 
 
+# ------------------------------------------------------------------- hardware
+def _hardware_from_payload(payload: Dict[str, Any]) -> Optional[Dict[str, float]]:
+    """Simulated-accuracy block of a point payload (absent → ``None``)."""
+    hardware = payload.get("hardware")
+    if hardware is None:
+        return None
+    return {label: float(value) for label, value in hardware.items()}
+
+
+def hardware_labels(points: Sequence) -> List[str]:
+    """Device-corner labels present in a point list, first-seen order."""
+    labels: List[str] = []
+    for point in points:
+        for label in getattr(point, "hardware", None) or {}:
+            if label not in labels:
+                labels.append(label)
+    return labels
+
+
+def _hardware_columns(points: Sequence) -> tuple:
+    """``(header, per-point cell strings)`` for the sweep tables."""
+    labels = hardware_labels(points)
+    widths = [max(14, len(label) + 5) for label in labels]
+    header = "".join(
+        f"{f'hw {label}':>{width}}" for label, width in zip(labels, widths)
+    )
+    cells = []
+    for point in points:
+        hardware = getattr(point, "hardware", None) or {}
+        cells.append(
+            "".join(
+                f"{hardware[label]:>{width}.3f}" if label in hardware else f"{'-':>{width}}"
+                for label, width in zip(labels, widths)
+            )
+        )
+    return header, cells
+
+
 # ----------------------------------------------------------------- Figure 6 / 7
 @dataclass(frozen=True)
 class TolerancePoint:
-    """One ε point of the rank-clipping sweep."""
+    """One ε point of the rank-clipping sweep.
+
+    ``hardware`` optionally carries the point network's simulated accuracy
+    per device corner (``HardwareConfig.label`` → accuracy), filled in when
+    the owning spec has a ``hardware`` section.
+    """
 
     tolerance: float
     accuracy: float
@@ -38,10 +81,11 @@ class TolerancePoint:
     ranks: Dict[str, int]
     layer_area_fractions: Dict[str, float]
     total_area_fraction: float
+    hardware: Optional[Dict[str, float]] = None
 
     def to_payload(self) -> Dict[str, Any]:
         """JSON view stored in run artifacts."""
-        return {
+        payload = {
             "tolerance": self.tolerance,
             "accuracy": self.accuracy,
             "error": self.error,
@@ -49,6 +93,9 @@ class TolerancePoint:
             "layer_area_fractions": dict(self.layer_area_fractions),
             "total_area_fraction": self.total_area_fraction,
         }
+        if self.hardware is not None:
+            payload["hardware"] = dict(self.hardware)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Dict[str, Any]) -> "TolerancePoint":
@@ -63,6 +110,7 @@ class TolerancePoint:
                 for name, value in payload["layer_area_fractions"].items()
             },
             total_area_fraction=float(payload["total_area_fraction"]),
+            hardware=_hardware_from_payload(payload),
         )
 
 
@@ -117,13 +165,15 @@ class ToleranceSweepResult:
         raising.
         """
         layers = sorted({layer for p in self.points for layer in p.ranks})
+        hw_header, hw_cells = _hardware_columns(self.points)
         header = (
             f"{'eps':>8}{'error':>9}{'total%':>9}"
             + "".join(f"{f'{l} K':>9}" for l in layers)
             + "".join(f"{f'{l} %':>9}" for l in layers)
+            + hw_header
         )
         lines = [f"Tolerance sweep ({self.workload_name})", header, "-" * len(header)]
-        for p in self.points:
+        for p, hw in zip(self.points, hw_cells):
             ranks = "".join(
                 f"{p.ranks[l]:>9}" if l in p.ranks else f"{'-':>9}" for l in layers
             )
@@ -135,7 +185,7 @@ class ToleranceSweepResult:
             )
             lines.append(
                 f"{p.tolerance:>8.3f}{p.error:>9.3f}{100 * p.total_area_fraction:>8.1f}%"
-                f"{ranks}{areas}"
+                f"{ranks}{areas}{hw}"
             )
         return "\n".join(lines)
 
@@ -195,23 +245,32 @@ def sweep_rank_clipping(
 # --------------------------------------------------------------------- Figure 8
 @dataclass(frozen=True)
 class StrengthPoint:
-    """One λ point of the group-deletion sweep."""
+    """One λ point of the group-deletion sweep.
+
+    ``hardware`` optionally carries the point network's simulated accuracy
+    per device corner (``HardwareConfig.label`` → accuracy), filled in when
+    the owning spec has a ``hardware`` section.
+    """
 
     strength: float
     accuracy: float
     error: float
     wire_fractions: Dict[str, float]
     routing_area_fractions: Dict[str, float]
+    hardware: Optional[Dict[str, float]] = None
 
     def to_payload(self) -> Dict[str, Any]:
         """JSON view stored in run artifacts."""
-        return {
+        payload = {
             "strength": self.strength,
             "accuracy": self.accuracy,
             "error": self.error,
             "wire_fractions": dict(self.wire_fractions),
             "routing_area_fractions": dict(self.routing_area_fractions),
         }
+        if self.hardware is not None:
+            payload["hardware"] = dict(self.hardware)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Dict[str, Any]) -> "StrengthPoint":
@@ -227,6 +286,7 @@ class StrengthPoint:
                 name: float(value)
                 for name, value in payload["routing_area_fractions"].items()
             },
+            hardware=_hardware_from_payload(payload),
         )
 
 
@@ -293,13 +353,15 @@ class StrengthSweepResult:
         matrix renders stub cells instead of raising.
         """
         names = self.matrices()
+        hw_header, hw_cells = _hardware_columns(self.points)
         header = (
             f"{'lambda':>10}{'error':>9}"
             + "".join(f"{f'{n} w%':>14}" for n in names)
             + "".join(f"{f'{n} a%':>14}" for n in names)
+            + hw_header
         )
         lines = [f"Strength sweep ({self.workload_name})", header, "-" * len(header)]
-        for p in self.points:
+        for p, hw in zip(self.points, hw_cells):
             wires = "".join(
                 f"{100 * p.wire_fractions[n]:>13.1f}%"
                 if n in p.wire_fractions
@@ -312,7 +374,7 @@ class StrengthSweepResult:
                 else f"{'-':>14}"
                 for n in names
             )
-            lines.append(f"{p.strength:>10.4f}{p.error:>9.3f}{wires}{areas}")
+            lines.append(f"{p.strength:>10.4f}{p.error:>9.3f}{wires}{areas}{hw}")
         return "\n".join(lines)
 
 

@@ -1,4 +1,5 @@
-"""Memristor-crossbar hardware model: technology, tiling, area and routing."""
+"""Memristor-crossbar hardware model: technology, tiling, area, routing and
+device-level simulation (:mod:`repro.hardware.sim`)."""
 
 from repro.hardware.compaction import (
     CompactedCrossbar,
@@ -33,6 +34,18 @@ from repro.hardware.routing import (
     mask_fingerprint,
     routing_area,
     routing_area_from_lengths,
+)
+from repro.hardware.sim import (
+    HardwareConfig,
+    ProgrammedMatrix,
+    ProgrammedNetwork,
+    program_matrix,
+    program_network,
+    simulate_evaluate,
+    simulate_mvm,
+    simulate_predict,
+    stacked_programmed_predict,
+    stacked_simulate_predict,
 )
 from repro.hardware.technology import PAPER_TECHNOLOGY, TechnologyParameters
 from repro.hardware.tiling import TilingPlan, plan_for_matrix, plan_tiling
@@ -69,6 +82,16 @@ __all__ = [
     "MatrixHardwareReport",
     "LayerHardwareReport",
     "NetworkHardwareReport",
+    "HardwareConfig",
+    "ProgrammedMatrix",
+    "ProgrammedNetwork",
+    "program_matrix",
+    "program_network",
+    "simulate_evaluate",
+    "simulate_mvm",
+    "simulate_predict",
+    "stacked_programmed_predict",
+    "stacked_simulate_predict",
     "CompactedCrossbar",
     "CompactionReport",
     "compact_matrix",

@@ -133,4 +133,4 @@ class TestBench:
         listed = capsys.readouterr().out.split()
         runner = _load_benchmark_runner()
         assert tuple(listed) == runner.suite_names()
-        assert set(listed) == {"kernels", "sweeps", "lockstep"}
+        assert set(listed) == {"kernels", "sweeps", "lockstep", "hardware"}

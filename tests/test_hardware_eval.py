@@ -1,0 +1,288 @@
+"""Integration tests for the hardware-evaluation axis of the experiment pipeline.
+
+Exercises the ``hardware`` section of :class:`ExperimentSpec` end to end:
+spec validation / round-trips / fingerprinting, the hardware-eval stage of
+``execute_spec`` over baseline and sweep kinds, per-point artifact payloads
+with zero-recompute resume, the ``figure_hw`` / ``figure_hw_baseline``
+presets, the compare/show renderings, and the CLI plumbing.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    REGISTRY,
+    ExperimentSpec,
+    HardwareAccuracySeries,
+    RunStore,
+    execute_spec,
+    point_fingerprint,
+    result_from_payload,
+)
+from repro.experiments.cli import main as cli_main
+from repro.experiments.store import compare_artifacts, hardware_summary, render_artifact
+from repro.hardware.sim import HardwareConfig
+
+CORNERS = (HardwareConfig.ideal(), HardwareConfig(bits=4, program_noise=0.05))
+LABELS = [config.label for config in CORNERS]
+
+
+def hw_sweep_spec(**overrides):
+    spec = ExperimentSpec(
+        kind="sweep",
+        method="group_deletion",
+        workload="mlp",
+        scale="tiny",
+        grid=(0.04,),
+        hardware=CORNERS,
+        name="hw-sweep",
+    )
+    return spec.with_updates(**overrides) if overrides else spec
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    return RunStore(tmp_path_factory.mktemp("hw-store"))
+
+
+@pytest.fixture(scope="module")
+def sweep_run(store):
+    return execute_spec(hw_sweep_spec(), store=store)
+
+
+@pytest.fixture(scope="module")
+def baseline_run(store):
+    spec = ExperimentSpec(
+        kind="baseline", workload="mlp", scale="tiny", hardware=CORNERS, name="hw-base"
+    )
+    return execute_spec(spec, store=store)
+
+
+# ------------------------------------------------------------------- spec
+class TestSpecHardwareSection:
+    def test_round_trip_through_dicts_and_json(self):
+        spec = hw_sweep_spec()
+        rebuilt = ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+        assert rebuilt.hardware == CORNERS
+
+    def test_mappings_are_normalized(self):
+        spec = hw_sweep_spec(hardware=({"bits": 4}, {"bits": 8, "seed": 1}))
+        assert all(isinstance(config, HardwareConfig) for config in spec.hardware)
+        assert [config.label for config in spec.hardware] == ["b4", "b8-s1"]
+
+    def test_empty_hardware_keeps_legacy_fingerprint(self):
+        with_field = hw_sweep_spec(hardware=())
+        assert "hardware" not in with_field.canonical()
+        assert "hardware" in hw_sweep_spec().canonical()
+
+    def test_hardware_changes_spec_and_point_fingerprints(self):
+        plain = hw_sweep_spec(hardware=())
+        hw = hw_sweep_spec()
+        assert plain.fingerprint() != hw.fingerprint()
+        assert point_fingerprint(plain, 0, 0.04) != point_fingerprint(hw, 0, 0.04)
+        # Different corners → different points; same corners → same points.
+        other = hw_sweep_spec(hardware=(HardwareConfig(bits=2),))
+        assert point_fingerprint(hw, 0, 0.04) != point_fingerprint(other, 0, 0.04)
+        assert point_fingerprint(hw, 0, 0.04) == point_fingerprint(
+            hw_sweep_spec(name="renamed"), 0, 0.04
+        )
+
+    def test_unsupported_kind_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentSpec(kind="table1", hardware=CORNERS)
+        with pytest.raises(ExperimentError):
+            ExperimentSpec(kind="headline", hardware=CORNERS)
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ExperimentError):
+            hw_sweep_spec(hardware=(HardwareConfig(bits=4), HardwareConfig(bits=4)))
+
+    def test_presets_registered(self):
+        assert "figure_hw" in REGISTRY
+        assert "figure_hw_baseline" in REGISTRY
+        spec = REGISTRY.get("figure_hw", workload="mlp", scale="tiny")
+        assert spec.hardware
+        assert spec.kind == "sweep"
+        base = REGISTRY.get("figure_hw_baseline")
+        assert [c.label for c in base.hardware] == [c.label for c in spec.hardware]
+
+
+# -------------------------------------------------------------- execution
+class TestHardwareExecution:
+    def test_sweep_points_carry_hardware_payloads(self, sweep_run):
+        point = sweep_run.result.points[0]
+        assert point.hardware is not None
+        assert sorted(point.hardware) == sorted(LABELS)
+        assert all(0.0 <= value <= 1.0 for value in point.hardware.values())
+        assert "hardware_s" in sweep_run.timings
+
+    def test_ideal_corner_matches_software_accuracy(self, sweep_run, baseline_run):
+        point = sweep_run.result.points[0]
+        assert point.hardware["ideal"] == pytest.approx(point.accuracy, abs=1e-12)
+        baseline = baseline_run.result
+        assert baseline.hardware["ideal"] == pytest.approx(baseline.accuracy, abs=1e-12)
+
+    def test_artifact_stores_per_point_hardware(self, store, sweep_run):
+        artifact = store.load(sweep_run.fingerprint)
+        (entry,) = artifact["points"].values()
+        assert sorted(entry["payload"]["hardware"]) == sorted(LABELS)
+        rebuilt = result_from_payload(sweep_run.spec, artifact["result"])
+        assert rebuilt.points[0].hardware == sweep_run.result.points[0].hardware
+
+    def test_resume_is_zero_recompute(self, store, sweep_run):
+        again = execute_spec(hw_sweep_spec(), store=store)
+        assert again.computed_points == 0
+        assert again.reused_points == 1
+        assert again.result.points[0].hardware == sweep_run.result.points[0].hardware
+
+    def test_point_resume_across_grids(self, store, sweep_run):
+        wider = hw_sweep_spec(grid=(0.04, 0.08), name="hw-sweep-wide")
+        run = execute_spec(wider, store=store)
+        assert run.computed_points == 1  # only λ=0.08 trains
+        assert run.result.points[0].hardware == sweep_run.result.points[0].hardware
+
+    def test_software_only_points_are_not_reused_for_hardware(self, store):
+        # A hardware spec must not resume from a software-only point (its
+        # payload has no simulated accuracies) — the fingerprints differ.
+        plain = hw_sweep_spec(hardware=(), name="plain-sweep")
+        run = execute_spec(plain, store=store)
+        assert run.computed_points == 1
+        assert run.result.points[0].hardware is None
+
+    def test_baseline_result_round_trips(self, baseline_run):
+        payload = baseline_run.result.to_payload()
+        rebuilt = type(baseline_run.result).from_payload(payload)
+        assert rebuilt.hardware == baseline_run.result.hardware
+        assert "simulated hardware accuracy" in rebuilt.format_table()
+
+
+# ------------------------------------------------------------- rendering
+class TestRendering:
+    def test_sweep_table_has_hardware_columns(self, sweep_run):
+        table = sweep_run.result.format_table()
+        for label in LABELS:
+            assert f"hw {label}" in table
+
+    def test_hardware_accuracy_series(self, sweep_run, baseline_run):
+        series = HardwareAccuracySeries.from_result(sweep_run.result)
+        assert series.labels == LABELS
+        assert list(series.rows) == ["lambda=0.04"]
+        assert len(series.series("ideal")) == 1
+        base_series = HardwareAccuracySeries.from_result(baseline_run.result)
+        assert list(base_series.rows) == ["baseline"]
+        assert "simulated device corners" in series.format_series()
+
+    def test_hardware_summary_and_compare(self, store, sweep_run, baseline_run):
+        sweep_artifact = store.load(sweep_run.fingerprint)
+        base_artifact = store.load(baseline_run.fingerprint)
+        assert sorted(hardware_summary(sweep_artifact)) == sorted(LABELS)
+        assert sorted(hardware_summary(base_artifact)) == sorted(LABELS)
+        text = compare_artifacts(base_artifact, sweep_artifact)
+        assert "simulated hardware accuracy" in text
+        for label in LABELS:
+            assert label in text
+
+    def test_render_artifact_mentions_corners(self, store, sweep_run):
+        text = render_artifact(store.load(sweep_run.fingerprint))
+        assert "hardware corners" in text
+
+    def test_compare_renders_each_corner_once(self, store, sweep_run):
+        # Hardware accuracies live in the dedicated table only — the generic
+        # flattened-metric table must not list the same corners again.
+        artifact = store.load(sweep_run.fingerprint)
+        text = compare_artifacts(artifact, artifact)
+        for label in LABELS:
+            assert text.count(label) == 1
+
+    def test_summary_empty_without_hardware(self):
+        assert hardware_summary({"result": {"points": [{"accuracy": 0.5}]}}) == {}
+
+
+# -------------------------------------------------------------------- CLI
+class TestCli:
+    def test_run_show_compare(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        hardware = json.dumps([config.as_dict() for config in CORNERS])
+        assert (
+            cli_main(
+                [
+                    "run",
+                    "figure_hw",
+                    "--workload",
+                    "mlp",
+                    "--scale",
+                    "tiny",
+                    "--hardware",
+                    hardware,
+                    "--store",
+                    store_dir,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "hw ideal" in out
+        assert (
+            cli_main(
+                [
+                    "run",
+                    "figure_hw_baseline",
+                    "--workload",
+                    "mlp",
+                    "--scale",
+                    "tiny",
+                    "--hardware",
+                    hardware,
+                    "--store",
+                    store_dir,
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert cli_main(["show", "figure_hw", "--store", store_dir]) == 0
+        assert "hardware corners" in capsys.readouterr().out
+        assert (
+            cli_main(
+                ["compare", "figure_hw_baseline", "figure_hw", "--store", store_dir]
+            )
+            == 0
+        )
+        assert "simulated hardware accuracy" in capsys.readouterr().out
+
+    def test_hardware_flag_rejects_bad_json(self, tmp_path):
+        assert (
+            cli_main(
+                [
+                    "run",
+                    "baseline",
+                    "--hardware",
+                    "{not json",
+                    "--no-store",
+                ]
+            )
+            == 2
+        )
+
+    def test_hardware_flag_reads_file(self, tmp_path, capsys):
+        config_file = tmp_path / "hw.json"
+        config_file.write_text(json.dumps([{"bits": 4}]))
+        assert (
+            cli_main(
+                [
+                    "run",
+                    "baseline",
+                    "--scale",
+                    "tiny",
+                    "--hardware",
+                    str(config_file),
+                    "--no-store",
+                ]
+            )
+            == 0
+        )
+        assert "b4" in capsys.readouterr().out

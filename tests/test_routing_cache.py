@@ -1,0 +1,139 @@
+"""Edge-case tests for ``RoutingAnalysisCache.export_entries`` / ``merge_entries``.
+
+The sweep engines thread these entries between points and across worker
+processes (PR 3), so the merge semantics — overlap handling, empty exports,
+plan-sensitivity of the keys, eviction, counter hygiene — are load-bearing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware.library import CrossbarLibrary
+from repro.hardware.routing import RoutingAnalysisCache, analyze_routing
+from repro.hardware.technology import TechnologyParameters
+from repro.hardware.tiling import TilingPlan, plan_tiling
+
+
+def small_plan(tile=4, rows=16, cols=12, name="m"):
+    library = CrossbarLibrary(
+        technology=TechnologyParameters(max_crossbar_rows=tile, max_crossbar_cols=tile)
+    )
+    return plan_tiling(rows, cols, library=library, name=name)
+
+
+@pytest.fixture
+def weights(rng):
+    values = rng.standard_normal((16, 12))
+    values[np.abs(values) < 0.4] = 0.0
+    return values
+
+
+class TestExportEntries:
+    def test_empty_cache_exports_nothing(self):
+        assert RoutingAnalysisCache().export_entries() == []
+
+    def test_entries_are_plain_values_and_round_trip(self, weights):
+        cache = RoutingAnalysisCache()
+        plan = small_plan()
+        report = cache.analyze(weights, plan)
+        entries = cache.export_entries()
+        assert len(entries) == 1
+        ((key, remaining),) = entries
+        assert isinstance(key, tuple)
+        assert remaining == report.remaining_wires
+        # Exporting does not consume the cache or its counters.
+        assert cache.stats() == {"hits": 0, "misses": 1, "size": 1}
+
+
+class TestMergeEntries:
+    def test_merge_none_and_empty(self):
+        cache = RoutingAnalysisCache()
+        assert cache.merge_entries(None) == 0
+        assert cache.merge_entries([]) == 0
+        assert len(cache) == 0
+
+    def test_merge_overlapping_entry_sets(self, weights, rng):
+        plan = small_plan()
+        # Distinct live masks (a dense matrix would alias another dense one:
+        # the cache keys the *mask*, not the values).
+        other_weights = rng.standard_normal((16, 12))
+        other_weights[:3, :] = 0.0
+        third = rng.standard_normal((16, 12))
+        third[:, :5] = 0.0
+
+        donor_a = RoutingAnalysisCache()
+        donor_a.analyze(weights, plan)
+        donor_a.analyze(other_weights, plan)
+        donor_b = RoutingAnalysisCache()
+        donor_b.analyze(weights, plan)  # overlaps donor_a
+        donor_b.analyze(third, plan)
+
+        merged = RoutingAnalysisCache()
+        assert merged.merge_entries(donor_a.export_entries()) == 2
+        # Only donor_b's new mask lands; the overlap is kept, not replaced.
+        assert merged.merge_entries(donor_b.export_entries()) == 1
+        assert len(merged) == 3
+        # Merged entries serve hits with values identical to fresh analyses.
+        for values in (weights, other_weights, third):
+            report = merged.analyze(values, plan)
+            assert report.remaining_wires == analyze_routing(values, plan).remaining_wires
+        assert merged.stats()["hits"] == 3
+        assert merged.stats()["misses"] == 0
+
+    def test_identical_masks_different_plans_stay_distinct(self, weights):
+        # Same live mask (same fingerprint input) under two tilings must key
+        # two entries: the wire counts genuinely differ.
+        plan_small = small_plan(tile=4)
+        plan_large = small_plan(tile=8)
+        donor = RoutingAnalysisCache()
+        small_report = donor.analyze(weights, plan_small)
+        large_report = donor.analyze(weights, plan_large)
+        assert len(donor) == 2
+        assert small_report.remaining_wires != large_report.remaining_wires
+
+        merged = RoutingAnalysisCache()
+        assert merged.merge_entries(donor.export_entries()) == 2
+        assert merged.analyze(weights, plan_small).remaining_wires == small_report.remaining_wires
+        assert merged.analyze(weights, plan_large).remaining_wires == large_report.remaining_wires
+        assert merged.stats() == {"hits": 2, "misses": 0, "size": 2}
+
+    def test_relabelled_plan_shares_entries(self, weights):
+        # Plan keys ignore the cosmetic name: fc1_u and a relabelled clone of
+        # the same geometry hit the same entry.
+        plan_a = small_plan(name="fc1_u")
+        plan_b = TilingPlan(
+            matrix_rows=plan_a.matrix_rows,
+            matrix_cols=plan_a.matrix_cols,
+            tile_rows=plan_a.tile_rows,
+            tile_cols=plan_a.tile_cols,
+            name="fc2_u",
+        )
+        cache = RoutingAnalysisCache()
+        cache.analyze(weights, plan_a)
+        report = cache.analyze(weights, plan_b)
+        assert cache.stats() == {"hits": 1, "misses": 1, "size": 1}
+        assert report.name == "fc2_u"
+
+    def test_merge_respects_maxsize_eviction(self, rng):
+        plan = small_plan()
+        donor = RoutingAnalysisCache()
+        for index in range(4):
+            values = rng.standard_normal((16, 12))
+            values[index * 4 : index * 4 + 4, :] = 0.0  # distinct live mask each
+            donor.analyze(values, plan)
+        assert len(donor) == 4
+        tiny = RoutingAnalysisCache(maxsize=2)
+        added = tiny.merge_entries(donor.export_entries())
+        assert added == 4  # every entry was new when it arrived...
+        assert len(tiny) == 2  # ...but only the newest maxsize survive
+        # The survivors are the most recently merged entries (FIFO eviction).
+        surviving = {key for key, _ in tiny.export_entries()}
+        donor_keys = [key for key, _ in donor.export_entries()]
+        assert surviving == set(donor_keys[-2:])
+
+    def test_merge_leaves_hit_miss_counters_untouched(self, weights):
+        donor = RoutingAnalysisCache()
+        donor.analyze(weights, small_plan())
+        receiver = RoutingAnalysisCache()
+        receiver.merge_entries(donor.export_entries())
+        assert receiver.stats() == {"hits": 0, "misses": 0, "size": 1}
