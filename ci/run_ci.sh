@@ -37,12 +37,23 @@ ENGINE_TESTS=(
   tests/test_shims.py
   tests/test_hardware_sim.py
   tests/test_hardware_eval.py
+  tests/test_analysis.py
 )
 
+# Contract linter gate: the tree must be free of determinism/dtype/parity/
+# fingerprint violations (see src/repro/analysis/README.md).  Runs in every
+# mode — it is the cheapest check in the pipeline (~1 s).
+run_lint() {
+  echo "== contract linter: python -m repro lint =="
+  python -m repro lint
+}
+
 if [[ "${1:-}" == "--quick" ]]; then
+  run_lint
   echo "== quick: kernel parity and engine regression tests (2-worker sweep parity included) =="
   python -m pytest -x -q "${ENGINE_TESTS[@]}"
 else
+  run_lint
   echo "== tier-1: full test + benchmark suite (kernel + sweep parity included) =="
   python -m pytest -x -q
 

@@ -1,0 +1,55 @@
+"""Static contract linter for the Group Scissor reproduction.
+
+``repro.analysis`` enforces, at the source level, the invariants the rest
+of the library only checks at runtime through parity tests: seeded
+randomness, wall-clock-free fingerprint paths, the global dtype policy,
+BLAS layout contiguity, shared-baseline copying, process-pool
+picklability, immutable defaults, and fingerprint coverage of the resume
+keys.  Stdlib-only (``ast`` + ``importlib``); see ``README.md`` in this
+package for the rule catalogue and the historical bugs behind each rule.
+
+Usage::
+
+    python -m repro lint                    # lint src/repro, benchmarks, examples
+    python -m repro.analysis --list-rules   # standalone, same interface
+
+or programmatically::
+
+    from repro.analysis import run_analysis
+    report = run_analysis(["src/repro"], root=".")
+    assert report.clean, report.findings
+"""
+
+from repro.analysis.core import (
+    RULES,
+    AnalysisReport,
+    FileContext,
+    Finding,
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+    iter_python_files,
+    parse_suppressions,
+    register,
+    run_analysis,
+)
+from repro.analysis.reporters import render_json, render_rule_list, render_text
+
+__all__ = [
+    "AnalysisReport",
+    "FileContext",
+    "Finding",
+    "ProjectRule",
+    "RULES",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "parse_suppressions",
+    "register",
+    "render_json",
+    "render_rule_list",
+    "render_text",
+    "run_analysis",
+]

@@ -1,0 +1,110 @@
+"""Small AST helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+__all__ = [
+    "dotted_name",
+    "call_name",
+    "call_tail",
+    "imported_modules",
+    "imported_names",
+    "walk_functions",
+    "local_bindings",
+]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``.
+
+    Chains rooted in anything but a plain name (calls, subscripts) resolve
+    to ``None`` — rules treat those as opaque.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The dotted callee name of a call, else ``None``."""
+    return dotted_name(node.func)
+
+
+def call_tail(node: ast.Call) -> Optional[str]:
+    """The last component of the callee (``pool.map`` → ``map``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def imported_modules(tree: ast.Module) -> Set[str]:
+    """Top-level module names bound by ``import x`` / ``import x.y``/aliases."""
+    modules: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                modules.add(alias.asname or alias.name.split(".")[0])
+    return modules
+
+
+def imported_names(tree: ast.Module, module: str) -> Set[str]:
+    """Names bound by ``from <module> import ...`` (aliases resolved)."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+def walk_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.AST, Tuple[ast.AST, ...]]]:
+    """Yield ``(function_node, enclosing_function_stack)`` pairs, outermost first."""
+
+    def visit(node: ast.AST, stack: Tuple[ast.AST, ...]) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, stack
+                yield from visit(child, stack + (child,))
+            else:
+                yield from visit(child, stack)
+
+    yield from visit(tree, ())
+
+
+def local_bindings(function: ast.AST) -> Set[str]:
+    """Names bound inside ``function``: parameters plus any Store-context name.
+
+    Names bound only in nested functions are included too — that is fine for
+    the "is this a free variable from an outer scope?" question the parity
+    rules ask, where over-approximating locals only makes the rule more
+    conservative.
+    """
+    bound: Set[str] = set()
+    args = function.args
+    for arg in (
+        list(args.posonlyargs)
+        + list(args.args)
+        + list(args.kwonlyargs)
+        + ([args.vararg] if args.vararg else [])
+        + ([args.kwarg] if args.kwarg else [])
+    ):
+        bound.add(arg.arg)
+    for node in ast.walk(function):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            bound.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node is not function:
+                bound.add(node.name)
+    return bound

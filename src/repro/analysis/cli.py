@@ -1,0 +1,126 @@
+"""Command line of the contract linter.
+
+Reachable two ways (same flags, same exit codes)::
+
+    python -m repro lint [paths...] [--format text|json] [--rules a,b] [--list-rules]
+    python -m repro.analysis ...        # standalone, same interface
+
+With no paths, lints the repository's default lint set: ``src/repro``,
+``benchmarks`` and ``examples``.  Exit codes: 0 clean, 1 findings, 2 usage
+error (e.g. an unknown rule id).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.core import all_rules, run_analysis
+from repro.analysis.reporters import render_json, render_rule_list, render_text
+
+__all__ = ["build_parser", "default_lint_paths", "repo_root", "run_lint", "main"]
+
+
+def repo_root() -> Path:
+    """The repository checkout this package was imported from."""
+    return Path(__file__).resolve().parents[3]
+
+
+def default_lint_paths() -> List[Path]:
+    """The tree the repo's lint gate covers: src/repro, benchmarks, examples."""
+    root = repo_root()
+    candidates = [root / "src" / "repro", root / "benchmarks", root / "examples"]
+    return [path for path in candidates if path.exists()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Statically enforce the repo's determinism, dtype, parity and "
+            "fingerprint contracts."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files/directories to lint (default: src/repro, benchmarks, examples)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule-id subset to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules with their motivations and exit",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="base directory for reported paths (default: the repo checkout)",
+    )
+    return parser
+
+
+def run_lint(
+    paths: Optional[List[Path]] = None,
+    *,
+    fmt: str = "text",
+    rules: Optional[str] = None,
+    list_rules: bool = False,
+    root: Optional[Path] = None,
+) -> int:
+    """Shared driver behind ``python -m repro lint`` and the standalone CLI."""
+    if list_rules:
+        print(render_rule_list(all_rules()))
+        return 0
+    selected = None
+    if rules:
+        selected = [rule_id.strip() for rule_id in rules.split(",") if rule_id.strip()]
+    lint_paths = [Path(p) for p in paths] if paths else default_lint_paths()
+    if not lint_paths:
+        print("error: nothing to lint (no paths given, no repo defaults found)",
+              file=sys.stderr)
+        return 2
+    missing = [str(path) for path in lint_paths if not path.exists()]
+    if missing:
+        print(f"error: path(s) do not exist: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    try:
+        report = run_analysis(
+            lint_paths,
+            root=root if root is not None else repo_root(),
+            rules=selected,
+        )
+    except KeyError as error:
+        # Unknown rule id; KeyError's str() wraps the message in quotes.
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    print(render_json(report) if fmt == "json" else render_text(report))
+    return 0 if report.clean else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run_lint(
+        args.paths or None,
+        fmt=args.format,
+        rules=args.rules,
+        list_rules=args.list_rules,
+        root=args.root,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,328 @@
+"""The contract-linter framework: findings, rules, suppressions, engine.
+
+:mod:`repro.analysis` statically enforces the invariants every scale lever
+in this repo rests on — seeded randomness, the global dtype policy, BLAS
+layout parity, picklable fan-out tasks, and fingerprint coverage of the
+resume keys.  The framework is stdlib-only (``ast`` + ``dataclasses``):
+
+* :class:`Finding` — one violation, addressed as ``path:line``.
+* :class:`Rule` — a per-file AST check registered under a kebab-case id.
+* :class:`ProjectRule` — a semantic (import-based) check that runs once per
+  analysis run rather than once per file.
+* :class:`FileContext` — parsed source handed to rules: AST, lines, and the
+  ``# repro: ignore[rule-id]`` suppression table.
+* :func:`run_analysis` — walk paths, run rules, filter suppressed findings.
+
+Suppression syntax
+------------------
+A violation is silenced by a ``# repro: ignore[rule-id]`` comment on the
+finding's line, or on a comment-only line immediately above it (for lines
+long enough that an inline comment would not fit)::
+
+    now = time.strftime("%Y-%m-%dT%H:%M:%S")  # repro: ignore[wall-clock]
+
+    # Analytical area model, deliberately float64.  repro: ignore[dtype-literal]
+    weights = np.asarray(weights, dtype=np.float64)
+
+Several ids may be listed, comma-separated.  Suppressions must name the
+rule explicitly — there is no blanket ``ignore`` — so every waiver stays
+attributable to one contract.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Union
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "ProjectRule",
+    "RULES",
+    "register",
+    "all_rules",
+    "get_rule",
+    "parse_suppressions",
+    "iter_python_files",
+    "run_analysis",
+    "AnalysisReport",
+]
+
+#: Rule id of the pseudo-finding emitted for unparsable files.
+PARSE_ERROR = "parse-error"
+
+# The tag may trail justification text inside the comment:
+#   ``# analytical model, deliberately float64.  repro: ignore[dtype-literal]``
+_SUPPRESSION_RE = re.compile(r"#.*?\brepro:\s*ignore\[([a-z0-9_,\s-]+)\]")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One contract violation, addressed as ``path:line``."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the rule ids suppressed on that line."""
+    table: Dict[int, Set[str]] = {}
+    for number, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION_RE.search(text)
+        if match is None:
+            continue
+        ids = {part.strip() for part in match.group(1).split(",")}
+        table[number] = {rule_id for rule_id in ids if rule_id}
+    return table
+
+
+class FileContext:
+    """One parsed source file as seen by the per-file rules."""
+
+    def __init__(self, path: Path, relpath: str, source: str):
+        self.path = path
+        #: Repo-relative posix path; what rules match against and findings report.
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self._suppressions = parse_suppressions(source)
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            path=self.relpath,
+            line=getattr(node, "lineno", 1),
+            rule=rule_id,
+            message=message,
+        )
+
+    def _is_comment_line(self, line: int) -> bool:
+        if not (1 <= line <= len(self.lines)):
+            return False
+        stripped = self.lines[line - 1].strip()
+        return stripped.startswith("#")
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True when ``rule_id`` is waived on ``line`` (or the comment above)."""
+        if rule_id in self._suppressions.get(line, ()):
+            return True
+        above = line - 1
+        return rule_id in self._suppressions.get(above, ()) and self._is_comment_line(
+            above
+        )
+
+
+class Rule:
+    """Base class of every per-file check.
+
+    Subclasses set :attr:`id` (kebab-case, unique), :attr:`summary` (one
+    line, shown by ``--list-rules``) and :attr:`rationale` (the historical
+    bug or contract that motivates the rule), then implement :meth:`check`.
+    ``applies_to`` scopes the rule to a path subset (e.g. the wall-clock
+    rule only guards fingerprinted modules).
+    """
+
+    id: str = ""
+    summary: str = ""
+    rationale: str = ""
+
+    def applies_to(self, relpath: str) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} id={self.id!r}>"
+
+
+class ProjectRule(Rule):
+    """A semantic check that runs once per analysis run, not per file.
+
+    Used for invariants that need the real modules imported (e.g. the
+    fingerprint-coverage rule introspects the live dataclasses) rather than
+    a file's AST.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+#: The global rule registry, id → rule instance.
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls):
+    """Class decorator adding one rule instance to :data:`RULES`."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"{cls.__name__} must define a non-empty rule id")
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    RULES[rule.id] = rule
+    return cls
+
+
+def _ensure_rules_loaded() -> None:
+    # Importing the subpackage triggers every @register decorator exactly once.
+    from repro.analysis import rules  # noqa: F401
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by id."""
+    _ensure_rules_loaded()
+    return [RULES[rule_id] for rule_id in sorted(RULES)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_rules_loaded()
+    try:
+        return RULES[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(RULES))
+        raise KeyError(f"unknown rule {rule_id!r}; registered rules: {known}") from None
+
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+def iter_python_files(paths: Iterable[Union[str, Path]]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files pass through), sorted."""
+    seen: Set[Path] = set()
+    collected: List[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_file():
+            candidates: Iterable[Path] = [entry]
+        else:
+            candidates = entry.rglob("*.py")
+        for path in candidates:
+            if path.suffix != ".py":
+                continue
+            if any(part in _SKIP_DIRS or part.startswith(".") for part in path.parts[:-1]):
+                continue
+            resolved = path.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                collected.append(path)
+    return iter(sorted(collected))
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Outcome of one :func:`run_analysis` call."""
+
+    findings: List[Finding]
+    files_checked: int
+    suppressed: int
+    rules_run: List[str]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "findings": [finding.as_dict() for finding in self.findings],
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "rules_run": list(self.rules_run),
+            "clean": self.clean,
+        }
+
+
+def _relpath(path: Path, root: Optional[Path]) -> str:
+    if root is not None:
+        try:
+            return path.resolve().relative_to(Path(root).resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def run_analysis(
+    paths: Sequence[Union[str, Path]],
+    *,
+    root: Optional[Union[str, Path]] = None,
+    rules: Optional[Sequence[str]] = None,
+    include_project_rules: bool = True,
+) -> AnalysisReport:
+    """Lint every python file under ``paths`` with the selected rules.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories (directories are walked recursively).
+    root:
+        Base for the repo-relative paths findings report; paths outside
+        ``root`` fall back to their literal form.
+    rules:
+        Rule-id subset to run (default: every registered rule).
+    include_project_rules:
+        Also run the once-per-run semantic rules (fingerprint coverage).
+        File-fixture tests switch this off to keep findings local.
+    """
+    if rules is None:
+        selected = all_rules()
+    else:
+        selected = [get_rule(rule_id) for rule_id in rules]
+    file_rules = [rule for rule in selected if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in selected if isinstance(rule, ProjectRule)]
+
+    root = Path(root) if root is not None else None
+    findings: List[Finding] = []
+    suppressed = 0
+    files_checked = 0
+    for path in iter_python_files(paths):
+        relpath = _relpath(path, root)
+        try:
+            ctx = FileContext(path, relpath, path.read_text(encoding="utf-8"))
+        except (SyntaxError, UnicodeDecodeError) as error:
+            line = getattr(error, "lineno", 1) or 1
+            findings.append(
+                Finding(path=relpath, line=line, rule=PARSE_ERROR, message=str(error))
+            )
+            continue
+        files_checked += 1
+        for rule in file_rules:
+            if not rule.applies_to(relpath):
+                continue
+            for finding in rule.check(ctx):
+                if ctx.is_suppressed(finding.rule, finding.line):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+    if include_project_rules:
+        for rule in project_rules:
+            findings.extend(rule.check_project())
+    # Scope-nested walks (e.g. a call inside a closure, visited once per
+    # enclosing function) can report the same violation twice.
+    findings = sorted(dict.fromkeys(findings))
+    return AnalysisReport(
+        findings=findings,
+        files_checked=files_checked,
+        suppressed=suppressed,
+        rules_run=[rule.id for rule in selected],
+    )

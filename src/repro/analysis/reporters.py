@@ -1,0 +1,48 @@
+"""Finding reporters: the ``--format text`` and ``--format json`` renderings."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.core import AnalysisReport, Finding
+
+__all__ = ["render_text", "render_json", "render_rule_list"]
+
+
+def render_text(report: AnalysisReport) -> str:
+    """Human-readable report: one ``path:line: [rule] message`` row per finding."""
+    lines: List[str] = []
+    for finding in report.findings:
+        lines.append(f"{finding.location}: [{finding.rule}] {finding.message}")
+    counts: Dict[str, int] = {}
+    for finding in report.findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    if report.findings:
+        lines.append("")
+        by_rule = ", ".join(f"{rule}={count}" for rule, count in sorted(counts.items()))
+        lines.append(
+            f"{len(report.findings)} finding(s) across {report.files_checked} "
+            f"file(s) ({by_rule}); {report.suppressed} suppressed"
+        )
+    else:
+        lines.append(
+            f"clean: {report.files_checked} file(s), "
+            f"{len(report.rules_run)} rule(s), {report.suppressed} suppressed"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    """Machine-readable report (stable key order)."""
+    return json.dumps(report.as_dict(), indent=2, sort_keys=True)
+
+
+def render_rule_list(rules) -> str:
+    """The ``--list-rules`` table: id, summary, and the motivating contract."""
+    lines: List[str] = []
+    width = max(len(rule.id) for rule in rules)
+    for rule in rules:
+        lines.append(f"{rule.id:<{width}}  {rule.summary}")
+        lines.append(f"{'':<{width}}  motivation: {rule.rationale}")
+    return "\n".join(lines)

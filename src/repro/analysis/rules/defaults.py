@@ -1,0 +1,86 @@
+"""Mutable-default-argument rule.
+
+A ``def f(cache={})`` default is evaluated once at import and shared by
+every call — in a library whose sweep engine re-enters the same functions
+from multiple points (and whose workers ``fork`` an already-imported
+process), a mutated default is cross-point, cross-process-image shared
+state: the same class of defect as the PR 1 shared-baseline bug, hidden in
+a signature.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.astutil import call_name
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+#: Calls that build a fresh mutable container... once, at def time.
+_MUTABLE_FACTORIES = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+    "deque",
+    "collections.defaultdict",
+    "collections.OrderedDict",
+    "collections.Counter",
+    "collections.deque",
+}
+
+
+def _mutable_default(node: ast.AST) -> Optional[str]:
+    if isinstance(node, (ast.List, ast.Set)):
+        return "literal " + type(node).__name__.lower()
+    if isinstance(node, ast.Dict):
+        return "literal dict"
+    if isinstance(node, ast.ListComp):
+        return "list comprehension"
+    if isinstance(node, (ast.DictComp, ast.SetComp)):
+        return "comprehension"
+    if isinstance(node, ast.Call):
+        dotted = call_name(node)
+        if dotted in _MUTABLE_FACTORIES:
+            return f"{dotted}() call"
+    return None
+
+
+@register
+class MutableDefaultRule(Rule):
+    """No mutable default arguments, anywhere."""
+
+    id = "mutable-default"
+    summary = "default arguments must be immutable (use None + in-body construction)"
+    rationale = (
+        "A mutable default is evaluated once at import and then shared by "
+        "every caller — cross-sweep-point, cross-experiment hidden state, "
+        "the signature-level twin of the PR 1 shared-baseline aliasing bug."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            named = list(args.posonlyargs) + list(args.args)
+            positional = list(zip(named[len(named) - len(args.defaults):], args.defaults))
+            keyword_only = [
+                (arg, default)
+                for arg, default in zip(args.kwonlyargs, args.kw_defaults)
+                if default is not None
+            ]
+            for arg, default in positional + keyword_only:
+                kind = _mutable_default(default)
+                if kind is not None:
+                    name = getattr(node, "name", "<lambda>")
+                    yield ctx.finding(
+                        self.id,
+                        default,
+                        f"parameter {arg.arg!r} of {name}() defaults to a "
+                        f"{kind}, evaluated once and shared across calls; "
+                        "default to None and construct inside the body",
+                    )

@@ -1,0 +1,202 @@
+"""Determinism rules: seeded randomness and wall-clock-free fingerprints.
+
+Every scale lever in this repo — process fan-out, lockstep slabs,
+content-addressed resume — is guarded by bit-identity parity tests, and
+those tests are only meaningful if all randomness flows through explicit
+seeded streams (:mod:`repro.utils.rng`) and no fingerprinted code path
+reads the wall clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import call_name, imported_modules, imported_names
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+#: numpy legacy global-state API: nondeterministic across processes and
+#: execution orders even when seeded once, because the state is shared.
+_NUMPY_GLOBAL = {
+    "seed",
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "ranf",
+    "sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "uniform",
+    "normal",
+    "standard_normal",
+    "binomial",
+    "poisson",
+    "get_state",
+    "set_state",
+    "RandomState",
+}
+
+#: stdlib ``random`` functions that draw from the hidden module-level state.
+_STDLIB_RANDOM = {
+    "random",
+    "uniform",
+    "randint",
+    "randrange",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "gauss",
+    "normalvariate",
+    "betavariate",
+    "expovariate",
+    "seed",
+    "getstate",
+    "setstate",
+    "getrandbits",
+}
+
+
+@register
+class UnseededRandomRule(Rule):
+    """No unseeded or global-state randomness outside ``repro.utils.rng``."""
+
+    id = "unseeded-random"
+    summary = (
+        "randomness must flow through repro.utils.rng seeded streams, never "
+        "numpy's or the stdlib's global state"
+    )
+    rationale = (
+        "Serial↔parallel↔lockstep sweep parity (PR 2–3) and content-addressed "
+        "resume (PR 4) require every draw to be a pure function of an explicit "
+        "seed; global-state RNGs silently break bit-identity the moment "
+        "execution order or process layout changes."
+    )
+
+    _ALLOWED_SUFFIXES = ("repro/utils/rng.py", "utils/rng.py")
+
+    def applies_to(self, relpath: str) -> bool:
+        return not relpath.endswith(self._ALLOWED_SUFFIXES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        has_stdlib_random = "random" in imported_modules(ctx.tree)
+        from_random = imported_names(ctx.tree, "random")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = call_name(node)
+            if dotted is None:
+                continue
+            head, _, tail = dotted.rpartition(".")
+            if head in ("np.random", "numpy.random"):
+                if tail in _NUMPY_GLOBAL:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"{dotted}() uses numpy's global RNG state; derive a "
+                        "generator via repro.utils.rng (as_rng / derive_seed / "
+                        "derive_point_seed) instead",
+                    )
+                elif tail == "default_rng" and not (node.args or node.keywords):
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        "np.random.default_rng() without a seed is "
+                        "nondeterministic; pass a seed derived via "
+                        "repro.utils.rng",
+                    )
+            elif has_stdlib_random and head == "random" and tail in _STDLIB_RANDOM:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"{dotted}() draws from the stdlib random module's hidden "
+                    "global state; use a seeded numpy Generator from "
+                    "repro.utils.rng",
+                )
+            elif not head and tail in from_random and tail in _STDLIB_RANDOM:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"{tail}() (imported from the random module) draws from "
+                    "hidden global state; use a seeded numpy Generator from "
+                    "repro.utils.rng",
+                )
+
+
+#: Calls banned outright in fingerprinted modules (dotted names).
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register
+class WallClockRule(Rule):
+    """No wall-clock or entropy reads in fingerprinted code paths."""
+
+    id = "wall-clock"
+    summary = (
+        "fingerprinted modules (spec/plan/store/hardware-sim) must not read "
+        "the wall clock or OS entropy"
+    )
+    rationale = (
+        "RunStore artifacts are content-addressed: a fingerprint must be a "
+        "pure function of the spec.  A time.time()/os.urandom value leaking "
+        "into a fingerprint or point payload makes identical runs "
+        "unresumable and corrupts the shared artifact pool under fan-out."
+    )
+
+    #: Modules whose outputs feed spec/point fingerprints or stored payloads.
+    FINGERPRINTED_SUFFIXES = (
+        "experiments/spec.py",
+        "experiments/plan.py",
+        "experiments/store.py",
+        "hardware/sim.py",
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.endswith(self.FINGERPRINTED_SUFFIXES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = call_name(node)
+            if dotted is None:
+                continue
+            if dotted in _WALL_CLOCK_CALLS:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"{dotted}() reads the wall clock / OS entropy inside a "
+                    "fingerprinted module; fingerprints and stored payloads "
+                    "must be pure functions of the spec",
+                )
+            elif dotted == "time.strftime" and len(node.args) < 2:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "time.strftime() without an explicit time tuple formats "
+                    "the current wall-clock time inside a fingerprinted module",
+                )
+            elif dotted in ("time.localtime", "time.gmtime") and not node.args:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"{dotted}() without arguments reads the current wall-clock "
+                    "time inside a fingerprinted module",
+                )

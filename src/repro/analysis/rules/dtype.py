@@ -1,0 +1,90 @@
+"""Dtype-policy rule: no hard-coded float dtypes outside ``repro.nn.dtype``.
+
+PR 1 introduced a global dtype policy (:mod:`repro.nn.dtype`): every layer,
+loss and parameter coerces arrays through ``as_float`` so the whole
+substrate can be switched between float64 (bit-exact reproduction) and
+float32 (≈2× effective memory bandwidth on the im2col hot paths).  A stray
+``np.float64`` literal silently pins one code path to full precision and
+re-introduces mixed-dtype promotion bugs the policy was built to kill.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+#: Attribute chains that hard-code a float dtype.
+_FLOAT_ATTRS = {
+    "np.float64",
+    "np.float32",
+    "np.float16",
+    "numpy.float64",
+    "numpy.float32",
+    "numpy.float16",
+}
+
+#: String constants that select a float dtype when passed as ``dtype=``.
+_FLOAT_STRINGS = {"float64", "float32", "float16", "f4", "f8", "<f4", "<f8"}
+
+
+@register
+class DtypeLiteralRule(Rule):
+    """Hard-coded float dtypes bypass the global dtype policy."""
+
+    id = "dtype-literal"
+    summary = (
+        "float dtypes must come from repro.nn.dtype (default_dtype/as_float), "
+        "not np.float64/np.float32 literals"
+    )
+    rationale = (
+        "The PR 1 dtype policy makes float32 inference a one-line switch; a "
+        "hard-coded float literal pins its code path to one precision, "
+        "bypassing the policy and splitting the substrate into mixed dtypes "
+        "(integer/bool dtypes are exempt — they are not governed by the "
+        "policy)."
+    )
+
+    _ALLOWED_SUFFIXES = ("repro/nn/dtype.py", "nn/dtype.py")
+
+    def applies_to(self, relpath: str) -> bool:
+        return not relpath.endswith(self._ALLOWED_SUFFIXES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                dotted = dotted_name(node)
+                if dotted in _FLOAT_ATTRS:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"hard-coded {dotted} bypasses the global dtype policy; "
+                        "use repro.nn.dtype.default_dtype()/as_float() (or "
+                        "suppress with justification where full precision is "
+                        "a deliberate, policy-independent choice)",
+                    )
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg != "dtype":
+                        continue
+                    value = keyword.value
+                    if (
+                        isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)
+                        and value.value in _FLOAT_STRINGS
+                    ):
+                        yield ctx.finding(
+                            self.id,
+                            keyword.value,
+                            f"dtype={value.value!r} hard-codes a float dtype; "
+                            "use repro.nn.dtype.default_dtype()",
+                        )
+                    elif isinstance(value, ast.Name) and value.id == "float":
+                        yield ctx.finding(
+                            self.id,
+                            keyword.value,
+                            "dtype=float resolves to float64 regardless of the "
+                            "dtype policy; use repro.nn.dtype.default_dtype()",
+                        )

@@ -1,0 +1,178 @@
+"""Parity rules: BLAS layout contiguity and shared-baseline aliasing.
+
+Two real regressions motivate this module:
+
+* **PR 3 layout bug** — ``from_dense`` stored a low-rank factor as the
+  transposed view of an SVD result (``vt[:k, :].T``, Fortran-ordered).
+  BLAS picks different kernels for transposed operands, which are *not*
+  bit-for-bit interchangeable with the contiguous path, so layout leaked
+  into numerics and broke serial↔lockstep parity.  Fix: wrap the view in
+  ``np.ascontiguousarray`` before assigning it to ``Parameter.data``.
+* **PR 1 aliasing bug** — ``sweep_group_deletion`` passed its shared
+  baseline network straight into per-point training, which mutated the
+  baseline and contaminated every later sweep point.  Fix: deep-copy the
+  baseline at the task boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from repro.analysis.astutil import call_tail, local_bindings, walk_functions
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+#: Callees that produce a contiguous copy, neutralising a transposed view.
+_CONTIGUOUS_WRAPPERS = {"ascontiguousarray", "copy", "array", "deepcopy"}
+
+
+def _has_unwrapped_transpose(node: ast.AST) -> Optional[ast.AST]:
+    """The first ``.T`` / ``.transpose`` node not inside a copying wrapper."""
+    if isinstance(node, ast.Call) and call_tail(node) in _CONTIGUOUS_WRAPPERS:
+        # np.ascontiguousarray(x.T), x.T.copy(), np.array(x.T): all yield
+        # C-contiguous data.  For the method form the receiver itself may be
+        # the transposed view — that is exactly the wrapped case.
+        return None
+    if isinstance(node, ast.Attribute) and node.attr == "T":
+        return node
+    found = None
+    if isinstance(node, ast.Call) and call_tail(node) == "transpose":
+        found = node
+        children: Tuple[ast.AST, ...] = tuple(node.args) + tuple(
+            keyword.value for keyword in node.keywords
+        )
+    else:
+        children = tuple(ast.iter_child_nodes(node))
+    for child in children:
+        hit = _has_unwrapped_transpose(child)
+        if hit is not None:
+            return hit
+    return found
+
+
+@register
+class TransposeContiguityRule(Rule):
+    """Transposed views must be made contiguous before landing in Parameter.data."""
+
+    id = "transpose-contiguity"
+    summary = (
+        "never assign a .T/transpose(...) view to Parameter.data without "
+        "np.ascontiguousarray (or an equivalent copy)"
+    )
+    rationale = (
+        "The PR 3 regression: vt[:k, :].T is a Fortran-ordered view, BLAS "
+        "kernels for transposed operands are not bit-for-bit interchangeable "
+        "with the contiguous path, and layout-dependent numerics broke "
+        "serial↔lockstep parity."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            targets = [
+                target
+                for target in node.targets
+                if isinstance(target, ast.Attribute) and target.attr == "data"
+            ]
+            if not targets:
+                continue
+            hit = _has_unwrapped_transpose(node.value)
+            if hit is not None:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "assigning a transposed view to Parameter.data stores "
+                    "Fortran-ordered memory; wrap it in np.ascontiguousarray() "
+                    "so BLAS kernel selection cannot leak into numerics",
+                )
+
+
+#: Parameter names that conventionally carry a *shared* network object.
+_WATCHED_NAMES = {"baseline", "baseline_network", "shared_baseline"}
+
+#: Keyword arguments that hand a network to per-point training code.
+_NETWORK_KEYWORDS = {"network", "baseline_network"}
+
+
+def _is_training_sink(tail: Optional[str]) -> bool:
+    """Callables that mutate the network they receive.
+
+    ``convert_to_lowrank`` / ``direct_lra`` are deliberately *not* sinks:
+    they are documented copy-semantics (they rebuild a converted network
+    from fresh arrays), so handing them the shared baseline is safe.
+    """
+    if tail is None:
+        return False
+    return (
+        "train" in tail
+        or "finetune" in tail
+        or "deletion" in tail
+        or tail.endswith("PointTask")
+    )
+
+
+@register
+class BaselineAliasRule(Rule):
+    """Shared baselines must be deep-copied before entering training code."""
+
+    id = "baseline-alias"
+    summary = (
+        "pass copy.deepcopy(baseline) (or a clone) into training sinks — "
+        "never the shared object itself"
+    )
+    rationale = (
+        "The PR 1 regression: sweep_group_deletion trained directly on its "
+        "shared baseline network, mutating it and contaminating every later "
+        "sweep point.  Training sinks (convert_to_lowrank, *train*/*finetune* "
+        "calls, *PointTask constructors) must receive a private copy."
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return "experiments/" in relpath
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for function, _stack in walk_functions(ctx.tree):
+            bound = local_bindings(function)
+            for node in ast.walk(function):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not _is_training_sink(call_tail(node)):
+                    continue
+                for arg in node.args:
+                    if isinstance(arg, ast.Name) and arg.id in _WATCHED_NAMES:
+                        yield ctx.finding(
+                            self.id,
+                            arg,
+                            f"shared network {arg.id!r} is passed into a "
+                            "training sink without copy.deepcopy(); per-point "
+                            "training mutates it in place (the PR 1 sweep "
+                            "aliasing bug)",
+                        )
+                for keyword in node.keywords:
+                    value = keyword.value
+                    if not isinstance(value, ast.Name):
+                        continue
+                    if isinstance(value, ast.Name) and value.id in _WATCHED_NAMES:
+                        yield ctx.finding(
+                            self.id,
+                            value,
+                            f"shared network {value.id!r} is passed into a "
+                            "training sink without copy.deepcopy(); per-point "
+                            "training mutates it in place (the PR 1 sweep "
+                            "aliasing bug)",
+                        )
+                    elif (
+                        keyword.arg in _NETWORK_KEYWORDS
+                        and value.id not in bound
+                    ):
+                        # A free variable from an enclosing scope: one object
+                        # shared across every task the closure yields.
+                        yield ctx.finding(
+                            self.id,
+                            value,
+                            f"{keyword.arg}={value.id} closes over an object "
+                            "shared across points; deep-copy it per task "
+                            "(network=copy.deepcopy(...)) so point training "
+                            "cannot mutate the shared instance",
+                        )

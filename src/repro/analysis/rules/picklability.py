@@ -1,0 +1,98 @@
+"""Picklability rule: no lambdas or local definitions cross a process pool.
+
+``SweepEngine.map_points`` documents its contract: *point_fn must be a
+module-level function and every task a pure picklable value*.  Lambdas,
+closures and locally-defined classes cannot be pickled by the stdlib, so
+handing one to ``ProcessPoolExecutor.submit``/``map`` (or the engine APIs
+built on them) fails only at runtime — and only on the ``workers > 1``
+path, which is exactly the configuration unit tests tend to skip.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.astutil import call_tail, imported_names, walk_functions
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+#: Methods that dispatch work onto a process pool.
+_POOL_METHODS = {"submit", "map"}
+
+#: SweepEngine fan-out APIs with the same module-level-callable contract.
+_ENGINE_METHODS = {"map_points", "run_strength_points", "run_tolerance_points"}
+
+
+def _locally_defined(tree: ast.Module) -> Set[str]:
+    """Names of functions/classes defined inside another function."""
+    names: Set[str] = set()
+    for function, _stack in walk_functions(tree):
+        for node in ast.walk(function):
+            if node is function:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(node.name)
+    return names
+
+
+@register
+class PoolPicklableRule(Rule):
+    """Process-pool tasks must be module-level callables, never closures."""
+
+    id = "pool-picklable"
+    summary = (
+        "only module-level functions and picklable values may enter "
+        "ProcessPoolExecutor/SweepEngine fan-out calls"
+    )
+    rationale = (
+        "The sweep engine's process fan-out pickles the point function and "
+        "every task; a lambda or nested def imports fine and passes the "
+        "serial tests, then crashes (or silently degrades to serial) the "
+        "first time workers > 1 runs in production."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        has_executor = bool(
+            imported_names(ctx.tree, "concurrent.futures") & {"ProcessPoolExecutor"}
+        ) or any(
+            isinstance(node, ast.Attribute) and node.attr == "ProcessPoolExecutor"
+            for node in ast.walk(ctx.tree)
+        )
+        local_defs = _locally_defined(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            tail = call_tail(node)
+            # Method form only: the builtin map() is not a pool dispatch.
+            is_pool = (
+                has_executor
+                and isinstance(node.func, ast.Attribute)
+                and tail in _POOL_METHODS
+            )
+            is_engine = tail in _ENGINE_METHODS
+            if not (is_pool or is_engine):
+                continue
+            api = f"{tail}()"
+            # Any lambda in the argument list is unpicklable, whether it is
+            # the callable or rides along inside the task payload.
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Lambda):
+                    yield ctx.finding(
+                        self.id,
+                        arg,
+                        f"lambda passed to {api} cannot be pickled for the "
+                        "process pool; move it to a module-level function",
+                    )
+            if node.args:
+                candidate = node.args[0]
+                if (
+                    isinstance(candidate, ast.Name)
+                    and candidate.id in local_defs
+                ):
+                    yield ctx.finding(
+                        self.id,
+                        candidate,
+                        f"{candidate.id!r} is defined inside a function, so "
+                        f"it cannot be pickled when {api} fans out to worker "
+                        "processes; define it at module level",
+                    )

@@ -24,6 +24,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.data.dataset import ArrayDataset
+from repro.nn.dtype import as_float
 from repro.utils.rng import RngLike, as_rng
 from repro.utils.validation import check_non_negative, check_positive_int
 
@@ -149,7 +150,7 @@ def _sample_split(
         base = _shift_image(prototypes[label], int(shifts[i, 0]), int(shifts[i, 1]))
         images[i] = contrasts[i] * base
     images += noise
-    return ArrayDataset(images.astype(np.float64), labels.astype(np.int64))
+    return ArrayDataset(as_float(images), labels.astype(np.int64))
 
 
 def make_synthetic_image_dataset(

@@ -13,11 +13,12 @@ import numpy as np
 
 from repro.data.dataset import ArrayDataset
 from repro.exceptions import ShapeError
+from repro.nn.dtype import as_float
 
 
 def normalize(inputs: np.ndarray, mean: float = None, std: float = None) -> np.ndarray:
     """Standardize inputs to zero mean / unit variance (or given statistics)."""
-    inputs = np.asarray(inputs, dtype=np.float64)
+    inputs = as_float(inputs)
     mean = float(inputs.mean()) if mean is None else float(mean)
     std = float(inputs.std()) if std is None else float(std)
     if std <= 0:
@@ -27,7 +28,7 @@ def normalize(inputs: np.ndarray, mean: float = None, std: float = None) -> np.n
 
 def per_channel_normalize(images: np.ndarray) -> np.ndarray:
     """Standardize an NCHW batch per channel."""
-    images = np.asarray(images, dtype=np.float64)
+    images = as_float(images)
     if images.ndim != 4:
         raise ShapeError(f"expected NCHW images, got shape {images.shape}")
     mean = images.mean(axis=(0, 2, 3), keepdims=True)
@@ -38,7 +39,7 @@ def per_channel_normalize(images: np.ndarray) -> np.ndarray:
 
 def flatten_images(images: np.ndarray) -> np.ndarray:
     """Flatten an NCHW batch into ``(N, C·H·W)`` vectors."""
-    images = np.asarray(images, dtype=np.float64)
+    images = as_float(images)
     if images.ndim < 2:
         raise ShapeError(f"expected at least 2-D input, got shape {images.shape}")
     return images.reshape(images.shape[0], -1)

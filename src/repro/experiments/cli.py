@@ -8,6 +8,7 @@ Subcommands::
     python -m repro show table1                           # render one artifact
     python -m repro compare <fp-a> <fp-b>                 # diff two artifacts
     python -m repro bench --suite kernels                 # benchmark suites
+    python -m repro lint [--list-rules]                   # contract linter
 
 Runs persist to a :class:`~repro.experiments.store.RunStore`
 (``--store DIR``, default ``$REPRO_RUN_STORE`` or ``runs/``) and resume by
@@ -139,6 +140,37 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--suite", default="all", help="suite name or 'all'")
     bench.add_argument("--check", action="store_true", help="fail on regressions")
     bench.add_argument("--list", action="store_true", help="list suite names and exit")
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically check the repo's determinism/dtype/parity contracts",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files/directories to lint (default: src/repro, benchmarks, examples)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--rules", help="comma-separated rule-id subset to run (default: all)"
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules with their motivations and exit",
+    )
+    lint.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="base directory for reported paths (default: the repo checkout)",
+    )
     return parser
 
 
@@ -305,12 +337,27 @@ def _cmd_bench(args) -> int:
     return runner.main(argv)
 
 
+def _cmd_lint(args) -> int:
+    # Deferred import: the linter's project rules import live repro modules,
+    # which `run`/`list` callers should not pay for.
+    from repro.analysis.cli import run_lint
+
+    return run_lint(
+        args.paths or None,
+        fmt=args.format,
+        rules=args.rules,
+        list_rules=args.list_rules,
+        root=args.root,
+    )
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "list": _cmd_list,
     "show": _cmd_show,
     "compare": _cmd_compare,
     "bench": _cmd_bench,
+    "lint": _cmd_lint,
 }
 
 

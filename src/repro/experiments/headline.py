@@ -26,6 +26,7 @@ import numpy as np
 from repro.hardware.area import network_area_fraction
 from repro.models.convnet import PAPER_CONVNET_RANKS, PAPER_CONVNET_SHAPES
 from repro.models.lenet import PAPER_LENET_RANKS, PAPER_LENET_SHAPES
+from repro.nn.dtype import as_float
 
 #: Remaining routing wires per big matrix reported in Table 3 (percent).
 PAPER_LENET_WIRE_PERCENT: Dict[str, float] = {
@@ -67,7 +68,7 @@ def routing_area_percent_from_wires(wire_percent: Dict[str, float]) -> float:
     """
     if not wire_percent:
         raise ValueError("wire_percent must not be empty")
-    fractions = np.asarray(list(wire_percent.values()), dtype=np.float64) / 100.0
+    fractions = as_float(list(wire_percent.values())) / 100.0
     return float(100.0 * np.mean(fractions**2))
 
 

@@ -422,6 +422,7 @@ def _merge_artifact(
     timings: Dict[str, float],
 ) -> Dict[str, Any]:
     """Fold this run into the spec's (possibly pre-existing) artifact."""
+    # Artifact metadata timestamp — never a fingerprint input.  repro: ignore[wall-clock]
     now = time.strftime("%Y-%m-%dT%H:%M:%S")
     artifact = existing or {
         "version": 1,

@@ -122,6 +122,7 @@ def compact_matrix(
     zero_threshold:
         Entries with ``|w| <= zero_threshold`` count as deleted.
     """
+    # Analytical area model: deliberately float64.  repro: ignore[dtype-literal]
     weights = np.asarray(weights, dtype=np.float64)
     if weights.shape != (plan.matrix_rows, plan.matrix_cols):
         raise ShapeError(

@@ -29,6 +29,8 @@ def live_weight_mask(
     weights: np.ndarray, plan: TilingPlan, *, zero_threshold: float = 0.0
 ) -> np.ndarray:
     """Boolean mask of weights with ``|w| > zero_threshold``, shape-checked."""
+    # Analytical area model: deliberately float64, independent of the nn
+    # dtype policy.  repro: ignore[dtype-literal]
     weights = np.asarray(weights, dtype=np.float64)
     if weights.shape != (plan.matrix_rows, plan.matrix_cols):
         raise ShapeError(
@@ -96,6 +98,7 @@ def routing_area_from_lengths(
 
     Lengths are expressed in units of ``F``; the result is in ``F²``.
     """
+    # Analytical area model: deliberately float64.  repro: ignore[dtype-literal]
     wire_lengths_f = np.asarray(wire_lengths_f, dtype=np.float64)
     if np.any(wire_lengths_f < 0):
         raise ValueError("wire lengths must be non-negative")

@@ -173,6 +173,7 @@ class TilingPlan:
 
         technology = technology or PAPER_TECHNOLOGY
         if weights is not None:
+            # Analytical area model: deliberately float64.  repro: ignore[dtype-literal]
             weights = np.asarray(weights, dtype=np.float64)
             if weights.shape != (self.matrix_rows, self.matrix_cols):
                 raise TilingError(

@@ -15,12 +15,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import RankError
+from repro.nn.dtype import as_float
 from repro.utils.validation import check_fraction
 
 
 def normalize_spectrum(spectrum: np.ndarray) -> np.ndarray:
     """Validate and sort an energy spectrum (eigenvalues / squared singular values)."""
-    spectrum = np.asarray(spectrum, dtype=np.float64).ravel()
+    spectrum = as_float(spectrum).ravel()
     if spectrum.size == 0:
         raise RankError("spectrum must be non-empty")
     if np.any(spectrum < -1e-12):

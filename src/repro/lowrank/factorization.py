@@ -22,6 +22,7 @@ from repro.exceptions import ConfigurationError, RankError
 from repro.lowrank.errors import minimal_rank, reconstruction_error_curve
 from repro.lowrank.pca import covariance_eigendecomposition, pca_factorize
 from repro.lowrank.svd import svd_factorize, svd_spectrum
+from repro.nn.dtype import as_float
 from repro.utils.validation import ensure_2d
 
 _METHODS = ("pca", "svd")
@@ -47,7 +48,7 @@ class Factorization:
 
     def relative_error(self, reference: np.ndarray) -> float:
         """Relative squared Frobenius error against ``reference``."""
-        reference = np.asarray(reference, dtype=np.float64)
+        reference = as_float(reference)
         denom = float(np.linalg.norm(reference) ** 2)
         if denom == 0.0:
             return 0.0

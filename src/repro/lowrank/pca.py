@@ -24,6 +24,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.exceptions import RankError
+from repro.nn.dtype import as_float
 from repro.utils.validation import ensure_2d
 
 
@@ -124,7 +125,7 @@ def pca_factorize(
 def pca_reconstruction_error(matrix: np.ndarray, rank: int, *, center: bool = False) -> float:
     """Relative squared reconstruction error of the rank-``rank`` PCA (Eq. 3)."""
     result = pca_factorize(matrix, rank, center=center)
-    reference = np.asarray(matrix, dtype=np.float64)
+    reference = as_float(matrix)
     if center:
         reference = reference - result.mean
         approx = result.u @ result.v.T

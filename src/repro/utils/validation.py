@@ -48,7 +48,11 @@ def check_probability(value: float, name: str) -> float:
 
 def ensure_2d(array: np.ndarray, name: str) -> np.ndarray:
     """Return ``array`` as a 2-D float array, raising :class:`ShapeError` otherwise."""
-    arr = np.asarray(array, dtype=np.float64)
+    # Function-level import: nn.layers/nn.optim import this module at load
+    # time, so a top-level import of repro.nn.dtype would be circular.
+    from repro.nn.dtype import as_float
+
+    arr = as_float(array)
     if arr.ndim != 2:
         raise ShapeError(f"{name} must be a 2-D matrix, got shape {arr.shape}")
     if arr.shape[0] == 0 or arr.shape[1] == 0:
@@ -58,7 +62,9 @@ def ensure_2d(array: np.ndarray, name: str) -> np.ndarray:
 
 def ensure_4d(array: np.ndarray, name: str) -> np.ndarray:
     """Return ``array`` as a 4-D float array (NCHW), raising :class:`ShapeError` otherwise."""
-    arr = np.asarray(array, dtype=np.float64)
+    from repro.nn.dtype import as_float  # see ensure_2d: avoids an import cycle
+
+    arr = as_float(array)
     if arr.ndim != 4:
         raise ShapeError(f"{name} must be a 4-D (N, C, H, W) array, got shape {arr.shape}")
     return arr

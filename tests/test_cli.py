@@ -134,3 +134,47 @@ class TestBench:
         runner = _load_benchmark_runner()
         assert tuple(listed) == runner.suite_names()
         assert set(listed) == {"kernels", "sweeps", "lockstep", "hardware"}
+
+
+class TestLint:
+    def test_lint_default_tree_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "clean:" in capsys.readouterr().out
+
+    def test_lint_nonzero_on_violation(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.random.rand(3)\n")
+        assert main(["lint", str(bad), "--root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py:2" in out
+        assert "unseeded-random" in out
+
+    def test_lint_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.random.rand(3)\n")
+        assert main(["lint", str(bad), "--root", str(tmp_path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["findings"][0]["rule"] == "unseeded-random"
+
+    def test_lint_rule_subset(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.random.rand(3)\n")
+        assert (
+            main(["lint", str(bad), "--rules", "dtype-literal,mutable-default"]) == 0
+        )
+        capsys.readouterr()
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("unseeded-random", "dtype-literal", "fingerprint-coverage"):
+            assert rule_id in out
+
+    def test_lint_unknown_rule_is_usage_error(self, capsys):
+        assert main(["lint", "--rules", "no-such-rule"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_lint_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+        assert "do not exist" in capsys.readouterr().err
