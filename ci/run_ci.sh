@@ -38,6 +38,8 @@ ENGINE_TESTS=(
   tests/test_hardware_sim.py
   tests/test_hardware_eval.py
   tests/test_analysis.py
+  tests/test_faultinject.py
+  tests/test_resilience.py
 )
 
 # Contract linter gate: the tree must be free of determinism/dtype/parity/
@@ -69,6 +71,25 @@ else
   python -m repro show table1 --store "$CLI_STORE" > /dev/null
   python -m repro compare table1 table1 --store "$CLI_STORE" > /dev/null
   python -m repro list --store "$CLI_STORE" > /dev/null
+
+  echo "== CLI chaos smoke: injected worker kill -> partial(3) -> resume(0) =="
+  # A worker that dies on every attempt of point 0 must leave a partial
+  # artifact (exit 3) whose surviving point resumes for free: the rerun
+  # retrains only the killed point ("1 computed, 1 reused"), and a third run
+  # is a pure artifact read ("0 computed").
+  CHAOS_FAULTS='[{"site": "point", "kind": "kill", "index": 0, "attempts": [1, 2, 3]}]'
+  CHAOS_ARGS=(run figure6 --workload mlp --scale tiny --grid 0.05 0.3
+              --workers 2 --store "$CLI_STORE" --quiet)
+  set +e
+  python -m repro "${CHAOS_ARGS[@]}" --faults "$CHAOS_FAULTS"
+  CHAOS_RC=$?
+  set -e
+  [[ "$CHAOS_RC" == 3 ]] || { echo "expected exit 3 (partial), got $CHAOS_RC"; exit 1; }
+  HEAL_OUT="$(python -m repro "${CHAOS_ARGS[@]}")"
+  echo "$HEAL_OUT"
+  grep -q "1 computed, 1 reused" <<< "$HEAL_OUT"
+  REREAD_OUT="$(python -m repro "${CHAOS_ARGS[@]}")"
+  grep -q "0 computed" <<< "$REREAD_OUT"
 
   echo "== CLI smoke: device-level hardware evaluation (figure_hw) =="
   python -m repro run figure_hw --workload mlp --scale tiny --store "$CLI_STORE" --quiet

@@ -10,6 +10,8 @@ Each module groups the rules guarding one contract family:
 * :mod:`~repro.analysis.rules.picklability` — process-pool task contracts.
 * :mod:`~repro.analysis.rules.defaults` — mutable default arguments.
 * :mod:`~repro.analysis.rules.fingerprint` — resume-key coverage (semantic).
+* :mod:`~repro.analysis.rules.robustness` — no swallowed exceptions in the
+  engine/store failure-accounting path.
 """
 
 from repro.analysis.rules import (  # noqa: F401  (import side effect: @register)
@@ -19,4 +21,5 @@ from repro.analysis.rules import (  # noqa: F401  (import side effect: @register
     fingerprint,
     parity,
     picklability,
+    robustness,
 )

@@ -1,0 +1,112 @@
+"""Robustness rule: the engine/store layer must never swallow exceptions.
+
+The resilience layer (PR 7) is built on one invariant: every failure is
+*accounted for* — retried, recorded as a :class:`PointFailure`, quarantined,
+or re-raised.  A ``try: ... except Exception: pass`` in the execution or
+persistence path silently converts a lost point into a missing result, which
+the artifact then reports as "complete".  That is precisely the failure mode
+the fault-tolerance work exists to eliminate, so the handlers themselves are
+linted: a broad catch in the supervised modules must either re-raise or log.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+#: Module path fragments whose exception handlers carry the accounting burden.
+_SCOPED_PATHS = (
+    "repro/experiments/",
+    "repro/utils/serialization.py",
+    "repro/utils/faultinject.py",
+)
+
+#: Exception names too broad to catch without re-raising or logging.
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+#: Logging-call attribute tails that count as "the failure was reported".
+_LOG_TAILS = {"debug", "info", "warning", "error", "exception", "critical", "warn"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    """True for ``except:``, ``except Exception:`` and ``except BaseException:``."""
+    if handler.type is None:
+        return True
+    types = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in types:
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name in _BROAD_NAMES:
+            return True
+    return False
+
+
+def _accounts_for_failure(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body re-raises or reports the exception."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _LOG_TAILS:
+                return True
+            if isinstance(func, ast.Name) and func.id in {"warn", "print"}:
+                return True
+    return False
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    """Broad except handlers in engine/store modules must log or re-raise."""
+
+    id = "swallowed-exception"
+    summary = (
+        "engine/store modules may not silently swallow broad exceptions; "
+        "handlers must re-raise, log, or narrow the caught type"
+    )
+    rationale = (
+        "A bare `except: pass` in the sweep engine once turned a crashed "
+        "point into a silently missing result inside an artifact marked "
+        "complete.  The resilience layer's contract is that every failure "
+        "is retried, recorded, or quarantined — so any broad catch in the "
+        "execution/persistence path must visibly account for the error."
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return any(fragment in relpath for fragment in _SCOPED_PATHS)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if node.type is None:
+                # Bare except also traps SystemExit/KeyboardInterrupt — the
+                # SIGINT drain path depends on those propagating, so a bare
+                # except here is a finding even when it logs.
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "bare `except:` traps KeyboardInterrupt/SystemExit and "
+                    "breaks the SIGINT drain path; catch a concrete "
+                    "exception type",
+                )
+                continue
+            if not _accounts_for_failure(node):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "broad exception handler neither re-raises nor logs; a "
+                    "failure reaching it vanishes from the run accounting — "
+                    "narrow the type, log it, or re-raise",
+                )

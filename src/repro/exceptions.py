@@ -42,3 +42,27 @@ class MappingError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment harness is given an invalid specification."""
+
+
+class PointFailureError(ExperimentError):
+    """Raised when sweep-point failures must abort the run.
+
+    Emitted by the supervised execution layer in ``strict`` mode on the
+    first failed point, and in the default mode when *every* pending point
+    fails (a run that produced nothing new is a configuration problem, not a
+    partial result).
+    """
+
+
+class PointTimeoutError(ExperimentError):
+    """Raised when a sweep point exceeds its per-point wall-clock budget."""
+
+
+class RunInterrupted(ExperimentError):
+    """Raised after a SIGINT-drained run has persisted its partial artifact.
+
+    The supervised executor catches the first interrupt, drains in-flight
+    points, journals their payloads, writes a partial artifact, and then
+    raises this so callers (and the CLI, which maps it to exit code 1) know
+    the run stopped early but the store is consistent.
+    """

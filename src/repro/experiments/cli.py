@@ -19,6 +19,17 @@ forces recomputation.
 The ``bench`` subcommand delegates to ``benchmarks/run_benchmarks.py`` so the
 suite names here, in CI, and in the benchmark runner come from the single
 ``SUITES`` registry defined there.
+
+Exit codes::
+
+    0  clean run — every point computed or reused
+    1  aborted   — interrupted (SIGINT), strict-mode point failure, or every
+                   sweep point failed; a partial artifact may still have been
+                   persisted (the message says where)
+    2  usage / configuration error (any other ReproError)
+    3  partial   — the run completed but one or more points failed; their
+                   tracebacks are in the artifact (`show` renders them) and a
+                   re-run retries just the failed points
 """
 
 from __future__ import annotations
@@ -26,11 +37,13 @@ from __future__ import annotations
 import argparse
 import importlib.util
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.exceptions import ReproError
+from repro.exceptions import PointFailureError, ReproError, RunInterrupted
+from repro.utils import faultinject
 from repro.experiments.plan import execute_spec, render_result
 from repro.experiments.presets import scale_names
 from repro.experiments.registry import REGISTRY
@@ -104,6 +117,39 @@ def build_parser() -> argparse.ArgumentParser:
         action=argparse.BooleanOptionalAction,
         default=None,
         help="derive an independent data stream per sweep point",
+    )
+    run.add_argument(
+        "--strict",
+        action="store_true",
+        help="abort on the first failed sweep point instead of completing partially",
+    )
+    run.add_argument(
+        "--max-attempts",
+        dest="max_attempts",
+        type=int,
+        help="run each sweep point up to N times before recording a failure",
+    )
+    run.add_argument(
+        "--retry-backoff",
+        dest="retry_backoff",
+        type=float,
+        metavar="SECONDS",
+        help="base delay between point retries (doubles per attempt)",
+    )
+    run.add_argument(
+        "--point-timeout",
+        dest="point_timeout",
+        type=float,
+        metavar="SECONDS",
+        help="per-point wall-clock budget (parallel engines only)",
+    )
+    run.add_argument(
+        "--faults",
+        help=(
+            "deterministic fault-injection plan (JSON, inline or a file path); "
+            "exported as $REPRO_FAULTS so worker processes inherit it. "
+            "Testing/chaos-drill knob — see repro.utils.faultinject."
+        ),
     )
     run.add_argument(
         "--store", type=Path, default=None, help="run store directory (default: runs/)"
@@ -236,13 +282,53 @@ def _resolve_spec(args) -> ExperimentSpec:
         "per_point_seed": args.per_point_seed,
     }
     overrides = {key: value for key, value in overrides.items() if value is not None}
+    retry_overrides = {
+        "max_attempts": args.max_attempts,
+        "backoff_s": args.retry_backoff,
+        "timeout_s": args.point_timeout,
+    }
+    retry_overrides = {
+        key: value for key, value in retry_overrides.items() if value is not None
+    }
+    if retry_overrides:
+        # RetryPolicy is pure execution policy — canonical() drops it, so
+        # these flags never change the spec or point fingerprints.
+        base = spec.engine.retry.as_dict()
+        overrides["retry"] = {**base, **retry_overrides}
     return spec.with_updates(**overrides) if overrides else spec
+
+
+def _install_faults(argument: Optional[str]) -> None:
+    """Validate ``--faults`` and export it via ``$REPRO_FAULTS``.
+
+    The environment variable (not an in-process install) is the vehicle so
+    spawned worker processes see the same plan the parent does.
+    """
+    if argument is None:
+        return
+    text = argument
+    path = Path(argument)
+    try:
+        if path.exists() and path.is_file():
+            text = path.read_text()
+    except OSError:  # e.g. an inline JSON string too long for a file name
+        pass
+    try:
+        plan = faultinject.FaultPlan.parse(text)
+    except ReproError:
+        raise
+    except (json.JSONDecodeError, TypeError, ValueError) as error:
+        raise ReproError(
+            f"--faults expects a JSON fault plan (inline or a file path): {error}"
+        ) from None
+    os.environ[faultinject.ENV_VAR] = plan.as_json()
 
 
 def _cmd_run(args) -> int:
     spec = _resolve_spec(args)
+    _install_faults(args.faults)
     store = None if args.no_store else _store_for(args)
-    run = execute_spec(spec, store=store, resume=not args.fresh)
+    run = execute_spec(spec, store=store, resume=not args.fresh, strict=args.strict)
     if args.json:
         print(
             json.dumps(
@@ -251,6 +337,9 @@ def _cmd_run(args) -> int:
                     "spec": spec.to_dict(),
                     "computed_points": run.computed_points,
                     "reused_points": run.reused_points,
+                    "failed_points": [
+                        failure.to_payload() for failure in run.failures
+                    ],
                     "duration_s": run.duration_s,
                     "artifact": str(run.artifact_path) if run.artifact_path else None,
                     "result": run.payload,
@@ -259,12 +348,12 @@ def _cmd_run(args) -> int:
                 sort_keys=True,
             )
         )
-        return 0
+        return 3 if run.failures else 0
     print(run.format_summary())
     if not args.quiet:
         print()
         print(render_result(run.result))
-    return 0
+    return 3 if run.failures else 0
 
 
 def _cmd_list(args) -> int:
@@ -367,6 +456,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except (RunInterrupted, PointFailureError) as error:
+        # Aborted runs: the message names the partial artifact when one was
+        # persisted, so `run` again resumes from it.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("error: interrupted", file=sys.stderr)
+        return 1
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -36,9 +36,10 @@ import numpy as np
 from repro.core.config import GroupDeletionConfig, RankClippingConfig
 from repro.core.conversion import convert_to_lowrank, direct_lra
 from repro.core.rank_clipping import RankClipper
-from repro.exceptions import ExperimentError
+from repro.exceptions import ExperimentError, PointFailureError, RunInterrupted
 from repro.experiments.figures import Figure3Series, Figure5Series
 from repro.experiments.headline import HeadlineNumbers, paper_headline_numbers
+from repro.experiments.resilience import PointFailure, RunMonitor
 from repro.experiments.runner import (
     StrengthPointTask,
     TolerancePointTask,
@@ -165,16 +166,27 @@ class ExperimentRun:
     duration_s: float
     artifact_path: Optional[Path] = None
     timings: Dict[str, float] = field(default_factory=dict)
+    failures: List[PointFailure] = field(default_factory=list)
 
     def format_summary(self) -> str:
         """One-paragraph run summary for the CLI."""
+        points_line = (
+            f"points: {self.computed_points} computed, {self.reused_points} reused"
+        )
+        if self.failures:
+            points_line += f", {len(self.failures)} FAILED"
+        points_line += f" | {self.duration_s:.2f}s"
         lines = [
             f"{self.spec.name} (kind={self.spec.kind}, method={self.spec.method}, "
             f"workload={self.spec.workload}, scale={self.spec.scale})",
             f"fingerprint: {self.fingerprint}",
-            f"points: {self.computed_points} computed, {self.reused_points} reused "
-            f"| {self.duration_s:.2f}s",
+            points_line,
         ]
+        for failure in self.failures:
+            lines.append(
+                f"  failed: {failure.label} ({failure.error_type} after "
+                f"{failure.attempts} attempt(s)): {failure.message}"
+            )
         if self.artifact_path is not None:
             lines.append(f"artifact: {self.artifact_path}")
         return "\n".join(lines)
@@ -307,6 +319,7 @@ def execute_spec(
     context: Optional[ExperimentContext] = None,
     store=None,
     resume: bool = True,
+    strict: bool = False,
 ) -> ExperimentRun:
     """Run ``spec`` end to end, resuming from ``store`` where possible.
 
@@ -320,10 +333,26 @@ def execute_spec(
         A :class:`~repro.experiments.store.RunStore`.  When given, the run is
         persisted as a content-addressed artifact; with ``resume=True`` any
         point whose fingerprint already has a stored result (in *any*
-        artifact of the store) is reused instead of retrained, and a complete
-        artifact short-circuits the run entirely — zero new training.
+        artifact of the store) — or in the spec's mid-run journal, left by an
+        interrupted earlier run — is reused instead of retrained, and a
+        complete artifact short-circuits the run entirely — zero new
+        training.  Completed sweep points are journaled as they finish, so a
+        crash mid-sweep loses at most the point in flight.
     resume:
-        Set ``False`` to recompute everything (the artifact is overwritten).
+        Set ``False`` to recompute everything (the artifact is overwritten
+        and any mid-run journal discarded).
+    strict:
+        Sweep points run supervised by the engine's
+        :class:`~repro.experiments.resilience.RetryPolicy`; a point that
+        exhausts its budget is recorded as a
+        :class:`~repro.experiments.resilience.PointFailure` on the returned
+        run (and in the artifact) while the rest of the sweep completes.
+        ``strict=True`` restores abort-on-first-failure
+        (:class:`~repro.exceptions.PointFailureError`).  A run where *every*
+        point fails aborts regardless — that is a configuration problem, not
+        a partial result.  The first SIGINT drains in-flight points and
+        persists a partial artifact before raising
+        :class:`~repro.exceptions.RunInterrupted`.
     """
     started = time.perf_counter()
     plan = build_plan(spec)
@@ -366,19 +395,41 @@ def execute_spec(
     stored_points: Dict[str, Dict[str, Any]] = {}
     if store is not None and resume:
         stored_points = store.lookup_points(point.fingerprint for point in plan.points)
+        wanted = {point.fingerprint for point in plan.points}
+        for fingerprint, journaled in store.load_journal(plan.fingerprint).items():
+            if fingerprint in wanted and fingerprint not in stored_points:
+                stored_points[fingerprint] = journaled
+    elif store is not None:
+        # --fresh recomputes everything: stale mid-run progress included.
+        store.clear_journal(plan.fingerprint)
 
     timings: Dict[str, float] = {}
     baseline_info: Optional[Dict[str, Any]] = None
+    monitor: Optional[RunMonitor] = None
+    failure_payloads: Dict[str, Dict[str, Any]] = {}
 
     if spec.kind == "headline":
         result = paper_headline_numbers()
         payload = result_to_payload(spec, result)
         new_points = {plan.points[0].fingerprint: payload}
     elif spec.kind == "sweep":
-        result, new_points, baseline_info = _execute_sweep(
-            spec, plan, context, stored_points, store if resume else None, timings
-        )
+        monitor = RunMonitor(strict=strict)
+        monitor.install_sigint()
+        try:
+            result, new_points, baseline_info = _execute_sweep(
+                spec, plan, context, stored_points, store, timings, monitor
+            )
+        finally:
+            monitor.restore_sigint()
         payload = result_to_payload(spec, result)
+        pending = [
+            point for point in plan.points if point.fingerprint not in stored_points
+        ]
+        failure_payloads = {
+            pending[slot].fingerprint: monitor.failures[slot].to_payload()
+            for slot in monitor.failures
+            if slot < len(pending)
+        }
     else:
         point = plan.points[0]
         if point.fingerprint in stored_points:
@@ -395,19 +446,41 @@ def execute_spec(
     artifact_path = None
     if store is not None:
         artifact = _merge_artifact(
-            artifact, spec, plan, stored_points, new_points, payload, baseline_info, timings
+            artifact,
+            spec,
+            plan,
+            stored_points,
+            new_points,
+            payload,
+            baseline_info,
+            timings,
+            failure_payloads,
         )
         artifact_path = store.save(artifact)
+        if artifact.get("complete"):
+            # Every journaled point now lives in the artifact proper.
+            store.clear_journal(plan.fingerprint)
+    if monitor is not None and monitor.interrupted:
+        where = (
+            f"partial artifact {artifact_path}"
+            if artifact_path is not None
+            else "no store attached; unpersisted progress was discarded"
+        )
+        error = RunInterrupted(f"run {plan.fingerprint} interrupted ({where})")
+        error.fingerprint = plan.fingerprint
+        error.artifact_path = artifact_path
+        raise error
     return ExperimentRun(
         spec=spec,
         fingerprint=plan.fingerprint,
         result=result,
         payload=payload,
         computed_points=len(new_points),
-        reused_points=len(plan.points) - len(new_points),
+        reused_points=len(stored_points),
         duration_s=duration,
         artifact_path=artifact_path,
         timings=timings,
+        failures=monitor.ordered_failures() if monitor is not None else [],
     )
 
 
@@ -420,6 +493,7 @@ def _merge_artifact(
     result_payload: Optional[Dict[str, Any]],
     baseline_info: Optional[Dict[str, Any]],
     timings: Dict[str, float],
+    failure_payloads: Optional[Dict[str, Dict[str, Any]]] = None,
 ) -> Dict[str, Any]:
     """Fold this run into the spec's (possibly pre-existing) artifact."""
     # Artifact metadata timestamp — never a fingerprint input.  repro: ignore[wall-clock]
@@ -462,6 +536,18 @@ def _merge_artifact(
             }
     if baseline_info is not None:
         artifact["baseline"] = baseline_info
+    # Failure records persist across runs until the point finally computes —
+    # a resumed run that succeeds where an earlier one failed clears it.
+    failures = {**artifact.get("failures", {}), **(failure_payloads or {})}
+    failures = {
+        fingerprint: record
+        for fingerprint, record in failures.items()
+        if fingerprint not in points
+    }
+    if failures:
+        artifact["failures"] = failures
+    else:
+        artifact.pop("failures", None)
     artifact["timings"] = {**artifact.get("timings", {}), **timings}
     artifact["result"] = result_payload
     artifact["complete"] = result_payload is not None and all(
@@ -505,20 +591,25 @@ def _run_hardware_stage(
     setup: TrainingSetup,
     networks,
     timings: Dict[str, float],
+    *,
+    mapper: Optional[NetworkMapper] = None,
 ):
     """Device-level simulated accuracy of every network per hardware corner.
 
     Returns one ``{config.label: accuracy}`` dict per network (in order).
     All networks of a sweep ride the batched simulator together — im2col is
     shared and the tile MVMs stack across same-architecture groups — and one
-    mapper memoizes the tiling plans across corners.
+    mapper memoizes the tiling plans across corners.  Journaled runs call
+    this once per point as each finishes; they pass a shared ``mapper`` so
+    the tiling-plan memoization still spans the whole sweep.
     """
     networks = list(networks)
     if not spec.hardware or not networks:
         return [None] * len(networks)
     t0 = time.perf_counter()
     inputs, targets = setup.test_dataset.arrays()
-    mapper = NetworkMapper()
+    if mapper is None:
+        mapper = NetworkMapper()
     per_network: List[Dict[str, float]] = [{} for _ in networks]
     for config in spec.hardware:
         # batch_size bounds the im2col super-batch like the software eval
@@ -751,6 +842,7 @@ def _execute_sweep(
     stored_points: Dict[str, Dict[str, Any]],
     store,
     timings: Dict[str, float],
+    monitor: RunMonitor,
 ):
     """Run the sweep points not yet stored and assemble the full result."""
     pending = [point for point in plan.points if point.fingerprint not in stored_points]
@@ -777,20 +869,33 @@ def _execute_sweep(
                 len(stored_points),
                 len(plan.points),
             )
+        journal = None
+        if store is not None:
+
+            def journal(point_fingerprint, payload, _fp=plan.fingerprint):
+                store.append_journal(_fp, point_fingerprint, payload)
+
         t0 = time.perf_counter()
         if spec.method == "rank_clipping":
             computed = _run_tolerance_points(
-                spec, workload, setup, network, pending, timings
+                spec, workload, setup, network, pending, timings, monitor, journal
             )
         else:
             computed, cache_stats = _run_strength_points(
-                spec, workload, setup, network, pending, timings
+                spec, workload, setup, network, pending, timings, monitor, journal
             )
         # The hardware-eval stage ran inside this window but books its own
         # hardware_s entry; keep points_s as pure training/evaluation time.
         timings["points_s"] = round(
             time.perf_counter() - t0 - timings.get("hardware_s", 0.0), 6
         )
+        if monitor.failures and not computed and not stored_points:
+            if not monitor.interrupted:
+                first = monitor.ordered_failures()[0]
+                raise PointFailureError(
+                    "every sweep point failed; first failure: "
+                    f"{first.label} ({first.error_type}: {first.message})"
+                )
     else:
         # Every point is stored: assemble without training.  The baseline
         # accuracy the result quotes comes from the context, a stored
@@ -806,6 +911,8 @@ def _execute_sweep(
                 "accuracy": accuracy,
             }
 
+    # Failed (or interrupted-before-reached) points are simply absent from
+    # the result; their failure records ride the artifact separately.
     if spec.method == "rank_clipping":
         result = ToleranceSweepResult(
             workload_name=workload.name, baseline_accuracy=accuracy
@@ -813,7 +920,7 @@ def _execute_sweep(
         for point in plan.points:
             if point.fingerprint in computed:
                 result.points.append(computed[point.fingerprint])
-            else:
+            elif point.fingerprint in stored_points:
                 result.points.append(
                     TolerancePoint.from_payload(stored_points[point.fingerprint])
                 )
@@ -826,7 +933,7 @@ def _execute_sweep(
         for point in plan.points:
             if point.fingerprint in computed:
                 result.points.append(computed[point.fingerprint])
-            else:
+            elif point.fingerprint in stored_points:
                 result.points.append(
                     StrengthPoint.from_payload(stored_points[point.fingerprint])
                 )
@@ -844,6 +951,8 @@ def _run_tolerance_points(
     baseline_network,
     points: List[PlanPoint],
     timings: Dict[str, float],
+    monitor: RunMonitor,
+    journal=None,
 ) -> Dict[str, TolerancePoint]:
     """Train the pending ε rank-clipping points through the engine."""
     engine = spec.engine
@@ -872,7 +981,56 @@ def _run_tolerance_points(
                 config=config,
             )
 
-    outcomes = engine.map_points(run_tolerance_point, tolerance_tasks())
+    def build_point(outcome, accuracy, hardware) -> TolerancePoint:
+        ranks = outcome.ranks
+        fractions = {
+            name: layer_area_fraction(*workload.layer_shapes[name], ranks.get(name))
+            for name in layer_order
+        }
+        total = network_area_fraction(
+            workload.layer_shapes,
+            {name: ranks.get(name) for name in workload.layer_shapes},
+        )
+        return TolerancePoint(
+            tolerance=outcome.tolerance,
+            accuracy=accuracy,
+            error=1.0 - accuracy,
+            ranks=dict(ranks),
+            layer_area_fractions=fractions,
+            total_area_fraction=total,
+            hardware=hardware,
+        )
+
+    results: Dict[str, TolerancePoint] = {}
+    if journal is not None:
+        # Journaled mode: finalize (evaluate + hardware + flush) each point
+        # as it completes, so a crash loses at most the in-flight point.
+        # Per-point evaluation and simulation are bit-identical to the
+        # batched paths, so resumed artifacts match clean ones exactly.
+        mapper = NetworkMapper()
+
+        def finalize(slot: int, outcome) -> None:
+            if engine.inline_training_eval:
+                accuracy = outcome.accuracy if outcome.accuracy is not None else 0.0
+            else:
+                accuracy = engine.evaluate_networks([outcome.network], setup)[0]
+            hardware = _run_hardware_stage(
+                spec, setup, [outcome.network], timings, mapper=mapper
+            )[0]
+            built = build_point(outcome, accuracy, hardware)
+            results[points[slot].fingerprint] = built
+            journal(points[slot].fingerprint, built.to_payload())
+
+        monitor.on_success = finalize
+        try:
+            engine.map_points(run_tolerance_point, tolerance_tasks(), monitor)
+        finally:
+            monitor.on_success = None
+        return results
+
+    outcome_map = engine.map_points(run_tolerance_point, tolerance_tasks(), monitor)
+    slots = sorted(outcome_map)
+    outcomes = [outcome_map[slot] for slot in slots]
     if engine.inline_training_eval:
         accuracies = [
             outcome.accuracy if outcome.accuracy is not None else 0.0
@@ -885,26 +1043,9 @@ def _run_tolerance_points(
     hardware = _run_hardware_stage(
         spec, setup, [outcome.network for outcome in outcomes], timings
     )
-
-    results: Dict[str, TolerancePoint] = {}
-    for slot, (point, outcome, accuracy) in enumerate(zip(points, outcomes, accuracies)):
-        ranks = outcome.ranks
-        fractions = {
-            name: layer_area_fraction(*workload.layer_shapes[name], ranks.get(name))
-            for name in layer_order
-        }
-        total = network_area_fraction(
-            workload.layer_shapes,
-            {name: ranks.get(name) for name in workload.layer_shapes},
-        )
-        results[point.fingerprint] = TolerancePoint(
-            tolerance=outcome.tolerance,
-            accuracy=accuracy,
-            error=1.0 - accuracy,
-            ranks=dict(ranks),
-            layer_area_fractions=fractions,
-            total_area_fraction=total,
-            hardware=hardware[slot],
+    for position, slot in enumerate(slots):
+        results[points[slot].fingerprint] = build_point(
+            outcomes[position], accuracies[position], hardware[position]
         )
     return results
 
@@ -916,6 +1057,8 @@ def _run_strength_points(
     baseline_network,
     points: List[PlanPoint],
     timings: Dict[str, float],
+    monitor: RunMonitor,
+    journal=None,
 ):
     """Clip once, then train the pending λ deletion points through the engine."""
     engine = spec.engine
@@ -954,7 +1097,52 @@ def _run_strength_points(
                 memoize_routing=engine.memoize_routing,
             )
 
-    outcomes = engine.run_strength_points(strength_tasks())
+    cache_stats: Dict[str, int] = {}
+
+    def absorb_stats(outcome) -> None:
+        for key, value in (outcome.routing_cache_stats or {}).items():
+            if key != "size":
+                cache_stats[key] = cache_stats.get(key, 0) + value
+
+    def build_point(outcome, accuracy, hardware) -> StrengthPoint:
+        return StrengthPoint(
+            strength=outcome.strength,
+            accuracy=accuracy,
+            error=1.0 - accuracy,
+            wire_fractions=outcome.wire_fractions,
+            routing_area_fractions=outcome.routing_area_fractions,
+            hardware=hardware,
+        )
+
+    results: Dict[str, StrengthPoint] = {}
+    if journal is not None:
+        # Journaled mode: finalize each point as it completes (see the
+        # tolerance variant for the bit-identity argument).
+        mapper = NetworkMapper()
+
+        def finalize(slot: int, outcome) -> None:
+            absorb_stats(outcome)
+            if engine.inline_training_eval:
+                accuracy = outcome.accuracy if outcome.accuracy is not None else 0.0
+            else:
+                accuracy = engine.evaluate_networks([outcome.network], setup)[0]
+            hardware = _run_hardware_stage(
+                spec, setup, [outcome.network], timings, mapper=mapper
+            )[0]
+            built = build_point(outcome, accuracy, hardware)
+            results[points[slot].fingerprint] = built
+            journal(points[slot].fingerprint, built.to_payload())
+
+        monitor.on_success = finalize
+        try:
+            engine.run_strength_points(strength_tasks(), monitor)
+        finally:
+            monitor.on_success = None
+        return results, cache_stats
+
+    outcome_map = engine.run_strength_points(strength_tasks(), monitor)
+    slots = sorted(outcome_map)
+    outcomes = [outcome_map[slot] for slot in slots]
     if engine.inline_training_eval:
         accuracies = [
             outcome.accuracy if outcome.accuracy is not None else 0.0
@@ -964,24 +1152,13 @@ def _run_strength_points(
         accuracies = engine.evaluate_networks(
             [outcome.network for outcome in outcomes], setup
         )
-
-    cache_stats: Dict[str, int] = {}
     for outcome in outcomes:
-        for key, value in (outcome.routing_cache_stats or {}).items():
-            if key != "size":
-                cache_stats[key] = cache_stats.get(key, 0) + value
-
+        absorb_stats(outcome)
     hardware = _run_hardware_stage(
         spec, setup, [outcome.network for outcome in outcomes], timings
     )
-    results: Dict[str, StrengthPoint] = {}
-    for slot, (point, outcome, accuracy) in enumerate(zip(points, outcomes, accuracies)):
-        results[point.fingerprint] = StrengthPoint(
-            strength=outcome.strength,
-            accuracy=accuracy,
-            error=1.0 - accuracy,
-            wire_fractions=outcome.wire_fractions,
-            routing_area_fractions=outcome.routing_area_fractions,
-            hardware=hardware[slot],
+    for position, slot in enumerate(slots):
+        results[points[slot].fingerprint] = build_point(
+            outcomes[position], accuracies[position], hardware[position]
         )
     return results, cache_stats

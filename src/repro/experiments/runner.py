@@ -48,6 +48,7 @@ from repro.core.config import GroupDeletionConfig, RankClippingConfig
 from repro.core.group_deletion import GroupConnectionDeleter, run_lockstep_deletion
 from repro.core.rank_clipping import RankClipper
 from repro.exceptions import ConfigurationError, LayerError
+from repro.experiments.resilience import RetryPolicy
 from repro.experiments.training import TrainingSetup
 from repro.hardware.routing import RoutingAnalysisCache
 from repro.nn.batched import architecture_signature, batched_evaluate
@@ -101,6 +102,11 @@ class SweepEngine:
         architectures or configs, active dropout) fall back to the serial
         path; ε rank-clipping sweeps always use the points path because their
         points diverge structurally at the first clip.
+    retry:
+        The :class:`~repro.experiments.resilience.RetryPolicy` the supervised
+        execution paths apply (retries, per-point timeouts, pool-rebuild
+        budget).  Pure execution policy: retries are bit-identical to clean
+        runs, so this field is excluded from spec and point fingerprints.
     """
 
     workers: int = 1
@@ -111,10 +117,18 @@ class SweepEngine:
     per_point_seed: bool = False
     start_method: Optional[str] = None
     mode: str = "points"
+    retry: RetryPolicy = RetryPolicy()
 
     def __post_init__(self):
         if self.workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if not isinstance(self.retry, RetryPolicy):
+            if isinstance(self.retry, Mapping):
+                object.__setattr__(self, "retry", RetryPolicy.from_dict(self.retry))
+            else:
+                raise ConfigurationError(
+                    f"retry must be a RetryPolicy or mapping, got {type(self.retry).__name__}"
+                )
         if self.start_method is not None:
             if self.start_method not in mp.get_all_start_methods():
                 raise ConfigurationError(
@@ -133,7 +147,9 @@ class SweepEngine:
         This is the encoding the declarative experiment layer
         (:mod:`repro.experiments.spec`) embeds in specs and run artifacts.
         """
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        payload = {f.name: getattr(self, f.name) for f in fields(self)}
+        payload["retry"] = self.retry.as_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Optional[Mapping[str, object]]) -> "SweepEngine":
@@ -200,7 +216,8 @@ class SweepEngine:
         self,
         point_fn: Callable[[TaskT], OutcomeT],
         tasks: Iterable[TaskT],
-    ) -> List[OutcomeT]:
+        monitor=None,
+    ):
         """Run ``point_fn`` over every task, serially or process-fanned.
 
         ``point_fn`` must be a module-level function and every task a pure
@@ -208,7 +225,16 @@ class SweepEngine:
         consumes ``tasks`` lazily, so generators keep only one point's
         payload (e.g. its network deep copy) alive at a time; the parallel
         path materializes them to feed the pool.
+
+        With a :class:`~repro.experiments.resilience.RunMonitor` the tasks
+        run under supervision (retry/timeout/pool-rebuild per this engine's
+        ``retry`` policy, failures isolated per point) and the return value
+        is a ``{position: outcome}`` dict of the points that succeeded.
         """
+        if monitor is not None:
+            from repro.experiments.resilience import supervised_map
+
+            return supervised_map(self, point_fn, tasks, monitor)
         if self.workers <= 1:
             return [point_fn(task) for task in tasks]
         tasks = list(tasks)
@@ -235,8 +261,8 @@ class SweepEngine:
 
     # --------------------------------------------------- strength execution
     def run_strength_points(
-        self, tasks: Iterable["StrengthPointTask"]
-    ) -> List["StrengthPointOutcome"]:
+        self, tasks: Iterable["StrengthPointTask"], monitor=None
+    ):
         """Execute λ group-deletion points under this engine's policy.
 
         ``mode="lockstep"`` trains every stackable architecture group in
@@ -248,7 +274,15 @@ class SweepEngine:
         network copy is alive at a time.  On the parallel path every worker's
         entries come back in its outcome (``routing_cache_entries``) for
         callers with later analysis phases to merge.
+
+        With a :class:`~repro.experiments.resilience.RunMonitor` the points
+        run under supervision (see :meth:`map_points`); the return value is
+        then a ``{position: outcome}`` dict of the points that succeeded.
         """
+        if monitor is not None:
+            from repro.experiments.resilience import supervised_strength_points
+
+            return supervised_strength_points(self, tasks, monitor)
         if self.mode == "lockstep":
             tasks = list(tasks)
             if len(tasks) > 1:

@@ -255,12 +255,19 @@ class ExperimentSpec:
 
         An empty ``hardware`` tuple is dropped so specs that never touch the
         simulator keep the fingerprints (and stored artifacts) they had
-        before the hardware section existed.
+        before the hardware section existed.  The engine's ``retry`` policy
+        is dropped unconditionally: retries, timeouts, and pool supervision
+        are guaranteed bit-identical to a clean run (fresh task copy, same
+        derived per-point seed), so how failures are handled must never
+        re-address what was computed.
         """
         payload = self.to_dict()
         payload.pop("name")
         if not payload["hardware"]:
             payload.pop("hardware")
+        payload["engine"] = {
+            key: value for key, value in payload["engine"].items() if key != "retry"
+        }
         return payload
 
     def fingerprint(self) -> str:

@@ -17,14 +17,16 @@ reloaded results rebuild their rich view objects (``format_table`` /
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.exceptions import ExperimentError
+from repro.utils import faultinject
 from repro.utils.logging import get_logger
-from repro.utils.serialization import load_json, save_json
+from repro.utils.serialization import jsonify, load_json, save_json
 
 logger = get_logger("experiments.store")
 
@@ -32,6 +34,18 @@ PathLike = Union[str, Path]
 
 #: Environment variable overriding the default store location.
 DEFAULT_STORE_ENV = "REPRO_RUN_STORE"
+
+#: Artifact key holding the sha256 of the rest of the artifact; written on
+#: save and verified on load so bit rot and torn writes are quarantined, not
+#: silently reused.
+CHECKSUM_FIELD = "payload_sha256"
+
+
+def _payload_checksum(payload: Dict[str, Any]) -> str:
+    """sha256 over the canonical JSON of ``payload`` minus the checksum field."""
+    body = {key: value for key, value in payload.items() if key != CHECKSUM_FIELD}
+    blob = json.dumps(jsonify(body), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def default_store_root() -> Path:
@@ -63,32 +77,61 @@ class RunStore:
         """Persist an artifact (keyed by its ``fingerprint`` field).
 
         The write is atomic (temp file + rename), so an interrupted run can
-        never leave a truncated artifact behind.
+        never leave a truncated artifact behind, and carries a sha256
+        payload checksum (:data:`CHECKSUM_FIELD`) that :meth:`load` verifies.
         """
         fingerprint = artifact.get("fingerprint")
         if not fingerprint:
             raise ExperimentError("artifact is missing its 'fingerprint' field")
         path = self.path(fingerprint)
         temp = path.with_name(f".{path.name}.tmp")
-        save_json(temp, artifact)
+        save_json(temp, {**artifact, CHECKSUM_FIELD: _payload_checksum(artifact)})
         os.replace(temp, path)
+        # Chaos hook: "store-save"/"corrupt" faults garble the artifact here
+        # so the quarantine path below is testable end to end.
+        faultinject.corrupt_file(path)
         return path
 
     def load(self, fingerprint: str) -> Optional[Dict[str, Any]]:
-        """Load one artifact, or ``None`` when nothing (valid) is stored.
+        """Load one artifact, or ``None`` when nothing valid is stored.
 
-        A corrupt artifact (e.g. from a pre-atomic-write interruption or
-        manual editing) is treated as absent — the run recomputes and
-        overwrites it — rather than bricking every store operation.
+        A corrupt artifact — unparseable JSON from a torn write, or a
+        parseable one whose sha256 checksum no longer matches its content —
+        is *quarantined*: renamed to ``<name>.json.corrupt`` (out of the
+        store's ``*.json`` namespace) with a warning, so the evidence
+        survives for inspection while the run recomputes cleanly.  Artifacts
+        written before the checksum existed load without verification.
         """
         path = self.path(fingerprint)
         if not path.exists():
             return None
         try:
-            return load_json(path)
-        except (json.JSONDecodeError, UnicodeDecodeError):
-            logger.warning("ignoring corrupt artifact %s", path)
+            artifact = load_json(path)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            self._quarantine(path, f"unparseable JSON ({error})")
             return None
+        if not isinstance(artifact, dict):
+            self._quarantine(path, f"expected a JSON object, got {type(artifact).__name__}")
+            return None
+        stored_checksum = artifact.get(CHECKSUM_FIELD)
+        if stored_checksum is not None:
+            actual = _payload_checksum(artifact)
+            if actual != stored_checksum:
+                self._quarantine(
+                    path,
+                    f"checksum mismatch (stored {str(stored_checksum)[:12]}…, "
+                    f"content hashes to {actual[:12]}…)",
+                )
+                return None
+            artifact = {k: v for k, v in artifact.items() if k != CHECKSUM_FIELD}
+        return artifact
+
+    def _quarantine(self, path: Path, reason: str) -> Path:
+        """Move a corrupt file aside (``.corrupt`` suffix) instead of reusing it."""
+        target = path.with_name(f"{path.name}.corrupt")
+        os.replace(path, target)
+        logger.warning("quarantined corrupt artifact %s -> %s: %s", path, target, reason)
+        return target
 
     def delete(self, fingerprint: str) -> bool:
         """Remove one artifact; returns whether anything was deleted."""
@@ -185,6 +228,93 @@ class RunStore:
                 return float(baseline["accuracy"])
         return None
 
+    # ---------------------------------------------------------------- journal
+    # Mid-run durability: the executor appends each finished point's payload
+    # to `<spec fingerprint>.journal.jsonl` the moment it completes, so a
+    # crash, SIGINT, or strict abort loses at most the point in flight.  The
+    # next run folds journal entries back in exactly like stored artifact
+    # points, and the journal is deleted once the complete artifact lands.
+
+    def journal_path(self, fingerprint: str) -> Path:
+        """Journal path for a spec fingerprint (JSONL, one point per line)."""
+        return self.root / f"{fingerprint}.journal.jsonl"
+
+    def append_journal(
+        self, fingerprint: str, point_fingerprint: str, payload: Dict[str, Any]
+    ) -> Path:
+        """Durably append one completed point's payload to the run journal.
+
+        Each line is a self-contained JSON record
+        ``{"point": …, "payload": …, "sha256": …}`` whose checksum covers the
+        point fingerprint and payload, flushed and fsynced before returning —
+        a parent crash immediately after a point completes cannot lose it,
+        and a crash mid-append corrupts only the trailing line, which
+        :meth:`load_journal` skips.
+        """
+        record = {"point": point_fingerprint, "payload": jsonify(payload)}
+        record["sha256"] = _payload_checksum(record)
+        path = self.journal_path(fingerprint)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return path
+
+    def load_journal(self, fingerprint: str) -> Dict[str, Dict[str, Any]]:
+        """Point payloads journaled by an interrupted run of ``fingerprint``.
+
+        Tolerant of a truncated or garbled trailing line (the signature of a
+        crash mid-append): invalid lines are skipped with a warning, valid
+        ones are still recovered.  Later entries for the same point win.
+        """
+        path = self.journal_path(fingerprint)
+        if not path.exists():
+            return {}
+        recovered: Dict[str, Dict[str, Any]] = {}
+        with open(path, "r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    logger.warning(
+                        "skipping corrupt journal line %s:%d (truncated write?)",
+                        path,
+                        number,
+                    )
+                    continue
+                body = (
+                    {k: v for k, v in record.items() if k != "sha256"}
+                    if isinstance(record, dict)
+                    else None
+                )
+                if (
+                    body is None
+                    or "point" not in body
+                    or "payload" not in body
+                    or record.get("sha256") != _payload_checksum(body)
+                ):
+                    logger.warning(
+                        "skipping journal line %s:%d with a bad checksum", path, number
+                    )
+                    continue
+                recovered[record["point"]] = record["payload"]
+        if recovered:
+            logger.info(
+                "recovered %d journaled point(s) for %s", len(recovered), fingerprint
+            )
+        return recovered
+
+    def clear_journal(self, fingerprint: str) -> bool:
+        """Delete the run journal (called once the complete artifact lands)."""
+        path = self.journal_path(fingerprint)
+        if not path.exists():
+            return False
+        path.unlink()
+        return True
+
 
 # ----------------------------------------------------------------- rendering
 def render_artifact(artifact: Dict[str, Any]) -> str:
@@ -208,6 +338,15 @@ def render_artifact(artifact: Dict[str, Any]) -> str:
     if points:
         reused = sum(1 for entry in points.values() if entry.get("reused"))
         lines.append(f"points: {len(points)} stored ({reused} reused from earlier runs)")
+    failures = artifact.get("failures") or {}
+    if failures:
+        lines.append(f"failed points: {len(failures)}")
+        for record in sorted(failures.values(), key=lambda r: r.get("index", 0)):
+            lines.append(
+                f"  {record.get('label', '?')}: {record.get('error_type', '?')} "
+                f"after {record.get('attempts', '?')} attempt(s): "
+                f"{record.get('message', '')}"
+            )
     baseline = artifact.get("baseline") or {}
     if baseline.get("accuracy") is not None:
         lines.append(f"baseline accuracy: {baseline['accuracy']:.4f}")
@@ -312,6 +451,13 @@ def compare_artifacts(first: Dict[str, Any], second: Dict[str, Any]) -> str:
         lines.append(f"only in {label_b}: {len(only_b)} metric(s), e.g. {only_b[:3]}")
     if not shared:
         lines.append("(no shared numeric metrics)")
+    failed_a = len(first.get("failures") or {})
+    failed_b = len(second.get("failures") or {})
+    if failed_a or failed_b:
+        lines.append(
+            f"failed points: {label_a} has {failed_a}, {label_b} has {failed_b} "
+            "(partial results; see `show` for tracebacks)"
+        )
     hw_a = hardware_summary(first)
     hw_b = hardware_summary(second)
     shared_hw = [label for label in hw_a if label in hw_b]

@@ -32,17 +32,25 @@ def load_state_dict(path: PathLike) -> Dict[str, np.ndarray]:
         return {key: np.array(data[key]) for key in data.files}
 
 
-def _jsonify(value: Any) -> Any:
-    """Convert numpy scalars/arrays nested in ``value`` into JSON-safe types."""
+def jsonify(value: Any) -> Any:
+    """Convert numpy scalars/arrays nested in ``value`` into JSON-safe types.
+
+    Public because the run store also feeds this through ``json.dumps`` to
+    compute payload-integrity checksums — the checksum must hash exactly the
+    bytes :func:`save_json` would write.
+    """
     if isinstance(value, (np.floating, np.integer, np.bool_)):
         return value.item()
     if isinstance(value, np.ndarray):
         return value.tolist()
     if isinstance(value, dict):
-        return {str(k): _jsonify(v) for k, v in value.items()}
+        return {str(k): jsonify(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
-        return [_jsonify(v) for v in value]
+        return [jsonify(v) for v in value]
     return value
+
+
+_jsonify = jsonify
 
 
 def save_json(path: PathLike, payload: Mapping[str, Any]) -> Path:

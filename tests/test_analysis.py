@@ -520,6 +520,128 @@ class TestPoolPicklableRule:
         assert report.suppressed == 1
 
 
+class TestSwallowedExceptionRule:
+    """Scoped to engine/store modules: broad handlers must log or re-raise."""
+
+    SCOPE = "src/repro/experiments/engine_mod.py"
+
+    def test_silent_broad_handler_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            self.SCOPE,
+            """\
+            def load(path):
+                try:
+                    return open(path).read()
+                except Exception:
+                    return None
+            """,
+            rules=["swallowed-exception"],
+        )
+        assert rules_hit(report) == {"swallowed-exception"}
+
+    def test_bare_except_always_flagged_even_with_logging(self, tmp_path):
+        report = lint(
+            tmp_path,
+            self.SCOPE,
+            """\
+            import logging
+
+            def load(path):
+                try:
+                    return open(path).read()
+                except:
+                    logging.getLogger(__name__).warning("failed")
+                    return None
+            """,
+            rules=["swallowed-exception"],
+        )
+        assert rules_hit(report) == {"swallowed-exception"}
+        assert "KeyboardInterrupt" in report.findings[0].message
+
+    def test_logging_handler_clean(self, tmp_path):
+        report = lint(
+            tmp_path,
+            self.SCOPE,
+            """\
+            import logging
+
+            logger = logging.getLogger(__name__)
+
+            def load(path):
+                try:
+                    return open(path).read()
+                except Exception as error:
+                    logger.warning("load failed: %s", error)
+                    return None
+            """,
+            rules=["swallowed-exception"],
+        )
+        assert report.clean
+
+    def test_reraising_handler_clean(self, tmp_path):
+        report = lint(
+            tmp_path,
+            self.SCOPE,
+            """\
+            def load(path):
+                try:
+                    return open(path).read()
+                except Exception as error:
+                    raise RuntimeError("load failed") from error
+            """,
+            rules=["swallowed-exception"],
+        )
+        assert report.clean
+
+    def test_narrow_handler_clean(self, tmp_path):
+        report = lint(
+            tmp_path,
+            self.SCOPE,
+            """\
+            def load(path):
+                try:
+                    return open(path).read()
+                except FileNotFoundError:
+                    return None
+            """,
+            rules=["swallowed-exception"],
+        )
+        assert report.clean
+
+    def test_out_of_scope_module_not_linted(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "src/repro/nn/helpers.py",
+            """\
+            def load(path):
+                try:
+                    return open(path).read()
+                except Exception:
+                    return None
+            """,
+            rules=["swallowed-exception"],
+        )
+        assert report.clean
+
+    def test_suppression_works(self, tmp_path):
+        report = lint(
+            tmp_path,
+            self.SCOPE,
+            """\
+            def probe(path):
+                try:
+                    return open(path).read()
+                # best-effort probe; absence is a normal outcome.  repro: ignore[swallowed-exception]
+                except Exception:
+                    return None
+            """,
+            rules=["swallowed-exception"],
+        )
+        assert report.clean
+        assert report.suppressed == 1
+
+
 class TestMutableDefaultRule:
     def test_violations(self, tmp_path):
         report = lint(

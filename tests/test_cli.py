@@ -1,11 +1,13 @@
 """Tests for the ``python -m repro`` command line (run/list/show/compare/bench)."""
 
 import json
+import os
 
 import pytest
 
 from repro.experiments import ExperimentSpec
 from repro.experiments.cli import _load_benchmark_runner, main
+from repro.utils import faultinject
 
 FAST = dict(
     train_samples=120,
@@ -124,6 +126,94 @@ class TestRun:
             parser.parse_args(["run", "figure8", "--no-include-small-matrices"])
         )
         assert off.include_small_matrices is False
+
+
+class TestExitCodes:
+    """0 clean · 1 aborted · 2 usage · 3 partial — the documented contract."""
+
+    @pytest.fixture(autouse=True)
+    def _no_leaked_faults(self, monkeypatch):
+        # ``--faults`` exports $REPRO_FAULTS via os.environ (so worker
+        # processes inherit it); monkeypatch only undoes its *own* edits, so
+        # pop explicitly on teardown or the plan leaks into later test files.
+        monkeypatch.delenv(faultinject.ENV_VAR, raising=False)
+        faultinject.uninstall()
+        yield
+        os.environ.pop(faultinject.ENV_VAR, None)
+        faultinject.uninstall()
+
+    def test_partial_run_exits_3_then_resumes_to_0(
+        self, tmp_path, spec_file, capsys
+    ):
+        _, path = spec_file
+        store = str(tmp_path / "runs")
+        faults = json.dumps([{"site": "point", "kind": "raise", "index": 1}])
+        assert main(["run", str(path), "--store", store, "--faults", faults]) == 3
+        out = capsys.readouterr().out
+        assert "1 computed" in out and "1 FAILED" in out
+        # Re-running without faults heals the failed point only.  (--faults
+        # exports $REPRO_FAULTS for worker processes; a real CLI invocation
+        # is its own process, here we must clear it by hand.)
+        os.environ.pop(faultinject.ENV_VAR, None)
+        assert main(["run", str(path), "--store", store]) == 0
+        assert "1 computed, 1 reused" in capsys.readouterr().out
+
+    def test_partial_json_output_carries_failures(self, tmp_path, spec_file, capsys):
+        _, path = spec_file
+        faults = json.dumps([{"site": "point", "kind": "raise", "index": 0}])
+        rc = main(
+            ["run", str(path), "--store", str(tmp_path / "runs"),
+             "--faults", faults, "--json"]
+        )
+        assert rc == 3
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed_points"][0]["error_type"] == "InjectedFault"
+
+    def test_strict_failure_exits_1(self, tmp_path, spec_file, capsys):
+        _, path = spec_file
+        faults = json.dumps([{"site": "point", "kind": "raise", "index": 0}])
+        rc = main(
+            ["run", str(path), "--store", str(tmp_path / "runs"),
+             "--faults", faults, "--strict"]
+        )
+        assert rc == 1
+        assert "strict" in capsys.readouterr().err
+
+    def test_interrupted_run_exits_1_and_persists_partial(
+        self, tmp_path, spec_file, capsys
+    ):
+        spec, path = spec_file
+        store = str(tmp_path / "runs")
+        faults = json.dumps([{"site": "point", "kind": "interrupt", "index": 1}])
+        assert main(["run", str(path), "--store", store, "--faults", faults]) == 1
+        assert "interrupted" in capsys.readouterr().err
+        # The drained partial artifact is resumable.
+        os.environ.pop(faultinject.ENV_VAR, None)
+        assert main(["run", str(path), "--store", store]) == 0
+        assert "1 computed, 1 reused" in capsys.readouterr().out
+
+    def test_bad_faults_json_is_usage_error(self, spec_file, capsys):
+        _, path = spec_file
+        assert main(["run", str(path), "--no-store", "--faults", "{nope"]) == 2
+        assert "fault plan is not valid JSON" in capsys.readouterr().err
+
+    def test_retry_flags_reach_the_engine(self, spec_file):
+        from repro.experiments.cli import _resolve_spec, build_parser
+
+        _, path = spec_file
+        parser = build_parser()
+        args = parser.parse_args(
+            ["run", str(path), "--max-attempts", "3",
+             "--retry-backoff", "0.5", "--point-timeout", "90"]
+        )
+        spec = _resolve_spec(args)
+        assert spec.engine.retry.max_attempts == 3
+        assert spec.engine.retry.backoff_s == 0.5
+        assert spec.engine.retry.timeout_s == 90.0
+        # Execution policy only: the fingerprint is unchanged.
+        assert spec.fingerprint() == _resolve_spec(
+            parser.parse_args(["run", str(path)])
+        ).fingerprint()
 
 
 class TestBench:

@@ -1,0 +1,175 @@
+"""Unit tests for the deterministic fault-injection hook.
+
+These tests never train anything: they pin down the *trigger semantics* the
+chaos suites (``tests/test_resilience.py``) build on — a fault plan must make
+the same decision at the same coordinates in every process, every run.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils import faultinject
+from repro.utils.faultinject import (
+    ENV_VAR,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    corrupt_file,
+    fire,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_state(monkeypatch):
+    """Every test starts with no installed plan and no env plan."""
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    faultinject.uninstall()
+    yield
+    faultinject.uninstall()
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="site"):
+            FaultSpec(site="nowhere")
+        with pytest.raises(ConfigurationError, match="kind"):
+            FaultSpec(kind="explode")
+        with pytest.raises(ConfigurationError, match="probability"):
+            FaultSpec(probability=1.5)
+        with pytest.raises(ConfigurationError, match="seconds"):
+            FaultSpec(kind="hang", seconds=-1)
+
+    def test_matches_site_index_attempt(self):
+        fault = FaultSpec(site="point", index=2, attempts=(1,))
+        assert fault.matches("point", index=2, attempt=1)
+        assert not fault.matches("point", index=2, attempt=2)  # retried -> clean
+        assert not fault.matches("point", index=1, attempt=1)
+        assert not fault.matches("store-save", index=2, attempt=1)
+
+    def test_wildcards(self):
+        fault = FaultSpec(site="point")
+        assert fault.matches("point", index=0, attempt=1)
+        assert fault.matches("point", index=99, attempt=7)
+        assert fault.matches("point")
+
+    def test_probability_is_deterministic(self):
+        fault = FaultSpec(probability=0.5, seed=42)
+        decisions = [fault.matches("point", index=i, attempt=1) for i in range(64)]
+        # Same coordinates, same verdicts — in this process and any other.
+        assert decisions == [
+            fault.matches("point", index=i, attempt=1) for i in range(64)
+        ]
+        # A 0.5 draw over 64 points hits both outcomes.
+        assert any(decisions) and not all(decisions)
+        # A different seed gives a different (but equally stable) pattern.
+        other = FaultSpec(probability=0.5, seed=43)
+        assert decisions != [
+            other.matches("point", index=i, attempt=1) for i in range(64)
+        ]
+
+    def test_round_trip_and_unknown_field(self):
+        fault = FaultSpec(kind="hang", index=3, attempts=(1, 2), seconds=0.5)
+        assert FaultSpec.from_dict(fault.as_dict()) == fault
+        with pytest.raises(ConfigurationError, match="unknown FaultSpec field"):
+            FaultSpec.from_dict({"site": "point", "when": "now"})
+
+
+class TestFaultPlan:
+    def test_parse_forms(self):
+        as_dict = {"site": "point", "kind": "raise", "index": 1}
+        for payload in (
+            as_dict,
+            [as_dict],
+            json.dumps(as_dict),
+            json.dumps([as_dict]),
+        ):
+            plan = FaultPlan.parse(payload)
+            assert len(plan.faults) == 1
+            assert plan.faults[0].index == 1
+        assert FaultPlan.parse(plan) is plan
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            FaultPlan.parse("{nope")
+        with pytest.raises(ConfigurationError, match="fault dict"):
+            FaultPlan.parse(json.dumps("a string"))
+        with pytest.raises(ConfigurationError):
+            FaultPlan.parse([42])
+
+    def test_as_json_round_trip(self):
+        plan = FaultPlan(faults=({"site": "point", "kind": "kill", "index": 0},))
+        assert FaultPlan.parse(plan.as_json()) == plan
+
+    def test_matching_filters(self):
+        plan = FaultPlan(
+            faults=(
+                {"site": "point", "index": 0},
+                {"site": "point", "index": 1},
+                {"site": "store-save", "kind": "corrupt"},
+            )
+        )
+        assert len(plan.matching("point", index=0, attempt=1)) == 1
+        assert len(plan.matching("store-save")) == 1
+        assert plan.matching("point", index=5, attempt=1) == ()
+
+
+class TestActivation:
+    def test_no_plan_is_a_noop(self):
+        fire("point", index=0, attempt=1)  # must not raise
+
+    def test_injected_scopes_the_plan(self):
+        with faultinject.injected([{"site": "point", "kind": "raise"}]):
+            with pytest.raises(InjectedFault):
+                fire("point", index=0, attempt=1)
+        fire("point", index=0, attempt=1)  # uninstalled again
+
+    def test_injected_restores_previous_plan(self):
+        outer = faultinject.install([{"site": "point", "index": 7}])
+        with faultinject.injected([{"site": "point", "index": 8}]):
+            assert faultinject.active_plan().faults[0].index == 8
+        assert faultinject.active_plan() is outer
+
+    def test_env_plan_lazy_and_cached(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, json.dumps([{"site": "point", "index": 4}]))
+        first = faultinject.active_plan()
+        assert first.faults[0].index == 4
+        assert faultinject.active_plan() is first  # same text -> cached parse
+        monkeypatch.setenv(ENV_VAR, json.dumps([{"site": "point", "index": 5}]))
+        assert faultinject.active_plan().faults[0].index == 5
+
+    def test_installed_plan_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, json.dumps([{"site": "point", "index": 4}]))
+        with faultinject.injected([{"site": "point", "index": 9}]):
+            assert faultinject.active_plan().faults[0].index == 9
+
+    def test_fire_interrupt_kind(self):
+        with faultinject.injected([{"site": "point", "kind": "interrupt"}]):
+            with pytest.raises(KeyboardInterrupt):
+                fire("point", index=0, attempt=1)
+
+    def test_fire_hang_kind_sleeps(self):
+        import time
+
+        with faultinject.injected(
+            [{"site": "point", "kind": "hang", "seconds": 0.05}]
+        ):
+            t0 = time.perf_counter()
+            fire("point", index=0, attempt=1)
+            assert time.perf_counter() - t0 >= 0.05
+
+
+class TestCorruptFile:
+    def test_corrupts_only_with_matching_fault(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        path.write_text(json.dumps({"ok": True}) * 20)
+        original = path.read_bytes()
+        assert corrupt_file(path) is False  # no plan -> untouched
+        assert path.read_bytes() == original
+        with faultinject.injected([{"site": "store-save", "kind": "corrupt"}]):
+            assert corrupt_file(path) is True
+        garbled = path.read_bytes()
+        assert garbled != original
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(garbled.decode("utf-8", errors="replace"))

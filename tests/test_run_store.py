@@ -111,6 +111,55 @@ class TestArtifactLifecycle:
         assert healed.computed_points == 2
         assert store.load(spec.fingerprint())["complete"] is True
 
+    def test_corrupt_artifact_is_quarantined_not_deleted(self, store, caplog):
+        """Unparseable artifacts move to ``<name>.json.corrupt`` for forensics."""
+        spec = sweep_spec()
+        execute_spec(spec, store=store)
+        path = store.path(spec.fingerprint())
+        path.write_text("{ truncated")
+        assert store.load(spec.fingerprint()) is None
+        quarantined = path.with_name(path.name + ".corrupt")
+        assert quarantined.exists() and not path.exists()
+        assert quarantined.read_text() == "{ truncated"
+        assert any("quarantined" in record.message for record in caplog.records)
+        # Quarantined files are invisible to every store listing/lookup.
+        assert store.fingerprints() == []
+
+    def test_tampered_payload_fails_checksum_and_quarantines(self, store):
+        """Valid JSON with a modified payload must not load: sha256 guards it."""
+        import json as json_module
+
+        spec = sweep_spec()
+        execute_spec(spec, store=store)
+        path = store.path(spec.fingerprint())
+        artifact = json_module.loads(path.read_text())
+        assert "payload_sha256" in artifact
+        artifact["result"]["baseline_accuracy"] = 0.123456
+        path.write_text(json_module.dumps(artifact))
+        assert store.load(spec.fingerprint()) is None
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_checksum_less_legacy_artifact_still_loads(self, store):
+        """Artifacts written before the integrity check load unverified."""
+        import json as json_module
+
+        spec = sweep_spec()
+        first = execute_spec(spec, store=store)
+        path = store.path(spec.fingerprint())
+        artifact = json_module.loads(path.read_text())
+        del artifact["payload_sha256"]
+        path.write_text(json_module.dumps(artifact))
+        loaded = store.load(spec.fingerprint())
+        assert loaded is not None and loaded["complete"] is True
+        resumed = execute_spec(spec, store=store)
+        assert resumed.computed_points == 0
+        assert resumed.payload == first.payload
+
+    def test_loaded_artifact_does_not_leak_the_checksum_field(self, store):
+        spec = sweep_spec()
+        execute_spec(spec, store=store)
+        assert "payload_sha256" not in store.load(spec.fingerprint())
+
     def test_store_rejects_context_supplied_material(self, store):
         """Fingerprints cannot see context workloads/baselines — refuse the store."""
         workload = mlp_workload("tiny")
@@ -180,6 +229,48 @@ class TestResume:
         run = execute_spec(ExperimentSpec(kind="headline"))
         assert run.artifact_path is None
         assert run.result.lenet_crossbar_area_percent > 0
+
+
+class TestJournal:
+    """The mid-run journal: atomic per-point progress under a plan fingerprint."""
+
+    def test_append_load_round_trip(self, store):
+        store.append_journal("planfp", "point-a", {"accuracy": 0.5, "ranks": {"d": 3}})
+        store.append_journal("planfp", "point-b", {"accuracy": 0.75})
+        loaded = store.load_journal("planfp")
+        assert loaded == {
+            "point-a": {"accuracy": 0.5, "ranks": {"d": 3}},
+            "point-b": {"accuracy": 0.75},
+        }
+
+    def test_later_entries_win(self, store):
+        store.append_journal("planfp", "point-a", {"accuracy": 0.5})
+        store.append_journal("planfp", "point-a", {"accuracy": 0.9})
+        assert store.load_journal("planfp")["point-a"] == {"accuracy": 0.9}
+
+    def test_truncated_line_skipped(self, store, caplog):
+        store.append_journal("planfp", "point-a", {"accuracy": 0.5})
+        with open(store.journal_path("planfp"), "a", encoding="utf-8") as handle:
+            handle.write('{"point": "point-b", "payl')  # torn write
+        loaded = store.load_journal("planfp")
+        assert set(loaded) == {"point-a"}
+        assert any("journal" in record.message for record in caplog.records)
+
+    def test_tampered_line_fails_checksum(self, store):
+        store.append_journal("planfp", "point-a", {"accuracy": 0.5})
+        path = store.journal_path("planfp")
+        text = path.read_text().replace("0.5", "0.9")
+        path.write_text(text)
+        assert store.load_journal("planfp") == {}
+
+    def test_clear(self, store):
+        store.append_journal("planfp", "point-a", {"accuracy": 0.5})
+        store.clear_journal("planfp")
+        assert store.load_journal("planfp") == {}
+        assert not store.journal_path("planfp").exists()
+
+    def test_missing_journal_is_empty(self, store):
+        assert store.load_journal("no-such-plan") == {}
 
 
 class TestCompareAndRender:
