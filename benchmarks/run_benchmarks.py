@@ -154,6 +154,38 @@ def run_hardware(output: Path, check: bool) -> int:
     return 0
 
 
+def run_serving(output: Path, check: bool) -> int:
+    from repro.serving.bench import check_serving_stats, collect_serving_stats
+
+    stats = collect_serving_stats()
+    record = _base_record()
+    record["capacity_rps"] = round(stats["capacity_rps"], 1)
+    record["requests_per_level"] = stats["requests_per_level"]
+    # Levels stay nested: per-level dicts (throughput, latency percentiles,
+    # typed rejection counts) are the record, not incidental detail.
+    record["levels"] = {
+        name: {k: round(v, 4) if isinstance(v, float) else v
+               for k, v in level.items()}
+        for name, level in stats["levels"].items()
+    }
+    _append(output, record)
+
+    print(f"serving benchmark ({record['timestamp']}) -> {output}")
+    print(f"  sustained capacity     {record['capacity_rps']:.0f} requests/s")
+    for name, level in record["levels"].items():
+        shed = sum(level["rejections"].values())
+        print(f"  {name:<5} load          served {level['throughput']:.0f}/s  "
+              f"p99 {level['p99_ms']:.2f} ms  shed {shed}/{level['requests']}")
+
+    if check:
+        try:
+            check_serving_stats(stats)
+        except AssertionError as error:
+            print(f"FAIL: shed-don't-collapse guard: {error}", file=sys.stderr)
+            return 1
+    return 0
+
+
 @dataclass(frozen=True)
 class BenchmarkSuite:
     """One registered benchmark suite: runner, trajectory file, description."""
@@ -192,6 +224,12 @@ SUITES: "OrderedDict[str, BenchmarkSuite]" = OrderedDict(
             run_hardware,
             "BENCH_hardware.json",
             "batched crossbar-simulator inference vs naive per-tile loop",
+        ),
+        BenchmarkSuite(
+            "serving",
+            run_serving,
+            "BENCH_serving.json",
+            "serving-runtime load levels: shed under overload, don't collapse",
         ),
     )
 )

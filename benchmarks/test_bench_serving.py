@@ -1,0 +1,49 @@
+"""Serving-runtime load benchmark: shed under overload, don't collapse.
+
+Drives the ``repro.serving`` runtime — micro-batching workers over a warm
+:class:`~repro.serving.cache.ProgrammedNetworkCache` entry at a non-ideal
+device corner — with paced open-loop request streams at 0.5×, 1×, and 2× of
+its calibrated sustained capacity.  Capacity is measured on the same process
+immediately beforehand (burst-submit with retry-on-shed), so the load levels
+track the machine rather than a hard-coded rate that would flake across
+hosts.
+
+Per level the collector records offered rate, completions, typed-rejection
+counts, shed ratio, delivered throughput, and p50/p99 response latency.  The
+acceptance bar is the robustness contract, not a raw-speed number:
+
+* **zero silent drops** — ``completed + Σ rejections == requests`` at every
+  level; every submission resolves to a response or a typed rejection.
+* **shed, don't collapse** — at 2× saturation the runtime must still
+  complete real work, with delivered throughput at least 25% of the 1×
+  level's (admission control sheds the excess instead of letting queueing
+  collapse goodput).
+
+Numbers land in ``benchmark.extra_info`` and in ``BENCH_serving.json`` via
+``benchmarks/run_benchmarks.py --suite serving``.  The companion chaos drill
+(``python -m repro serve-bench --drill``) covers the fault path; this suite
+covers the load path.
+"""
+
+from __future__ import annotations
+
+from bench_utils import run_once
+from repro.serving.bench import check_serving_stats, collect_serving_stats
+
+REQUESTS_PER_LEVEL = 80
+
+
+def test_serving_shed_dont_collapse(benchmark):
+    stats = run_once(
+        benchmark, collect_serving_stats, requests_per_level=REQUESTS_PER_LEVEL
+    )
+    check_serving_stats(stats)
+    info = {
+        "capacity_rps": round(stats["capacity_rps"], 1),
+        "requests_per_level": stats["requests_per_level"],
+    }
+    for name, level in stats["levels"].items():
+        info[f"{name}_throughput"] = round(level["throughput"], 1)
+        info[f"{name}_p99_ms"] = round(level["p99_ms"], 3)
+        info[f"{name}_shed_ratio"] = round(level["shed_ratio"], 4)
+    benchmark.extra_info.update(info)

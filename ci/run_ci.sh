@@ -40,6 +40,7 @@ ENGINE_TESTS=(
   tests/test_analysis.py
   tests/test_faultinject.py
   tests/test_resilience.py
+  tests/test_serving.py
 )
 
 # Contract linter gate: the tree must be free of determinism/dtype/parity/
@@ -99,6 +100,19 @@ else
   # piping into `grep -q`, which would close the pipe mid-write.)
   HW_COMPARE="$(python -m repro compare figure_hw_baseline figure_hw --store "$CLI_STORE")"
   grep -q "simulated hardware accuracy" <<< "$HW_COMPARE"
+
+  echo "== serving chaos smoke: injected serve-infer faults -> breaker opens -> degraded -> recovery -> drain =="
+  # The drill injects consecutive serve-infer faults, asserts the circuit
+  # breaker opens, that responses flip to the flagged ideal-corner fallback
+  # while it is open, that the half-open probe recovers, and that the drain
+  # accounts for every request.  The greppable lines are the drill's own
+  # evidence trail; exit 0 means every internal assertion held.
+  DRILL_OUT="$(python -m repro serve-bench --drill)"
+  echo "$DRILL_OUT"
+  grep -q "circuit opened" <<< "$DRILL_OUT"
+  grep -q "degraded responses" <<< "$DRILL_OUT"
+  grep -q "recovered: state=healthy" <<< "$DRILL_OUT"
+  grep -q "drained" <<< "$DRILL_OUT"
 fi
 
 if [[ "${1:-}" == "--bench" ]]; then

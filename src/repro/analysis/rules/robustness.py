@@ -1,4 +1,4 @@
-"""Robustness rule: the engine/store layer must never swallow exceptions.
+"""Robustness rules: no swallowed exceptions, no unbounded blocking waits.
 
 The resilience layer (PR 7) is built on one invariant: every failure is
 *accounted for* — retried, recorded as a :class:`PointFailure`, quarantined,
@@ -7,6 +7,13 @@ persistence path silently converts a lost point into a missing result, which
 the artifact then reports as "complete".  That is precisely the failure mode
 the fault-tolerance work exists to eliminate, so the handlers themselves are
 linted: a broad catch in the supervised modules must either re-raise or log.
+
+The serving runtime (PR 8) adds a sibling invariant: **every blocking wait
+is bounded**.  A ``queue.get()`` / ``Event.wait()`` / ``Future.result()``
+without a timeout anywhere in the request path turns one stuck dependency
+into a wedged worker thread — and a wedged worker silently halves capacity
+with no failure accounted anywhere.  :class:`UnboundedWaitRule` enforces
+the no-hang contract statically over ``repro/serving/``.
 """
 
 from __future__ import annotations
@@ -110,3 +117,92 @@ class SwallowedExceptionRule(Rule):
                     "failure reaching it vanishes from the run accounting — "
                     "narrow the type, log it, or re-raise",
                 )
+
+
+#: Attribute names whose calls block until resolution on stdlib primitives.
+#: ``.get`` covers ``queue.Queue.get``; ``.wait`` covers ``Event``/
+#: ``Condition``/``Barrier``; ``.result`` covers futures and the serving
+#: layer's own ResponseHandle.
+_BLOCKING_ATTRS = {"get", "wait", "result"}
+
+
+def _is_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _has_bounded_timeout(call: ast.Call) -> bool:
+    """True when the call passes a (non-``None``) timeout argument."""
+    for keyword in call.keywords:
+        if keyword.arg == "timeout":
+            return not _is_none(keyword.value)
+        if keyword.arg is None:  # **kwargs — assume the caller knows
+            return True
+    if isinstance(call.func, ast.Attribute) and call.func.attr == "get":
+        # queue.Queue.get(block, timeout): a second positional is the timeout.
+        return len(call.args) >= 2 and not _is_none(call.args[1])
+    # Event.wait(timeout) / Condition.wait(timeout) / Future.result(timeout):
+    # the first positional is the timeout.
+    return len(call.args) >= 1 and not _is_none(call.args[0])
+
+
+def _looks_like_mapping_get(call: ast.Call) -> bool:
+    """``d.get(key)`` / ``d.get(key, default)`` — dict lookup, not a queue pop.
+
+    ``queue.Queue.get`` positionals are ``(block, timeout)`` — a boolean and
+    a number — so a single non-boolean positional (or a boolean keyword
+    ``default=``) marks the mapping idiom.  Bool literals stay suspect:
+    ``q.get(True)`` is a blocking pop.
+    """
+    if call.keywords and all(k.arg not in (None, "block", "timeout") for k in call.keywords):
+        return True
+    if len(call.args) == 2:
+        # d.get(key, default) vs q.get(block, timeout): treat as mapping
+        # unless the first arg is a boolean literal (the queue idiom).
+        first = call.args[0]
+        return not (isinstance(first, ast.Constant) and isinstance(first.value, bool))
+    if len(call.args) == 1:
+        first = call.args[0]
+        return not (isinstance(first, ast.Constant) and isinstance(first.value, bool))
+    return False
+
+
+@register
+class UnboundedWaitRule(Rule):
+    """Blocking waits in the serving layer must carry explicit timeouts."""
+
+    id = "unbounded-wait"
+    summary = (
+        "serving-layer queue.get / Event.wait / Condition.wait / "
+        "Future.result calls must pass an explicit, non-None timeout"
+    )
+    rationale = (
+        "The serving runtime's no-hang contract: one stuck dependency (a "
+        "hung programming call, a dead leader thread) must surface as a "
+        "typed deadline rejection, never as a worker blocked forever — an "
+        "unbounded wait silently removes a worker from capacity with no "
+        "failure accounted anywhere.  Justified exceptions carry a "
+        "`# repro: ignore[unbounded-wait]` with the reasoning."
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return "repro/serving/" in relpath
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in _BLOCKING_ATTRS:
+                continue
+            if func.attr == "get" and _looks_like_mapping_get(node):
+                continue
+            if _has_bounded_timeout(node):
+                continue
+            yield ctx.finding(
+                self.id,
+                node,
+                f"blocking `.{func.attr}()` call without a bounded timeout; "
+                "the serving no-hang contract requires every wait to time "
+                "out (pass `timeout=`, or justify with "
+                "`# repro: ignore[unbounded-wait]`)",
+            )

@@ -8,6 +8,7 @@ Subcommands::
     python -m repro show table1                           # render one artifact
     python -m repro compare <fp-a> <fp-b>                 # diff two artifacts
     python -m repro bench --suite kernels                 # benchmark suites
+    python -m repro serve-bench [--drill]                 # serving runtime bench/drill
     python -m repro lint [--list-rules]                   # contract linter
 
 Runs persist to a :class:`~repro.experiments.store.RunStore`
@@ -186,6 +187,33 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--suite", default="all", help="suite name or 'all'")
     bench.add_argument("--check", action="store_true", help="fail on regressions")
     bench.add_argument("--list", action="store_true", help="list suite names and exit")
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="serving-runtime load benchmark, or the deterministic chaos drill",
+    )
+    serve.add_argument(
+        "--drill",
+        action="store_true",
+        help="run the breaker/degradation chaos drill instead of the load bench",
+    )
+    serve.add_argument(
+        "--requests",
+        type=int,
+        default=80,
+        metavar="N",
+        help="requests offered per load level (load bench only; default: 80)",
+    )
+    serve.add_argument(
+        "--faults",
+        help=(
+            "extra deterministic fault-injection plan (JSON, inline or a file "
+            "path); exported as $REPRO_FAULTS — see repro.utils.faultinject"
+        ),
+    )
+    serve.add_argument(
+        "--json", action="store_true", help="emit the stats/summary as JSON"
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -371,15 +399,23 @@ def _cmd_list(args) -> int:
     if not Path(store_root).exists():
         print(f"\nrun store {store_root}: (empty)")
         return 0
-    rows = RunStore(store_root).list_runs()
+    store = RunStore(store_root)
+    rows = store.list_runs()
     print(f"\nrun store {store_root}: {len(rows)} artifact(s)")
     for row in rows:
-        status = "complete" if row["complete"] else "partial"
+        flags = ["complete" if row["complete"] else "partial"]
+        if row.get("legacy_checksum"):
+            flags.append("no-checksum")
         print(
             f"  {row['fingerprint']}  {row['name']:<10} {row['kind']:<8} "
             f"{row['workload']:<8} {row['scale']:<6} {row['points']:>3} point(s)  "
-            f"{status}  {row['updated']}"
+            f"{','.join(flags)}  {row['updated']}"
         )
+    quarantined = store.quarantined()
+    if quarantined:
+        print(f"quarantined (corrupt, kept for inspection): {len(quarantined)} file(s)")
+        for name in quarantined:
+            print(f"  {name}")
     return 0
 
 
@@ -426,6 +462,42 @@ def _cmd_bench(args) -> int:
     return runner.main(argv)
 
 
+def _cmd_serve_bench(args) -> int:
+    # Deferred import: the serving stack pulls in the hardware simulator,
+    # which `list`/`show` callers should not pay for.
+    from repro.serving.bench import (
+        check_serving_stats,
+        collect_serving_stats,
+        run_chaos_drill,
+    )
+
+    _install_faults(args.faults)
+    if args.drill:
+        summary = run_chaos_drill()
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True, default=str))
+        return 0 if summary.get("ok") else 1
+    stats = collect_serving_stats(requests_per_level=args.requests)
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True, default=str))
+    else:
+        print(f"serving capacity: {stats['capacity_rps']:.0f} requests/s sustained")
+        for name, level in stats["levels"].items():
+            rejected = sum(level["rejections"].values())
+            print(
+                f"  {name:<5} offered {level['offered_rate']:.0f}/s  "
+                f"served {level['throughput']:.0f}/s  "
+                f"p50 {level['p50_ms']:.2f} ms  p99 {level['p99_ms']:.2f} ms  "
+                f"shed {rejected}/{level['requests']}"
+            )
+    try:
+        check_serving_stats(stats)
+    except AssertionError as error:
+        print(f"FAIL: shed-don't-collapse guard: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_lint(args) -> int:
     # Deferred import: the linter's project rules import live repro modules,
     # which `run`/`list` callers should not pay for.
@@ -446,6 +518,7 @@ _COMMANDS = {
     "show": _cmd_show,
     "compare": _cmd_compare,
     "bench": _cmd_bench,
+    "serve-bench": _cmd_serve_bench,
     "lint": _cmd_lint,
 }
 

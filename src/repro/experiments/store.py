@@ -21,7 +21,12 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+try:  # POSIX-only; journal locking degrades gracefully without it.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.exceptions import ExperimentError
 from repro.utils import faultinject
@@ -102,29 +107,38 @@ class RunStore:
         survives for inspection while the run recomputes cleanly.  Artifacts
         written before the checksum existed load without verification.
         """
-        path = self.path(fingerprint)
+        artifact, _ = self._read_artifact(self.path(fingerprint))
+        return artifact
+
+    def _read_artifact(self, path: Path) -> Tuple[Optional[Dict[str, Any]], bool]:
+        """Load + verify one artifact file: ``(artifact, had_checksum)``.
+
+        ``had_checksum`` distinguishes verified artifacts from legacy ones
+        written before :data:`CHECKSUM_FIELD` existed — ``python -m repro
+        list`` flags the latter, since their integrity is unverifiable.
+        """
         if not path.exists():
-            return None
+            return None, False
         try:
             artifact = load_json(path)
         except (json.JSONDecodeError, UnicodeDecodeError) as error:
             self._quarantine(path, f"unparseable JSON ({error})")
-            return None
+            return None, False
         if not isinstance(artifact, dict):
             self._quarantine(path, f"expected a JSON object, got {type(artifact).__name__}")
-            return None
+            return None, False
         stored_checksum = artifact.get(CHECKSUM_FIELD)
-        if stored_checksum is not None:
-            actual = _payload_checksum(artifact)
-            if actual != stored_checksum:
-                self._quarantine(
-                    path,
-                    f"checksum mismatch (stored {str(stored_checksum)[:12]}…, "
-                    f"content hashes to {actual[:12]}…)",
-                )
-                return None
-            artifact = {k: v for k, v in artifact.items() if k != CHECKSUM_FIELD}
-        return artifact
+        if stored_checksum is None:
+            return artifact, False
+        actual = _payload_checksum(artifact)
+        if actual != stored_checksum:
+            self._quarantine(
+                path,
+                f"checksum mismatch (stored {str(stored_checksum)[:12]}…, "
+                f"content hashes to {actual[:12]}…)",
+            )
+            return None, False
+        return {k: v for k, v in artifact.items() if k != CHECKSUM_FIELD}, True
 
     def _quarantine(self, path: Path, reason: str) -> Path:
         """Move a corrupt file aside (``.corrupt`` suffix) instead of reusing it."""
@@ -148,11 +162,24 @@ class RunStore:
             if artifact is not None:
                 yield artifact
 
+    def quarantined(self) -> List[str]:
+        """File names of quarantined corrupt artifacts (``*.json.corrupt``)."""
+        return sorted(path.name for path in self.root.glob("*.json.corrupt"))
+
     # ---------------------------------------------------------------- queries
     def list_runs(self) -> List[Dict[str, Any]]:
-        """Summary rows for every artifact, most recently updated first."""
+        """Summary rows for every artifact, most recently updated first.
+
+        Besides the identity columns, each row carries the health flags the
+        ``list`` command renders: ``complete`` (False for partial runs),
+        ``legacy_checksum`` (written before the sha256 checksum existed, so
+        integrity is unverifiable).
+        """
         rows = []
-        for artifact in self.artifacts():
+        for fingerprint in self.fingerprints():
+            artifact, had_checksum = self._read_artifact(self.path(fingerprint))
+            if artifact is None:
+                continue
             rows.append(
                 {
                     "fingerprint": artifact.get("fingerprint", ""),
@@ -163,6 +190,7 @@ class RunStore:
                     "scale": artifact.get("scale", ""),
                     "points": len(artifact.get("points", {})),
                     "complete": bool(artifact.get("complete")),
+                    "legacy_checksum": not had_checksum,
                     "updated": artifact.get("updated", ""),
                 }
             )
@@ -250,14 +278,26 @@ class RunStore:
         a parent crash immediately after a point completes cannot lose it,
         and a crash mid-append corrupts only the trailing line, which
         :meth:`load_journal` skips.
+
+        The append holds an exclusive ``fcntl`` lock on the journal file, so
+        concurrent writers (two supervisors sharing one store, a resumed run
+        racing a stale one) serialize whole lines instead of interleaving
+        partial ones.  On platforms without ``fcntl`` the append is
+        unlocked — same behaviour as before, single-writer safe.
         """
         record = {"point": point_fingerprint, "payload": jsonify(payload)}
         record["sha256"] = _payload_checksum(record)
         path = self.journal_path(fingerprint)
         with open(path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
         return path
 
     def load_journal(self, fingerprint: str) -> Dict[str, Dict[str, Any]]:

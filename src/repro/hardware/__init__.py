@@ -39,6 +39,7 @@ from repro.hardware.sim import (
     HardwareConfig,
     ProgrammedMatrix,
     ProgrammedNetwork,
+    network_fingerprint,
     program_matrix,
     program_network,
     simulate_evaluate,
@@ -85,6 +86,7 @@ __all__ = [
     "HardwareConfig",
     "ProgrammedMatrix",
     "ProgrammedNetwork",
+    "network_fingerprint",
     "program_matrix",
     "program_network",
     "simulate_evaluate",

@@ -228,6 +228,29 @@ class HardwareConfig:
         return cls(**payload)
 
 
+# ------------------------------------------------------------ fingerprints
+def network_fingerprint(network: Sequential) -> str:
+    """Content hash of a network's architecture and parameter values.
+
+    Two networks with equal fingerprints program to bit-identical
+    conductances under any given :class:`HardwareConfig` (programming is a
+    pure function of the weight values, the tiling plan, and the seeded
+    noise streams), so the fingerprint — paired with the config — is a
+    correct cache key for programmed networks.  The hash covers the
+    architecture signature (layer types, configuration, parameter shapes)
+    and every parameter's raw bytes; the network's display name is
+    deliberately excluded.
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(architecture_signature(network)).encode("utf-8"))
+    for parameter in network.parameters():
+        data = np.ascontiguousarray(parameter.data)
+        digest.update(str(data.dtype).encode("utf-8"))
+        digest.update(repr(data.shape).encode("utf-8"))
+        digest.update(data.tobytes())
+    return digest.hexdigest()
+
+
 # ------------------------------------------------------------- programming
 def _stream(seed: int, name: str, purpose: str) -> np.random.Generator:
     """Deterministic per-(seed, matrix, purpose) generator (process-stable)."""

@@ -1,0 +1,44 @@
+"""Robust hardware-inference serving: micro-batching, caching, degradation.
+
+:class:`ServingRuntime` fronts :class:`~repro.hardware.sim.ProgrammedNetwork`
+with the operational machinery deployment needs — bounded admission with
+typed load-shedding, per-request deadlines enforced at every stage, a keyed
+LRU cache of programmed networks with single-flight programming and drift
+re-programming, per-network circuit breakers routing to a flagged
+ideal-corner degraded mode, and graceful drain.  See ``README.md`` in this
+package for the request lifecycle and state machine.
+"""
+
+from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serving.cache import ProgrammedNetworkCache
+from repro.serving.runtime import STATES, ServingRuntime
+from repro.serving.types import (
+    DeadlineRejection,
+    DrainingRejection,
+    FaultRejection,
+    InferenceResponse,
+    QueueFullRejection,
+    Rejection,
+    ResponseHandle,
+    ServingConfig,
+    ServingError,
+)
+
+__all__ = [
+    "ServingRuntime",
+    "ServingConfig",
+    "ServingError",
+    "Rejection",
+    "QueueFullRejection",
+    "DeadlineRejection",
+    "DrainingRejection",
+    "FaultRejection",
+    "InferenceResponse",
+    "ResponseHandle",
+    "ProgrammedNetworkCache",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "STATES",
+]

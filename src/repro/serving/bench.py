@@ -1,0 +1,298 @@
+"""Serving-runtime load benchmark and chaos drill.
+
+Two entry points, shared by ``benchmarks/test_bench_serving.py`` and the
+``python -m repro serve-bench`` CLI:
+
+* :func:`collect_serving_stats` — calibrates the runtime's sustained serving
+  capacity (burst-admitted, end-to-end through submit → micro-batch →
+  programmed crossbar → resolve), then offers paced open-loop load at
+  0.5× / 1× / 2× that capacity and records throughput, latency percentiles,
+  and the typed-rejection breakdown per level.  The robustness claim under
+  test is **shed, don't collapse**: at 2× saturation the runtime keeps
+  serving near capacity and sheds the excess with typed rejections — every
+  handle resolves, nothing is silently dropped and nothing hangs.
+* :func:`run_chaos_drill` — a deterministic fault drill for CI: injected
+  ``serve-infer`` faults trip a network's circuit breaker, traffic rides the
+  degraded ideal-corner fallback (flagged), the half-open probe restores the
+  primary after the cool-down, and the runtime drains cleanly.  Progress is
+  emitted as stable greppable lines (``circuit opened``,
+  ``degraded responses``, ``recovered: state=healthy``, ``drained``) that
+  ``ci/run_ci.sh`` asserts on.
+
+Both keep model and load sizes small: they run inside the tier-1 pytest
+suite and must stay fast and flake-resistant (lenient thresholds; the exact
+behavioural guarantees live in ``tests/test_serving.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.hardware.library import CrossbarLibrary
+from repro.hardware.mapper import NetworkMapper
+from repro.hardware.sim import HardwareConfig
+from repro.hardware.technology import TechnologyParameters
+from repro.models import build_mlp
+from repro.serving.runtime import ServingRuntime
+from repro.serving.types import Rejection, ServingConfig
+from repro.utils import faultinject
+
+#: Device corner the benchmark serves on (the hardware bench's corner).
+CORNER = HardwareConfig(bits=6, program_noise=0.02, fault_rate=0.001, adc_bits=8, seed=0)
+
+INPUT_DIM = 64
+HIDDEN = [96]
+CLASSES = 10
+
+#: Offered-load multipliers relative to calibrated capacity.
+LOAD_LEVELS = (0.5, 1.0, 2.0)
+
+#: Spare seconds past a request's deadline allowed for result collection.
+_COLLECT_GRACE_S = 10.0
+
+
+def _mapper() -> NetworkMapper:
+    technology = TechnologyParameters(max_crossbar_rows=32, max_crossbar_cols=32)
+    return NetworkMapper(technology=technology, library=CrossbarLibrary(technology=technology))
+
+
+def _network():
+    return build_mlp(INPUT_DIM, HIDDEN, CLASSES, rng=0, name="serve-mlp")
+
+
+def _inputs(samples: int = 64) -> np.ndarray:
+    return np.random.default_rng(0).standard_normal((samples, INPUT_DIM))
+
+
+def _percentile_ms(latencies: List[float], q: float) -> float:
+    if not latencies:
+        return float("nan")
+    return float(np.percentile(np.asarray(latencies), q) * 1e3)
+
+
+def _run_level(
+    runtime: ServingRuntime,
+    name: str,
+    inputs: np.ndarray,
+    *,
+    rate: float,
+    requests: int,
+    deadline_s: float,
+) -> Dict[str, object]:
+    """Offer ``requests`` samples open-loop at ``rate``/s; account for all."""
+    clock = time.monotonic
+    handles = []
+    rejections: Dict[str, int] = {}
+    interarrival = 1.0 / rate
+    start = clock()
+    for index in range(requests):
+        target = start + index * interarrival
+        delay = target - clock()
+        if delay > 0:
+            time.sleep(delay)
+        try:
+            handles.append(
+                runtime.submit(name, inputs[index % len(inputs)], deadline_s=deadline_s)
+            )
+        except Rejection as error:
+            rejections[error.code] = rejections.get(error.code, 0) + 1
+    latencies: List[float] = []
+    degraded = 0
+    for handle in handles:
+        try:
+            response = handle.result(timeout=deadline_s + _COLLECT_GRACE_S)
+        except Rejection as error:
+            rejections[error.code] = rejections.get(error.code, 0) + 1
+            continue
+        latencies.append(response.latency_s)
+        degraded += int(response.degraded)
+    elapsed = clock() - start
+    completed = len(latencies)
+    return {
+        "offered_rate": rate,
+        "requests": requests,
+        "completed": completed,
+        "degraded": degraded,
+        "rejections": rejections,
+        "shed_ratio": (requests - completed) / requests,
+        "throughput": completed / elapsed if elapsed > 0 else float("nan"),
+        "p50_ms": _percentile_ms(latencies, 50),
+        "p99_ms": _percentile_ms(latencies, 99),
+        "elapsed_s": elapsed,
+    }
+
+
+def _calibrate_capacity(
+    runtime: ServingRuntime, name: str, inputs: np.ndarray, requests: int
+) -> float:
+    """Sustained end-to-end samples/s when admission is never the bottleneck.
+
+    Burst-submits with retry-on-shed, so the measurement includes queueing,
+    micro-batching, and dispatch overhead — the capacity the paced load
+    levels are meaningful multiples of (raw ``predict`` throughput is much
+    higher and would make even the 0.5× level saturate the front end).
+    """
+    clock = time.monotonic
+    handles = []
+    start = clock()
+    for index in range(requests):
+        while True:
+            try:
+                handles.append(
+                    runtime.submit(name, inputs[index % len(inputs)], deadline_s=30.0)
+                )
+                break
+            except Rejection:
+                time.sleep(0.001)
+    for handle in handles:
+        handle.result(timeout=40.0)
+    elapsed = clock() - start
+    return requests / elapsed
+
+
+def collect_serving_stats(requests_per_level: int = 80) -> Dict[str, object]:
+    """Serving throughput/latency/shedding across load levels, as a flat dict."""
+    config = ServingConfig(
+        max_queue=32,
+        max_batch=16,
+        batch_window_s=0.002,
+        workers=2,
+        default_deadline_s=5.0,
+        cache_size=4,
+    )
+    runtime = ServingRuntime(config, mapper=_mapper())
+    inputs = _inputs()
+    try:
+        runtime.register("mlp", _network(), corner=CORNER, warm=True)
+        # Warm the dispatch path itself (thread scheduling, allocator) before
+        # calibrating, then measure sustained capacity.
+        _calibrate_capacity(runtime, "mlp", inputs, requests=16)
+        capacity = _calibrate_capacity(runtime, "mlp", inputs, requests=requests_per_level)
+        stats: Dict[str, object] = {
+            "capacity_rps": capacity,
+            "requests_per_level": requests_per_level,
+            "levels": {},
+        }
+        for multiple in LOAD_LEVELS:
+            level = _run_level(
+                runtime,
+                "mlp",
+                inputs,
+                rate=multiple * capacity,
+                requests=requests_per_level,
+                deadline_s=5.0,
+            )
+            stats["levels"][f"{multiple:g}x"] = level
+        stats["runtime"] = runtime.stats()
+    finally:
+        runtime.close(drain=True)
+    return stats
+
+
+def check_serving_stats(stats: Dict[str, object]) -> None:
+    """The shed-don't-collapse guard (lenient: behaviour, not exact numbers).
+
+    * Every request is accounted for at every level (completed + typed
+      rejections == offered; the zero-silent-drop contract).
+    * At 2× saturation the runtime still completes real work — shedding,
+      not collapsing: throughput stays within 4× of the 1× level's.
+    """
+    levels = stats["levels"]
+    for name, level in levels.items():
+        accounted = level["completed"] + sum(level["rejections"].values())
+        assert accounted == level["requests"], (name, level)
+    nominal = levels["1x"]["throughput"]
+    overload = levels["2x"]["throughput"]
+    assert levels["2x"]["completed"] > 0, levels["2x"]
+    assert overload >= 0.25 * nominal, (nominal, overload)
+
+
+# ------------------------------------------------------------------ chaos drill
+def run_chaos_drill(emit: Callable[[str], None] = print) -> Dict[str, object]:
+    """Deterministic breaker drill; emits the greppable lines CI asserts on.
+
+    Sequence (single worker, single-sample batches, so ``serve-infer``
+    dispatch indices are deterministic):
+
+    1. Faults are injected at primary-dispatch indices 0 and 1 with
+       ``breaker_threshold=2`` — both requests are absorbed by the degraded
+       ideal-corner fallback (flagged), and the second trips the breaker.
+    2. While the breaker is open, traffic goes straight to the fallback
+       (no primary dispatches are consumed).
+    3. After the cool-down, the half-open probe hits dispatch index 2 — no
+       fault there — and the breaker closes: full recovery to ``healthy``.
+    4. The runtime drains cleanly with every request accounted for.
+    """
+    threshold = 2
+    cooldown_s = 0.25
+    config = ServingConfig(
+        max_queue=16,
+        max_batch=1,
+        batch_window_s=0.0,
+        workers=1,
+        default_deadline_s=5.0,
+        breaker_threshold=threshold,
+        breaker_cooldown_s=cooldown_s,
+    )
+    runtime = ServingRuntime(config, mapper=_mapper())
+    inputs = _inputs(8)
+    summary: Dict[str, object] = {"ok": False}
+    faults = [
+        {"site": "serve-infer", "kind": "raise", "index": index}
+        for index in range(threshold)
+    ]
+    try:
+        runtime.register("mlp", _network(), corner=CORNER, warm=True)
+        emit(
+            "serving chaos drill: injecting serve-infer faults at dispatch "
+            f"indices {list(range(threshold))} (breaker threshold {threshold})"
+        )
+        with faultinject.injected(faults):
+            for index in range(threshold):
+                response = runtime.infer("mlp", inputs[index])
+                assert response.degraded, "faulted dispatch must fall back degraded"
+                emit(
+                    f"fault {index + 1}/{threshold} absorbed: served on fallback "
+                    f"(degraded=True, corner={response.corner})"
+                )
+            state = runtime.state()
+            assert state == "degraded", f"breaker should be open, state={state}"
+            emit(f"circuit opened after {threshold} consecutive faults: state={state}")
+
+            open_responses = [runtime.infer("mlp", inputs[index]) for index in range(3)]
+            assert all(response.degraded for response in open_responses)
+            emit(
+                f"degraded responses while open: {len(open_responses)} "
+                "(all flagged degraded=True, primary path skipped)"
+            )
+
+            time.sleep(cooldown_s + 0.05)
+            probe = runtime.infer("mlp", inputs[0])
+            assert not probe.degraded, "probe past the cool-down must use the primary"
+            state = runtime.state()
+            assert state == "healthy", f"probe success should close the breaker, state={state}"
+            emit(f"probe succeeded; recovered: state={state}")
+        stats = runtime.stats()
+        runtime.close(drain=True)
+        accounted = stats["completed"] + sum(
+            value for key, value in stats.items() if str(key).startswith("rejected.")
+        )
+        assert accounted == stats["submitted"], stats
+        emit(
+            f"drained: runtime closed cleanly, {accounted}/{stats['submitted']} "
+            "requests accounted for (zero silent drops)"
+        )
+        summary = {
+            "ok": True,
+            "faults_injected": threshold,
+            "submitted": stats["submitted"],
+            "completed": stats["completed"],
+            "degraded": stats["degraded"],
+            "breakers": stats["breakers"],
+        }
+    finally:
+        runtime.close(drain=True)
+    return summary

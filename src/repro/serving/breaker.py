@@ -1,0 +1,138 @@
+"""Per-network circuit breaker: fail fast to the degraded path, probe back.
+
+A deployed crossbar that keeps faulting (drifted conductances, a failing
+tile, a broken sense amplifier) must not keep absorbing traffic — every
+request routed to it pays the fault and the retry.  The breaker implements
+the classic three-state machine per cached network:
+
+* ``closed`` — healthy; every batch may use the primary programmed network.
+  ``threshold`` *consecutive* faults trip the breaker open.
+* ``open`` — the primary path is skipped entirely (requests are served by
+  the degraded ideal-corner fallback, flagged as such) until
+  ``cooldown_s`` has elapsed.
+* ``half-open`` — after the cool-down, exactly one probe batch is allowed
+  through to the primary.  Success closes the breaker (full recovery); a
+  fault re-opens it and restarts the cool-down.
+
+The clock is injectable so tests can drive the cool-down deterministically;
+the default is ``time.monotonic``.  All transitions are lock-protected —
+multiple dispatcher threads may consult one breaker concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+from repro.exceptions import ConfigurationError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Three-state fault breaker guarding one programmed network."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown_s: float = 1.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not isinstance(threshold, int) or isinstance(threshold, bool) or threshold < 1:
+            raise ConfigurationError(f"threshold must be a positive int, got {threshold!r}")
+        if cooldown_s < 0:
+            raise ConfigurationError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.threshold = threshold
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        #: Lifetime transition counters (observability / tests).
+        self.times_opened = 0
+        self.times_closed = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, with the open → half-open transition applied lazily."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        # Caller holds the lock.  An open breaker whose cool-down elapsed
+        # becomes half-open; the *next* allow() call hands out the probe.
+        if self._state == OPEN and self._clock() - self._opened_at >= self.cooldown_s:
+            self._state = HALF_OPEN
+            self._probe_inflight = False
+
+    def allow(self) -> bool:
+        """Whether the caller may dispatch to the primary path right now.
+
+        In ``half-open`` exactly one caller receives ``True`` (the probe);
+        everyone else is routed to the fallback until the probe reports.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A primary dispatch succeeded: reset failures; close from half-open."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+            if self._state != CLOSED:
+                self._state = CLOSED
+                self.times_closed += 1
+
+    def abandon_probe(self) -> None:
+        """Release a handed-out primary-path slot without an outcome.
+
+        Used when a batch obtained ``allow()`` but never reached the device
+        (e.g. its deadline expired while waiting on programming): in
+        ``half-open`` the probe slot is freed so the *next* batch can probe,
+        instead of the breaker wedging with ``_probe_inflight`` stuck.
+        """
+        with self._lock:
+            self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        """A primary dispatch faulted: count it; trip open at the threshold."""
+        with self._lock:
+            self._consecutive_failures += 1
+            should_open = (
+                self._state == HALF_OPEN
+                or self._probe_inflight
+                or self._consecutive_failures >= self.threshold
+            )
+            self._probe_inflight = False
+            if should_open and self._state != OPEN:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self.times_opened += 1
+            elif should_open:
+                # Already open (e.g. a slow in-flight batch reporting after
+                # another thread tripped it): restart the cool-down.
+                self._opened_at = self._clock()
+
+    def stats(self) -> Dict[str, object]:
+        """State and counters (for runtime stats and the bench report)."""
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "times_opened": self.times_opened,
+                "times_closed": self.times_closed,
+            }

@@ -1,0 +1,194 @@
+"""Keyed LRU cache of programmed networks with single-flight programming.
+
+Programming a network onto simulated crossbars is the expensive, stateful
+step of serving (differential split, write quantization, noise and fault
+streams for every tile) — inference against the stored conductances is
+cheap.  The cache keys programmed networks by
+``(network fingerprint, HardwareConfig)`` — the same memoization idiom as
+:class:`~repro.hardware.routing.RoutingAnalysisCache` — so repeated requests
+for one deployment hit a dictionary lookup, while distinct device corners of
+the same weights coexist as separate entries.
+
+Robustness properties:
+
+* **Single-flight programming** — concurrent misses on one key program the
+  network exactly once: one caller becomes the leader and programs, the
+  rest wait (always with a bounded timeout; the no-hang contract) and then
+  read the cached entry.  A leader failure wakes the waiters, and the next
+  caller retries leadership — a crash cannot wedge the key.
+* **Drift re-programming** — with ``reprogram_after=T``, an entry that has
+  served ``T`` samples is evicted and re-programmed on next access,
+  modeling periodic conductance-refresh against drift.  Programming is a
+  pure function of ``(fingerprint, config)`` (seeded streams), so the
+  refresh restores bit-identical conductances — the cache policy is a
+  correctness knob, guarded by tests, not just a performance one.
+* **Bounded size** — at most ``maxsize`` programmed networks are held;
+  least-recently-used entries are evicted.
+
+The ``serve-program`` fault-injection site fires before each programming
+call with the cache's programming sequence number as ``index``, so chaos
+drills can fail or stall exactly the Nth programming deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.hardware.mapper import NetworkMapper
+from repro.hardware.sim import (
+    HardwareConfig,
+    ProgrammedNetwork,
+    network_fingerprint,
+    program_network,
+)
+from repro.nn.network import Sequential
+from repro.serving.types import DeadlineRejection
+from repro.utils import faultinject
+
+#: Cache key: (network content fingerprint, device corner).
+CacheKey = Tuple[str, HardwareConfig]
+
+#: Follower poll interval while waiting on an unbounded (timeout=None) get;
+#: every blocking wait in the serving layer is bounded by construction.
+_WAIT_POLL_S = 0.05
+
+
+@dataclass
+class _Entry:
+    programmed: ProgrammedNetwork
+    served: int = 0
+    programmed_at_seq: int = field(default=0)
+
+
+class ProgrammedNetworkCache:
+    """LRU of :class:`ProgrammedNetwork` keyed by ``(fingerprint, config)``."""
+
+    def __init__(
+        self,
+        maxsize: int = 8,
+        *,
+        reprogram_after: Optional[int] = None,
+        mapper: Optional[NetworkMapper] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        if reprogram_after is not None and reprogram_after < 1:
+            raise ValueError(f"reprogram_after must be >= 1, got {reprogram_after}")
+        self.maxsize = int(maxsize)
+        self.reprogram_after = reprogram_after
+        self.mapper = mapper if mapper is not None else NetworkMapper()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
+        self._inflight: Dict[CacheKey, threading.Event] = {}
+        self.hits = 0
+        self.misses = 0
+        self.programs = 0
+        self.reprograms = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot (hits/misses/programs/reprograms/evictions/size)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "programs": self.programs,
+                "reprograms": self.reprograms,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+            }
+
+    def clear(self) -> None:
+        """Drop every entry (waiters on in-flight programs are unaffected)."""
+        with self._lock:
+            self._entries.clear()
+
+    # ----------------------------------------------------------------- get
+    def get(
+        self,
+        network: Sequential,
+        config: HardwareConfig,
+        *,
+        fingerprint: Optional[str] = None,
+        samples: int = 1,
+        timeout: Optional[float] = None,
+    ) -> ProgrammedNetwork:
+        """The programmed network for ``(network, config)``, programming on miss.
+
+        ``fingerprint`` skips re-hashing the parameters when the caller
+        (the runtime registry) already knows it.  ``samples`` is how many
+        samples this access will serve — it feeds the drift counter, so one
+        call covers a whole micro-batch.  ``timeout`` bounds the total wait
+        (including waiting on another thread's in-flight programming);
+        exceeding it raises :class:`DeadlineRejection`.
+        """
+        if fingerprint is None:
+            fingerprint = network_fingerprint(network)
+        key = (fingerprint, config)
+        deadline = None if timeout is None else self._clock() + timeout
+        while True:
+            waiter = None
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    if (
+                        self.reprogram_after is not None
+                        and entry.served >= self.reprogram_after
+                    ):
+                        # Drift refresh: evict and fall through to re-program.
+                        del self._entries[key]
+                        self.reprograms += 1
+                    else:
+                        entry.served += samples
+                        self._entries.move_to_end(key)
+                        self.hits += 1
+                        return entry.programmed
+                waiter = self._inflight.get(key)
+                if waiter is None:
+                    self._inflight[key] = threading.Event()
+                    sequence = self.programs
+                    self.programs += 1
+                    break  # leader: program outside the lock
+            remaining = _WAIT_POLL_S if deadline is None else deadline - self._clock()
+            if remaining <= 0:
+                raise DeadlineRejection(
+                    "timed out waiting for an in-flight programming of the "
+                    "requested network"
+                )
+            waiter.wait(timeout=min(remaining, _WAIT_POLL_S))
+
+        try:
+            # Chaos hook: fail/stall exactly the Nth programming operation.
+            faultinject.fire("serve-program", index=sequence)
+            programmed = program_network(network, config, mapper=self.mapper)
+        except BaseException:
+            # Wake the waiters; the key is released so the next caller can
+            # retry leadership instead of the miss being wedged forever.
+            with self._lock:
+                self._inflight.pop(key).set()
+            raise
+        with self._lock:
+            self._entries[key] = _Entry(
+                programmed, served=samples, programmed_at_seq=sequence
+            )
+            self._entries.move_to_end(key)
+            self.misses += 1
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self._inflight.pop(key).set()
+        return programmed

@@ -1,0 +1,532 @@
+"""The serving runtime: micro-batching front end over programmed crossbars.
+
+:class:`ServingRuntime` turns :class:`~repro.hardware.sim.ProgrammedNetwork`
+— program once, infer repeatedly — into an online service with robustness
+as the headline contract:
+
+* **Bounded admission** — requests enter one bounded queue; when it is full
+  they are shed *at submit* with :class:`QueueFullRejection`.  Nothing in
+  the runtime buffers unboundedly and every blocking wait has a timeout.
+* **Micro-batching** — dispatcher threads coalesce same-network requests
+  into micro-batches (up to ``max_batch`` within ``batch_window_s``),
+  riding the batched MVM path one request at a time never could.
+* **Deadlines everywhere** — every request carries an absolute deadline.
+  Admission rejects infeasible deadlines before queueing (using a service
+  EWMA), dispatch drops already-expired requests before touching the
+  hardware path, and a result that misses its deadline is converted to a
+  :class:`DeadlineRejection` rather than delivered late.
+* **Circuit breaking + degraded mode** — repeated faults on a network's
+  primary device corner trip its :class:`~repro.serving.breaker.
+  CircuitBreaker`; while open, requests are served by the ideal-corner
+  fallback with ``degraded=True`` in the response, and a half-open probe
+  restores the primary after the cool-down.
+* **Drift re-programming** — the programmed-network cache refreshes entries
+  after ``reprogram_after`` served samples (see
+  :class:`~repro.serving.cache.ProgrammedNetworkCache`).
+* **Health states** — ``healthy / degraded / shedding / draining`` (plus
+  terminal ``stopped``), and a graceful drain on :meth:`close`: admission
+  stops, queued work finishes, nothing is silently dropped.
+
+The ``serve-infer`` fault-injection site fires before each primary-path
+micro-batch dispatch with a per-runtime sequence number, so chaos drills
+can fault the Nth dispatch deterministically (the degraded fallback path is
+deliberately uninstrumented — see :mod:`repro.utils.faultinject`).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.hardware.mapper import NetworkMapper
+from repro.hardware.sim import HardwareConfig, network_fingerprint
+from repro.nn.dtype import as_float
+from repro.nn.network import Sequential
+from repro.serving.breaker import CLOSED, CircuitBreaker
+from repro.serving.cache import CacheKey, ProgrammedNetworkCache
+from repro.serving.types import (
+    DeadlineRejection,
+    DrainingRejection,
+    FaultRejection,
+    InferenceResponse,
+    QueueFullRejection,
+    Rejection,
+    ResponseHandle,
+    ServingConfig,
+    ServingError,
+)
+from repro.utils import faultinject
+from repro.utils.logging import get_logger
+
+logger = get_logger("serving.runtime")
+
+#: Health states of the runtime, in reporting precedence order.
+STATES = ("stopped", "draining", "shedding", "degraded", "healthy")
+
+#: EWMA weight of the newest batch service time in the admission estimator.
+_EWMA_ALPHA = 0.3
+
+
+@dataclass
+class _Registered:
+    """One registered model: the digital network plus its serving corner."""
+
+    name: str
+    network: Sequential
+    fingerprint: str
+    corner: HardwareConfig
+    fallback: HardwareConfig
+
+
+class _PendingRequest:
+    __slots__ = ("name", "x", "deadline", "submitted", "handle")
+
+    def __init__(
+        self,
+        name: str,
+        x: np.ndarray,
+        deadline: float,
+        submitted: float,
+        handle: ResponseHandle,
+    ):
+        self.name = name
+        self.x = x
+        self.deadline = deadline
+        self.submitted = submitted
+        self.handle = handle
+
+
+class ServingRuntime:
+    """Thread-based hardware-inference server over programmed crossbars."""
+
+    def __init__(
+        self,
+        config: Optional[ServingConfig] = None,
+        *,
+        mapper: Optional[NetworkMapper] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.config = config if config is not None else ServingConfig()
+        self._clock = clock
+        self.cache = ProgrammedNetworkCache(
+            maxsize=self.config.cache_size,
+            reprogram_after=self.config.reprogram_after,
+            mapper=mapper,
+            clock=clock,
+        )
+        self._queue: "queue.Queue[_PendingRequest]" = queue.Queue(
+            maxsize=self.config.max_queue
+        )
+        self._registered: Dict[str, _Registered] = {}
+        self._breakers: Dict[CacheKey, CircuitBreaker] = {}
+        self._state_lock = threading.Lock()
+        self._draining = False
+        self._stopped = False
+        self._service_ewma: Optional[float] = None
+        self._dispatch_seq = 0
+        self._submit_seq = 0
+        self._last_shed_seq: Optional[int] = None
+        self._counters = {
+            "submitted": 0,
+            "admitted": 0,
+            "completed": 0,
+            "degraded": 0,
+            "batches": 0,
+            "primary_faults": 0,
+            "rejected.queue-full": 0,
+            "rejected.deadline": 0,
+            "rejected.draining": 0,
+            "rejected.fault": 0,
+        }
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-{index}", daemon=True
+            )
+            for index in range(self.config.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -------------------------------------------------------------- registry
+    def register(
+        self,
+        name: str,
+        network: Sequential,
+        *,
+        corner: Optional[HardwareConfig] = None,
+        warm: bool = False,
+    ) -> str:
+        """Register ``network`` for serving under ``name``.
+
+        The content fingerprint is computed once here — requests route by
+        name without re-hashing parameters.  ``corner`` is the device
+        corner the primary path serves on (default: ideal); the degraded
+        fallback always uses ``HardwareConfig.ideal()`` at the corner's
+        seed.  ``warm=True`` programs the primary entry eagerly so the
+        first request does not pay programming latency.
+        """
+        if self._draining or self._stopped:
+            raise ServingError("cannot register networks on a draining/stopped runtime")
+        corner = corner if corner is not None else HardwareConfig.ideal()
+        fingerprint = network_fingerprint(network)
+        entry = _Registered(
+            name=name,
+            network=network,
+            fingerprint=fingerprint,
+            corner=corner,
+            fallback=HardwareConfig.ideal(seed=corner.seed),
+        )
+        with self._state_lock:
+            self._registered[name] = entry
+            self._breakers.setdefault(
+                (fingerprint, corner),
+                CircuitBreaker(
+                    self.config.breaker_threshold,
+                    self.config.breaker_cooldown_s,
+                    clock=self._clock,
+                ),
+            )
+        if warm:
+            self.cache.get(network, corner, fingerprint=fingerprint, samples=0)
+        return fingerprint
+
+    # ------------------------------------------------------------- admission
+    def submit(
+        self,
+        name: str,
+        x: np.ndarray,
+        *,
+        deadline_s: Optional[float] = None,
+    ) -> ResponseHandle:
+        """Submit one sample for inference; returns a :class:`ResponseHandle`.
+
+        Admission control runs here, before any queueing: draining/stopped
+        runtimes, a full queue, and deadlines the service estimator already
+        knows are infeasible all raise a typed :class:`Rejection`
+        immediately (reject-before-work).
+        """
+        with self._state_lock:
+            self._counters["submitted"] += 1
+            self._submit_seq += 1
+            if self._draining or self._stopped:
+                self._counters["rejected.draining"] += 1
+                # Not self.state(): that re-acquires _state_lock (non-reentrant).
+                status = "stopped" if self._stopped else "draining"
+                raise DrainingRejection(f"runtime is {status}; not accepting work")
+            entry = self._registered.get(name)
+        if entry is None:
+            raise ServingError(
+                f"unregistered network {name!r}; registered: {sorted(self._registered)}"
+            )
+        deadline_s = (
+            self.config.default_deadline_s if deadline_s is None else float(deadline_s)
+        )
+        now = self._clock()
+        if deadline_s <= 0:
+            with self._state_lock:
+                self._counters["rejected.deadline"] += 1
+            raise DeadlineRejection(f"deadline_s must be > 0, got {deadline_s}")
+        estimate = self._estimate_turnaround()
+        if estimate is not None and estimate > deadline_s:
+            with self._state_lock:
+                self._counters["rejected.deadline"] += 1
+            raise DeadlineRejection(
+                f"deadline {deadline_s * 1e3:.1f} ms is infeasible: estimated "
+                f"queue+service turnaround is {estimate * 1e3:.1f} ms"
+            )
+        handle = ResponseHandle(now + deadline_s, self._clock)
+        request = _PendingRequest(
+            name=name,
+            x=as_float(np.asarray(x)),
+            deadline=now + deadline_s,
+            submitted=now,
+            handle=handle,
+        )
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            with self._state_lock:
+                self._counters["rejected.queue-full"] += 1
+                self._last_shed_seq = self._submit_seq
+            raise QueueFullRejection(
+                f"admission queue is at capacity ({self.config.max_queue}); "
+                "request shed"
+            ) from None
+        with self._state_lock:
+            self._counters["admitted"] += 1
+        return handle
+
+    def infer(
+        self, name: str, x: np.ndarray, *, deadline_s: Optional[float] = None
+    ) -> InferenceResponse:
+        """Blocking convenience: ``submit`` + ``result``."""
+        # ResponseHandle.result() defaults to the request's own deadline plus
+        # a fixed grace — bounded by construction.  repro: ignore[unbounded-wait]
+        return self.submit(name, x, deadline_s=deadline_s).result()
+
+    def _estimate_turnaround(self) -> Optional[float]:
+        """Expected queue-wait + service seconds for a new request, or None.
+
+        Based on the batch-service EWMA: a queue of ``q`` requests needs
+        ``ceil(q / max_batch)`` batches ahead of this one, plus its own.
+        Deliberately conservative only under real backlog — an idle runtime
+        estimates a single batch service time.
+        """
+        ewma = self._service_ewma
+        if ewma is None:
+            return None
+        queued = self._queue.qsize()
+        batches_ahead = -(-queued // self.config.max_batch)  # ceil division
+        return (batches_ahead + 1) * ewma
+
+    # ----------------------------------------------------------- state machine
+    def state(self) -> str:
+        """Health state: ``healthy / degraded / shedding / draining / stopped``.
+
+        Precedence: ``stopped`` > ``draining`` > ``shedding`` (a shed within
+        the last ``shed_window`` submissions) > ``degraded`` (any breaker
+        not closed) > ``healthy``.
+        """
+        with self._state_lock:
+            if self._stopped:
+                return "stopped"
+            if self._draining:
+                return "draining"
+            shedding = (
+                self._last_shed_seq is not None
+                and self._submit_seq - self._last_shed_seq < self.config.shed_window
+            )
+            breakers = list(self._breakers.values())
+        if shedding:
+            return "shedding"
+        if any(breaker.state != CLOSED for breaker in breakers):
+            return "degraded"
+        return "healthy"
+
+    def is_ready(self) -> bool:
+        """Readiness: accepting new work (not draining, not stopped)."""
+        with self._state_lock:
+            return not (self._draining or self._stopped)
+
+    def stats(self) -> Dict[str, object]:
+        """Counter snapshot, including cache and per-breaker stats."""
+        with self._state_lock:
+            counters = dict(self._counters)
+            names = {
+                (entry.fingerprint, entry.corner): entry.name
+                for entry in self._registered.values()
+            }
+            breakers = {
+                f"{names.get(key, key[0][:8])}@{key[1].label}": breaker.stats()
+                for key, breaker in self._breakers.items()
+            }
+        counters["state"] = self.state()
+        counters["queue_depth"] = self._queue.qsize()
+        counters["cache"] = self.cache.stats()
+        counters["breakers"] = breakers
+        return counters
+
+    # ---------------------------------------------------------------- workers
+    def _worker_loop(self) -> None:
+        carry: Optional[_PendingRequest] = None
+        while True:
+            request = carry
+            carry = None
+            if request is None:
+                try:
+                    request = self._queue.get(timeout=self.config.idle_poll_s)
+                except queue.Empty:
+                    if self._draining or self._stopped:
+                        break
+                    continue
+            batch = [request]
+            window_end = self._clock() + self.config.batch_window_s
+            while len(batch) < self.config.max_batch:
+                remaining = window_end - self._clock()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = self._queue.get(timeout=max(remaining, 1e-4))
+                except queue.Empty:
+                    break
+                if nxt.name == request.name:
+                    batch.append(nxt)
+                else:
+                    # Different network: seed of the next batch, never dropped.
+                    carry = nxt
+                    break
+            self._execute(batch)
+        # Post-drain sweep: under a non-draining stop, reject whatever is left
+        # so no handle is abandoned (zero silent drops).
+        while True:
+            try:
+                leftover = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            leftover.handle._reject(
+                DrainingRejection("runtime stopped before this request was served")
+            )
+
+    def _execute(self, batch: List[_PendingRequest]) -> None:
+        now = self._clock()
+        live: List[_PendingRequest] = []
+        for request in batch:
+            if now >= request.deadline:
+                # Reject-before-work: the deadline passed while queued.
+                self._reject(request, DeadlineRejection("deadline expired in queue"))
+            else:
+                live.append(request)
+        if not live:
+            return
+        entry = self._registered[live[0].name]
+        breaker = self._breakers[(entry.fingerprint, entry.corner)]
+        x = np.stack([request.x for request in live])
+        budget = max(request.deadline for request in live) - self._clock()
+
+        logits: Optional[np.ndarray] = None
+        service_s = 0.0
+        degraded = False
+        corner = entry.corner
+        if breaker.allow():
+            with self._state_lock:
+                sequence = self._dispatch_seq
+                self._dispatch_seq += 1
+            try:
+                programmed = self.cache.get(
+                    entry.network,
+                    entry.corner,
+                    fingerprint=entry.fingerprint,
+                    samples=len(live),
+                    timeout=max(budget, 1e-4),
+                )
+                faultinject.fire("serve-infer", index=sequence)
+                started = self._clock()
+                logits = programmed.predict(x)
+                service_s = self._clock() - started
+                breaker.record_success()
+            except Rejection as error:
+                # Cache wait exceeded the batch budget: deadline semantics,
+                # not a device fault — release the probe slot uncounted.
+                breaker.abandon_probe()
+                for request in live:
+                    self._reject(request, error)
+                return
+            except Exception as error:
+                breaker.record_failure()
+                with self._state_lock:
+                    self._counters["primary_faults"] += 1
+                logger.warning(
+                    "primary dispatch fault on %r (%s); falling back degraded",
+                    entry.name,
+                    error,
+                )
+        if logits is None:
+            # Degraded mode: the ideal-corner fallback (breaker open, or the
+            # primary just faulted).  Uninstrumented by design — see
+            # repro.utils.faultinject.
+            degraded = True
+            corner = entry.fallback
+            try:
+                programmed = self.cache.get(
+                    entry.network,
+                    entry.fallback,
+                    fingerprint=entry.fingerprint,
+                    samples=len(live),
+                    timeout=max(budget, 1e-4),
+                )
+                started = self._clock()
+                logits = programmed.predict(x)
+                service_s = self._clock() - started
+            except Rejection as error:
+                for request in live:
+                    self._reject(request, error)
+                return
+            except Exception as error:  # pragma: no cover - defensive
+                logger.error("degraded fallback failed on %r: %s", entry.name, error)
+                rejection = FaultRejection(
+                    f"primary and fallback paths both failed: {error}"
+                )
+                for request in live:
+                    self._reject(request, rejection)
+                return
+
+        with self._state_lock:
+            self._counters["batches"] += 1
+            if self._service_ewma is None:
+                self._service_ewma = service_s
+            else:
+                self._service_ewma += _EWMA_ALPHA * (service_s - self._service_ewma)
+        done = self._clock()
+        predictions = np.argmax(logits, axis=1)
+        for slot, request in enumerate(live):
+            if done > request.deadline:
+                # Late result: never returned past its deadline.
+                self._reject(
+                    request,
+                    DeadlineRejection("result ready after the deadline; discarded"),
+                )
+                continue
+            request.handle._resolve(
+                InferenceResponse(
+                    prediction=int(predictions[slot]),
+                    logits=logits[slot],
+                    degraded=degraded,
+                    corner=corner.label,
+                    batch_size=len(live),
+                    latency_s=done - request.submitted,
+                    service_s=service_s,
+                )
+            )
+            with self._state_lock:
+                self._counters["completed"] += 1
+                if degraded:
+                    self._counters["degraded"] += 1
+
+    def _reject(self, request: _PendingRequest, error: Rejection) -> None:
+        request.handle._reject(error)
+        with self._state_lock:
+            self._counters[f"rejected.{error.code}"] += 1
+
+    # ------------------------------------------------------------------ drain
+    def close(self, *, drain: bool = True) -> None:
+        """Stop the runtime; idempotent.
+
+        ``drain=True`` (graceful): admission stops immediately, every queued
+        request is still served (or deadline-rejected), workers exit once the
+        queue is empty.  ``drain=False``: queued requests are rejected with
+        :class:`DrainingRejection` instead of served.
+        """
+        with self._state_lock:
+            if self._stopped:
+                return
+            self._draining = True
+        if not drain:
+            while True:
+                try:
+                    request = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                self._reject(
+                    request, DrainingRejection("runtime closed without draining")
+                )
+        for thread in self._threads:
+            thread.join(timeout=self.config.drain_timeout_s)
+        alive = [thread.name for thread in self._threads if thread.is_alive()]
+        with self._state_lock:
+            self._stopped = True
+        if alive:
+            raise ServingError(
+                f"drain timed out: worker(s) {alive} still running after "
+                f"{self.config.drain_timeout_s}s"
+            )
+
+    def __enter__(self) -> "ServingRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close(drain=exc_type is None)

@@ -1,0 +1,225 @@
+"""Request/response vocabulary of the serving runtime.
+
+Everything a caller sends to or receives from :class:`~repro.serving.runtime.
+ServingRuntime` is defined here: the frozen :class:`ServingConfig`, the
+:class:`InferenceResponse` value object, the :class:`ResponseHandle` futures
+the front end hands back, and the **typed rejection hierarchy** — the
+load-shedding contract's core.  A request is never silently dropped: it
+either resolves to a response or raises exactly one :class:`Rejection`
+subtype naming why it was shed (queue full, deadline infeasible or missed,
+runtime draining, or both inference paths faulted).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ReproError
+
+#: Extra seconds :meth:`ResponseHandle.result` waits past the request
+#: deadline before declaring the runtime wedged.  The runtime's own contract
+#: is to resolve every request by its deadline; the grace only covers
+#: scheduler jitter between the deadline and the resolving thread running.
+RESULT_GRACE_S = 5.0
+
+
+class ServingError(ReproError):
+    """Base class of every serving-runtime error."""
+
+
+class Rejection(ServingError):
+    """Base class of the typed load-shedding rejections.
+
+    ``code`` is the stable machine-readable discriminator the runtime's
+    stats counters and the bench report key on.
+    """
+
+    code = "rejected"
+
+
+class QueueFullRejection(Rejection):
+    """Admission refused: the bounded request queue is at capacity."""
+
+    code = "queue-full"
+
+
+class DeadlineRejection(Rejection):
+    """The request's deadline cannot be met (or was missed).
+
+    Raised *before work* when the deadline is already infeasible at
+    admission or at dispatch, and *instead of a late response* when
+    inference finished after the deadline — a response is never returned
+    past its deadline.
+    """
+
+    code = "deadline"
+
+
+class DrainingRejection(Rejection):
+    """Admission refused: the runtime is draining or stopped."""
+
+    code = "draining"
+
+
+class FaultRejection(Rejection):
+    """Both the primary and the degraded fallback path failed."""
+
+    code = "fault"
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Tuning knobs of one :class:`~repro.serving.runtime.ServingRuntime`.
+
+    Attributes
+    ----------
+    max_queue:
+        Capacity of the bounded admission queue.  Submissions beyond it are
+        shed with :class:`QueueFullRejection` — the runtime never buffers
+        unboundedly.
+    max_batch:
+        Largest micro-batch a worker coalesces before dispatching.
+    batch_window_s:
+        How long a worker waits for co-batchable requests after the first
+        one arrives (the latency cost of batching).
+    workers:
+        Dispatcher thread count.  One thread preserves strict arrival-order
+        batching (what the deterministic chaos drills use); more overlap
+        GEMM time with queueing under load.
+    default_deadline_s:
+        Deadline applied when ``submit`` is called without one.
+    breaker_threshold:
+        Consecutive primary-path faults (per cached network) that trip its
+        circuit breaker open.
+    breaker_cooldown_s:
+        Seconds an open breaker waits before letting one half-open probe
+        batch try the primary path again.
+    reprogram_after:
+        Conductance-drift model: evict and re-program a cached network after
+        it has served this many samples (``None`` disables).  Programming is
+        deterministic per ``(network fingerprint, HardwareConfig)``, so a
+        re-program restores the device to its exact original state.
+    cache_size:
+        Capacity of the programmed-network LRU cache.
+    shed_window:
+        The runtime reports ``shedding`` while any of the last
+        ``shed_window`` submissions was shed for queue pressure.
+    idle_poll_s:
+        Worker poll interval on an empty queue (bounds every blocking wait;
+        the no-hang contract).
+    drain_timeout_s:
+        Per-worker join budget during :meth:`~repro.serving.runtime.
+        ServingRuntime.close`.
+    """
+
+    max_queue: int = 64
+    max_batch: int = 16
+    batch_window_s: float = 0.002
+    workers: int = 1
+    default_deadline_s: float = 1.0
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 1.0
+    reprogram_after: Optional[int] = None
+    cache_size: int = 8
+    shed_window: int = 32
+    idle_poll_s: float = 0.05
+    drain_timeout_s: float = 10.0
+
+    def __post_init__(self):
+        for name in ("max_queue", "max_batch", "workers", "cache_size", "shed_window"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ConfigurationError(f"{name} must be a positive int, got {value!r}")
+        if self.reprogram_after is not None and (
+            not isinstance(self.reprogram_after, int) or self.reprogram_after < 1
+        ):
+            raise ConfigurationError(
+                f"reprogram_after must be a positive int or None, got {self.reprogram_after!r}"
+            )
+        if not isinstance(self.breaker_threshold, int) or self.breaker_threshold < 1:
+            raise ConfigurationError(
+                f"breaker_threshold must be a positive int, got {self.breaker_threshold!r}"
+            )
+        for name in ("batch_window_s", "breaker_cooldown_s"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0, got {getattr(self, name)}")
+        for name in ("default_deadline_s", "idle_poll_s", "drain_timeout_s"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be > 0, got {getattr(self, name)}")
+
+
+@dataclass(frozen=True)
+class InferenceResponse:
+    """One served inference result.
+
+    ``degraded`` flags results computed on the ideal-corner fallback while
+    the primary device path was faulted or its circuit breaker open — the
+    caller always knows which fidelity it got.  Timing fields are measured
+    on the runtime's clock: ``latency_s`` spans submit → resolve and is, by
+    the runtime's deadline contract, never greater than the request's
+    deadline budget.
+    """
+
+    prediction: int
+    logits: np.ndarray = field(repr=False)
+    degraded: bool
+    corner: str
+    batch_size: int
+    latency_s: float
+    service_s: float
+
+
+class ResponseHandle:
+    """Caller-side future for one submitted request.
+
+    Resolved exactly once by the runtime — with a response, or with a typed
+    :class:`Rejection` that :meth:`result` re-raises.  The default
+    :meth:`result` wait is bounded by the request's own deadline plus
+    :data:`RESULT_GRACE_S`, so a caller can never block forever.
+    """
+
+    def __init__(self, deadline: float, clock: Callable[[], float]):
+        self._deadline = deadline
+        self._clock = clock
+        self._event = threading.Event()
+        self._response: Optional[InferenceResponse] = None
+        self._error: Optional[BaseException] = None
+
+    # ------------------------------------------------------ runtime side
+    def _resolve(self, response: InferenceResponse) -> None:
+        if not self._event.is_set():
+            self._response = response
+            self._event.set()
+
+    def _reject(self, error: BaseException) -> None:
+        if not self._event.is_set():
+            self._error = error
+            self._event.set()
+
+    # ------------------------------------------------------- caller side
+    def done(self) -> bool:
+        """Whether the request has been resolved (response or rejection)."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> InferenceResponse:
+        """Block for the response; re-raises the typed rejection on shed.
+
+        ``timeout=None`` waits until the request's deadline plus a small
+        grace — never unboundedly.
+        """
+        if timeout is None:
+            timeout = max(0.0, self._deadline - self._clock()) + RESULT_GRACE_S
+        if not self._event.wait(timeout=timeout):
+            raise ServingError(
+                "request unresolved within its wait budget; the runtime broke "
+                "its resolve-by-deadline contract (or the handle outlived a "
+                "non-draining shutdown)"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._response is not None
+        return self._response

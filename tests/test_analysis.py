@@ -828,3 +828,75 @@ class TestSelfApplication:
 
         report = run_analysis(default_lint_paths(), root=repo_root())
         assert report.clean, render_text(report)
+
+
+class TestUnboundedWaitRule:
+    REL = "src/repro/serving/pump.py"
+
+    def test_flags_bare_blocking_calls(self, tmp_path):
+        report = lint(
+            tmp_path,
+            self.REL,
+            """\
+            def pump(queue, event, future):
+                item = queue.get()
+                event.wait()
+                return item, future.result()
+            """,
+            rules=["unbounded-wait"],
+        )
+        assert rules_hit(report) == {"unbounded-wait"}
+        assert len(report.findings) == 3
+        assert {finding.line for finding in report.findings} == {2, 3, 4}
+
+    def test_timeout_forms_are_clean(self, tmp_path):
+        report = lint(
+            tmp_path,
+            self.REL,
+            """\
+            def pump(queue, event, future, remaining):
+                item = queue.get(timeout=0.05)
+                event.wait(0.5)
+                return item, future.result(timeout=remaining)
+            """,
+            rules=["unbounded-wait"],
+        )
+        assert report.clean
+
+    def test_mapping_get_is_not_a_wait(self, tmp_path):
+        report = lint(
+            tmp_path,
+            self.REL,
+            """\
+            def lookup(counters, key):
+                return counters.get(key, 0) + counters.get("total")
+            """,
+            rules=["unbounded-wait"],
+        )
+        assert report.clean
+
+    def test_only_applies_to_the_serving_tree(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "src/repro/experiments/pump.py",
+            """\
+            def pump(queue):
+                return queue.get()
+            """,
+            rules=["unbounded-wait"],
+        )
+        assert report.clean
+
+    def test_justified_suppression(self, tmp_path):
+        report = lint(
+            tmp_path,
+            self.REL,
+            """\
+            def pump(handle):
+                # Bounded by construction: the handle caps its own wait.
+                return handle.result()  # repro: ignore[unbounded-wait]
+            """,
+            rules=["unbounded-wait"],
+        )
+        assert report.clean
+        assert report.suppressed == 1

@@ -223,7 +223,7 @@ class TestBench:
         listed = capsys.readouterr().out.split()
         runner = _load_benchmark_runner()
         assert tuple(listed) == runner.suite_names()
-        assert set(listed) == {"kernels", "sweeps", "lockstep", "hardware"}
+        assert set(listed) == {"kernels", "sweeps", "lockstep", "hardware", "serving"}
 
 
 class TestLint:
@@ -268,3 +268,63 @@ class TestLint:
     def test_lint_missing_path_is_usage_error(self, tmp_path, capsys):
         assert main(["lint", str(tmp_path / "nope")]) == 2
         assert "do not exist" in capsys.readouterr().err
+
+
+class TestListHealthFlags:
+    def test_flags_legacy_and_quarantined_artifacts(self, tmp_path, capsys):
+        from repro.experiments.store import CHECKSUM_FIELD, RunStore
+
+        store_root = tmp_path / "runs"
+        store = RunStore(store_root)
+        store.save(
+            {
+                "fingerprint": "aaaa1111",
+                "name": "legacy",
+                "kind": "sweep",
+                "workload": "mlp",
+                "scale": "tiny",
+                "points": {},
+                "complete": True,
+                "updated": "2026-01-01T00:00:00",
+            }
+        )
+        # Strip the checksum to fabricate a pre-checksum-era artifact, and
+        # drop a torn write beside it to exercise quarantine rendering.
+        path = store.path("aaaa1111")
+        artifact = json.loads(path.read_text())
+        del artifact[CHECKSUM_FIELD]
+        path.write_text(json.dumps(artifact))
+        (store_root / "bbbb2222.json").write_text('{"torn')
+
+        assert main(["list", "--store", str(store_root)]) == 0
+        out = capsys.readouterr().out
+        assert "no-checksum" in out
+        assert "quarantined (corrupt, kept for inspection): 1 file(s)" in out
+        assert "bbbb2222.json.corrupt" in out
+
+
+class TestServeBench:
+    @pytest.fixture(autouse=True)
+    def _no_leaked_faults(self, monkeypatch):
+        # serve-bench --faults exports $REPRO_FAULTS; scrub it either way.
+        monkeypatch.delenv(faultinject.ENV_VAR, raising=False)
+        faultinject.uninstall()
+        yield
+        os.environ.pop(faultinject.ENV_VAR, None)
+        faultinject.uninstall()
+
+    def test_drill_exits_zero_and_prints_recovery_evidence(self, capsys):
+        assert main(["serve-bench", "--drill"]) == 0
+        out = capsys.readouterr().out
+        assert "circuit opened" in out
+        assert "degraded responses" in out
+        assert "recovered: state=healthy" in out
+        assert "drained" in out
+
+    def test_load_levels_json_accounts_every_request(self, capsys):
+        assert main(["serve-bench", "--requests", "24", "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert set(stats["levels"]) == {"0.5x", "1x", "2x"}
+        for level in stats["levels"].values():
+            accounted = level["completed"] + sum(level["rejections"].values())
+            assert accounted == level["requests"]

@@ -18,6 +18,7 @@ from repro.hardware import (
     HardwareConfig,
     NetworkMapper,
     TechnologyParameters,
+    network_fingerprint,
     plan_tiling,
     program_matrix,
     program_network,
@@ -302,3 +303,50 @@ class TestNonIdealities:
         assert programmed.total_crossbars() > 1
         stuck_on, stuck_off = programmed.stuck_cells()
         assert stuck_on + stuck_off > 0
+
+
+# ------------------------------------------------- re-programming determinism
+class TestReprogrammingDeterminism:
+    """Programming is a pure function of (network content, HardwareConfig).
+
+    The serving layer's drift policy (evict + re-program after T served
+    samples) is only a correctness-preserving refresh because a re-program
+    restores bit-identical device state: same conductance-effective weights,
+    same stuck-cell draws, same predictions.
+    """
+
+    def test_reprogram_is_bit_identical(self, images):
+        network = lowrank_net(0)
+        first = program_network(network, NOISY, mapper=tiny_mapper())
+        second = program_network(network, NOISY, mapper=tiny_mapper())
+        assert first.stuck_cells() == second.stuck_cells()
+        for layer_name, stages in first.stages.items():
+            for stage, matrix in stages.items():
+                twin = second.stages[layer_name][stage]
+                np.testing.assert_array_equal(matrix.weights, twin.weights)
+                assert (matrix.stuck_on, matrix.stuck_off) == (
+                    twin.stuck_on,
+                    twin.stuck_off,
+                )
+        np.testing.assert_array_equal(first.predict(images), second.predict(images))
+
+    def test_identical_weights_share_a_fingerprint(self):
+        assert network_fingerprint(lowrank_net(0)) == network_fingerprint(lowrank_net(0))
+
+    def test_fingerprint_tracks_content(self):
+        network = lowrank_net(0)
+        baseline = network_fingerprint(network)
+        assert baseline != network_fingerprint(lowrank_net(1))
+        parameter = network.parameters()[0]
+        parameter.data = parameter.data.copy()
+        parameter.data.flat[0] += 1e-6
+        assert network_fingerprint(network) != baseline
+
+    def test_different_seeds_program_differently(self, images):
+        network = lowrank_net(0)
+        a = program_network(network, NOISY, mapper=tiny_mapper())
+        b = program_network(
+            network, HardwareConfig.from_dict({**NOISY.as_dict(), "seed": 4}),
+            mapper=tiny_mapper(),
+        )
+        assert np.abs(a.predict(images) - b.predict(images)).max() > 0

@@ -6,6 +6,8 @@ engine policies reuse each other's point artifacts; stored artifacts rebuild
 the same result views (``format_table``) without retraining.
 """
 
+from pathlib import Path
+
 import pytest
 
 import repro.experiments.plan as plan_module
@@ -308,3 +310,96 @@ class TestCompareAndRender:
         accuracy = store.lookup_baseline(plan.baseline_fingerprint)
         assert accuracy is not None
         assert store.lookup_baseline("0" * 16) is None
+
+
+class TestStoreHealthFlags:
+    def test_list_runs_flags_legacy_checksum_artifacts(self, store):
+        import json as json_module
+
+        spec = sweep_spec()
+        execute_spec(spec, store=store)
+        rows = store.list_runs()
+        assert rows[0]["legacy_checksum"] is False
+        path = store.path(spec.fingerprint())
+        artifact = json_module.loads(path.read_text())
+        del artifact["payload_sha256"]
+        path.write_text(json_module.dumps(artifact))
+        rows = store.list_runs()
+        assert rows[0]["legacy_checksum"] is True
+        assert rows[0]["complete"] is True  # legacy, not partial
+
+    def test_quarantined_listing(self, store):
+        spec = sweep_spec()
+        execute_spec(spec, store=store)
+        assert store.quarantined() == []
+        path = store.path(spec.fingerprint())
+        path.write_text("{ truncated")
+        assert store.load(spec.fingerprint()) is None  # triggers quarantine
+        assert store.quarantined() == [f"{spec.fingerprint()}.json.corrupt"]
+        # Quarantined files stay out of the artifact namespace.
+        assert store.fingerprints() == []
+
+
+class TestJournalLocking:
+    def test_concurrent_appends_never_interleave(self, store):
+        """Threaded appenders (the fcntl-locked path) produce whole lines:
+        every record survives the contention and none is corrupt."""
+        import threading
+
+        writers = 4
+        per_writer = 25
+
+        def append_many(writer):
+            for index in range(per_writer):
+                store.append_journal(
+                    "spec-fp",
+                    f"point-{writer}-{index}",
+                    {"value": writer * 1000 + index, "blob": "x" * 256},
+                )
+
+        threads = [
+            threading.Thread(target=append_many, args=(writer,))
+            for writer in range(writers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        recovered = store.load_journal("spec-fp")
+        assert len(recovered) == writers * per_writer
+        for writer in range(writers):
+            for index in range(per_writer):
+                assert recovered[f"point-{writer}-{index}"]["value"] == (
+                    writer * 1000 + index
+                )
+        # Every line parses and passes its checksum — none interleaved.
+        lines = store.journal_path("spec-fp").read_text().splitlines()
+        assert len(lines) == writers * per_writer
+
+    def test_concurrent_processes_serialize_on_the_lock(self, store, tmp_path):
+        """Two *processes* appending to one journal — the scenario the
+        exclusive fcntl lock exists for — lose nothing."""
+        import subprocess
+        import sys as sys_module
+
+        script = tmp_path / "appender.py"
+        script.write_text(
+            "import sys\n"
+            "sys.path.insert(0, sys.argv[3])\n"
+            "from repro.experiments.store import RunStore\n"
+            "store = RunStore(sys.argv[1])\n"
+            "writer = sys.argv[2]\n"
+            "for index in range(20):\n"
+            "    store.append_journal('fp', f'p-{writer}-{index}', {'i': index})\n"
+        )
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        procs = [
+            subprocess.Popen(
+                [sys_module.executable, str(script), str(store.root), str(writer), src]
+            )
+            for writer in range(2)
+        ]
+        for proc in procs:
+            assert proc.wait(timeout=60) == 0
+        recovered = store.load_journal("fp")
+        assert len(recovered) == 40

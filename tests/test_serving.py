@@ -1,0 +1,506 @@
+"""Tests for the hardware-inference serving runtime (`repro.serving`).
+
+Covers the acceptance contract of the subsystem: the end-to-end chaos drill
+(deterministic ``serve-infer`` faults → typed rejections instead of
+unbounded queueing → breaker trips → flagged degraded responses → recovery
+to ``healthy`` after the cool-down → clean drain — all deadlines honored,
+zero requests silently dropped), plus unit coverage of the circuit breaker,
+the single-flight programmed-network cache, drift re-programming, admission
+control, and shutdown semantics.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hardware import (
+    CrossbarLibrary,
+    HardwareConfig,
+    NetworkMapper,
+    TechnologyParameters,
+    network_fingerprint,
+)
+from repro.models import build_mlp
+from repro.serving import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    DeadlineRejection,
+    DrainingRejection,
+    ProgrammedNetworkCache,
+    QueueFullRejection,
+    Rejection,
+    ServingConfig,
+    ServingError,
+    ServingRuntime,
+)
+from repro.utils import faultinject
+from repro.utils.faultinject import InjectedFault
+
+NOISY = HardwareConfig(bits=6, program_noise=0.02, fault_rate=0.001, adc_bits=8, seed=0)
+
+
+def tiny_mapper(limit=32):
+    technology = TechnologyParameters(max_crossbar_rows=limit, max_crossbar_cols=limit)
+    return NetworkMapper(technology=technology, library=CrossbarLibrary(technology=technology))
+
+
+def mlp(seed=0):
+    return build_mlp(16, [24], 4, rng=seed, name=f"serve{seed}")
+
+
+def inputs(samples=8, seed=0):
+    return np.random.default_rng(seed).standard_normal((samples, 16))
+
+
+def drill_config(**overrides):
+    """Single worker + single-sample batches: deterministic dispatch indices."""
+    base = dict(
+        max_queue=16,
+        max_batch=1,
+        batch_window_s=0.0,
+        workers=1,
+        default_deadline_s=5.0,
+        breaker_threshold=2,
+        breaker_cooldown_s=0.2,
+    )
+    base.update(overrides)
+    return ServingConfig(**base)
+
+
+def accounted(stats):
+    rejected = sum(v for k, v in stats.items() if str(k).startswith("rejected."))
+    return stats["completed"] + rejected
+
+
+# ------------------------------------------------------------- happy path
+class TestServingBasics:
+    def test_roundtrip_matches_direct_predict(self):
+        runtime = ServingRuntime(drill_config(), mapper=tiny_mapper())
+        try:
+            runtime.register("m", mlp(), corner=NOISY, warm=True)
+            x = inputs(4)
+            direct = runtime.cache.get(mlp(), NOISY).predict(x)
+            handles = [runtime.submit("m", x[i]) for i in range(4)]
+            for slot, handle in enumerate(handles):
+                response = handle.result(timeout=10.0)
+                assert response.prediction == int(np.argmax(direct[slot]))
+                assert not response.degraded
+                assert response.corner == NOISY.label
+                assert handle.done()
+        finally:
+            runtime.close(drain=True)
+        stats = runtime.stats()
+        assert stats["completed"] == 4
+        assert accounted(stats) == stats["submitted"] == 4
+
+    def test_micro_batching_coalesces(self):
+        config = ServingConfig(workers=1, max_batch=8, batch_window_s=0.05, max_queue=32)
+        runtime = ServingRuntime(config, mapper=tiny_mapper())
+        try:
+            runtime.register("m", mlp(), corner=HardwareConfig.ideal(), warm=True)
+            x = inputs(6)
+            handles = [runtime.submit("m", x[i]) for i in range(6)]
+            sizes = {h.result(timeout=10.0).batch_size for h in handles}
+            # At least one dispatched batch held several coalesced requests.
+            assert max(sizes) > 1
+        finally:
+            runtime.close(drain=True)
+
+    def test_unregistered_network_rejected(self):
+        runtime = ServingRuntime(drill_config(), mapper=tiny_mapper())
+        try:
+            with pytest.raises(ServingError, match="unregistered"):
+                runtime.submit("nope", inputs(1)[0])
+        finally:
+            runtime.close(drain=True)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServingConfig(max_queue=0)
+        with pytest.raises(ConfigurationError):
+            ServingConfig(default_deadline_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ServingConfig(reprogram_after=0)
+
+
+# -------------------------------------------------------- acceptance drill
+class TestChaosDrill:
+    def test_end_to_end_fault_degrade_recover_drain(self):
+        """The PR's acceptance criterion, as one deterministic drill.
+
+        Faults at serve-infer dispatch indices 0 and 1 with threshold 2:
+        both are absorbed degraded, the second trips the breaker; traffic
+        while open rides the flagged ideal-corner fallback without touching
+        the primary; the half-open probe (dispatch 2) recovers to healthy;
+        the drain is clean.  Throughout: every response lands within its
+        deadline budget and every submission is accounted for.
+        """
+        cooldown = 0.2
+        runtime = ServingRuntime(
+            drill_config(breaker_cooldown_s=cooldown), mapper=tiny_mapper()
+        )
+        x = inputs(8)
+        deadline_s = 5.0
+        responses = []
+        try:
+            runtime.register("m", mlp(), corner=NOISY, warm=True)
+            assert runtime.state() == "healthy"
+            faults = [
+                {"site": "serve-infer", "kind": "raise", "index": 0},
+                {"site": "serve-infer", "kind": "raise", "index": 1},
+            ]
+            with faultinject.injected(faults):
+                # Phase 1: two faulted dispatches — absorbed by the fallback,
+                # flagged degraded, breaker trips on the second.
+                for i in range(2):
+                    response = runtime.infer("m", x[i], deadline_s=deadline_s)
+                    responses.append(response)
+                    assert response.degraded
+                    assert response.corner == "ideal"
+                assert runtime.state() == "degraded"
+                breaker = next(iter(runtime.stats()["breakers"].values()))
+                assert breaker["state"] == OPEN
+                assert breaker["times_opened"] == 1
+
+                # Phase 2: breaker open — primary path skipped entirely (its
+                # dispatch counter must not advance), responses degraded.
+                seq_before = runtime._dispatch_seq
+                for i in range(3):
+                    response = runtime.infer("m", x[i], deadline_s=deadline_s)
+                    responses.append(response)
+                    assert response.degraded
+                assert runtime._dispatch_seq == seq_before
+                assert runtime.state() == "degraded"
+
+                # Phase 3: cool-down elapses; the half-open probe (dispatch
+                # index 2, unfaulted) restores the primary.
+                time.sleep(cooldown + 0.05)
+                probe = runtime.infer("m", x[0], deadline_s=deadline_s)
+                responses.append(probe)
+                assert not probe.degraded
+                assert probe.corner == NOISY.label
+                assert runtime.state() == "healthy"
+                breaker = next(iter(runtime.stats()["breakers"].values()))
+                assert breaker["state"] == CLOSED
+                assert breaker["times_closed"] == 1
+
+            # Deadline contract: no response was delivered past its budget.
+            for response in responses:
+                assert response.latency_s <= deadline_s
+
+            runtime.close(drain=True)
+            assert runtime.state() == "stopped"
+        finally:
+            runtime.close(drain=True)
+        stats = runtime.stats()
+        assert stats["submitted"] == len(responses) == 6
+        assert stats["completed"] == 6
+        assert stats["degraded"] == 5
+        assert stats["primary_faults"] == 2
+        assert accounted(stats) == stats["submitted"]
+
+    def test_shedding_typed_rejections_not_unbounded_queueing(self):
+        """A stalled dispatch fills the bounded queue: overflow is shed with
+        QueueFullRejection at submit, the state reports ``shedding``, and
+        every admitted request still resolves — nothing queues unboundedly,
+        nothing is dropped silently."""
+        runtime = ServingRuntime(
+            drill_config(max_queue=2, default_deadline_s=10.0), mapper=tiny_mapper()
+        )
+        x = inputs(16)
+        try:
+            runtime.register("m", mlp(), corner=NOISY, warm=True)
+            handles = []
+            shed = 0
+            with faultinject.injected(
+                [{"site": "serve-infer", "kind": "hang", "index": 0, "seconds": 0.4}]
+            ):
+                for i in range(10):
+                    try:
+                        handles.append(runtime.submit("m", x[i]))
+                    except QueueFullRejection:
+                        shed += 1
+            assert shed > 0, "the bounded queue must shed overflow"
+            assert runtime.state() == "shedding"
+            for handle in handles:
+                handle.result(timeout=15.0)  # admitted requests all resolve
+        finally:
+            runtime.close(drain=True)
+        stats = runtime.stats()
+        assert stats["rejected.queue-full"] == shed
+        assert accounted(stats) == stats["submitted"] == 10
+
+    def test_expired_in_queue_rejected_before_work_and_never_late(self):
+        runtime = ServingRuntime(
+            drill_config(max_queue=8), mapper=tiny_mapper()
+        )
+        x = inputs(4)
+        try:
+            runtime.register("m", mlp(), corner=NOISY, warm=True)
+            with faultinject.injected(
+                [{"site": "serve-infer", "kind": "hang", "index": 0, "seconds": 0.4}]
+            ):
+                first = runtime.submit("m", x[0], deadline_s=5.0)
+                # Queued behind the stalled dispatch with a deadline shorter
+                # than the stall: must be deadline-rejected, not served late.
+                starved = runtime.submit("m", x[1], deadline_s=0.05)
+                with pytest.raises(DeadlineRejection):
+                    starved.result(timeout=10.0)
+                first.result(timeout=10.0)
+        finally:
+            runtime.close(drain=True)
+        stats = runtime.stats()
+        assert stats["rejected.deadline"] == 1
+        assert accounted(stats) == stats["submitted"]
+
+    def test_infeasible_deadline_rejected_at_admission(self):
+        runtime = ServingRuntime(drill_config(), mapper=tiny_mapper())
+        x = inputs(4)
+        try:
+            runtime.register("m", mlp(), corner=NOISY, warm=True)
+            for i in range(3):  # establish the service-time EWMA
+                runtime.infer("m", x[i])
+            with pytest.raises(DeadlineRejection, match="infeasible"):
+                runtime.submit("m", x[0], deadline_s=1e-9)
+            with pytest.raises(DeadlineRejection):
+                runtime.submit("m", x[0], deadline_s=-1.0)
+        finally:
+            runtime.close(drain=True)
+
+
+# ------------------------------------------------------------------- drain
+class TestShutdown:
+    def test_graceful_drain_serves_queued_work(self):
+        runtime = ServingRuntime(
+            drill_config(max_queue=16, default_deadline_s=10.0), mapper=tiny_mapper()
+        )
+        x = inputs(8)
+        runtime.register("m", mlp(), corner=NOISY, warm=True)
+        handles = [runtime.submit("m", x[i]) for i in range(8)]
+        runtime.close(drain=True)
+        for handle in handles:
+            handle.result(timeout=1.0)  # already resolved by the drain
+        with pytest.raises(DrainingRejection):
+            runtime.submit("m", x[0])
+        assert runtime.state() == "stopped"
+        assert not runtime.is_ready()
+        stats = runtime.stats()
+        assert stats["completed"] == 8
+        # The post-drain submit was still counted and typed.
+        assert accounted(stats) == stats["submitted"] == 9
+
+    def test_non_draining_close_rejects_queued_work(self):
+        runtime = ServingRuntime(
+            drill_config(max_queue=16, default_deadline_s=10.0), mapper=tiny_mapper()
+        )
+        x = inputs(8)
+        runtime.register("m", mlp(), corner=NOISY, warm=True)
+        with faultinject.injected(
+            [{"site": "serve-infer", "kind": "hang", "index": 0, "seconds": 0.3}]
+        ):
+            handles = [runtime.submit("m", x[i]) for i in range(6)]
+            runtime.close(drain=False)
+        outcomes = {"served": 0, "rejected": 0}
+        for handle in handles:
+            try:
+                handle.result(timeout=10.0)
+                outcomes["served"] += 1
+            except DrainingRejection:
+                outcomes["rejected"] += 1
+        # The stalled in-flight request finishes; the queued remainder is
+        # typed-rejected — either way, every handle resolves.
+        assert outcomes["served"] + outcomes["rejected"] == 6
+        assert outcomes["rejected"] > 0
+        assert accounted(runtime.stats()) == runtime.stats()["submitted"]
+
+    def test_close_is_idempotent_and_register_refused_after(self):
+        runtime = ServingRuntime(drill_config(), mapper=tiny_mapper())
+        runtime.close(drain=True)
+        runtime.close(drain=True)
+        with pytest.raises(ServingError):
+            runtime.register("m", mlp())
+
+
+# ----------------------------------------------------------------- breaker
+class TestCircuitBreaker:
+    def test_threshold_and_cooldown_cycle(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(threshold=3, cooldown_s=10.0, clock=lambda: clock[0])
+        assert breaker.state == CLOSED
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        clock[0] = 10.0
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # the single probe
+        assert not breaker.allow()  # everyone else still shed
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.stats()["times_opened"] == 1
+        assert breaker.stats()["times_closed"] == 1
+
+    def test_failed_probe_reopens(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(threshold=1, cooldown_s=5.0, clock=lambda: clock[0])
+        breaker.record_failure()
+        clock[0] = 5.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock[0] = 9.0  # cool-down restarted at t=5
+        assert breaker.state == OPEN
+        clock[0] = 10.0
+        assert breaker.state == HALF_OPEN
+
+    def test_abandoned_probe_frees_the_slot(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(threshold=1, cooldown_s=1.0, clock=lambda: clock[0])
+        breaker.record_failure()
+        clock[0] = 1.0
+        assert breaker.allow()
+        breaker.abandon_probe()  # probe never reached the device
+        assert breaker.allow()  # the next caller may probe instead
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(threshold=2, cooldown_s=1.0)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never two *consecutive* failures
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(cooldown_s=-1.0)
+
+
+# ------------------------------------------------------------------- cache
+class TestProgrammedNetworkCache:
+    def test_hit_and_miss_accounting(self):
+        cache = ProgrammedNetworkCache(maxsize=4, mapper=tiny_mapper())
+        network = mlp()
+        first = cache.get(network, NOISY)
+        again = cache.get(network, NOISY)
+        assert first is again
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["hits"] == 1
+        # A different corner of the same weights is a separate entry.
+        cache.get(network, HardwareConfig.ideal())
+        assert cache.stats()["misses"] == 2
+        assert len(cache) == 2
+
+    def test_single_flight_concurrent_misses_program_once(self):
+        cache = ProgrammedNetworkCache(maxsize=4, mapper=tiny_mapper())
+        network = mlp()
+        fingerprint = network_fingerprint(network)
+        results = []
+        barrier = threading.Barrier(4)
+
+        def worker():
+            barrier.wait(timeout=10.0)
+            results.append(
+                cache.get(network, NOISY, fingerprint=fingerprint, timeout=30.0)
+            )
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert len(results) == 4
+        assert all(result is results[0] for result in results)
+        assert cache.stats()["programs"] == 1
+
+    def test_failed_leader_releases_the_key(self):
+        cache = ProgrammedNetworkCache(maxsize=4, mapper=tiny_mapper())
+        network = mlp()
+        with faultinject.injected(
+            [{"site": "serve-program", "kind": "raise", "index": 0}]
+        ):
+            with pytest.raises(InjectedFault):
+                cache.get(network, NOISY)
+            # The key is not wedged: the next caller retries leadership.
+            programmed = cache.get(network, NOISY)
+        assert programmed.predict(inputs(2)).shape == (2, 4)
+        assert cache.stats()["programs"] == 2
+
+    def test_drift_reprogram_is_bit_identical(self):
+        cache = ProgrammedNetworkCache(
+            maxsize=4, reprogram_after=4, mapper=tiny_mapper()
+        )
+        network = mlp()
+        x = inputs(4)
+        first = cache.get(network, NOISY, samples=4)
+        baseline = first.predict(x)
+        refreshed = cache.get(network, NOISY, samples=1)
+        assert refreshed is not first
+        assert cache.stats()["reprograms"] == 1
+        # Programming is a pure function of (fingerprint, config): the
+        # refreshed entry realises bit-identical device state.
+        np.testing.assert_array_equal(refreshed.predict(x), baseline)
+        assert refreshed.stuck_cells() == first.stuck_cells()
+
+    def test_lru_eviction_bounds_size(self):
+        cache = ProgrammedNetworkCache(maxsize=1, mapper=tiny_mapper())
+        network = mlp()
+        cache.get(network, NOISY)
+        cache.get(network, HardwareConfig.ideal())
+        assert len(cache) == 1
+        assert cache.stats()["evictions"] == 1
+
+    def test_follower_wait_honors_timeout(self):
+        cache = ProgrammedNetworkCache(maxsize=4, mapper=tiny_mapper())
+        network = mlp()
+        fingerprint = network_fingerprint(network)
+        started = threading.Event()
+
+        def slow_leader():
+            with faultinject.injected(
+                [{"site": "serve-program", "kind": "hang", "index": 0, "seconds": 0.5}]
+            ):
+                started.set()
+                cache.get(network, NOISY, fingerprint=fingerprint)
+
+        leader = threading.Thread(target=slow_leader)
+        leader.start()
+        assert started.wait(timeout=5.0)
+        time.sleep(0.05)  # let the leader claim the in-flight slot
+        with pytest.raises(DeadlineRejection):
+            cache.get(network, NOISY, fingerprint=fingerprint, timeout=0.05)
+        leader.join(timeout=10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProgrammedNetworkCache(maxsize=0)
+        with pytest.raises(ValueError):
+            ProgrammedNetworkCache(reprogram_after=0)
+
+
+# -------------------------------------------------------- runtime reprogram
+class TestRuntimeDriftIntegration:
+    def test_runtime_reprograms_and_answers_identically(self):
+        config = drill_config(reprogram_after=2, default_deadline_s=10.0)
+        runtime = ServingRuntime(config, mapper=tiny_mapper())
+        x = inputs(1)[0]
+        try:
+            runtime.register("m", mlp(), corner=NOISY, warm=True)
+            first = [runtime.infer("m", x) for _ in range(2)]
+            # The drift counter hits reprogram_after=2: the next request
+            # re-programs; determinism makes the answer identical.
+            later = runtime.infer("m", x)
+            assert runtime.cache.stats()["reprograms"] >= 1
+            assert later.prediction == first[0].prediction
+            np.testing.assert_array_equal(later.logits, first[0].logits)
+        finally:
+            runtime.close(drain=True)
