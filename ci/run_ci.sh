@@ -41,6 +41,9 @@ ENGINE_TESTS=(
   tests/test_faultinject.py
   tests/test_resilience.py
   tests/test_serving.py
+  tests/test_graph.py
+  tests/test_scheduler.py
+  tests/test_store_concurrency.py
 )
 
 # Contract linter gate: the tree must be free of determinism/dtype/parity/
@@ -113,6 +116,71 @@ else
   grep -q "degraded responses" <<< "$DRILL_OUT"
   grep -q "recovered: state=healthy" <<< "$DRILL_OUT"
   grep -q "drained" <<< "$DRILL_OUT"
+
+  echo "== scheduler smoke: submit x2 -> daemon interleaves -> kill -9 -> cancel -> drain recovers =="
+  # Two specs are queued, the daemon runs them concurrently (node events must
+  # switch jobs mid-run), then the daemon is killed hard mid-flight.  One job
+  # is cancelled while stuck "running"; a --drain restart must requeue both,
+  # honor the cancel, and finish the survivor from its journaled progress.
+  SCHED_STORE="$CLI_STORE/sched"
+  SUBMIT_ARGS=(figure6 --workload mlp --scale tiny
+               --grid 0.02 0.05 0.1 0.2 0.3 0.5
+               --store "$SCHED_STORE" --json)
+  JOB_A="$(python -m repro submit "${SUBMIT_ARGS[@]}" \
+           | python -c 'import json, sys; print(json.load(sys.stdin)["job_id"])')"
+  JOB_B="$(python -m repro submit "${SUBMIT_ARGS[@]}" --seed 7 \
+           | python -c 'import json, sys; print(json.load(sys.stdin)["job_id"])')"
+  # The daemon (and only the daemon) runs with a benign injected 0.5 s hang
+  # per point, so each 6-point job stays in flight for seconds — long enough
+  # to observe interleaving and to kill -9 it provably mid-run.
+  REPRO_FAULTS='[{"site": "point", "kind": "hang", "seconds": 0.5}]' \
+    python -m repro serve-jobs --store "$SCHED_STORE" --workers 2 --poll 0.1 \
+    > "$CLI_STORE/daemon.log" 2>&1 &
+  DAEMON_PID=$!
+  # Wait until both jobs have a node in flight, then kill the daemon hard.
+  python - "$SCHED_STORE" "$JOB_A" "$JOB_B" <<'PY'
+import sys, time
+from repro.scheduler import JobQueue
+from repro.scheduler.daemon import default_queue_root
+
+queue = JobQueue(default_queue_root(sys.argv[1]))
+want = {sys.argv[2], sys.argv[3]}
+deadline = time.monotonic() + 120
+while time.monotonic() < deadline:
+    started = {e["job"] for e in queue.events() if e["event"] == "node-start"}
+    if want <= started:
+        sys.exit(0)
+    time.sleep(0.2)
+sys.exit("daemon never started a node for both jobs")
+PY
+  kill -9 "$DAEMON_PID"
+  wait "$DAEMON_PID" 2>/dev/null || true
+  python -m repro cancel "$JOB_A" --store "$SCHED_STORE"
+  python -m repro serve-jobs --store "$SCHED_STORE" --workers 2 --poll 0.1 --drain
+  python -m repro status --store "$SCHED_STORE" --json | python -c '
+import json, sys
+rows = {row["job_id"]: row for row in json.load(sys.stdin)}
+a, b = sys.argv[1], sys.argv[2]
+assert rows[a]["state"] == "cancelled", rows[a]
+assert rows[b]["state"] == "done", rows[b]
+assert rows[b]["artifact"]["complete"] is True, rows[b]
+print(f"status OK: cancelled job stayed cancelled, survivor done")
+' "$JOB_A" "$JOB_B"
+  python - "$SCHED_STORE" <<'PY'
+import sys
+from repro.scheduler import JobQueue
+from repro.scheduler.daemon import default_queue_root
+
+queue = JobQueue(default_queue_root(sys.argv[1]))
+nodes = [e["job"] for e in queue.events() if e["event"].startswith("node-")]
+switches = sum(1 for x, y in zip(nodes, nodes[1:]) if x != y)
+assert switches >= 2, f"jobs never interleaved: {nodes}"
+requeued = [e for e in queue.events() if e["event"] == "job-requeued"]
+assert requeued, "kill -9 recovery never requeued the in-flight jobs"
+print(f"interleave OK: {len(nodes)} node events, {switches} job switches, "
+      f"{len(requeued)} requeued after crash")
+PY
+  python -m repro watch "$JOB_B" --store "$SCHED_STORE" --timeout 30 > /dev/null
 fi
 
 if [[ "${1:-}" == "--bench" ]]; then

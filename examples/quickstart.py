@@ -114,11 +114,40 @@ def main() -> None:
     for row in store.list_runs():
         print(f"  {row['fingerprint']}  {row['name']:<18} {row['kind']:<8} complete={row['complete']}")
 
+    # ------------------------------------ 5. queued execution (the scheduler)
+    # Instead of running inline, specs can be *submitted* to a persistent job
+    # queue and executed by the `serve-jobs` daemon, which runs nodes from
+    # different jobs concurrently while keeping every job bit-identical to
+    # `execute_spec`.  The shell equivalent:
+    #
+    #     python -m repro serve-jobs --workers 4 &   # daemon; SIGINT drains
+    #     python -m repro submit figure6 --workload mlp --scale tiny \
+    #         --grid 0.05 0.3
+    #     python -m repro status        # queue ⋈ store health table (--json)
+    #     python -m repro watch <job>   # stream per-node events
+    #     python -m repro cancel <job>  # honored between nodes
+    #
+    # Here we drive the same machinery in process: submit two sweeps, run the
+    # scheduler until the queue drains, and read the joined status back.
+    from repro.scheduler import JobQueue, JobScheduler
+    from repro.scheduler.client import job_rows, render_job_rows
+    from repro.scheduler.daemon import default_queue_root
+
+    print("\n=== Queued execution: submit two sweeps, drain the queue ===")
+    queue = JobQueue(default_queue_root(store.root))
+    job_a = queue.submit(spec.with_updates(name="queued-sweep"))
+    job_b = queue.submit(wider.with_updates(name="queued-sweep-wide"))
+    print(f"queued {job_a.job_id} and {job_b.job_id}")
+    finalized = JobScheduler(queue, store, workers=2, poll_s=0.05).run(drain=True)
+    print(f"drained: {finalized} job(s) finalized (all points already stored)")
+    print(render_job_rows(job_rows(queue, store)))
+
     print(
         "\nDone.  Try the CLI next:\n"
         f"  python -m repro list --store {store.root}\n"
         f"  python -m repro show quickstart-sweep --store {store.root}\n"
-        "  python -m repro run table1 --scale tiny --workers 1"
+        "  python -m repro run table1 --scale tiny --workers 1\n"
+        f"  python -m repro serve-jobs --store {store.root} --drain"
     )
 
 

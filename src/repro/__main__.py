@@ -1,4 +1,9 @@
-"""``python -m repro`` entry point (see :mod:`repro.experiments.cli`)."""
+"""``python -m repro`` entry point (see :mod:`repro.experiments.cli`).
+
+Covers the one-shot verbs (``run``/``list``/``show``/``compare``/``bench``)
+and the orchestration service (``serve-jobs``/``submit``/``status``/
+``cancel``/``watch``, backed by :mod:`repro.scheduler`).
+"""
 
 from repro.experiments.cli import main
 

@@ -164,6 +164,7 @@ class WallClockRule(Rule):
     FINGERPRINTED_SUFFIXES = (
         "experiments/spec.py",
         "experiments/plan.py",
+        "experiments/graph.py",
         "experiments/store.py",
         "hardware/sim.py",
     )

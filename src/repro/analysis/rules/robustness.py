@@ -26,6 +26,7 @@ from repro.analysis.core import FileContext, Finding, Rule, register
 #: Module path fragments whose exception handlers carry the accounting burden.
 _SCOPED_PATHS = (
     "repro/experiments/",
+    "repro/scheduler/",
     "repro/utils/serialization.py",
     "repro/utils/faultinject.py",
 )
@@ -172,20 +173,22 @@ class UnboundedWaitRule(Rule):
 
     id = "unbounded-wait"
     summary = (
-        "serving-layer queue.get / Event.wait / Condition.wait / "
+        "serving/scheduler-layer queue.get / Event.wait / Condition.wait / "
         "Future.result calls must pass an explicit, non-None timeout"
     )
     rationale = (
-        "The serving runtime's no-hang contract: one stuck dependency (a "
-        "hung programming call, a dead leader thread) must surface as a "
-        "typed deadline rejection, never as a worker blocked forever — an "
-        "unbounded wait silently removes a worker from capacity with no "
-        "failure accounted anywhere.  Justified exceptions carry a "
+        "The no-hang contract of the long-running layers: one stuck "
+        "dependency (a hung programming call, a dead leader thread, a "
+        "wedged graph node) must surface as a typed deadline rejection or "
+        "a requeue, never as a worker blocked forever — an unbounded wait "
+        "silently removes a worker from capacity with no failure accounted "
+        "anywhere.  Applies to the serving runtime and the job scheduler "
+        "daemon alike.  Justified exceptions carry a "
         "`# repro: ignore[unbounded-wait]` with the reasoning."
     )
 
     def applies_to(self, relpath: str) -> bool:
-        return "repro/serving/" in relpath
+        return "repro/serving/" in relpath or "repro/scheduler/" in relpath
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

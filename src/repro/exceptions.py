@@ -58,6 +58,14 @@ class PointTimeoutError(ExperimentError):
     """Raised when a sweep point exceeds its per-point wall-clock budget."""
 
 
+class SchedulerError(ReproError):
+    """Raised when the job queue or scheduler is driven incorrectly.
+
+    Covers unknown/ambiguous job ids, submissions into a missing queue
+    root, and invalid state transitions (e.g. cancelling a finished job).
+    """
+
+
 class RunInterrupted(ExperimentError):
     """Raised after a SIGINT-drained run has persisted its partial artifact.
 

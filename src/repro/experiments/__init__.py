@@ -12,10 +12,23 @@ resumable path::
     print(run.result.format_table())
 
 The same workflow is available from the shell as ``python -m repro``
-(``run`` / ``list`` / ``show`` / ``compare`` / ``bench``).  The imperative
-entry points (``run_table1``, ``sweep_rank_clipping``, …) remain as
-deprecation shims over the declarative core.
+(``run`` / ``list`` / ``show`` / ``compare`` / ``bench``), and as a
+long-running service via the job verbs (``serve-jobs`` / ``submit`` /
+``status`` / ``cancel`` / ``watch``, see :mod:`repro.scheduler`).
+``execute_spec`` itself is a thin wrapper over a single-spec run of the
+experiment graph (:mod:`repro.experiments.graph`), which exposes the same
+pipeline as an explicit DAG of typed nodes.  The imperative entry points
+(``run_table1``, ``sweep_rank_clipping``, …) remain as deprecation shims
+over the declarative core.
 """
+
+from repro.experiments.graph import (
+    ExperimentGraph,
+    GraphExecution,
+    GraphNode,
+    build_graph,
+    run_graph,
+)
 
 from repro.experiments.figures import (
     Figure3Series,
@@ -109,6 +122,11 @@ __all__ = [
     "ExperimentContext",
     "ExperimentRun",
     "execute_spec",
+    "ExperimentGraph",
+    "GraphNode",
+    "GraphExecution",
+    "build_graph",
+    "run_graph",
     "BaselineResult",
     "render_result",
     "result_to_payload",

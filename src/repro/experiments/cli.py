@@ -4,11 +4,16 @@ Subcommands::
 
     python -m repro run table1 --scale tiny --workers 1   # run a preset
     python -m repro run my_spec.json --store runs         # run a spec file
-    python -m repro list                                  # presets + stored runs
+    python -m repro list [--json]                         # presets + stored runs
     python -m repro show table1                           # render one artifact
     python -m repro compare <fp-a> <fp-b>                 # diff two artifacts
     python -m repro bench --suite kernels                 # benchmark suites
     python -m repro serve-bench [--drill]                 # serving runtime bench/drill
+    python -m repro serve-jobs [--drain]                  # experiment job daemon
+    python -m repro submit figure6 --scale tiny           # enqueue a job
+    python -m repro status [JOB] [--json]                 # queue + artifact state
+    python -m repro cancel JOB                            # request cancellation
+    python -m repro watch [JOB]                           # stream per-node events
     python -m repro lint [--list-rules]                   # contract linter
 
 Runs persist to a :class:`~repro.experiments.store.RunStore`
@@ -58,6 +63,98 @@ from repro.experiments.store import (
 from repro.experiments.workloads import workload_names
 
 
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    """The spec-override flags shared by ``run`` and ``submit``.
+
+    Both verbs resolve their spec through :func:`_resolve_spec`, so the
+    flag set (and therefore the fingerprints it produces) cannot drift
+    between the inline and the queued execution path.
+    """
+    parser.add_argument(
+        "experiment",
+        help="preset name (see `list`) or path to an ExperimentSpec JSON file",
+    )
+    parser.add_argument("--workload", choices=workload_names(), help="workload override")
+    parser.add_argument("--scale", choices=scale_names(), help="scale preset override")
+    parser.add_argument(
+        "--grid", type=float, nargs="+", metavar="VALUE", help="sweep grid override"
+    )
+    parser.add_argument("--tolerance", type=float, help="clipping tolerance ε override")
+    parser.add_argument("--strength", type=float, help="group-Lasso λ override")
+    parser.add_argument(
+        "--method",
+        choices=("rank_clipping", "group_deletion"),
+        help="sweep method override (kind='sweep' only)",
+    )
+    parser.add_argument(
+        "--lowrank-method",
+        dest="lowrank_method",
+        choices=("pca", "svd"),
+        help="low-rank backend override",
+    )
+    parser.add_argument(
+        "--include-small-matrices",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="also delete matrices that fit a single crossbar",
+    )
+    parser.add_argument("--seed", type=int, help="seed override")
+    parser.add_argument(
+        "--hardware",
+        help=(
+            "device-simulation override: JSON list of HardwareConfig dicts "
+            "(inline, or a path to a JSON file); '[]' disables simulation. "
+            "Only kind='sweep'/'baseline' specs accept it."
+        ),
+    )
+    parser.add_argument("--workers", type=int, help="engine worker processes")
+    parser.add_argument(
+        "--engine-mode",
+        dest="mode",
+        choices=("points", "lockstep"),
+        help="engine execution mode",
+    )
+    parser.add_argument(
+        "--per-point-seed",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="derive an independent data stream per sweep point",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        dest="max_attempts",
+        type=int,
+        help="run each sweep point up to N times before recording a failure",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        dest="retry_backoff",
+        type=float,
+        metavar="SECONDS",
+        help="base delay between point retries (doubles per attempt)",
+    )
+    parser.add_argument(
+        "--point-timeout",
+        dest="point_timeout",
+        type=float,
+        metavar="SECONDS",
+        help="per-point wall-clock budget (parallel engines only)",
+    )
+
+
+def _add_queue_arguments(parser: argparse.ArgumentParser) -> None:
+    """The queue/store location flags shared by the scheduler verbs."""
+    parser.add_argument(
+        "--store", type=Path, default=None, help="run store directory (default: runs/)"
+    )
+    parser.add_argument(
+        "--queue",
+        type=Path,
+        default=None,
+        help="job queue directory (default: <store>/queue)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -69,80 +166,11 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser(
         "run", help="run a registered experiment preset or a spec JSON file"
     )
-    run.add_argument(
-        "experiment",
-        help="preset name (see `list`) or path to an ExperimentSpec JSON file",
-    )
-    run.add_argument("--workload", choices=workload_names(), help="workload override")
-    run.add_argument("--scale", choices=scale_names(), help="scale preset override")
-    run.add_argument(
-        "--grid", type=float, nargs="+", metavar="VALUE", help="sweep grid override"
-    )
-    run.add_argument("--tolerance", type=float, help="clipping tolerance ε override")
-    run.add_argument("--strength", type=float, help="group-Lasso λ override")
-    run.add_argument(
-        "--method",
-        choices=("rank_clipping", "group_deletion"),
-        help="sweep method override (kind='sweep' only)",
-    )
-    run.add_argument(
-        "--lowrank-method",
-        dest="lowrank_method",
-        choices=("pca", "svd"),
-        help="low-rank backend override",
-    )
-    run.add_argument(
-        "--include-small-matrices",
-        action=argparse.BooleanOptionalAction,
-        default=None,
-        help="also delete matrices that fit a single crossbar",
-    )
-    run.add_argument("--seed", type=int, help="seed override")
-    run.add_argument(
-        "--hardware",
-        help=(
-            "device-simulation override: JSON list of HardwareConfig dicts "
-            "(inline, or a path to a JSON file); '[]' disables simulation. "
-            "Only kind='sweep'/'baseline' specs accept it."
-        ),
-    )
-    run.add_argument("--workers", type=int, help="engine worker processes")
-    run.add_argument(
-        "--engine-mode",
-        dest="mode",
-        choices=("points", "lockstep"),
-        help="engine execution mode",
-    )
-    run.add_argument(
-        "--per-point-seed",
-        action=argparse.BooleanOptionalAction,
-        default=None,
-        help="derive an independent data stream per sweep point",
-    )
+    _add_spec_arguments(run)
     run.add_argument(
         "--strict",
         action="store_true",
         help="abort on the first failed sweep point instead of completing partially",
-    )
-    run.add_argument(
-        "--max-attempts",
-        dest="max_attempts",
-        type=int,
-        help="run each sweep point up to N times before recording a failure",
-    )
-    run.add_argument(
-        "--retry-backoff",
-        dest="retry_backoff",
-        type=float,
-        metavar="SECONDS",
-        help="base delay between point retries (doubles per attempt)",
-    )
-    run.add_argument(
-        "--point-timeout",
-        dest="point_timeout",
-        type=float,
-        metavar="SECONDS",
-        help="per-point wall-clock budget (parallel engines only)",
     )
     run.add_argument(
         "--faults",
@@ -170,6 +198,83 @@ def build_parser() -> argparse.ArgumentParser:
 
     lst = sub.add_parser("list", help="list registered presets and stored runs")
     lst.add_argument("--store", type=Path, default=None)
+    lst.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable listing (health/partial/quarantine flags included)",
+    )
+
+    serve_jobs = sub.add_parser(
+        "serve-jobs",
+        help="run the experiment job daemon (scheduler over the job queue)",
+    )
+    _add_queue_arguments(serve_jobs)
+    serve_jobs.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="concurrent jobs (one node in flight per job; default: 2)",
+    )
+    serve_jobs.add_argument(
+        "--poll",
+        dest="poll_s",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="queue/futures poll interval (default: 0.2)",
+    )
+    serve_jobs.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit once the queue is empty instead of serving forever",
+    )
+    serve_jobs.add_argument(
+        "--idle-exit",
+        dest="idle_exit_s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit after this much continuous idle time (liveness backstop)",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="enqueue an experiment for the job daemon"
+    )
+    _add_spec_arguments(submit)
+    _add_queue_arguments(submit)
+    submit.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="scheduling priority (higher runs first; default: 0)",
+    )
+    submit.add_argument("--json", action="store_true", help="emit the job record as JSON")
+
+    status = sub.add_parser(
+        "status", help="show job queue state (works with or without a live daemon)"
+    )
+    status.add_argument("job", nargs="?", help="job id or unique prefix (default: all)")
+    _add_queue_arguments(status)
+    status.add_argument("--json", action="store_true", help="emit rows as JSON")
+
+    cancel = sub.add_parser("cancel", help="request cancellation of a queued/running job")
+    cancel.add_argument("job", help="job id or unique prefix")
+    _add_queue_arguments(cancel)
+
+    watch = sub.add_parser(
+        "watch", help="stream per-node status events for a job (or the whole queue)"
+    )
+    watch.add_argument("job", nargs="?", help="job id or unique prefix (default: all)")
+    _add_queue_arguments(watch)
+    watch.add_argument(
+        "--timeout",
+        dest="timeout_s",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="stop tailing after this long (default: 120)",
+    )
+    watch.add_argument("--json", action="store_true", help="emit events as JSON lines")
 
     show = sub.add_parser("show", help="render one stored run artifact")
     show.add_argument("key", help="spec fingerprint, fingerprint prefix, or run name")
@@ -250,6 +355,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _store_for(args) -> RunStore:
     return RunStore(args.store if args.store is not None else default_store_root())
+
+
+def _queue_for(args):
+    """The job queue for the scheduler verbs (deferred scheduler import)."""
+    from repro.scheduler.daemon import default_queue_root
+    from repro.scheduler.jobs import JobQueue
+
+    if args.queue is not None:
+        return JobQueue(args.queue)
+    store_root = args.store if args.store is not None else default_store_root()
+    return JobQueue(default_queue_root(store_root))
 
 
 def _parse_hardware(argument: Optional[str]):
@@ -385,6 +501,29 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_list(args) -> int:
+    store_root = args.store if args.store is not None else default_store_root()
+    if args.json:
+        presets = [
+            {
+                "name": name,
+                "kind": spec.kind,
+                "workload": spec.workload,
+                "scale": spec.scale,
+                "grid": list(spec.grid) if spec.grid else [],
+                "description": description,
+            }
+            for name, spec, description in REGISTRY.items()
+        ]
+        listing = {"presets": presets, "store": {"root": str(store_root)}}
+        if Path(store_root).exists():
+            store = RunStore(store_root)
+            listing["store"]["runs"] = store.list_runs()
+            listing["store"]["quarantined"] = store.quarantined()
+        else:
+            listing["store"]["runs"] = []
+            listing["store"]["quarantined"] = []
+        print(json.dumps(listing, indent=2, sort_keys=True))
+        return 0
     print("registered experiments:")
     width = max(len(name) for name in REGISTRY.names())
     for name, spec, description in REGISTRY.items():
@@ -498,6 +637,87 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_serve_jobs(args) -> int:
+    # Deferred import: the scheduler pulls in the full experiments stack,
+    # which `list`/`show` callers should not pay for.
+    from repro.scheduler.daemon import serve_jobs
+
+    store_root = args.store if args.store is not None else default_store_root()
+    serve_jobs(
+        store_root,
+        args.queue,
+        workers=args.workers,
+        poll_s=args.poll_s,
+        drain=args.drain,
+        idle_exit_s=args.idle_exit_s,
+    )
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    spec = _resolve_spec(args)
+    queue = _queue_for(args)
+    job = queue.submit(spec, priority=args.priority)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "job_id": job.job_id,
+                    "priority": job.priority,
+                    "fingerprint": job.fingerprint,
+                    "name": job.name,
+                    "queue": str(queue.root),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(f"queued {job.job_id} (priority {job.priority}) in {queue.root}")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    from repro.scheduler.client import job_rows, render_job_rows
+
+    queue = _queue_for(args)
+    store_root = args.store if args.store is not None else default_store_root()
+    store = RunStore(store_root) if Path(store_root).exists() else None
+    rows = job_rows(queue, store)
+    if args.job:
+        wanted = queue.load(args.job).job_id
+        rows = [row for row in rows if row["job_id"] == wanted]
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        print(render_job_rows(rows))
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    queue = _queue_for(args)
+    job = queue.load(args.job)
+    if queue.request_cancel(job.job_id):
+        print(f"cancel requested for {job.job_id}")
+        return 0
+    state = queue.state(job.job_id).get("state")
+    print(f"{job.job_id} is already {state}; nothing to cancel", file=sys.stderr)
+    return 1
+
+
+def _cmd_watch(args) -> int:
+    from repro.scheduler.client import render_event, watch_events
+
+    queue = _queue_for(args)
+    job_id = queue.load(args.job).job_id if args.job else None
+    for record in watch_events(queue, job_id=job_id, timeout_s=args.timeout_s):
+        if args.json:
+            print(json.dumps(record, sort_keys=True), flush=True)
+        else:
+            print(render_event(record), flush=True)
+    return 0
+
+
 def _cmd_lint(args) -> int:
     # Deferred import: the linter's project rules import live repro modules,
     # which `run`/`list` callers should not pay for.
@@ -519,6 +739,11 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "bench": _cmd_bench,
     "serve-bench": _cmd_serve_bench,
+    "serve-jobs": _cmd_serve_jobs,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "cancel": _cmd_cancel,
+    "watch": _cmd_watch,
     "lint": _cmd_lint,
 }
 

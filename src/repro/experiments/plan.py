@@ -1,4 +1,4 @@
-"""Planner and executor for declarative experiment specs.
+"""Planner and stage library for declarative experiment specs.
 
 :func:`build_plan` expands an :class:`~repro.experiments.spec.ExperimentSpec`
 into an :class:`ExperimentPlan` — one fingerprinted :class:`PlanPoint` per
@@ -14,6 +14,17 @@ and persists the outcome as a content-addressed JSON artifact.  Specs with a
 every finished point network (:func:`repro.hardware.sim.simulate_evaluate`,
 batched across points); the simulated per-corner accuracies ride the point
 payloads and resume with them.
+
+Since the orchestration PR, the *executor* itself lives in
+:mod:`repro.experiments.graph`: a spec's plan is restructured as an explicit
+dependency graph (baseline-train → clip → point → assemble nodes) and
+:func:`execute_spec` is a thin wrapper over a single-spec graph run.  This
+module keeps the plan expansion and the **stage library** both execution
+paths share — baseline resolution, task construction, point finalization,
+result assembly, artifact merging — so the batch path (engine fan-out /
+lockstep inside one process) and the node-granular path (the
+:mod:`repro.scheduler` job daemon, interleaving nodes of *different* specs)
+are bit-identical by construction.
 
 The imperative entry points (``run_table1``, ``sweep_rank_clipping``, …) are
 thin deprecation shims over this module: they lift their arguments into a
@@ -36,9 +47,9 @@ import numpy as np
 from repro.core.config import GroupDeletionConfig, RankClippingConfig
 from repro.core.conversion import convert_to_lowrank, direct_lra
 from repro.core.rank_clipping import RankClipper
-from repro.exceptions import ExperimentError, PointFailureError, RunInterrupted
+from repro.exceptions import ExperimentError
 from repro.experiments.figures import Figure3Series, Figure5Series
-from repro.experiments.headline import HeadlineNumbers, paper_headline_numbers
+from repro.experiments.headline import HeadlineNumbers
 from repro.experiments.resilience import PointFailure, RunMonitor
 from repro.experiments.runner import (
     StrengthPointTask,
@@ -354,134 +365,11 @@ def execute_spec(
         persists a partial artifact before raising
         :class:`~repro.exceptions.RunInterrupted`.
     """
-    started = time.perf_counter()
-    plan = build_plan(spec)
-    context = context or ExperimentContext()
-    if store is not None and (
-        context.workload is not None or context.baseline_network is not None
-    ):
-        # Fingerprints hash only the spec; externally-supplied workloads or
-        # pre-trained baselines are invisible to them, so persisting (or
-        # resuming) such a run would poison the store with results the spec
-        # cannot reproduce.
-        raise ExperimentError(
-            "execute_spec cannot combine a store with a context-supplied "
-            "workload or baseline network: point fingerprints hash only the "
-            "spec. Run without a store, or register the workload and let the "
-            "spec resolve it."
-        )
-    artifact = store.load(plan.fingerprint) if store is not None else None
+    # Deferred import: repro.experiments.graph imports this module's stage
+    # library at module scope, so the dependency must point one way only.
+    from repro.experiments.graph import run_graph
 
-    if (
-        resume
-        and artifact is not None
-        and artifact.get("complete")
-        and artifact.get("result") is not None
-    ):
-        result = result_from_payload(spec, artifact["result"])
-        logger.info("resumed complete artifact %s", plan.fingerprint)
-        return ExperimentRun(
-            spec=spec,
-            fingerprint=plan.fingerprint,
-            result=result,
-            payload=artifact["result"],
-            computed_points=0,
-            reused_points=len(plan.points),
-            duration_s=time.perf_counter() - started,
-            artifact_path=store.path(plan.fingerprint),
-            timings=dict(artifact.get("timings", {})),
-        )
-
-    stored_points: Dict[str, Dict[str, Any]] = {}
-    if store is not None and resume:
-        stored_points = store.lookup_points(point.fingerprint for point in plan.points)
-        wanted = {point.fingerprint for point in plan.points}
-        for fingerprint, journaled in store.load_journal(plan.fingerprint).items():
-            if fingerprint in wanted and fingerprint not in stored_points:
-                stored_points[fingerprint] = journaled
-    elif store is not None:
-        # --fresh recomputes everything: stale mid-run progress included.
-        store.clear_journal(plan.fingerprint)
-
-    timings: Dict[str, float] = {}
-    baseline_info: Optional[Dict[str, Any]] = None
-    monitor: Optional[RunMonitor] = None
-    failure_payloads: Dict[str, Dict[str, Any]] = {}
-
-    if spec.kind == "headline":
-        result = paper_headline_numbers()
-        payload = result_to_payload(spec, result)
-        new_points = {plan.points[0].fingerprint: payload}
-    elif spec.kind == "sweep":
-        monitor = RunMonitor(strict=strict)
-        monitor.install_sigint()
-        try:
-            result, new_points, baseline_info = _execute_sweep(
-                spec, plan, context, stored_points, store, timings, monitor
-            )
-        finally:
-            monitor.restore_sigint()
-        payload = result_to_payload(spec, result)
-        pending = [
-            point for point in plan.points if point.fingerprint not in stored_points
-        ]
-        failure_payloads = {
-            pending[slot].fingerprint: monitor.failures[slot].to_payload()
-            for slot in monitor.failures
-            if slot < len(pending)
-        }
-    else:
-        point = plan.points[0]
-        if point.fingerprint in stored_points:
-            payload = stored_points[point.fingerprint]
-            result = result_from_payload(spec, payload)
-            new_points = {}
-        else:
-            result, baseline_info = _execute_single(spec, context, timings)
-            payload = result_to_payload(spec, result)
-            new_points = {point.fingerprint: payload}
-
-    duration = time.perf_counter() - started
-    timings["total_s"] = round(duration, 6)
-    artifact_path = None
-    if store is not None:
-        artifact = _merge_artifact(
-            artifact,
-            spec,
-            plan,
-            stored_points,
-            new_points,
-            payload,
-            baseline_info,
-            timings,
-            failure_payloads,
-        )
-        artifact_path = store.save(artifact)
-        if artifact.get("complete"):
-            # Every journaled point now lives in the artifact proper.
-            store.clear_journal(plan.fingerprint)
-    if monitor is not None and monitor.interrupted:
-        where = (
-            f"partial artifact {artifact_path}"
-            if artifact_path is not None
-            else "no store attached; unpersisted progress was discarded"
-        )
-        error = RunInterrupted(f"run {plan.fingerprint} interrupted ({where})")
-        error.fingerprint = plan.fingerprint
-        error.artifact_path = artifact_path
-        raise error
-    return ExperimentRun(
-        spec=spec,
-        fingerprint=plan.fingerprint,
-        result=result,
-        payload=payload,
-        computed_points=len(new_points),
-        reused_points=len(stored_points),
-        duration_s=duration,
-        artifact_path=artifact_path,
-        timings=timings,
-        failures=monitor.ordered_failures() if monitor is not None else [],
-    )
+    return run_graph(spec, context=context, store=store, resume=resume, strict=strict)
 
 
 def _merge_artifact(
@@ -626,14 +514,22 @@ def _run_hardware_stage(
 
 
 # ------------------------------------------------------------ one-shot kinds
-def _execute_single(
-    spec: ExperimentSpec, context: ExperimentContext, timings: Dict[str, float]
+def build_single_result(
+    spec: ExperimentSpec,
+    workload: Workload,
+    setup: TrainingSetup,
+    network,
+    accuracy: Optional[float],
+    timings: Dict[str, float],
 ):
-    """Run the single-point kinds (table1/table3/figure3/figure5/baseline)."""
-    workload, setup, network, accuracy, info = _ensure_baseline(
-        spec, context, timings, evaluate_missing_accuracy=spec.kind != "figure5"
-    )
+    """Run a single-point kind (table1/table3/figure3/figure5/baseline).
+
+    The trained dense baseline arrives from the caller (the graph's
+    baseline node, via :func:`_ensure_baseline`); this stage only builds
+    the deliverable from it.
+    """
     t0 = time.perf_counter()
+    hardware_before = timings.get("hardware_s", 0.0)
     if spec.kind == "baseline":
         hardware = None
         if spec.hardware:
@@ -658,9 +554,12 @@ def _execute_single(
     # The baseline kind's hardware-eval stage books its own hardware_s entry;
     # keep points_s as pure result-building time.
     timings["points_s"] = round(
-        time.perf_counter() - t0 - timings.get("hardware_s", 0.0), 6
+        time.perf_counter()
+        - t0
+        - (timings.get("hardware_s", 0.0) - hardware_before),
+        6,
     )
-    return result, info
+    return result
 
 
 def _run_table1(
@@ -835,113 +734,109 @@ def _run_figure5(
 
 
 # ------------------------------------------------------------------ sweep kind
-def _execute_sweep(
+def assemble_sweep_result(
     spec: ExperimentSpec,
     plan: ExperimentPlan,
-    context: ExperimentContext,
+    workload_name: str,
+    accuracy: Optional[float],
+    computed: Dict[str, Any],
     stored_points: Dict[str, Dict[str, Any]],
-    store,
-    timings: Dict[str, float],
-    monitor: RunMonitor,
+    cache_stats: Dict[str, int],
 ):
-    """Run the sweep points not yet stored and assemble the full result."""
-    pending = [point for point in plan.points if point.fingerprint not in stored_points]
-    workload = _resolve_workload(spec, context)
-    setup = context.setup
-    network = context.baseline_network
-    accuracy = context.baseline_accuracy
-    baseline_info: Optional[Dict[str, Any]] = None
-    cache_stats: Dict[str, int] = {}
-    computed: Dict[str, Any] = {}
+    """Assemble the full sweep result from computed + stored points.
 
-    if pending:
-        if network is None or setup is None:
-            t0 = time.perf_counter()
-            network, accuracy, setup = train_baseline(workload)
-            timings["baseline_s"] = round(time.perf_counter() - t0, 6)
-        elif accuracy is None:
-            accuracy = setup.evaluate(network)
-        baseline_info = {"fingerprint": plan.baseline_fingerprint, "accuracy": accuracy}
-        if stored_points:
-            logger.info(
-                "resuming sweep %s: %d/%d points stored",
-                plan.fingerprint,
-                len(stored_points),
-                len(plan.points),
-            )
-        journal = None
-        if store is not None:
-
-            def journal(point_fingerprint, payload, _fp=plan.fingerprint):
-                store.append_journal(_fp, point_fingerprint, payload)
-
-        t0 = time.perf_counter()
-        if spec.method == "rank_clipping":
-            computed = _run_tolerance_points(
-                spec, workload, setup, network, pending, timings, monitor, journal
-            )
-        else:
-            computed, cache_stats = _run_strength_points(
-                spec, workload, setup, network, pending, timings, monitor, journal
-            )
-        # The hardware-eval stage ran inside this window but books its own
-        # hardware_s entry; keep points_s as pure training/evaluation time.
-        timings["points_s"] = round(
-            time.perf_counter() - t0 - timings.get("hardware_s", 0.0), 6
-        )
-        if monitor.failures and not computed and not stored_points:
-            if not monitor.interrupted:
-                first = monitor.ordered_failures()[0]
-                raise PointFailureError(
-                    "every sweep point failed; first failure: "
-                    f"{first.label} ({first.error_type}: {first.message})"
-                )
-    else:
-        # Every point is stored: assemble without training.  The baseline
-        # accuracy the result quotes comes from the context, a stored
-        # baseline record, or (only if material is at hand) a pure
-        # re-evaluation.
-        if accuracy is None and store is not None:
-            accuracy = store.lookup_baseline(plan.baseline_fingerprint)
-        if accuracy is None and setup is not None and network is not None:
-            accuracy = setup.evaluate(network)
-        if accuracy is not None:
-            baseline_info = {
-                "fingerprint": plan.baseline_fingerprint,
-                "accuracy": accuracy,
-            }
-
-    # Failed (or interrupted-before-reached) points are simply absent from
-    # the result; their failure records ride the artifact separately.
+    Failed (or interrupted-before-reached) points are simply absent from
+    the result; their failure records ride the artifact separately.
+    """
     if spec.method == "rank_clipping":
         result = ToleranceSweepResult(
-            workload_name=workload.name, baseline_accuracy=accuracy
+            workload_name=workload_name, baseline_accuracy=accuracy
         )
-        for point in plan.points:
-            if point.fingerprint in computed:
-                result.points.append(computed[point.fingerprint])
-            elif point.fingerprint in stored_points:
-                result.points.append(
-                    TolerancePoint.from_payload(stored_points[point.fingerprint])
-                )
+        rebuild = TolerancePoint.from_payload
     else:
         result = StrengthSweepResult(
-            workload_name=workload.name,
+            workload_name=workload_name,
             baseline_accuracy=accuracy,
             routing_cache_stats=cache_stats,
         )
-        for point in plan.points:
-            if point.fingerprint in computed:
-                result.points.append(computed[point.fingerprint])
-            elif point.fingerprint in stored_points:
-                result.points.append(
-                    StrengthPoint.from_payload(stored_points[point.fingerprint])
-                )
+        rebuild = StrengthPoint.from_payload
+    for point in plan.points:
+        if point.fingerprint in computed:
+            result.points.append(computed[point.fingerprint])
+        elif point.fingerprint in stored_points:
+            result.points.append(rebuild(stored_points[point.fingerprint]))
+    return result
 
-    new_payloads = {
-        fingerprint: point.to_payload() for fingerprint, point in computed.items()
+
+def sweep_failure_payloads(
+    plan: ExperimentPlan,
+    stored_points: Dict[str, Dict[str, Any]],
+    monitor: RunMonitor,
+) -> Dict[str, Dict[str, Any]]:
+    """Artifact failure records keyed by point fingerprint.
+
+    Monitor failures are keyed by *slot* — the point's position in the
+    pending (not-yet-stored) list, which both the batch stages and the
+    graph's node-granular path number identically.
+    """
+    pending = [point for point in plan.points if point.fingerprint not in stored_points]
+    return {
+        pending[slot].fingerprint: monitor.failures[slot].to_payload()
+        for slot in monitor.failures
+        if slot < len(pending)
     }
-    return result, new_payloads, baseline_info
+
+
+def make_tolerance_task(
+    spec: ExperimentSpec,
+    workload: Workload,
+    setup: TrainingSetup,
+    baseline_network,
+    point: PlanPoint,
+) -> TolerancePointTask:
+    """Self-contained task payload for one ε rank-clipping point."""
+    layer_order = list(workload.clippable_layers)
+    scale = workload.scale
+    network = convert_to_lowrank(copy.deepcopy(baseline_network), layers=layer_order)
+    config = RankClippingConfig(
+        tolerance=point.value,
+        clip_interval=scale.clip_interval,
+        max_iterations=scale.clip_iterations,
+        layers=tuple(layer_order),
+        method=spec.lowrank_method,
+    )
+    return TolerancePointTask(
+        index=point.index,
+        tolerance=point.value,
+        network=network,
+        setup=spec.engine.point_setup(setup, point.index),
+        config=config,
+    )
+
+
+def build_tolerance_point(
+    workload: Workload, outcome, accuracy: float, hardware
+) -> TolerancePoint:
+    """Finished ε-point record from an outcome plus its evaluations."""
+    layer_order = list(workload.clippable_layers)
+    ranks = outcome.ranks
+    fractions = {
+        name: layer_area_fraction(*workload.layer_shapes[name], ranks.get(name))
+        for name in layer_order
+    }
+    total = network_area_fraction(
+        workload.layer_shapes,
+        {name: ranks.get(name) for name in workload.layer_shapes},
+    )
+    return TolerancePoint(
+        tolerance=outcome.tolerance,
+        accuracy=accuracy,
+        error=1.0 - accuracy,
+        ranks=dict(ranks),
+        layer_area_fractions=fractions,
+        total_area_fraction=total,
+        hardware=hardware,
+    )
 
 
 def _run_tolerance_points(
@@ -956,50 +851,15 @@ def _run_tolerance_points(
 ) -> Dict[str, TolerancePoint]:
     """Train the pending ε rank-clipping points through the engine."""
     engine = spec.engine
-    scale = workload.scale
-    layer_order = list(workload.clippable_layers)
 
     # Generator, not list: the serial engine then keeps only one point's
     # network copy alive at a time (the parallel engine materializes them).
     def tolerance_tasks() -> Iterable[TolerancePointTask]:
         for point in points:
-            network = convert_to_lowrank(
-                copy.deepcopy(baseline_network), layers=layer_order
-            )
-            config = RankClippingConfig(
-                tolerance=point.value,
-                clip_interval=scale.clip_interval,
-                max_iterations=scale.clip_iterations,
-                layers=tuple(layer_order),
-                method=spec.lowrank_method,
-            )
-            yield TolerancePointTask(
-                index=point.index,
-                tolerance=point.value,
-                network=network,
-                setup=engine.point_setup(setup, point.index),
-                config=config,
-            )
+            yield make_tolerance_task(spec, workload, setup, baseline_network, point)
 
     def build_point(outcome, accuracy, hardware) -> TolerancePoint:
-        ranks = outcome.ranks
-        fractions = {
-            name: layer_area_fraction(*workload.layer_shapes[name], ranks.get(name))
-            for name in layer_order
-        }
-        total = network_area_fraction(
-            workload.layer_shapes,
-            {name: ranks.get(name) for name in workload.layer_shapes},
-        )
-        return TolerancePoint(
-            tolerance=outcome.tolerance,
-            accuracy=accuracy,
-            error=1.0 - accuracy,
-            ranks=dict(ranks),
-            layer_area_fractions=fractions,
-            total_area_fraction=total,
-            hardware=hardware,
-        )
+        return build_tolerance_point(workload, outcome, accuracy, hardware)
 
     results: Dict[str, TolerancePoint] = {}
     if journal is not None:
@@ -1050,20 +910,19 @@ def _run_tolerance_points(
     return results
 
 
-def _run_strength_points(
+def prepare_strength_base(
     spec: ExperimentSpec,
     workload: Workload,
     setup: TrainingSetup,
     baseline_network,
-    points: List[PlanPoint],
-    timings: Dict[str, float],
-    monitor: RunMonitor,
-    journal=None,
 ):
-    """Clip once, then train the pending λ deletion points through the engine."""
-    engine = spec.engine
-    scale = workload.scale
+    """The λ sweep's shared phase: rank-clip one copy of the baseline.
+
+    Every λ point trains from this clipped network; the graph models it as
+    the ``clip`` node between the baseline and the point nodes.
+    """
     layer_order = list(workload.clippable_layers)
+    scale = workload.scale
     # Defensive copy: the caller's baseline is typically shared across
     # experiments and must stay bit-identical.
     clipped = convert_to_lowrank(copy.deepcopy(baseline_network), layers=layer_order)
@@ -1074,45 +933,88 @@ def _run_strength_points(
         layers=tuple(layer_order),
         method=spec.lowrank_method,
     )
-    RankClipper(clip_config).run(clipped, engine.shared_setup(setup).trainer_factory)
+    RankClipper(clip_config).run(
+        clipped, spec.engine.shared_setup(setup).trainer_factory
+    )
+    return clipped
+
+
+def make_strength_task(
+    spec: ExperimentSpec,
+    workload: Workload,
+    setup: TrainingSetup,
+    clipped,
+    point: PlanPoint,
+) -> StrengthPointTask:
+    """Self-contained task payload for one λ group-deletion point."""
+    scale = workload.scale
+    config = GroupDeletionConfig(
+        strength=point.value,
+        iterations=scale.deletion_iterations,
+        finetune_iterations=scale.finetune_iterations,
+        include_small_matrices=spec.include_small_matrices,
+    )
+    return StrengthPointTask(
+        index=point.index,
+        strength=point.value,
+        network=copy.deepcopy(clipped),
+        setup=spec.engine.point_setup(setup, point.index),
+        config=config,
+        record_interval=scale.record_interval,
+        structured_lasso=spec.engine.structured_lasso,
+        memoize_routing=spec.engine.memoize_routing,
+    )
+
+
+def build_strength_point(outcome, accuracy: float, hardware) -> StrengthPoint:
+    """Finished λ-point record from an outcome plus its evaluations."""
+    return StrengthPoint(
+        strength=outcome.strength,
+        accuracy=accuracy,
+        error=1.0 - accuracy,
+        wire_fractions=outcome.wire_fractions,
+        routing_area_fractions=outcome.routing_area_fractions,
+        hardware=hardware,
+    )
+
+
+def absorb_cache_stats(cache_stats: Dict[str, int], outcome) -> None:
+    """Fold one outcome's routing-cache counters into the sweep totals."""
+    for key, value in (outcome.routing_cache_stats or {}).items():
+        if key != "size":
+            cache_stats[key] = cache_stats.get(key, 0) + value
+
+
+def _run_strength_points(
+    spec: ExperimentSpec,
+    workload: Workload,
+    setup: TrainingSetup,
+    clipped,
+    points: List[PlanPoint],
+    timings: Dict[str, float],
+    monitor: RunMonitor,
+    journal=None,
+):
+    """Train the pending λ deletion points through the engine.
+
+    ``clipped`` is the shared rank-clipped network from
+    :func:`prepare_strength_base`.
+    """
+    engine = spec.engine
 
     # Generator, not list: the serial engine then keeps only one point's
     # network copy alive at a time (the parallel engine materializes them).
     def strength_tasks() -> Iterable[StrengthPointTask]:
         for point in points:
-            config = GroupDeletionConfig(
-                strength=point.value,
-                iterations=scale.deletion_iterations,
-                finetune_iterations=scale.finetune_iterations,
-                include_small_matrices=spec.include_small_matrices,
-            )
-            yield StrengthPointTask(
-                index=point.index,
-                strength=point.value,
-                network=copy.deepcopy(clipped),
-                setup=engine.point_setup(setup, point.index),
-                config=config,
-                record_interval=scale.record_interval,
-                structured_lasso=engine.structured_lasso,
-                memoize_routing=engine.memoize_routing,
-            )
+            yield make_strength_task(spec, workload, setup, clipped, point)
 
     cache_stats: Dict[str, int] = {}
 
     def absorb_stats(outcome) -> None:
-        for key, value in (outcome.routing_cache_stats or {}).items():
-            if key != "size":
-                cache_stats[key] = cache_stats.get(key, 0) + value
+        absorb_cache_stats(cache_stats, outcome)
 
     def build_point(outcome, accuracy, hardware) -> StrengthPoint:
-        return StrengthPoint(
-            strength=outcome.strength,
-            accuracy=accuracy,
-            error=1.0 - accuracy,
-            wire_fractions=outcome.wire_fractions,
-            routing_area_fractions=outcome.routing_area_fractions,
-            hardware=hardware,
-        )
+        return build_strength_point(outcome, accuracy, hardware)
 
     results: Dict[str, StrengthPoint] = {}
     if journal is not None:

@@ -316,6 +316,32 @@ def supervised_map(
     )
 
 
+def supervised_slot(
+    engine: Any,
+    point_fn: Callable,
+    task: Any,
+    monitor: RunMonitor,
+    *,
+    slot: int,
+    prepare: Optional[Callable[[Any], None]] = None,
+    absorb: Optional[Callable[[Any], None]] = None,
+) -> Dict[int, Any]:
+    """Run ONE task under serial supervision at an explicit slot number.
+
+    The graph executor (:mod:`repro.experiments.graph`) dispatches sweep
+    points one node at a time but must keep the batch path's bookkeeping:
+    failures land on ``monitor.failures`` keyed by the point's position in
+    the pending list, retries run per the engine's
+    :class:`RetryPolicy` from pristine task copies, and the
+    fault-injection attempt coordinates stay per point.  This is exactly
+    :func:`_serial_map` with a pinned slot — the same code path the batch
+    executor uses for serial sweeps and single-point submissions.
+    """
+    return _serial_map(
+        engine, point_fn, [task], monitor, prepare=prepare, absorb=absorb, slots=[slot]
+    )
+
+
 def _serial_map(
     engine: Any,
     point_fn: Callable,

@@ -34,6 +34,13 @@ retrain from one shared baseline.  The points are mutually independent, so a
 ``SweepEngine.reference()`` disables every optimization (inline per-point
 evaluation, flat per-group Lasso, no memoization, no batching) and is kept as
 the benchmark baseline configuration.
+
+The engine serves two executors: the batch path (one engine stage for all
+pending points, via :func:`~repro.experiments.resilience.supervised_map` /
+:func:`~repro.experiments.resilience.supervised_strength_points`) and the
+graph node path (:mod:`repro.experiments.graph`, one point task at a time
+via :func:`~repro.experiments.resilience.supervised_slot`), both running
+these same task functions — which is why their results are bit-identical.
 """
 
 from __future__ import annotations

@@ -17,11 +17,12 @@ reloaded results rebuild their rich view objects (``format_table`` /
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 try:  # POSIX-only; journal locking degrades gracefully without it.
     import fcntl
@@ -59,7 +60,17 @@ def default_store_root() -> Path:
 
 
 class RunStore:
-    """A directory of content-addressed experiment artifacts."""
+    """A directory of content-addressed experiment artifacts.
+
+    The store is multi-writer safe on POSIX: every artifact read, write,
+    and read-merge-write (:meth:`update`) holds an ``fcntl`` lock on a
+    hidden per-fingerprint sidecar (``.<fingerprint>.lock``), so N clients
+    and M scheduler workers can share one artifact pool without torn or
+    lost writes.  ``flock`` locks are per open file description, so the
+    same discipline serializes threads within a process and processes
+    across the machine.  Without ``fcntl`` the locks degrade to no-ops —
+    single-writer behaviour, as before.
+    """
 
     def __init__(self, root: PathLike):
         self.root = Path(root)
@@ -77,24 +88,51 @@ class RunStore:
         """All stored spec fingerprints (sorted)."""
         return sorted(path.stem for path in self.root.glob("*.json"))
 
-    # -------------------------------------------------------------------- io
-    def save(self, artifact: Dict[str, Any]) -> Path:
-        """Persist an artifact (keyed by its ``fingerprint`` field).
+    # ------------------------------------------------------------------ locks
+    @contextlib.contextmanager
+    def _artifact_lock(self, fingerprint: str, *, exclusive: bool = True):
+        """Hold the per-fingerprint artifact lock (no-op without fcntl).
 
-        The write is atomic (temp file + rename), so an interrupted run can
-        never leave a truncated artifact behind, and carries a sha256
-        payload checksum (:data:`CHECKSUM_FIELD`) that :meth:`load` verifies.
+        The lock lives on a hidden sidecar file, never on the artifact
+        itself: the artifact is replaced atomically by rename, so a lock on
+        its inode would silently detach from the path mid-critical-section.
         """
-        fingerprint = artifact.get("fingerprint")
-        if not fingerprint:
-            raise ExperimentError("artifact is missing its 'fingerprint' field")
-        path = self.path(fingerprint)
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        lock_path = self.root / f".{fingerprint}.lock"
+        with open(lock_path, "a+", encoding="utf-8") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    # -------------------------------------------------------------------- io
+    def _write_artifact(self, path: Path, artifact: Dict[str, Any]) -> None:
+        """Atomic checksummed write (caller holds the artifact lock)."""
         temp = path.with_name(f".{path.name}.tmp")
         save_json(temp, {**artifact, CHECKSUM_FIELD: _payload_checksum(artifact)})
         os.replace(temp, path)
         # Chaos hook: "store-save"/"corrupt" faults garble the artifact here
         # so the quarantine path below is testable end to end.
         faultinject.corrupt_file(path)
+
+    def save(self, artifact: Dict[str, Any]) -> Path:
+        """Persist an artifact (keyed by its ``fingerprint`` field).
+
+        The write is atomic (temp file + rename), so an interrupted run can
+        never leave a truncated artifact behind, and carries a sha256
+        payload checksum (:data:`CHECKSUM_FIELD`) that :meth:`load` verifies.
+        The write holds the per-fingerprint exclusive lock, so two writers
+        racing on one fingerprint serialize whole artifacts.
+        """
+        fingerprint = artifact.get("fingerprint")
+        if not fingerprint:
+            raise ExperimentError("artifact is missing its 'fingerprint' field")
+        path = self.path(fingerprint)
+        with self._artifact_lock(fingerprint):
+            self._write_artifact(path, artifact)
         return path
 
     def load(self, fingerprint: str) -> Optional[Dict[str, Any]]:
@@ -106,9 +144,38 @@ class RunStore:
         store's ``*.json`` namespace) with a warning, so the evidence
         survives for inspection while the run recomputes cleanly.  Artifacts
         written before the checksum existed load without verification.
+        Readers hold the per-fingerprint lock in shared mode: many readers
+        proceed together but never overlap an in-flight :meth:`update`.
         """
-        artifact, _ = self._read_artifact(self.path(fingerprint))
+        with self._artifact_lock(fingerprint, exclusive=False):
+            artifact, _ = self._read_artifact(self.path(fingerprint))
         return artifact
+
+    def update(
+        self,
+        fingerprint: str,
+        merge: Callable[[Optional[Dict[str, Any]]], Dict[str, Any]],
+    ) -> Tuple[Path, Dict[str, Any]]:
+        """Read-merge-write one artifact atomically under the exclusive lock.
+
+        ``merge`` receives the currently stored artifact (or ``None``) and
+        returns the artifact to persist; the read and write happen inside
+        one critical section, so two runs finishing the same spec cannot
+        lose each other's points.  ``merge`` MUST NOT touch the store for
+        the same fingerprint (the lock is not reentrant).  Returns the
+        artifact path and the merged artifact.
+        """
+        path = self.path(fingerprint)
+        with self._artifact_lock(fingerprint):
+            existing, _ = self._read_artifact(path)
+            merged = merge(existing)
+            if merged.get("fingerprint") != fingerprint:
+                raise ExperimentError(
+                    f"update({fingerprint!r}) produced an artifact keyed "
+                    f"{merged.get('fingerprint')!r}"
+                )
+            self._write_artifact(path, merged)
+        return path, merged
 
     def _read_artifact(self, path: Path) -> Tuple[Optional[Dict[str, Any]], bool]:
         """Load + verify one artifact file: ``(artifact, had_checksum)``.
@@ -190,6 +257,7 @@ class RunStore:
                     "scale": artifact.get("scale", ""),
                     "points": len(artifact.get("points", {})),
                     "complete": bool(artifact.get("complete")),
+                    "failures": len(artifact.get("failures") or {}),
                     "legacy_checksum": not had_checksum,
                     "updated": artifact.get("updated", ""),
                 }

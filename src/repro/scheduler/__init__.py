@@ -1,0 +1,26 @@
+"""Experiment orchestration: persistent job queue, scheduler, and daemon.
+
+The package turns the spec pipeline into a long-running service.  Clients
+submit :class:`~repro.experiments.spec.ExperimentSpec` s into a
+file-backed priority :class:`~repro.scheduler.jobs.JobQueue`; the
+:class:`~repro.scheduler.scheduler.JobScheduler` expands each job into its
+:mod:`~repro.experiments.graph` DAG and dispatches ready nodes of
+*different* jobs concurrently onto a worker pool, while each job's own
+nodes run in plan order (which is what keeps the per-job numbers
+bit-identical to ``execute_spec``).  Every node execution flows through
+the PR 7 resilience contract — typed ``PointFailure`` s, ``RetryPolicy``
+retries, journal appends — and lands in the shared multi-writer
+:class:`~repro.experiments.store.RunStore`, so a daemon crash (even
+``kill -9``) loses nothing: :meth:`~repro.scheduler.jobs.JobQueue.recover`
+requeues in-flight jobs and their completed points resume from the
+journal and store.
+
+Front ends: ``python -m repro serve-jobs`` (the daemon) and the
+``submit`` / ``status`` / ``cancel`` / ``watch`` CLI verbs.
+"""
+
+from repro.scheduler.jobs import JOB_STATES, Job, JobQueue
+from repro.scheduler.scheduler import JobScheduler
+from repro.scheduler.daemon import serve_jobs
+
+__all__ = ["JOB_STATES", "Job", "JobQueue", "JobScheduler", "serve_jobs"]

@@ -1,0 +1,124 @@
+"""Client-side views of the job queue: status rows and event tailing.
+
+Everything here reads the queue directory and the run store directly — no
+RPC to the daemon — so ``status`` and ``watch`` work whether the daemon is
+alive, stopped, or was killed mid-run.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.experiments.store import RunStore
+from repro.scheduler.jobs import JobQueue, TERMINAL_STATES
+
+
+def job_rows(queue: JobQueue, store: Optional[RunStore] = None) -> List[Dict[str, Any]]:
+    """One machine-readable row per submitted job (priority order).
+
+    Each row joins the queue's view (state, node statuses, cancellation
+    flag) with the store's view of the job's artifact (complete / partial /
+    failure count), so clients see both scheduling and science health.
+    """
+    artifact_rows: Dict[str, Dict[str, Any]] = {}
+    if store is not None:
+        artifact_rows = {row["fingerprint"]: row for row in store.list_runs()}
+    rows = []
+    for job in queue.jobs():
+        state = queue.state(job.job_id)
+        nodes = state.get("nodes") or {}
+        terminal = {"done", "reused", "skipped", "failed", "cancelled"}
+        row: Dict[str, Any] = {
+            "job_id": job.job_id,
+            "name": job.name,
+            "state": state.get("state", "queued"),
+            "priority": job.priority,
+            "fingerprint": job.fingerprint,
+            "detail": state.get("detail", ""),
+            "cancel_requested": queue.cancel_requested(job.job_id),
+            "nodes_total": len(nodes),
+            "nodes_finished": sum(1 for status in nodes.values() if status in terminal),
+            "nodes": nodes,
+        }
+        artifact = artifact_rows.get(job.fingerprint)
+        if artifact is not None:
+            row["artifact"] = {
+                "complete": artifact["complete"],
+                "points": artifact["points"],
+                "failures": artifact["failures"],
+            }
+        rows.append(row)
+    return rows
+
+
+def render_job_rows(rows: List[Dict[str, Any]]) -> str:
+    """Human-readable ``status`` table."""
+    if not rows:
+        return "no jobs submitted"
+    header = f"{'job':<32} {'state':<10} {'prio':>4} {'nodes':>7}  detail"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        nodes = (
+            f"{row['nodes_finished']}/{row['nodes_total']}"
+            if row["nodes_total"]
+            else "-"
+        )
+        flags = " [cancel?]" if row["cancel_requested"] and row["state"] not in TERMINAL_STATES else ""
+        artifact = row.get("artifact")
+        health = ""
+        if artifact is not None:
+            health = " artifact=" + ("complete" if artifact["complete"] else "partial")
+            if artifact["failures"]:
+                health += f",{artifact['failures']} failed"
+        lines.append(
+            f"{row['job_id']:<32} {row['state']:<10} {row['priority']:>4} "
+            f"{nodes:>7}  {row['detail']}{health}{flags}"
+        )
+    return "\n".join(lines)
+
+
+def render_event(record: Dict[str, Any]) -> str:
+    """One ``watch`` line for an event record."""
+    parts = [f"[{record.get('seq', '?'):>5}]", record.get("job", "?"), record.get("event", "?")]
+    if record.get("node"):
+        parts.append(record["node"])
+    if record.get("label"):
+        parts.append(f"({record['label']})")
+    if record.get("detail"):
+        parts.append(f"- {record['detail']}")
+    return " ".join(str(part) for part in parts)
+
+
+def watch_events(
+    queue: JobQueue,
+    *,
+    job_id: Optional[str] = None,
+    timeout_s: float = 60.0,
+    poll_s: float = 0.2,
+    after_seq: int = -1,
+) -> Iterator[Dict[str, Any]]:
+    """Yield events as they land, until the watched job(s) go terminal.
+
+    Watching one job stops at its ``job-<terminal>`` event; watching the
+    whole queue stops when no job is queued or running.  ``timeout_s``
+    bounds the total wait either way (never an unbounded tail).
+    """
+    deadline = time.monotonic() + timeout_s
+    last_seq = after_seq
+    while True:
+        for record in queue.events(job_id=job_id, after_seq=last_seq):
+            last_seq = max(last_seq, int(record.get("seq", 0)))
+            yield record
+            if job_id is not None and record.get("event", "").startswith("job-"):
+                state = record["event"][len("job-"):]
+                if state in TERMINAL_STATES:
+                    return
+        if job_id is None and not any(
+            queue.state(job.job_id).get("state") not in TERMINAL_STATES
+            for job in queue.jobs()
+        ):
+            return
+        if time.monotonic() >= deadline:
+            return
+        time.sleep(poll_s)

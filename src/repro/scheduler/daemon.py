@@ -1,0 +1,84 @@
+"""The job daemon front end (``python -m repro serve-jobs``).
+
+A thin supervisor around :class:`~repro.scheduler.scheduler.JobScheduler`:
+recover the queue (requeue jobs a previous daemon left mid-run), install
+signal handlers that request a graceful stop, and run the scheduler loop.
+Durability does not depend on the graceful path — ``kill -9`` at any
+instant is recovered by the next daemon from the queue files, the run
+journal, and the store.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Optional, Union
+
+from pathlib import Path
+
+from repro.experiments.store import RunStore
+from repro.scheduler.jobs import JobQueue
+from repro.scheduler.scheduler import JobScheduler
+from repro.utils.logging import get_logger
+
+logger = get_logger("scheduler.daemon")
+
+#: Queue directory used when none is given: a sibling of the run store.
+DEFAULT_QUEUE_DIRNAME = "queue"
+
+
+def default_queue_root(store_root: Union[str, Path]) -> Path:
+    """The queue directory paired with a store root (``<store>/queue``)."""
+    return Path(store_root) / DEFAULT_QUEUE_DIRNAME
+
+
+def serve_jobs(
+    store_root: Union[str, Path],
+    queue_root: Optional[Union[str, Path]] = None,
+    *,
+    workers: int = 2,
+    poll_s: float = 0.2,
+    drain: bool = False,
+    idle_exit_s: Optional[float] = None,
+) -> int:
+    """Run the daemon until stopped; returns the number of jobs finalized.
+
+    ``drain=True`` exits once the queue is empty (batch usage, CI);
+    otherwise the daemon serves until SIGINT/SIGTERM, which stop it
+    gracefully between nodes (active jobs are requeued with their
+    journaled progress intact).
+    """
+    store = RunStore(store_root)
+    queue = JobQueue(queue_root if queue_root is not None else default_queue_root(store_root))
+    requeued = queue.recover()
+    if requeued:
+        logger.info("recovered %d job(s) from a previous daemon", len(requeued))
+    scheduler = JobScheduler(queue, store, workers=workers, poll_s=poll_s)
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):
+        logger.info("signal %s received; stopping after in-flight nodes", signum)
+        stop.set()
+
+    previous = {}
+    try:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(signum, _request_stop)
+    except ValueError:
+        # Not the main thread (embedded/test usage): rely on stop_event
+        # semantics only; the queue files keep everything recoverable.
+        logger.info("not on the main thread; daemon runs without signal handlers")
+    logger.info(
+        "serving jobs: store=%s queue=%s workers=%d%s",
+        store.root,
+        queue.root,
+        workers,
+        " (drain)" if drain else "",
+    )
+    try:
+        finalized = scheduler.run(stop, drain=drain, idle_exit_s=idle_exit_s)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    logger.info("daemon exiting; %d job(s) finalized this run", finalized)
+    return finalized

@@ -1,0 +1,328 @@
+"""Persistent, crash-recoverable priority job queue (file-backed).
+
+Everything lives under one queue root directory so N client processes and
+one daemon can share it with no broker:
+
+``.counter``
+    flocked monotonic sequence; job ids embed it, so ids are unique and
+    sortable without wall-clock entropy.
+``<job_id>.job.json``
+    the immutable submission record (spec payload, priority, fingerprint),
+    written atomically once at submit time.
+``<job_id>.state.json``
+    the mutable state snapshot (``queued`` → ``running`` → terminal),
+    replaced atomically on every transition; per-node statuses ride along
+    so ``status`` can render progress without talking to the daemon.
+``<job_id>.cancel``
+    a marker file; cancellation is a request flag the scheduler honours
+    between nodes, so it works whether the job is queued or mid-run.
+``events.jsonl``
+    the append-only global event stream (flocked, fsynced, checksummed
+    per line like the run journal) that ``watch`` tails.
+
+All of it is plain JSON on a filesystem: ``kill -9`` the daemon at any
+instant and the queue state that survives is exactly the state the next
+daemon resumes from (:meth:`JobQueue.recover` requeues ``running`` jobs).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+try:  # POSIX-only; locking degrades gracefully without it.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+from repro.exceptions import SchedulerError
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.store import _payload_checksum
+from repro.utils.logging import get_logger
+from repro.utils.serialization import jsonify, load_json, save_json
+
+logger = get_logger("scheduler.jobs")
+
+PathLike = Union[str, Path]
+
+#: Job lifecycle states.  ``queued`` → ``running`` → one of the terminal
+#: four: ``done`` (complete artifact), ``partial`` (finished with isolated
+#: point failures), ``failed`` (the run itself errored), ``cancelled``.
+JOB_STATES = ("queued", "running", "done", "partial", "failed", "cancelled")
+
+#: States a job can no longer leave.
+TERMINAL_STATES = frozenset({"done", "partial", "failed", "cancelled"})
+
+
+@dataclass(frozen=True)
+class Job:
+    """One immutable submission record."""
+
+    job_id: str
+    seq: int
+    priority: int
+    fingerprint: str
+    name: str
+    spec_payload: Dict[str, Any] = field(repr=False)
+
+    def spec(self) -> ExperimentSpec:
+        """Rebuild the submitted spec."""
+        return ExperimentSpec.from_dict(self.spec_payload)
+
+
+class JobQueue:
+    """A directory-backed priority queue of experiment jobs."""
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def __repr__(self) -> str:
+        return f"JobQueue({str(self.root)!r})"
+
+    # ------------------------------------------------------------- counters
+    def _next_seq(self, name: str = ".counter") -> int:
+        """Monotonic sequence under an exclusive flock (multi-process safe)."""
+        path = self.root / name
+        with open(path, "a+", encoding="utf-8") as handle:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                handle.seek(0)
+                raw = handle.read().strip()
+                value = (int(raw) if raw else 0) + 1
+                handle.seek(0)
+                handle.truncate()
+                handle.write(str(value))
+                handle.flush()
+                os.fsync(handle.fileno())
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        return value
+
+    # --------------------------------------------------------------- paths
+    def job_path(self, job_id: str) -> Path:
+        return self.root / f"{job_id}.job.json"
+
+    def state_path(self, job_id: str) -> Path:
+        return self.root / f"{job_id}.state.json"
+
+    def cancel_path(self, job_id: str) -> Path:
+        return self.root / f"{job_id}.cancel"
+
+    def events_path(self) -> Path:
+        return self.root / "events.jsonl"
+
+    # ------------------------------------------------------------ lifecycle
+    def submit(self, spec: ExperimentSpec, *, priority: int = 0) -> Job:
+        """Enqueue one spec; returns the durable job record.
+
+        The job id embeds the submission sequence and the spec fingerprint
+        (``job-00042-<fp>``) — unique without any wall-clock entropy, and
+        self-describing enough that ``status`` output reads naturally.
+        """
+        seq = self._next_seq()
+        fingerprint = spec.fingerprint()
+        job_id = f"job-{seq:05d}-{fingerprint}"
+        job = Job(
+            job_id=job_id,
+            seq=seq,
+            priority=int(priority),
+            fingerprint=fingerprint,
+            name=spec.name,
+            spec_payload=spec.to_dict(),
+        )
+        record = {
+            "job_id": job.job_id,
+            "seq": job.seq,
+            "priority": job.priority,
+            "fingerprint": job.fingerprint,
+            "name": job.name,
+            "spec": jsonify(job.spec_payload),
+        }
+        self._atomic_write(self.job_path(job_id), record)
+        self.write_state(job_id, state="queued")
+        self.append_event(job_id, "job-queued", detail=f"priority={job.priority}")
+        logger.info("queued %s (priority %d)", job_id, job.priority)
+        return job
+
+    def jobs(self) -> List[Job]:
+        """Every submitted job, highest priority first, then FIFO."""
+        out = []
+        for path in self.root.glob("*.job.json"):
+            record = self._read_json(path)
+            if record is None:
+                continue
+            out.append(
+                Job(
+                    job_id=record["job_id"],
+                    seq=int(record["seq"]),
+                    priority=int(record.get("priority", 0)),
+                    fingerprint=record.get("fingerprint", ""),
+                    name=record.get("name", ""),
+                    spec_payload=record.get("spec", {}),
+                )
+            )
+        out.sort(key=lambda job: (-job.priority, job.seq))
+        return out
+
+    def load(self, key: str) -> Job:
+        """Resolve a job by id or unique id prefix."""
+        matches = [job for job in self.jobs() if job.job_id == key]
+        if not matches:
+            matches = [job for job in self.jobs() if job.job_id.startswith(key)]
+        if len(matches) == 1:
+            return matches[0]
+        if len(matches) > 1:
+            raise SchedulerError(
+                f"ambiguous job id {key!r}: matches {[j.job_id for j in matches]}"
+            )
+        raise SchedulerError(
+            f"no job matches {key!r}; queued jobs: {[j.job_id for j in self.jobs()]}"
+        )
+
+    # ----------------------------------------------------------------- state
+    def state(self, job_id: str) -> Dict[str, Any]:
+        """Current state snapshot (``{"state": "queued"}`` before any write)."""
+        record = self._read_json(self.state_path(job_id))
+        return record if record is not None else {"state": "queued"}
+
+    def write_state(self, job_id: str, **fields: Any) -> Dict[str, Any]:
+        """Atomically replace the job's state snapshot."""
+        state = fields.get("state")
+        if state is not None and state not in JOB_STATES:
+            raise SchedulerError(f"unknown job state {state!r}; expected {JOB_STATES}")
+        record = {"job_id": job_id, "updated_ts": round(time.time(), 3), **fields}
+        self._atomic_write(self.state_path(job_id), record)
+        return record
+
+    def request_cancel(self, job_id: str) -> bool:
+        """Flag a job for cancellation; returns False if already terminal."""
+        job = self.load(job_id)  # raises on unknown ids
+        if self.state(job.job_id).get("state") in TERMINAL_STATES:
+            return False
+        self.cancel_path(job.job_id).touch()
+        self.append_event(job.job_id, "job-cancel-requested")
+        return True
+
+    def cancel_requested(self, job_id: str) -> bool:
+        return self.cancel_path(job_id).exists()
+
+    def recover(self) -> List[str]:
+        """Requeue jobs a dead daemon left ``running`` (crash recovery).
+
+        Safe because every completed point is already durable in the run
+        journal / store before its node reports done: requeueing replays
+        the graph, which reuses everything that finished.
+        """
+        requeued = []
+        for job in self.jobs():
+            if self.state(job.job_id).get("state") == "running":
+                self.write_state(job.job_id, state="queued", detail="requeued after crash")
+                self.append_event(job.job_id, "job-requeued", detail="daemon restart")
+                requeued.append(job.job_id)
+        if requeued:
+            logger.info("requeued %d interrupted job(s): %s", len(requeued), requeued)
+        return requeued
+
+    # ---------------------------------------------------------------- events
+    def append_event(
+        self,
+        job_id: str,
+        event: str,
+        *,
+        node: str = "",
+        label: str = "",
+        detail: str = "",
+    ) -> Dict[str, Any]:
+        """Durably append one event to the global stream.
+
+        Same discipline as the run journal: one flocked, fsynced,
+        checksummed line per event, with a global sequence number so
+        ``watch`` clients can tail from where they left off and interleaving
+        across jobs is reconstructible.
+        """
+        record = {
+            "seq": self._next_seq(".events.counter"),
+            "ts": round(time.time(), 3),
+            "job": job_id,
+            "event": event,
+        }
+        if node:
+            record["node"] = node
+        if label:
+            record["label"] = label
+        if detail:
+            record["detail"] = detail
+        record["sha256"] = _payload_checksum(record)
+        path = self.events_path()
+        with open(path, "a", encoding="utf-8") as handle:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        return record
+
+    def events(
+        self, *, job_id: Optional[str] = None, after_seq: int = -1
+    ) -> List[Dict[str, Any]]:
+        """Events in sequence order, optionally filtered; skips torn lines."""
+        path = self.events_path()
+        if not path.exists():
+            return []
+        out: List[Dict[str, Any]] = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    logger.warning(
+                        "skipping corrupt event line %s:%d (truncated write?)",
+                        path,
+                        number,
+                    )
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                body = {k: v for k, v in record.items() if k != "sha256"}
+                if record.get("sha256") != _payload_checksum(body):
+                    logger.warning(
+                        "skipping event line %s:%d with a bad checksum", path, number
+                    )
+                    continue
+                if job_id is not None and record.get("job") != job_id:
+                    continue
+                if int(record.get("seq", 0)) <= after_seq:
+                    continue
+                out.append(record)
+        out.sort(key=lambda record: int(record.get("seq", 0)))
+        return out
+
+    # -------------------------------------------------------------- plumbing
+    def _atomic_write(self, path: Path, record: Dict[str, Any]) -> None:
+        temp = path.with_name(f".{path.name}.tmp")
+        save_json(temp, record)
+        os.replace(temp, path)
+
+    def _read_json(self, path: Path) -> Optional[Dict[str, Any]]:
+        if not path.exists():
+            return None
+        try:
+            record = load_json(path)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            logger.warning("skipping unreadable queue record %s: %s", path, error)
+            return None
+        return record if isinstance(record, dict) else None

@@ -48,6 +48,30 @@ class TestList:
         assert "(empty)" in out
 
 
+    def test_list_json_is_machine_readable(self, tmp_path, spec_file, capsys):
+        spec, path = spec_file
+        store = str(tmp_path / "runs")
+        assert main(["run", str(path), "--store", store, "--quiet"]) == 0
+        capsys.readouterr()
+
+        assert main(["list", "--store", store, "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert {p["name"] for p in listing["presets"]} >= {"table1", "figure6", "headline"}
+        runs = listing["store"]["runs"]
+        assert len(runs) == 1
+        row = runs[0]
+        assert row["fingerprint"] == spec.fingerprint()
+        assert row["complete"] is True
+        assert row["failures"] == 0
+        assert row["legacy_checksum"] is False
+        assert listing["store"]["quarantined"] == []
+
+    def test_list_json_empty_store(self, tmp_path, capsys):
+        assert main(["list", "--store", str(tmp_path / "none"), "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert listing["store"]["runs"] == []
+
+
 class TestRun:
     def test_run_spec_file_then_resume_show_compare(self, tmp_path, spec_file, capsys):
         spec, path = spec_file

@@ -1,0 +1,268 @@
+"""Tests for the experiment DAG (``repro.experiments.graph``).
+
+Acceptance contract (PR 9): the graph is a faithful restructuring, not a
+new pipeline — single-spec DAG execution (node mode, the scheduler's path)
+must be **bit-identical** to ``execute_spec`` (same artifact fingerprints
+and payloads), with resume, failure isolation, and retries behaving exactly
+like the batch path.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.exceptions import ExperimentError, PointFailureError
+from repro.experiments import ExperimentSpec, RunStore, execute_spec
+from repro.experiments.graph import GraphExecution, build_graph, run_graph
+from repro.utils import faultinject
+
+FAST = dict(
+    train_samples=120,
+    test_samples=48,
+    baseline_iterations=30,
+    clip_iterations=20,
+    clip_interval=10,
+    deletion_iterations=20,
+    finetune_iterations=10,
+    record_interval=10,
+    eval_interval=20,
+    batch_size=24,
+)
+
+
+def sweep_spec(**overrides) -> ExperimentSpec:
+    spec = ExperimentSpec(
+        kind="sweep",
+        method="rank_clipping",
+        workload="mlp",
+        scale="tiny",
+        scale_overrides=FAST,
+        grid=(0.05, 0.3),
+        name="graph-sweep",
+    )
+    return spec.with_updates(**overrides) if overrides else spec
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_faults():
+    faultinject.uninstall()
+    os.environ.pop(faultinject.ENV_VAR, None)
+    yield
+    faultinject.uninstall()
+    os.environ.pop(faultinject.ENV_VAR, None)
+
+
+def canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def assert_artifacts_bit_identical(first, second):
+    """Everything content-addressed must match; only timings/timestamps may differ."""
+    for key in ("fingerprint", "name", "kind", "method", "result", "baseline", "complete"):
+        assert canonical(first.get(key)) == canonical(second.get(key)), key
+    points_a = {fp: entry["payload"] for fp, entry in first["points"].items()}
+    points_b = {fp: entry["payload"] for fp, entry in second["points"].items()}
+    assert canonical(points_a) == canonical(points_b)
+
+
+class TestBuildGraph:
+    def test_rank_clipping_shape(self):
+        graph = build_graph(sweep_spec())
+        ids = [node.id for node in graph.nodes]
+        assert ids == ["baseline", "point:0", "point:1", "assemble"]
+        assert graph.node("point:0").inputs == ("baseline",)
+        assert graph.node("assemble").inputs == ("point:0", "point:1")
+
+    def test_group_deletion_has_clip_node(self):
+        graph = build_graph(sweep_spec(method="group_deletion"))
+        ids = [node.id for node in graph.nodes]
+        assert ids == ["baseline", "clip", "point:0", "point:1", "assemble"]
+        assert graph.node("clip").inputs == ("baseline",)
+        assert graph.node("point:0").inputs == ("baseline", "clip")
+
+    def test_single_and_headline_shapes(self):
+        table1 = build_graph(
+            ExperimentSpec(kind="table1", workload="mlp", scale="tiny", scale_overrides=FAST)
+        )
+        assert [n.id for n in table1.nodes] == ["baseline", "single:table1", "assemble"]
+        headline = build_graph(ExperimentSpec(kind="headline"))
+        assert [n.id for n in headline.nodes] == ["headline", "assemble"]
+
+    def test_point_nodes_carry_plan_fingerprints(self):
+        spec = sweep_spec()
+        graph = build_graph(spec)
+        plan_fps = [point.fingerprint for point in graph.plan.points]
+        node_fps = [graph.node(f"point:{i}").fingerprint for i in range(len(plan_fps))]
+        assert node_fps == plan_fps
+
+    def test_topological_order_and_unknown_node(self):
+        graph = build_graph(sweep_spec())
+        order = graph.topological_order()
+        assert order.index("baseline") < order.index("point:0") < order.index("assemble")
+        with pytest.raises(ExperimentError):
+            graph.node("nope")
+
+    def test_describe_names_every_node(self):
+        text = build_graph(sweep_spec(method="group_deletion")).describe()
+        for fragment in ("baseline", "clip", "lambda=0.05", "assemble"):
+            assert fragment in text
+
+
+class TestNodeModeBitIdentity:
+    @pytest.mark.parametrize("method", ["rank_clipping", "group_deletion"])
+    def test_sweep_matches_execute_spec(self, tmp_path, method):
+        spec = sweep_spec(method=method)
+        batch_store = RunStore(tmp_path / "batch")
+        node_store = RunStore(tmp_path / "node")
+        batch = execute_spec(spec, store=batch_store)
+        node = run_graph(spec, store=node_store, node_mode=True, install_signals=False)
+        assert batch.fingerprint == node.fingerprint
+        assert canonical(batch.payload) == canonical(node.payload)
+        assert_artifacts_bit_identical(
+            batch_store.load(spec.fingerprint()), node_store.load(spec.fingerprint())
+        )
+
+    def test_single_kind_matches_execute_spec(self, tmp_path):
+        spec = ExperimentSpec(
+            kind="table1", workload="mlp", scale="tiny", scale_overrides=FAST
+        )
+        batch_store = RunStore(tmp_path / "batch")
+        node_store = RunStore(tmp_path / "node")
+        execute_spec(spec, store=batch_store)
+        run_graph(spec, store=node_store, node_mode=True, install_signals=False)
+        assert_artifacts_bit_identical(
+            batch_store.load(spec.fingerprint()), node_store.load(spec.fingerprint())
+        )
+
+    def test_lockstep_cache_stats_match(self, tmp_path):
+        spec = sweep_spec(method="group_deletion", mode="lockstep")
+        batch_store = RunStore(tmp_path / "batch")
+        node_store = RunStore(tmp_path / "node")
+        batch = execute_spec(spec, store=batch_store)
+        node = run_graph(spec, store=node_store, node_mode=True, install_signals=False)
+        assert canonical(batch.payload) == canonical(node.payload)
+        assert batch.payload["routing_cache_stats"] == node.payload["routing_cache_stats"]
+
+
+class TestNodeModeExecution:
+    def test_next_ready_walks_plan_order(self, tmp_path):
+        spec = sweep_spec()
+        execution = GraphExecution(
+            spec, store=RunStore(tmp_path / "runs"), install_signals=False
+        )
+        execution.start()
+        seen = []
+        while not execution.finished():
+            node_id = execution.next_ready()
+            assert node_id is not None
+            seen.append(node_id)
+            execution.run_node(node_id)
+        assert seen == ["baseline", "point:0", "point:1", "assemble"]
+        assert execution.run_result is not None
+        assert execution.run_result.computed_points == 2
+
+    def test_complete_artifact_short_circuits(self, tmp_path):
+        spec = sweep_spec()
+        store = RunStore(tmp_path / "runs")
+        execute_spec(spec, store=store)
+        execution = GraphExecution(spec, store=store, install_signals=False)
+        execution.start()
+        assert execution.finished()
+        assert execution.run_result.reused_points == len(execution.plan.points)
+        assert set(execution.status.values()) == {"reused"}
+
+    def test_node_mode_resumes_stored_points(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        run_graph(
+            sweep_spec(grid=(0.05,)), store=store, node_mode=True, install_signals=False
+        )
+        execution = GraphExecution(
+            sweep_spec(grid=(0.05, 0.3)), store=store, install_signals=False
+        )
+        execution.start()
+        assert execution.status["point:0"] == "reused"
+        result = execution.run(node_mode=True) if not execution.finished() else execution.run_result
+        assert result.computed_points == 1
+        assert result.reused_points == 1
+
+    def test_run_node_rejects_unmet_dependencies(self, tmp_path):
+        execution = GraphExecution(sweep_spec(), install_signals=False)
+        execution.start()
+        with pytest.raises(ExperimentError):
+            execution.run_node("point:0")
+
+    def test_events_stream_through_observer(self, tmp_path):
+        events = []
+        run_graph(
+            sweep_spec(),
+            store=RunStore(tmp_path / "runs"),
+            node_mode=True,
+            install_signals=False,
+            observer=lambda node, status, detail: events.append((node.id, status)),
+        )
+        assert ("baseline", "running") in events
+        assert ("baseline", "done") in events
+        assert ("point:1", "done") in events
+        assert ("assemble", "done") in events
+
+    def test_storeless_node_mode_matches_batch(self):
+        spec = sweep_spec()
+        batch = execute_spec(spec)
+        node = run_graph(spec, node_mode=True, install_signals=False)
+        assert canonical(batch.payload) == canonical(node.payload)
+
+
+class TestNodeModeResilience:
+    def test_point_failure_is_isolated_and_retried(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        spec = sweep_spec(retry={"max_attempts": 2})
+        plan = [{"site": "point", "kind": "raise", "index": 0, "attempts": [1]}]
+        with faultinject.injected(plan):
+            run = run_graph(spec, store=store, node_mode=True, install_signals=False)
+        # Attempt 1 fails, attempt 2 (the RetryPolicy retry) succeeds.
+        assert run.computed_points == 2
+        assert run.failures == []
+
+    def test_exhausted_point_fails_alone_and_resumes(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        spec = sweep_spec()
+        with faultinject.injected([{"site": "point", "kind": "raise", "index": 0}]):
+            run = run_graph(spec, store=store, node_mode=True, install_signals=False)
+        assert run.computed_points == 1
+        assert len(run.failures) == 1
+        assert run.failures[0].label == "tolerance=0.05"
+        artifact = store.load(spec.fingerprint())
+        assert artifact["complete"] is False
+        assert len(artifact["failures"]) == 1
+        # The journaled good point resumes; only the failed one recomputes.
+        healed = run_graph(spec, store=store, node_mode=True, install_signals=False)
+        assert healed.computed_points == 1
+        assert healed.reused_points == 1
+        assert store.load(spec.fingerprint())["complete"] is True
+
+    def test_every_point_failing_raises(self, tmp_path):
+        with faultinject.injected([{"site": "point", "kind": "raise"}]):
+            with pytest.raises(PointFailureError):
+                run_graph(
+                    sweep_spec(),
+                    store=RunStore(tmp_path / "runs"),
+                    node_mode=True,
+                    install_signals=False,
+                )
+
+    def test_failed_node_status_is_recorded(self, tmp_path):
+        events = []
+        spec = sweep_spec()
+        with faultinject.injected([{"site": "point", "kind": "raise", "index": 1}]):
+            execution = GraphExecution(
+                spec,
+                store=RunStore(tmp_path / "runs"),
+                install_signals=False,
+                observer=lambda node, status, detail: events.append((node.id, status)),
+            )
+            execution.run(node_mode=True)
+        assert execution.status["point:0"] == "done"
+        assert execution.status["point:1"] == "failed"
+        assert execution.status["assemble"] == "done"
+        assert ("point:1", "failed") in events
