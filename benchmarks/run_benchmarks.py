@@ -155,9 +155,14 @@ def run_hardware(output: Path, check: bool) -> int:
 
 
 def run_serving(output: Path, check: bool) -> int:
-    from repro.serving.bench import check_serving_stats, collect_serving_stats
+    from repro.serving.bench import (
+        check_serving_stats,
+        collect_obs_overhead,
+        collect_serving_stats,
+    )
 
     stats = collect_serving_stats()
+    overhead = collect_obs_overhead()
     record = _base_record()
     record["capacity_rps"] = round(stats["capacity_rps"], 1)
     record["requests_per_level"] = stats["requests_per_level"]
@@ -168,6 +173,12 @@ def run_serving(output: Path, check: bool) -> int:
                for k, v in level.items()}
         for name, level in stats["levels"].items()
     }
+    record["obs_overhead"] = {
+        "requests": overhead["requests"],
+        "disabled_rps": round(overhead["disabled_rps"], 1),
+        "enabled_rps": round(overhead["enabled_rps"], 1),
+        "overhead_ratio": round(overhead["overhead_ratio"], 4),
+    }
     _append(output, record)
 
     print(f"serving benchmark ({record['timestamp']}) -> {output}")
@@ -176,12 +187,24 @@ def run_serving(output: Path, check: bool) -> int:
         shed = sum(level["rejections"].values())
         print(f"  {name:<5} load          served {level['throughput']:.0f}/s  "
               f"p99 {level['p99_ms']:.2f} ms  shed {shed}/{level['requests']}")
+    obs = record["obs_overhead"]
+    print(f"  metrics overhead       {obs['enabled_rps']:.0f}/s enabled vs "
+          f"{obs['disabled_rps']:.0f}/s no-op (ratio {obs['overhead_ratio']:.3f})")
 
     if check:
         try:
             check_serving_stats(stats)
         except AssertionError as error:
             print(f"FAIL: shed-don't-collapse guard: {error}", file=sys.stderr)
+            return 1
+        if overhead["overhead_ratio"] < 0.9:
+            print(
+                "FAIL: metrics-enabled serving throughput "
+                f"{overhead['enabled_rps']:.0f}/s fell below 90% of the no-op "
+                f"baseline {overhead['disabled_rps']:.0f}/s "
+                f"(ratio {overhead['overhead_ratio']:.3f})",
+                file=sys.stderr,
+            )
             return 1
     return 0
 

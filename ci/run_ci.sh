@@ -44,6 +44,8 @@ ENGINE_TESTS=(
   tests/test_graph.py
   tests/test_scheduler.py
   tests/test_store_concurrency.py
+  tests/test_obs.py
+  tests/test_obs_integration.py
 )
 
 # Contract linter gate: the tree must be free of determinism/dtype/parity/
@@ -181,6 +183,68 @@ print(f"interleave OK: {len(nodes)} node events, {switches} job switches, "
       f"{len(requeued)} requeued after crash")
 PY
   python -m repro watch "$JOB_B" --store "$SCHED_STORE" --timeout 30 > /dev/null
+
+  echo "== observability smoke: serve-bench --metrics -> accounting + exact p99 agreement -> traced scheduler job =="
+  # The exported metrics snapshot must satisfy the serving accounting
+  # invariant, and its queue-wait percentiles must agree *exactly* with a
+  # histogram recomputed offline from traces.jsonl (same nearest-rank
+  # percentile over the same observations).
+  OBS_STORE="$CLI_STORE/obs-smoke"
+  python -m repro serve-bench --requests 50 --metrics --store "$OBS_STORE" > /dev/null
+  python -m repro metrics --store "$OBS_STORE" > /dev/null
+  python - "$OBS_STORE" <<'PY'
+import sys
+from repro.obs import (
+    load_metrics_snapshot, metrics_path, obs_root, percentile, read_trace_file,
+    traces_path,
+)
+
+root = obs_root(sys.argv[1])
+snap = load_metrics_snapshot(metrics_path(root))
+counters = snap["counters"]
+rejected = sum(v for k, v in counters.items() if k.startswith("serving.rejected."))
+assert counters["serving.submitted"] == counters["serving.completed"] + rejected, counters
+waits = [
+    r["queue_wait_s"]
+    for r in read_trace_file(traces_path(root))
+    if r.get("kind") == "request" and r.get("queue_wait_s") is not None
+]
+hist = snap["histograms"]["serving.queue_wait_s"]
+assert hist["count"] == len(waits) > 0, (hist["count"], len(waits))
+for q, key in ((50, "p50"), (99, "p99")):
+    assert hist[key] == percentile(waits, q), (key, hist[key], percentile(waits, q))
+print(f"observability OK: {counters['serving.submitted']} submitted accounted, "
+      f"p99 queue wait {hist['p99']*1000:.3f} ms agrees with traces.jsonl")
+PY
+  # The chaos drill under tracing must show the whole fault -> shed ->
+  # degrade -> recover arc: degraded responses plus every breaker state.
+  DRILL_STORE="$CLI_STORE/obs-drill"
+  python -m repro serve-bench --drill --metrics --store "$DRILL_STORE" > /dev/null
+  python -m repro trace --store "$DRILL_STORE" --json | python -c '
+import json, sys
+summary = json.load(sys.stdin)["summary"]["requests"]
+assert summary["degraded"] > 0, summary
+assert {"closed", "open", "half-open"} <= set(summary["breaker_states"]), summary
+print("drill trace OK: %d degraded, breaker states %s"
+      % (summary["degraded"], sorted(summary["breaker_states"])))
+'
+  # A traced scheduler run: two queued jobs on one worker guarantee at
+  # least one node dispatch observes a nonzero queue depth.
+  python -m repro submit figure6 --workload mlp --scale tiny --grid 0.05 0.3 \
+    --store "$OBS_STORE" --json > /dev/null
+  python -m repro submit figure6 --workload mlp --scale tiny --grid 0.05 0.3 \
+    --seed 7 --store "$OBS_STORE" --json > /dev/null
+  python -m repro serve-jobs --store "$OBS_STORE" --workers 1 --poll 0.1 \
+    --drain --metrics > /dev/null
+  python -m repro trace --kind node --store "$OBS_STORE" --json | python -c '
+import json, sys
+summary = json.load(sys.stdin)["summary"]["nodes"]
+assert summary["count"] > 0, summary
+depths = summary["queue_depth_samples"]
+assert depths and max(depths) > 0, depths
+print("scheduler trace OK: %d node records, max queue depth %d"
+      % (summary["count"], max(depths)))
+'
 fi
 
 if [[ "${1:-}" == "--bench" ]]; then

@@ -12,6 +12,8 @@ Each module groups the rules guarding one contract family:
 * :mod:`~repro.analysis.rules.fingerprint` — resume-key coverage (semantic).
 * :mod:`~repro.analysis.rules.robustness` — no swallowed exceptions in the
   engine/store failure-accounting path.
+* :mod:`~repro.analysis.rules.observability` — serving rejection/counter
+  coverage (semantic).
 """
 
 from repro.analysis.rules import (  # noqa: F401  (import side effect: @register)
@@ -19,6 +21,7 @@ from repro.analysis.rules import (  # noqa: F401  (import side effect: @register
     determinism,
     dtype,
     fingerprint,
+    observability,
     parity,
     picklability,
     robustness,

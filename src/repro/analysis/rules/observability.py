@@ -1,0 +1,149 @@
+"""Observability-coverage rule: every rejection class has its counter.
+
+The serving runtime's accounting invariant — ``submitted == completed +
+Σ rejected.*`` — only holds if every :class:`~repro.serving.types.
+Rejection` subclass maps to a registered ``rejected.<code>`` counter in
+:data:`~repro.serving.runtime.ServingRuntime.COUNTER_KEYS`.  A new
+rejection type added without its counter would be shed *uncounted*: the
+metrics snapshot and the CI accounting check would book the request as
+lost, and capacity dashboards would under-report shed load exactly when
+it matters (a new overload mode).
+
+Like the fingerprint rule this is a semantic (import-based) check: it
+walks the live ``Rejection`` subclass tree and cross-checks the live
+``COUNTER_KEYS`` tuple, so it cannot drift from the code it guards.
+"""
+
+from __future__ import annotations
+
+import inspect
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.core import Finding, ProjectRule, register
+
+
+def _all_subclasses(cls) -> List[type]:
+    found: List[type] = []
+    for sub in cls.__subclasses__():
+        found.append(sub)
+        found.extend(_all_subclasses(sub))
+    return found
+
+
+def rejection_messages(
+    rejection_classes: Optional[Sequence[type]] = None,
+    counter_keys: Optional[Sequence[str]] = None,
+) -> List[Tuple[type, str]]:
+    """Cross-check rejection classes against counter keys.
+
+    Returns ``(class, message)`` pairs.  Both inputs are injectable so the
+    rule's own tests can prove a missing counter is caught; production use
+    passes nothing and checks the live serving module.  Only subclasses
+    defined in :mod:`repro.serving.types` participate by default — tests
+    subclass ``Rejection`` freely and must not pollute the lint.
+    """
+    from repro.serving import types as serving_types
+    from repro.serving.runtime import ServingRuntime
+
+    if rejection_classes is None:
+        rejection_classes = [
+            cls
+            for cls in _all_subclasses(serving_types.Rejection)
+            if cls.__module__ == serving_types.__name__
+        ]
+    keys = tuple(
+        counter_keys if counter_keys is not None else ServingRuntime.COUNTER_KEYS
+    )
+
+    problems: List[Tuple[type, str]] = []
+    codes = {}
+    for cls in rejection_classes:
+        code = cls.__dict__.get("code")
+        if not code:
+            problems.append(
+                (
+                    cls,
+                    f"{cls.__name__} does not define its own `code`; it would "
+                    "be counted under its parent's rejection code, merging "
+                    "two distinct shed reasons into one counter",
+                )
+            )
+            continue
+        if code in codes:
+            problems.append(
+                (
+                    cls,
+                    f"{cls.__name__} reuses rejection code {code!r} already "
+                    f"taken by {codes[code].__name__}; their counters would "
+                    "be indistinguishable",
+                )
+            )
+            continue
+        codes[code] = cls
+        key = f"rejected.{code}"
+        if key not in keys:
+            problems.append(
+                (
+                    cls,
+                    f"{cls.__name__} (code {code!r}) has no "
+                    f"{key!r} entry in ServingRuntime.COUNTER_KEYS; requests "
+                    "it sheds would break the submitted == completed + "
+                    "rejected.* accounting invariant",
+                )
+            )
+    anchor = rejection_classes[0] if rejection_classes else None
+    expected = {f"rejected.{code}" for code in codes}
+    for key in keys:
+        if key.startswith("rejected.") and key not in expected:
+            problems.append(
+                (
+                    anchor,
+                    f"COUNTER_KEYS entry {key!r} matches no Rejection "
+                    "subclass; the counter is stale and would read 0 forever",
+                )
+            )
+    return problems
+
+
+def _anchor(cls) -> Tuple[str, int]:
+    """``(relpath, line)`` of the class a finding talks about."""
+    import repro
+
+    package_root = Path(repro.__file__).resolve().parent
+    repo_root = package_root.parents[1]
+    if cls is None:
+        path = package_root / "serving" / "runtime.py"
+        line = 1
+    else:
+        path = Path(inspect.getsourcefile(cls) or package_root)
+        try:
+            _, line = inspect.getsourcelines(cls)
+        except (OSError, TypeError):  # pragma: no cover - source unavailable
+            line = 1
+    try:
+        return path.relative_to(repo_root).as_posix(), line
+    except ValueError:  # pragma: no cover - non-checkout install layout
+        return path.as_posix(), line
+
+
+@register
+class UncountedRejectionRule(ProjectRule):
+    """Every serving Rejection subclass maps to a registered counter key."""
+
+    id = "uncounted-rejection"
+    summary = (
+        "every Rejection subclass in repro.serving.types must have a "
+        "matching rejected.<code> entry in ServingRuntime.COUNTER_KEYS"
+    )
+    rationale = (
+        "the serving accounting invariant (submitted == completed + "
+        "Σ rejected.*) is what CI and capacity dashboards trust; a "
+        "rejection type without its counter sheds requests invisibly, "
+        "under-reporting overload exactly when a new shed path appears"
+    )
+
+    def check_project(self) -> Iterator[Finding]:
+        for cls, message in rejection_messages():
+            path, line = _anchor(cls)
+            yield Finding(path=path, line=line, rule=self.id, message=message)

@@ -14,6 +14,8 @@ Subcommands::
     python -m repro status [JOB] [--json]                 # queue + artifact state
     python -m repro cancel JOB                            # request cancellation
     python -m repro watch [JOB]                           # stream per-node events
+    python -m repro metrics [--json]                      # exported metrics snapshot
+    python -m repro trace [FILTER]                        # trace-stream summary
     python -m repro lint [--list-rules]                   # contract linter
 
 Runs persist to a :class:`~repro.experiments.store.RunStore`
@@ -236,6 +238,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="exit after this much continuous idle time (liveness backstop)",
     )
+    serve_jobs.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "record scheduler metrics and per-node trace records under "
+            "<store>/obs (snapshot exported on exit)"
+        ),
+    )
 
     submit = sub.add_parser(
         "submit", help="enqueue an experiment for the job daemon"
@@ -318,6 +328,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--json", action="store_true", help="emit the stats/summary as JSON"
+    )
+    serve.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "record serving metrics and per-request trace records under "
+            "<store>/obs (snapshot exported on exit)"
+        ),
+    )
+    serve.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="run store whose obs/ directory receives --metrics output",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="render the metrics snapshot exported by a --metrics run",
+    )
+    metrics.add_argument("--store", type=Path, default=None)
+    metrics.add_argument(
+        "--json", action="store_true", help="emit the raw snapshot JSON"
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="summarize the trace stream (<store>/obs/traces.jsonl)",
+    )
+    trace.add_argument(
+        "filter",
+        nargs="?",
+        help=(
+            "substring matched against each record's run/job/name/node "
+            "fields (e.g. a job id or a spec fingerprint prefix)"
+        ),
+    )
+    trace.add_argument(
+        "--kind",
+        choices=("request", "node", "span"),
+        default=None,
+        help="restrict to one record kind",
+    )
+    trace.add_argument("--store", type=Path, default=None)
+    trace.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        metavar="N",
+        help="recent matching records to print after the summary (default: 20)",
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="emit {summary, records} as JSON (records unlimited)",
     )
 
     lint = sub.add_parser(
@@ -601,6 +666,37 @@ def _cmd_bench(args) -> int:
     return runner.main(argv)
 
 
+def _obs_for(args):
+    """``(obs, obs_dir)`` for a ``--metrics`` verb, or ``(None, None)``.
+
+    Registries are process-local, so every surface that enables metrics
+    must export its snapshot before exiting — callers pair this with
+    :func:`_export_obs` in a ``finally`` block (the snapshot must land
+    even when a guard fails the run).
+    """
+    if not getattr(args, "metrics", False):
+        return None, None
+    from repro.obs import create_observability, obs_root
+
+    store_root = args.store if args.store is not None else default_store_root()
+    obs_dir = obs_root(store_root)
+    return create_observability(obs_dir), obs_dir
+
+
+def _export_obs(obs, obs_dir) -> None:
+    if obs is None:
+        return
+    from repro.obs import export_metrics
+
+    obs.tracer.close()
+    path = export_metrics(obs, obs_dir)
+    # stderr so --json stdout stays machine-parseable.
+    print(
+        f"observability: metrics -> {path}  traces -> {obs.tracer.path}",
+        file=sys.stderr,
+    )
+
+
 def _cmd_serve_bench(args) -> int:
     # Deferred import: the serving stack pulls in the hardware simulator,
     # which `list`/`show` callers should not pay for.
@@ -611,30 +707,34 @@ def _cmd_serve_bench(args) -> int:
     )
 
     _install_faults(args.faults)
-    if args.drill:
-        summary = run_chaos_drill()
-        if args.json:
-            print(json.dumps(summary, indent=2, sort_keys=True, default=str))
-        return 0 if summary.get("ok") else 1
-    stats = collect_serving_stats(requests_per_level=args.requests)
-    if args.json:
-        print(json.dumps(stats, indent=2, sort_keys=True, default=str))
-    else:
-        print(f"serving capacity: {stats['capacity_rps']:.0f} requests/s sustained")
-        for name, level in stats["levels"].items():
-            rejected = sum(level["rejections"].values())
-            print(
-                f"  {name:<5} offered {level['offered_rate']:.0f}/s  "
-                f"served {level['throughput']:.0f}/s  "
-                f"p50 {level['p50_ms']:.2f} ms  p99 {level['p99_ms']:.2f} ms  "
-                f"shed {rejected}/{level['requests']}"
-            )
+    obs, obs_dir = _obs_for(args)
     try:
-        check_serving_stats(stats)
-    except AssertionError as error:
-        print(f"FAIL: shed-don't-collapse guard: {error}", file=sys.stderr)
-        return 1
-    return 0
+        if args.drill:
+            summary = run_chaos_drill(obs=obs)
+            if args.json:
+                print(json.dumps(summary, indent=2, sort_keys=True, default=str))
+            return 0 if summary.get("ok") else 1
+        stats = collect_serving_stats(requests_per_level=args.requests, obs=obs)
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True, default=str))
+        else:
+            print(f"serving capacity: {stats['capacity_rps']:.0f} requests/s sustained")
+            for name, level in stats["levels"].items():
+                rejected = sum(level["rejections"].values())
+                print(
+                    f"  {name:<5} offered {level['offered_rate']:.0f}/s  "
+                    f"served {level['throughput']:.0f}/s  "
+                    f"p50 {level['p50_ms']:.2f} ms  p99 {level['p99_ms']:.2f} ms  "
+                    f"shed {rejected}/{level['requests']}"
+                )
+        try:
+            check_serving_stats(stats)
+        except AssertionError as error:
+            print(f"FAIL: shed-don't-collapse guard: {error}", file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        _export_obs(obs, obs_dir)
 
 
 def _cmd_serve_jobs(args) -> int:
@@ -643,14 +743,148 @@ def _cmd_serve_jobs(args) -> int:
     from repro.scheduler.daemon import serve_jobs
 
     store_root = args.store if args.store is not None else default_store_root()
-    serve_jobs(
-        store_root,
-        args.queue,
-        workers=args.workers,
-        poll_s=args.poll_s,
-        drain=args.drain,
-        idle_exit_s=args.idle_exit_s,
-    )
+    obs, obs_dir = _obs_for(args)
+    try:
+        serve_jobs(
+            store_root,
+            args.queue,
+            workers=args.workers,
+            poll_s=args.poll_s,
+            drain=args.drain,
+            idle_exit_s=args.idle_exit_s,
+            obs=obs,
+        )
+    finally:
+        _export_obs(obs, obs_dir)
+    return 0
+
+
+def _fmt_seconds(value) -> str:
+    """Milliseconds rendering for percentile fields (NaN/None → '-')."""
+    if value is None or value != value:
+        return "-"
+    return f"{float(value) * 1000:.3f} ms"
+
+
+def _fmt_raw(value) -> str:
+    """Plain rendering for unitless histogram fields (NaN/None → '-')."""
+    if value is None or value != value:
+        return "-"
+    return f"{float(value):g}"
+
+
+def _cmd_metrics(args) -> int:
+    from repro.obs import load_metrics_snapshot, metrics_path, obs_root
+
+    store_root = args.store if args.store is not None else default_store_root()
+    path = metrics_path(obs_root(store_root))
+    snapshot = load_metrics_snapshot(path)
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    print(f"metrics snapshot: {path}")
+    if snapshot.get("counters"):
+        print("counters:")
+        for name, value in snapshot["counters"].items():
+            print(f"  {name:<36} {value}")
+    if snapshot.get("gauges"):
+        print("gauges:")
+        for name, value in snapshot["gauges"].items():
+            print(f"  {name:<36} {value:g}")
+    if snapshot.get("histograms"):
+        print("histograms:")
+        for name, hist in snapshot["histograms"].items():
+            # The `_s` suffix marks seconds-valued series (rendered as ms);
+            # anything else (batch sizes, ...) prints raw.
+            fmt = _fmt_seconds if name.endswith("_s") else _fmt_raw
+            print(
+                f"  {name:<36} count {hist['count']:<6} "
+                f"p50 {fmt(hist['p50'])}  "
+                f"p95 {fmt(hist['p95'])}  "
+                f"p99 {fmt(hist['p99'])}"
+            )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import obs_root, read_trace_file, summarize_traces, traces_path
+
+    store_root = args.store if args.store is not None else default_store_root()
+    path = traces_path(obs_root(store_root))
+    if not path.exists():
+        raise ReproError(
+            f"no trace stream at {path}; run `serve-bench --metrics` or "
+            "`serve-jobs --metrics` first"
+        )
+    records = read_trace_file(path)
+    if args.kind:
+        records = [r for r in records if r.get("kind") == args.kind]
+    if args.filter:
+        needle = args.filter
+        records = [
+            r
+            for r in records
+            if any(
+                needle in str(r.get(field, ""))
+                for field in ("run", "job", "name", "node", "kind")
+            )
+        ]
+    summary = summarize_traces(records)
+    if args.json:
+        print(
+            json.dumps(
+                {"summary": summary, "records": records},
+                indent=2,
+                sort_keys=True,
+                default=str,
+            )
+        )
+        return 0
+    print(f"trace stream: {path} ({len(records)} matching record(s))")
+    if "requests" in summary:
+        req = summary["requests"]
+        print(
+            f"requests: {req['count']}  outcomes {req['outcomes']}  "
+            f"degraded {req['degraded']}"
+        )
+        wait = req["queue_wait_s"]
+        print(
+            f"  queue wait  p50 {_fmt_seconds(wait['p50'])}  "
+            f"p99 {_fmt_seconds(wait['p99'])}  (n={wait['count']})"
+        )
+        print(f"  batch sizes {req['batch_sizes']}")
+        if req["breaker_states"]:
+            print(f"  breaker states {req['breaker_states']}")
+    if "nodes" in summary:
+        nodes = summary["nodes"]
+        print(f"nodes: {nodes['count']}  statuses {nodes['statuses']}")
+        print(
+            f"  ready wait  p50 {_fmt_seconds(nodes['ready_wait_s']['p50'])}  "
+            f"p99 {_fmt_seconds(nodes['ready_wait_s']['p99'])}"
+        )
+        print(
+            f"  node time   p50 {_fmt_seconds(nodes['elapsed_s']['p50'])}  "
+            f"p99 {_fmt_seconds(nodes['elapsed_s']['p99'])}"
+        )
+        depths = nodes["queue_depth_samples"]
+        if depths:
+            print(f"  queue depth at dispatch  max {max(depths)}  samples {depths}")
+    if "spans" in summary:
+        print("spans:")
+        for name, span in summary["spans"].items():
+            print(
+                f"  {name:<28} n={span['count']:<5} "
+                f"p50 {_fmt_seconds(span['p50'])}  p99 {_fmt_seconds(span['p99'])}"
+            )
+    if args.limit > 0 and records:
+        print(f"recent records (last {min(args.limit, len(records))}):")
+        for record in records[-args.limit:]:
+            fields = {
+                k: v
+                for k, v in sorted(record.items())
+                if k not in ("sha256",) and v is not None
+            }
+            print(f"  {fields}")
     return 0
 
 
@@ -744,6 +978,8 @@ _COMMANDS = {
     "status": _cmd_status,
     "cancel": _cmd_cancel,
     "watch": _cmd_watch,
+    "metrics": _cmd_metrics,
+    "trace": _cmd_trace,
     "lint": _cmd_lint,
 }
 

@@ -80,6 +80,7 @@ from repro.experiments.runner import run_strength_point, run_tolerance_point
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.training import train_baseline
 from repro.hardware.mapper import NetworkMapper
+from repro.obs import NULL_OBS, Observability
 from repro.utils.logging import get_logger
 
 logger = get_logger("experiments.graph")
@@ -314,6 +315,8 @@ class GraphExecution:
         strict: bool = False,
         observer: Optional[Callable[[GraphNode, str, str], None]] = None,
         install_signals: bool = True,
+        obs: Optional[Observability] = None,
+        trace_context: Optional[Dict[str, Any]] = None,
     ):
         self.spec = spec
         self.graph = build_graph(spec)
@@ -324,6 +327,12 @@ class GraphExecution:
         self.strict = strict
         self.observer = observer
         self.install_signals = install_signals
+        self.obs = obs if obs is not None else NULL_OBS
+        #: Extra fields stamped onto every node trace record (the scheduler
+        #: sets the job id here, plus the queue depth at each dispatch).
+        #: Mutable-by-owner is safe: at most one node per execution is in
+        #: flight, so the owner only writes between dispatches.
+        self.trace_context: Dict[str, Any] = dict(trace_context or {})
         self.status: Dict[str, str] = {node.id: "pending" for node in self.graph.nodes}
         self.timings: Dict[str, float] = {}
         self.monitor: Optional[RunMonitor] = None
@@ -344,10 +353,17 @@ class GraphExecution:
         self._mapper: Optional[NetworkMapper] = None
         self._routing_cache = None
         self._points_elapsed = 0.0
+        self._terminal_at: Dict[str, float] = {}
+        self._node_elapsed: Dict[str, float] = {}
+        self._journal_writes = 0
 
     # ------------------------------------------------------------- plumbing
     def _set_status(self, node_id: str, status: str, detail: str = "") -> None:
         self.status[node_id] = status
+        if status in _TERMINAL:
+            # Ready→dispatch latency of downstream nodes is measured from the
+            # moment their last input became available.
+            self._terminal_at[node_id] = time.perf_counter()
         if self.observer is not None:
             self.observer(self.graph.node(node_id), status, detail)
 
@@ -372,6 +388,7 @@ class GraphExecution:
             self.store.append_journal(
                 self.plan.fingerprint, point_fingerprint, payload
             )
+            self._journal_writes += 1
 
     # ---------------------------------------------------------------- start
     def start(self) -> None:
@@ -522,6 +539,17 @@ class GraphExecution:
         unmet = [dep for dep in node.inputs if not self._dep_satisfied(dep)]
         if unmet:
             raise ExperimentError(f"node {node_id!r} has unmet dependencies {unmet}")
+        dispatched = time.perf_counter()
+        ready_at = max(
+            (
+                self._terminal_at[dep]
+                for dep in node.inputs
+                if dep in self._terminal_at
+            ),
+            default=self._started if self._started is not None else dispatched,
+        )
+        ready_wait = max(dispatched - ready_at, 0.0)
+        journal_before = self._journal_writes
         if (
             node.kind == "point"
             and self.monitor is not None
@@ -530,6 +558,7 @@ class GraphExecution:
             # Mirror the batch loop: after an interrupt, unreached points
             # are simply never run; the partial artifact records the rest.
             self._set_status(node_id, "cancelled", "interrupted before start")
+            self._emit_node_trace(node, "cancelled", dispatched, ready_wait, journal_before)
             return "cancelled"
         self._set_status(node_id, "running")
         try:
@@ -556,12 +585,57 @@ class GraphExecution:
             # The assemble node persisted the partial artifact before
             # raising; the node itself succeeded.
             self._set_status(node_id, "done", "interrupted; partial artifact persisted")
+            self._emit_node_trace(node, "done", dispatched, ready_wait, journal_before)
             raise
         except Exception as error:
             self._set_status(node_id, "failed", f"{type(error).__name__}: {error}")
+            self._emit_node_trace(node, "failed", dispatched, ready_wait, journal_before)
             raise
         self._set_status(node_id, status)
+        self._emit_node_trace(node, status, dispatched, ready_wait, journal_before)
         return status
+
+    def _emit_node_trace(
+        self,
+        node: GraphNode,
+        status: str,
+        dispatched: float,
+        ready_wait: float,
+        journal_before: int,
+    ) -> None:
+        """Per-node metrics + NodeTrace record on every run_node exit."""
+        if not self.obs.enabled:
+            return
+        elapsed = time.perf_counter() - dispatched
+        self._node_elapsed[node.id] = elapsed
+        self.obs.metrics.histogram("graph.node_s").observe(elapsed)
+        self.obs.metrics.counter(f"graph.nodes.{status}").inc()
+        if not self.obs.tracer.enabled:
+            return
+        attempts = 1
+        if node.kind == "point" and self.monitor is not None:
+            slot = self._slots.get(node.point.fingerprint)
+            failure = self.monitor.failures.get(slot) if slot is not None else None
+            if failure is not None:
+                attempts = failure.attempts
+        self.obs.tracer.emit(
+            "node",
+            run=self.plan.fingerprint,
+            node=node.id,
+            node_kind=node.kind,
+            label=node.label,
+            status=status,
+            attempts=attempts,
+            retries=attempts - 1,
+            # Node mode runs points in supervised serial slots, never a
+            # process pool, so rebuilds are structurally zero here (batch
+            # mode pools do not flow through run_node).
+            pool_rebuilds=0,
+            journal_flushes=self._journal_writes - journal_before,
+            ready_wait_s=ready_wait,
+            elapsed_s=elapsed,
+            **self.trace_context,
+        )
 
     # -------------------------------------------------------------- stages
     def _run_baseline(self, node: GraphNode) -> None:
@@ -755,6 +829,18 @@ class GraphExecution:
 
         duration = time.perf_counter() - self._started
         self.timings["total_s"] = round(duration, 6)
+        observability = None
+        if self.obs.enabled:
+            # Non-fingerprinted stage/node time breakdown for show/compare.
+            # None when observability is off, so the artifact is bit-identical
+            # to an uninstrumented run.
+            observability = {
+                "stage_timings": dict(self.timings),
+                "nodes": {
+                    node_id: round(elapsed, 6)
+                    for node_id, elapsed in sorted(self._node_elapsed.items())
+                },
+            }
         artifact_path = None
         if self.store is not None:
             def merge(existing, _new=new_points, _payload=payload):
@@ -768,6 +854,7 @@ class GraphExecution:
                     self._baseline_info,
                     self.timings,
                     failure_payloads,
+                    observability=observability,
                 )
 
             artifact_path, artifact = self.store.update(plan.fingerprint, merge)
@@ -898,6 +985,8 @@ def run_graph(
     observer: Optional[Callable[[GraphNode, str, str], None]] = None,
     node_mode: bool = False,
     install_signals: bool = True,
+    obs: Optional[Observability] = None,
+    trace_context: Optional[Dict[str, Any]] = None,
 ) -> ExperimentRun:
     """Run one spec through its graph (the ``execute_spec`` implementation)."""
     execution = GraphExecution(
@@ -908,5 +997,7 @@ def run_graph(
         strict=strict,
         observer=observer,
         install_signals=install_signals,
+        obs=obs,
+        trace_context=trace_context,
     )
     return execution.run(node_mode=node_mode)

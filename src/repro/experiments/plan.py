@@ -331,6 +331,7 @@ def execute_spec(
     store=None,
     resume: bool = True,
     strict: bool = False,
+    obs=None,
 ) -> ExperimentRun:
     """Run ``spec`` end to end, resuming from ``store`` where possible.
 
@@ -364,12 +365,20 @@ def execute_spec(
         a partial result.  The first SIGINT drains in-flight points and
         persists a partial artifact before raising
         :class:`~repro.exceptions.RunInterrupted`.
+    obs:
+        An optional :class:`~repro.obs.Observability` handle.  When enabled,
+        stage/node timings register as metrics, node trace records stream to
+        ``traces.jsonl``, and the artifact gains a non-fingerprinted
+        ``observability`` section; the run's numbers and fingerprints are
+        identical either way.
     """
     # Deferred import: repro.experiments.graph imports this module's stage
     # library at module scope, so the dependency must point one way only.
     from repro.experiments.graph import run_graph
 
-    return run_graph(spec, context=context, store=store, resume=resume, strict=strict)
+    return run_graph(
+        spec, context=context, store=store, resume=resume, strict=strict, obs=obs
+    )
 
 
 def _merge_artifact(
@@ -382,6 +391,8 @@ def _merge_artifact(
     baseline_info: Optional[Dict[str, Any]],
     timings: Dict[str, float],
     failure_payloads: Optional[Dict[str, Dict[str, Any]]] = None,
+    *,
+    observability: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Fold this run into the spec's (possibly pre-existing) artifact."""
     # Artifact metadata timestamp — never a fingerprint input.  repro: ignore[wall-clock]
@@ -437,6 +448,13 @@ def _merge_artifact(
     else:
         artifact.pop("failures", None)
     artifact["timings"] = {**artifact.get("timings", {}), **timings}
+    if observability is not None:
+        # Observability is descriptive, never a fingerprint input: runs with
+        # it disabled leave any earlier section untouched.
+        artifact["observability"] = {
+            **artifact.get("observability", {}),
+            **observability,
+        }
     artifact["result"] = result_payload
     artifact["complete"] = result_payload is not None and all(
         point.fingerprint in points for point in plan.points

@@ -442,6 +442,19 @@ def render_artifact(artifact: Dict[str, Any]) -> str:
     if timings:
         rendered = ", ".join(f"{key}={value:.2f}s" for key, value in sorted(timings.items()))
         lines.append(f"timings: {rendered}")
+    observability = artifact.get("observability") or {}
+    if observability:
+        # Only present on instrumented runs; descriptive, never fingerprinted.
+        parts = []
+        stages = observability.get("stage_timings") or {}
+        if stages:
+            parts.append(f"{len(stages)} stage timing(s)")
+        nodes = observability.get("nodes") or {}
+        if nodes:
+            slowest_id, slowest_s = max(nodes.items(), key=lambda kv: kv[1])
+            parts.append(f"{len(nodes)} node(s), slowest {slowest_id} {slowest_s:.2f}s")
+        if parts:
+            lines.append(f"observability: {', '.join(parts)}")
     points = artifact.get("points") or {}
     if points:
         reused = sum(1 for entry in points.values() if entry.get("reused"))
@@ -566,6 +579,22 @@ def compare_artifacts(first: Dict[str, Any], second: Dict[str, Any]) -> str:
             f"failed points: {label_a} has {failed_a}, {label_b} has {failed_b} "
             "(partial results; see `show` for tracebacks)"
         )
+    obs_a = (first.get("observability") or {}).get("nodes") or {}
+    obs_b = (second.get("observability") or {}).get("nodes") or {}
+    shared_nodes = [node for node in sorted(obs_a) if node in obs_b]
+    if shared_nodes:
+        width = max(len("node"), max(len(node) for node in shared_nodes))
+        lines.append("")
+        lines.append("per-node wall time (s, instrumented runs):")
+        lines.append(
+            f"{'node':<{width}}  {label_a:>16}  {label_b:>16}  {'delta':>12}"
+        )
+        for node in shared_nodes:
+            delta = obs_b[node] - obs_a[node]
+            lines.append(
+                f"{node:<{width}}  {obs_a[node]:>16.4f}  {obs_b[node]:>16.4f}  "
+                f"{delta:>+12.4f}"
+            )
     hw_a = hardware_summary(first)
     hw_b = hardware_summary(second)
     shared_hw = [label for label in hw_a if label in hw_b]

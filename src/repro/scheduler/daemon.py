@@ -40,20 +40,24 @@ def serve_jobs(
     poll_s: float = 0.2,
     drain: bool = False,
     idle_exit_s: Optional[float] = None,
+    obs=None,
 ) -> int:
     """Run the daemon until stopped; returns the number of jobs finalized.
 
     ``drain=True`` exits once the queue is empty (batch usage, CI);
     otherwise the daemon serves until SIGINT/SIGTERM, which stop it
     gracefully between nodes (active jobs are requeued with their
-    journaled progress intact).
+    journaled progress intact).  ``obs`` (an
+    :class:`~repro.obs.Observability`) enables scheduler gauges/counters
+    and per-node trace records; the CLI's ``--metrics`` flag wires it up
+    and exports the snapshot on exit.
     """
     store = RunStore(store_root)
     queue = JobQueue(queue_root if queue_root is not None else default_queue_root(store_root))
     requeued = queue.recover()
     if requeued:
         logger.info("recovered %d job(s) from a previous daemon", len(requeued))
-    scheduler = JobScheduler(queue, store, workers=workers, poll_s=poll_s)
+    scheduler = JobScheduler(queue, store, workers=workers, poll_s=poll_s, obs=obs)
     stop = threading.Event()
 
     def _request_stop(signum, frame):

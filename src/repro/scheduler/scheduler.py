@@ -34,6 +34,7 @@ from typing import Any, Dict, Optional
 from repro.exceptions import ReproError, RunInterrupted
 from repro.experiments.graph import GraphExecution, GraphNode
 from repro.experiments.store import RunStore
+from repro.obs import NULL_OBS, Observability
 from repro.scheduler.jobs import Job, JobQueue, TERMINAL_STATES
 from repro.utils.logging import get_logger
 
@@ -69,6 +70,7 @@ class JobScheduler:
         *,
         workers: int = 2,
         poll_s: float = 0.2,
+        obs: Optional[Observability] = None,
     ):
         if workers < 1:
             raise ReproError(f"scheduler needs at least one worker, got {workers}")
@@ -76,6 +78,7 @@ class JobScheduler:
         self.store = store
         self.workers = int(workers)
         self.poll_s = float(poll_s)
+        self.obs = obs if obs is not None else NULL_OBS
         self._active: Dict[str, _ActiveJob] = {}
 
     # -------------------------------------------------------------- observer
@@ -111,6 +114,8 @@ class JobScheduler:
                     store=self.store,
                     observer=self._observer_for(job.job_id),
                     install_signals=False,
+                    obs=self.obs,
+                    trace_context={"job": job.job_id},
                 )
                 self.queue.write_state(job.job_id, state="running")
                 self.queue.append_event(job.job_id, "job-started")
@@ -130,6 +135,17 @@ class JobScheduler:
     def _dispatch(self, pool: ThreadPoolExecutor) -> Dict[Future, str]:
         """Give every idle active job its next ready node."""
         futures: Dict[Future, str] = {}
+        queued_depth: Optional[int] = None
+        if self.obs.enabled:
+            # One queue scan per dispatch round, not per node: the depth is
+            # the number of submitted jobs still waiting for a worker slot.
+            queued_depth = sum(
+                1
+                for job in self.queue.jobs()
+                if self.queue.state(job.job_id).get("state") == "queued"
+            )
+            self.obs.metrics.gauge("scheduler.queue_depth").set(queued_depth)
+            self.obs.metrics.gauge("scheduler.active_jobs").set(len(self._active))
         for job_id, active in list(self._active.items()):
             if active.future is not None:
                 futures[active.future] = job_id
@@ -148,6 +164,10 @@ class JobScheduler:
                 # is a graph bug; fail loudly rather than spin.
                 self._finalize(job_id, "failed", "graph deadlock: no ready node")
                 continue
+            if queued_depth is not None:
+                # Safe to mutate: each job has at most one node in flight,
+                # and we only write here, between that job's dispatches.
+                active.execution.trace_context["queue_depth"] = queued_depth
             active.future = pool.submit(active.execution.run_node, node_id)
             futures[active.future] = job_id
         return futures
@@ -195,6 +215,7 @@ class JobScheduler:
             fields["nodes"] = nodes
         self.queue.write_state(job_id, **fields)
         self.queue.append_event(job_id, f"job-{state}", detail=detail)
+        self.obs.metrics.counter(f"scheduler.jobs.{state}").inc()
         logger.info("job %s -> %s (%s)", job_id, state, detail)
 
     # ------------------------------------------------------------------- run

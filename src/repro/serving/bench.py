@@ -153,8 +153,14 @@ def _calibrate_capacity(
     return requests / elapsed
 
 
-def collect_serving_stats(requests_per_level: int = 80) -> Dict[str, object]:
-    """Serving throughput/latency/shedding across load levels, as a flat dict."""
+def collect_serving_stats(
+    requests_per_level: int = 80, *, obs=None
+) -> Dict[str, object]:
+    """Serving throughput/latency/shedding across load levels, as a flat dict.
+
+    ``obs`` (a :class:`~repro.obs.Observability`) enables per-request trace
+    records and the ``serving.*`` instruments for the run.
+    """
     config = ServingConfig(
         max_queue=32,
         max_batch=16,
@@ -163,7 +169,7 @@ def collect_serving_stats(requests_per_level: int = 80) -> Dict[str, object]:
         default_deadline_s=5.0,
         cache_size=4,
     )
-    runtime = ServingRuntime(config, mapper=_mapper())
+    runtime = ServingRuntime(config, mapper=_mapper(), obs=obs)
     inputs = _inputs()
     try:
         runtime.register("mlp", _network(), corner=CORNER, warm=True)
@@ -211,7 +217,9 @@ def check_serving_stats(stats: Dict[str, object]) -> None:
 
 
 # ------------------------------------------------------------------ chaos drill
-def run_chaos_drill(emit: Callable[[str], None] = print) -> Dict[str, object]:
+def run_chaos_drill(
+    emit: Callable[[str], None] = print, *, obs=None
+) -> Dict[str, object]:
     """Deterministic breaker drill; emits the greppable lines CI asserts on.
 
     Sequence (single worker, single-sample batches, so ``serve-infer``
@@ -237,7 +245,7 @@ def run_chaos_drill(emit: Callable[[str], None] = print) -> Dict[str, object]:
         breaker_threshold=threshold,
         breaker_cooldown_s=cooldown_s,
     )
-    runtime = ServingRuntime(config, mapper=_mapper())
+    runtime = ServingRuntime(config, mapper=_mapper(), obs=obs)
     inputs = _inputs(8)
     summary: Dict[str, object] = {"ok": False}
     faults = [
@@ -296,3 +304,54 @@ def run_chaos_drill(emit: Callable[[str], None] = print) -> Dict[str, object]:
     finally:
         runtime.close(drain=True)
     return summary
+
+
+# ------------------------------------------------------- observability overhead
+def collect_obs_overhead(requests: int = 200) -> Dict[str, object]:
+    """Serving throughput with the no-op registry vs live metrics.
+
+    Runs the calibration burst twice on identical runtimes — once with the
+    default :data:`~repro.obs.NULL_OBS`, once with a real
+    :class:`~repro.obs.MetricsRegistry` (every request increments counters
+    and observes the queue-wait/latency/batch-size histograms) — and
+    reports the throughput ratio.  The benchmark guard holds the
+    metrics-enabled path to ≥ 90% of the disabled path's throughput.
+    Tracing is deliberately left disabled here: trace records append
+    flocked, checksummed lines to ``traces.jsonl``, which is I/O-bound and
+    opt-in per run, not a fixed tax on every served request.
+    """
+    from repro.obs import MetricsRegistry, Observability
+
+    config = ServingConfig(
+        max_queue=32,
+        max_batch=16,
+        batch_window_s=0.002,
+        workers=2,
+        default_deadline_s=5.0,
+        cache_size=4,
+    )
+    inputs = _inputs()
+
+    def _measure(obs, rounds: int = 3) -> float:
+        # Peak throughput over a few bursts: scheduler jitter in shared CI
+        # containers makes any single burst unreliable, and the *peak* is
+        # what the instrumentation tax actually bounds.
+        runtime = ServingRuntime(config, mapper=_mapper(), obs=obs)
+        try:
+            runtime.register("mlp", _network(), corner=CORNER, warm=True)
+            _calibrate_capacity(runtime, "mlp", inputs, requests=16)
+            return max(
+                _calibrate_capacity(runtime, "mlp", inputs, requests=requests)
+                for _ in range(rounds)
+            )
+        finally:
+            runtime.close(drain=True)
+
+    disabled_rps = _measure(None)
+    enabled_rps = _measure(Observability(metrics=MetricsRegistry()))
+    return {
+        "requests": requests,
+        "disabled_rps": disabled_rps,
+        "enabled_rps": enabled_rps,
+        "overhead_ratio": enabled_rps / disabled_rps,
+    }

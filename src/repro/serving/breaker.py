@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.exceptions import ConfigurationError
 
@@ -41,6 +41,7 @@ class CircuitBreaker:
         cooldown_s: float = 1.0,
         *,
         clock: Callable[[], float] = time.monotonic,
+        listener: Optional[Callable[[str, str], None]] = None,
     ):
         if not isinstance(threshold, int) or isinstance(threshold, bool) or threshold < 1:
             raise ConfigurationError(f"threshold must be a positive int, got {threshold!r}")
@@ -54,9 +55,20 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._opened_at = 0.0
         self._probe_inflight = False
+        #: Called as ``listener(old_state, new_state)`` on every transition,
+        #: *while the breaker lock is held* — it must be cheap and must never
+        #: call back into this breaker (metric counters qualify).
+        self._listener = listener
         #: Lifetime transition counters (observability / tests).
         self.times_opened = 0
         self.times_closed = 0
+
+    def _transition(self, new_state: str) -> None:
+        # Caller holds the lock.
+        old_state = self._state
+        self._state = new_state
+        if self._listener is not None and old_state != new_state:
+            self._listener(old_state, new_state)
 
     @property
     def state(self) -> str:
@@ -69,7 +81,7 @@ class CircuitBreaker:
         # Caller holds the lock.  An open breaker whose cool-down elapsed
         # becomes half-open; the *next* allow() call hands out the probe.
         if self._state == OPEN and self._clock() - self._opened_at >= self.cooldown_s:
-            self._state = HALF_OPEN
+            self._transition(HALF_OPEN)
             self._probe_inflight = False
 
     def allow(self) -> bool:
@@ -93,7 +105,7 @@ class CircuitBreaker:
             self._consecutive_failures = 0
             self._probe_inflight = False
             if self._state != CLOSED:
-                self._state = CLOSED
+                self._transition(CLOSED)
                 self.times_closed += 1
 
     def abandon_probe(self) -> None:
@@ -118,7 +130,7 @@ class CircuitBreaker:
             )
             self._probe_inflight = False
             if should_open and self._state != OPEN:
-                self._state = OPEN
+                self._transition(OPEN)
                 self._opened_at = self._clock()
                 self.times_opened += 1
             elif should_open:

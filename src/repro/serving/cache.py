@@ -46,6 +46,7 @@ from repro.hardware.sim import (
     program_network,
 )
 from repro.nn.network import Sequential
+from repro.obs import NULL_OBS, Observability
 from repro.serving.types import DeadlineRejection
 from repro.utils import faultinject
 
@@ -74,6 +75,7 @@ class ProgrammedNetworkCache:
         reprogram_after: Optional[int] = None,
         mapper: Optional[NetworkMapper] = None,
         clock: Callable[[], float] = time.monotonic,
+        obs: Optional[Observability] = None,
     ):
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
@@ -91,6 +93,11 @@ class ProgrammedNetworkCache:
         self.programs = 0
         self.reprograms = 0
         self.evictions = 0
+        obs = obs if obs is not None else NULL_OBS
+        self._metric = {
+            name: obs.metrics.counter(f"serving.cache.{name}")
+            for name in ("hits", "misses", "programs", "reprograms", "evictions")
+        }
 
     def __len__(self) -> int:
         with self._lock:
@@ -126,6 +133,7 @@ class ProgrammedNetworkCache:
         fingerprint: Optional[str] = None,
         samples: int = 1,
         timeout: Optional[float] = None,
+        trace: Optional[Dict[str, object]] = None,
     ) -> ProgrammedNetwork:
         """The programmed network for ``(network, config)``, programming on miss.
 
@@ -134,12 +142,16 @@ class ProgrammedNetworkCache:
         samples this access will serve — it feeds the drift counter, so one
         call covers a whole micro-batch.  ``timeout`` bounds the total wait
         (including waiting on another thread's in-flight programming);
-        exceeding it raises :class:`DeadlineRejection`.
+        exceeding it raises :class:`DeadlineRejection`.  ``trace`` is an
+        out-param dict: the call records ``cache`` (``hit``/``miss``) and
+        ``cache_waited`` (True when it waited on another thread's in-flight
+        programming) into it for per-request trace records.
         """
         if fingerprint is None:
             fingerprint = network_fingerprint(network)
         key = (fingerprint, config)
         deadline = None if timeout is None else self._clock() + timeout
+        waited = False
         while True:
             waiter = None
             with self._lock:
@@ -152,19 +164,29 @@ class ProgrammedNetworkCache:
                         # Drift refresh: evict and fall through to re-program.
                         del self._entries[key]
                         self.reprograms += 1
+                        self._metric["reprograms"].inc()
                     else:
                         entry.served += samples
                         self._entries.move_to_end(key)
                         self.hits += 1
+                        self._metric["hits"].inc()
+                        if trace is not None:
+                            trace["cache"] = "hit"
+                            trace["cache_waited"] = waited
                         return entry.programmed
                 waiter = self._inflight.get(key)
                 if waiter is None:
                     self._inflight[key] = threading.Event()
                     sequence = self.programs
                     self.programs += 1
+                    self._metric["programs"].inc()
                     break  # leader: program outside the lock
+            waited = True
             remaining = _WAIT_POLL_S if deadline is None else deadline - self._clock()
             if remaining <= 0:
+                if trace is not None:
+                    trace["cache"] = "wait-timeout"
+                    trace["cache_waited"] = True
                 raise DeadlineRejection(
                     "timed out waiting for an in-flight programming of the "
                     "requested network"
@@ -187,8 +209,13 @@ class ProgrammedNetworkCache:
             )
             self._entries.move_to_end(key)
             self.misses += 1
+            self._metric["misses"].inc()
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+                self._metric["evictions"].inc()
             self._inflight.pop(key).set()
+        if trace is not None:
+            trace["cache"] = "miss"
+            trace["cache_waited"] = waited
         return programmed

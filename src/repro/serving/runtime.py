@@ -35,6 +35,7 @@ deliberately uninstrumented — see :mod:`repro.utils.faultinject`).
 
 from __future__ import annotations
 
+import copy
 import queue
 import threading
 import time
@@ -47,6 +48,7 @@ from repro.hardware.mapper import NetworkMapper
 from repro.hardware.sim import HardwareConfig, network_fingerprint
 from repro.nn.dtype import as_float
 from repro.nn.network import Sequential
+from repro.obs import NULL_OBS, Observability
 from repro.serving.breaker import CLOSED, CircuitBreaker
 from repro.serving.cache import CacheKey, ProgrammedNetworkCache
 from repro.serving.types import (
@@ -84,7 +86,7 @@ class _Registered:
 
 
 class _PendingRequest:
-    __slots__ = ("name", "x", "deadline", "submitted", "handle")
+    __slots__ = ("name", "x", "deadline", "submitted", "handle", "trace")
 
     def __init__(
         self,
@@ -93,16 +95,38 @@ class _PendingRequest:
         deadline: float,
         submitted: float,
         handle: ResponseHandle,
+        trace: Optional[Dict[str, object]] = None,
     ):
         self.name = name
         self.x = x
         self.deadline = deadline
         self.submitted = submitted
         self.handle = handle
+        # The request's trace record under construction (None when tracing
+        # is off); emitted exactly once, at resolve or reject.
+        self.trace = trace
 
 
 class ServingRuntime:
     """Thread-based hardware-inference server over programmed crossbars."""
+
+    #: Every accounting counter the runtime maintains.  The ``rejected.*``
+    #: entries must cover every Rejection subclass in repro.serving.types —
+    #: the ``uncounted-rejection`` lint rule cross-checks this tuple, which
+    #: is what keeps ``submitted == completed + Σ rejected.*`` an enforced
+    #: invariant rather than a convention.
+    COUNTER_KEYS = (
+        "submitted",
+        "admitted",
+        "completed",
+        "degraded",
+        "batches",
+        "primary_faults",
+        "rejected.queue-full",
+        "rejected.deadline",
+        "rejected.draining",
+        "rejected.fault",
+    )
 
     def __init__(
         self,
@@ -110,14 +134,17 @@ class ServingRuntime:
         *,
         mapper: Optional[NetworkMapper] = None,
         clock: Callable[[], float] = time.monotonic,
+        obs: Optional[Observability] = None,
     ):
         self.config = config if config is not None else ServingConfig()
         self._clock = clock
+        self.obs = obs if obs is not None else NULL_OBS
         self.cache = ProgrammedNetworkCache(
             maxsize=self.config.cache_size,
             reprogram_after=self.config.reprogram_after,
             mapper=mapper,
             clock=clock,
+            obs=self.obs,
         )
         self._queue: "queue.Queue[_PendingRequest]" = queue.Queue(
             maxsize=self.config.max_queue
@@ -131,18 +158,18 @@ class ServingRuntime:
         self._dispatch_seq = 0
         self._submit_seq = 0
         self._last_shed_seq: Optional[int] = None
-        self._counters = {
-            "submitted": 0,
-            "admitted": 0,
-            "completed": 0,
-            "degraded": 0,
-            "batches": 0,
-            "primary_faults": 0,
-            "rejected.queue-full": 0,
-            "rejected.deadline": 0,
-            "rejected.draining": 0,
-            "rejected.fault": 0,
+        self._counters = {key: 0 for key in self.COUNTER_KEYS}
+        metrics = self.obs.metrics
+        self._m_counters = {
+            key: metrics.counter(f"serving.{key}") for key in self.COUNTER_KEYS
         }
+        self._m_queue_wait = metrics.histogram("serving.queue_wait_s")
+        self._m_service = metrics.histogram("serving.service_s")
+        self._m_latency = metrics.histogram("serving.latency_s")
+        self._m_batch_size = metrics.histogram(
+            "serving.batch_size", buckets=(1, 2, 4, 8, 16, 32, 64, 128)
+        )
+        self._m_queue_depth = metrics.gauge("serving.queue_depth")
         self._threads = [
             threading.Thread(
                 target=self._worker_loop, name=f"repro-serve-{index}", daemon=True
@@ -189,11 +216,23 @@ class ServingRuntime:
                     self.config.breaker_threshold,
                     self.config.breaker_cooldown_s,
                     clock=self._clock,
+                    listener=self._breaker_listener,
                 ),
             )
         if warm:
             self.cache.get(network, corner, fingerprint=fingerprint, samples=0)
         return fingerprint
+
+    def _breaker_listener(self, old_state: str, new_state: str) -> None:
+        # Invoked under the breaker's lock: counter increments only (the
+        # metric lock never takes a breaker or runtime lock).
+        self.obs.metrics.counter(f"serving.breaker.{new_state}").inc()
+
+    def _count(self, key: str, amount: int = 1) -> None:
+        # Caller holds _state_lock (the dict half); the metric counter has
+        # its own lock and never acquires _state_lock.
+        self._counters[key] += amount
+        self._m_counters[key].inc(amount)
 
     # ------------------------------------------------------------- admission
     def submit(
@@ -211,14 +250,20 @@ class ServingRuntime:
         immediately (reject-before-work).
         """
         with self._state_lock:
-            self._counters["submitted"] += 1
+            self._count("submitted")
             self._submit_seq += 1
+            seq = self._submit_seq
             if self._draining or self._stopped:
-                self._counters["rejected.draining"] += 1
+                self._count("rejected.draining")
                 # Not self.state(): that re-acquires _state_lock (non-reentrant).
                 status = "stopped" if self._stopped else "draining"
-                raise DrainingRejection(f"runtime is {status}; not accepting work")
-            entry = self._registered.get(name)
+                error = DrainingRejection(f"runtime is {status}; not accepting work")
+            else:
+                error = None
+                entry = self._registered.get(name)
+        if error is not None:
+            self._trace_submit_rejection(seq, name, deadline_s, error)
+            raise error
         if entry is None:
             raise ServingError(
                 f"unregistered network {name!r}; registered: {sorted(self._registered)}"
@@ -229,37 +274,71 @@ class ServingRuntime:
         now = self._clock()
         if deadline_s <= 0:
             with self._state_lock:
-                self._counters["rejected.deadline"] += 1
-            raise DeadlineRejection(f"deadline_s must be > 0, got {deadline_s}")
+                self._count("rejected.deadline")
+            error = DeadlineRejection(f"deadline_s must be > 0, got {deadline_s}")
+            self._trace_submit_rejection(seq, name, deadline_s, error)
+            raise error
         estimate = self._estimate_turnaround()
         if estimate is not None and estimate > deadline_s:
             with self._state_lock:
-                self._counters["rejected.deadline"] += 1
-            raise DeadlineRejection(
+                self._count("rejected.deadline")
+            error = DeadlineRejection(
                 f"deadline {deadline_s * 1e3:.1f} ms is infeasible: estimated "
                 f"queue+service turnaround is {estimate * 1e3:.1f} ms"
             )
+            self._trace_submit_rejection(seq, name, deadline_s, error)
+            raise error
         handle = ResponseHandle(now + deadline_s, self._clock)
+        trace = None
+        if self.obs.tracer.enabled:
+            # Every non-timing field here is deterministic for a seeded run:
+            # `request` is the submission sequence, `deadline_s` the caller's
+            # relative deadline.
+            trace = {
+                "request": seq,
+                "name": name,
+                "deadline_s": deadline_s,
+                "admission": "admitted",
+            }
         request = _PendingRequest(
             name=name,
             x=as_float(np.asarray(x)),
             deadline=now + deadline_s,
             submitted=now,
             handle=handle,
+            trace=trace,
         )
         try:
             self._queue.put_nowait(request)
         except queue.Full:
             with self._state_lock:
-                self._counters["rejected.queue-full"] += 1
+                self._count("rejected.queue-full")
                 self._last_shed_seq = self._submit_seq
-            raise QueueFullRejection(
+            error = QueueFullRejection(
                 f"admission queue is at capacity ({self.config.max_queue}); "
                 "request shed"
-            ) from None
+            )
+            self._trace_submit_rejection(seq, name, deadline_s, error)
+            raise error from None
         with self._state_lock:
-            self._counters["admitted"] += 1
+            self._count("admitted")
         return handle
+
+    def _trace_submit_rejection(
+        self, seq: int, name: str, deadline_s: Optional[float], error: Rejection
+    ) -> None:
+        """Emit the terminal trace record for a request shed at submit."""
+        if not self.obs.tracer.enabled:
+            return
+        self.obs.tracer.emit(
+            "request",
+            request=seq,
+            name=name,
+            deadline_s=deadline_s,
+            admission="rejected",
+            outcome=error.code,
+            rejection=type(error).__name__,
+        )
 
     def infer(
         self, name: str, x: np.ndarray, *, deadline_s: Optional[float] = None
@@ -314,7 +393,11 @@ class ServingRuntime:
             return not (self._draining or self._stopped)
 
     def stats(self) -> Dict[str, object]:
-        """Counter snapshot, including cache and per-breaker stats."""
+        """Counter snapshot, including cache and per-breaker stats.
+
+        The snapshot is deep-copied: callers may mutate it (bench reports
+        annotate it freely) without perturbing runtime state.
+        """
         with self._state_lock:
             counters = dict(self._counters)
             names = {
@@ -329,7 +412,7 @@ class ServingRuntime:
         counters["queue_depth"] = self._queue.qsize()
         counters["cache"] = self.cache.stats()
         counters["breakers"] = breakers
-        return counters
+        return copy.deepcopy(counters)
 
     # ---------------------------------------------------------------- workers
     def _worker_loop(self) -> None:
@@ -368,14 +451,24 @@ class ServingRuntime:
                 leftover = self._queue.get_nowait()
             except queue.Empty:
                 break
-            leftover.handle._reject(
-                DrainingRejection("runtime stopped before this request was served")
+            self._reject(
+                leftover,
+                DrainingRejection("runtime stopped before this request was served"),
             )
 
     def _execute(self, batch: List[_PendingRequest]) -> None:
         now = self._clock()
+        self._m_queue_depth.set(self._queue.qsize())
         live: List[_PendingRequest] = []
         for request in batch:
+            # Queue wait is observed for every dequeued request — expired and
+            # live alike — and mirrored into the request's trace record, so
+            # an offline percentile over traces.jsonl sees exactly the same
+            # observations as the serving.queue_wait_s histogram.
+            queue_wait = now - request.submitted
+            self._m_queue_wait.observe(queue_wait)
+            if request.trace is not None:
+                request.trace["queue_wait_s"] = queue_wait
             if now >= request.deadline:
                 # Reject-before-work: the deadline passed while queued.
                 self._reject(request, DeadlineRejection("deadline expired in queue"))
@@ -385,6 +478,15 @@ class ServingRuntime:
             return
         entry = self._registered[live[0].name]
         breaker = self._breakers[(entry.fingerprint, entry.corner)]
+        self._m_batch_size.observe(len(live))
+        breaker_state = breaker.state
+        cache_trace: Optional[Dict[str, object]] = None
+        if self.obs.tracer.enabled:
+            cache_trace = {}
+            for request in live:
+                if request.trace is not None:
+                    request.trace["batch_size"] = len(live)
+                    request.trace["breaker_state"] = breaker_state
         x = np.stack([request.x for request in live])
         budget = max(request.deadline for request in live) - self._clock()
 
@@ -403,6 +505,7 @@ class ServingRuntime:
                     fingerprint=entry.fingerprint,
                     samples=len(live),
                     timeout=max(budget, 1e-4),
+                    trace=cache_trace,
                 )
                 faultinject.fire("serve-infer", index=sequence)
                 started = self._clock()
@@ -413,13 +516,14 @@ class ServingRuntime:
                 # Cache wait exceeded the batch budget: deadline semantics,
                 # not a device fault — release the probe slot uncounted.
                 breaker.abandon_probe()
+                self._merge_cache_trace(live, cache_trace)
                 for request in live:
                     self._reject(request, error)
                 return
             except Exception as error:
                 breaker.record_failure()
                 with self._state_lock:
-                    self._counters["primary_faults"] += 1
+                    self._count("primary_faults")
                 logger.warning(
                     "primary dispatch fault on %r (%s); falling back degraded",
                     entry.name,
@@ -438,11 +542,13 @@ class ServingRuntime:
                     fingerprint=entry.fingerprint,
                     samples=len(live),
                     timeout=max(budget, 1e-4),
+                    trace=cache_trace,
                 )
                 started = self._clock()
                 logits = programmed.predict(x)
                 service_s = self._clock() - started
             except Rejection as error:
+                self._merge_cache_trace(live, cache_trace)
                 for request in live:
                     self._reject(request, error)
                 return
@@ -451,16 +557,24 @@ class ServingRuntime:
                 rejection = FaultRejection(
                     f"primary and fallback paths both failed: {error}"
                 )
+                self._merge_cache_trace(live, cache_trace)
                 for request in live:
                     self._reject(request, rejection)
                 return
 
+        if cache_trace is not None:
+            for request in live:
+                if request.trace is not None:
+                    request.trace.update(cache_trace)
+                    request.trace["corner"] = corner.label
+                    request.trace["degraded"] = degraded
         with self._state_lock:
-            self._counters["batches"] += 1
+            self._count("batches")
             if self._service_ewma is None:
                 self._service_ewma = service_s
             else:
                 self._service_ewma += _EWMA_ALPHA * (service_s - self._service_ewma)
+        self._m_service.observe(service_s)
         done = self._clock()
         predictions = np.argmax(logits, axis=1)
         for slot, request in enumerate(live):
@@ -483,14 +597,39 @@ class ServingRuntime:
                 )
             )
             with self._state_lock:
-                self._counters["completed"] += 1
+                self._count("completed")
                 if degraded:
-                    self._counters["degraded"] += 1
+                    self._count("degraded")
+            self._m_latency.observe(done - request.submitted)
+            trace = request.trace
+            if trace is not None:
+                request.trace = None
+                trace["outcome"] = "completed"
+                trace["deadline_slack_s"] = request.deadline - done
+                trace["latency_s"] = done - request.submitted
+                trace["service_s"] = service_s
+                self.obs.tracer.emit("request", **trace)
+
+    @staticmethod
+    def _merge_cache_trace(
+        live: List[_PendingRequest], cache_trace: Optional[Dict[str, object]]
+    ) -> None:
+        if not cache_trace:
+            return
+        for request in live:
+            if request.trace is not None:
+                request.trace.update(cache_trace)
 
     def _reject(self, request: _PendingRequest, error: Rejection) -> None:
         request.handle._reject(error)
         with self._state_lock:
-            self._counters[f"rejected.{error.code}"] += 1
+            self._count(f"rejected.{error.code}")
+        trace = request.trace
+        if trace is not None:
+            request.trace = None
+            trace["outcome"] = error.code
+            trace["rejection"] = type(error).__name__
+            self.obs.tracer.emit("request", **trace)
 
     # ------------------------------------------------------------------ drain
     def close(self, *, drain: bool = True) -> None:
